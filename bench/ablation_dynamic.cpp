@@ -1,0 +1,100 @@
+// Ablation: dynamic (segmented) index vs one-shot build.
+//
+// The ViST lineage stresses dynamic maintenance; xseq's DynamicIndex
+// trades query cost (one probe per segment) for O(1) insertion into a
+// buffer. This measures that trade and what Compact() buys back.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/dynamic_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/xmark.h"
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  FlagSet flags(argc, argv);
+  DocId n = bench::Scaled(flags, 40000, 160000);
+  int queries = static_cast<int>(flags.GetInt("queries", 60));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  bench::Header("Ablation: dynamic segmented index (" + std::to_string(n) +
+                " XMark records)");
+
+  // Dynamic, incremental ingestion.
+  DynamicOptions dopts;
+  dopts.flush_threshold = n / 16 + 1;
+  DynamicIndex dyn(dopts);
+  XMarkParams params;
+  params.seed = seed;
+  XMarkGenerator gen(params, dyn.names(), dyn.values());
+  Timer ingest;
+  for (DocId d = 0; d < n; ++d) {
+    if (!dyn.Add(gen.Generate(d)).ok()) return 1;
+  }
+  if (!dyn.Flush().ok()) return 1;
+  double dyn_build_s = ingest.ElapsedSeconds();
+
+  // One-shot reference (streaming two-pass).
+  IndexOptions sopts;
+  CollectionBuilder builder(sopts);
+  XMarkGenerator gen2(params, builder.names(), builder.values());
+  Timer oneshot;
+  CollectionIndex ref = bench::BuildStreaming(
+      &builder, [&gen2](DocId d) { return gen2.Generate(d); }, n);
+  double ref_build_s = oneshot.ElapsedSeconds();
+
+  // Query workload against both, plus the compacted dynamic index.
+  auto run = [&](auto&& query_fn) {
+    Rng rng(9, 27);
+    uint64_t us = 0;
+    NameTable names;
+    ValueEncoder values;
+    XMarkGenerator sampler(params, &names, &values);
+    for (int q = 0; q < queries; ++q) {
+      Document sample = sampler.Generate(rng.Uniform(n));
+      QueryPattern pattern =
+          SampleQueryPattern(sample, names, 6, &rng, 0.5);
+      Timer t;
+      if (!query_fn(pattern)) std::abort();
+      us += static_cast<uint64_t>(t.ElapsedMicros());
+    }
+    return static_cast<double>(us) / queries;
+  };
+
+  double seg_us = run([&](const QueryPattern& p) {
+    return dyn.ExecutePattern(p).ok();
+  });
+  uint64_t seg_nodes = dyn.TotalIndexNodes();
+  size_t seg_count = dyn.segment_count();
+
+  Timer compact_timer;
+  if (!dyn.Compact().ok()) return 1;
+  double compact_s = compact_timer.ElapsedSeconds();
+  double compacted_us = run([&](const QueryPattern& p) {
+    return dyn.ExecutePattern(p).ok();
+  });
+
+  double ref_us = run([&](const QueryPattern& p) {
+    return ref.executor().ExecutePattern(p).ok();
+  });
+
+  std::printf("%-22s %12s %14s %14s\n", "configuration", "build (s)",
+              "index nodes", "query (us)");
+  std::printf("%-22s %12.2f %14llu %14.1f\n",
+              ("dynamic, " + std::to_string(seg_count) + " segments")
+                  .c_str(),
+              dyn_build_s, static_cast<unsigned long long>(seg_nodes),
+              seg_us);
+  std::printf("%-22s %12.2f %14llu %14.1f\n", "dynamic, compacted",
+              compact_s,
+              static_cast<unsigned long long>(dyn.TotalIndexNodes()),
+              compacted_us);
+  std::printf("%-22s %12.2f %14llu %14.1f\n", "one-shot reference",
+              ref_build_s,
+              static_cast<unsigned long long>(ref.Stats().trie_nodes),
+              ref_us);
+  bench::Note("expected: segmented queries pay a per-segment probe; "
+              "Compact() recovers one-shot node counts and query cost");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: the three value representations (Section 2.1's two options
+// plus the exact default).
+//   exact  — one designator per distinct string
+//   hashed — ViST's h(value) designators (range 1000): smaller symbol
+//            space, possible false positives
+//   chars  — per-character chains (Index Fabric style): biggest index,
+//            prefix predicates for free
+//
+// Reported per mode: index nodes, bytes, build time, equality-query time,
+// and the hashed mode's false-positive overshoot.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/gen/dblp.h"
+
+namespace xseq {
+namespace {
+
+struct ModeResult {
+  CollectionIndex idx;
+  double build_s;
+};
+
+ModeResult Build(ValueMode mode, DocId n, uint64_t seed) {
+  DblpParams params;
+  params.seed = seed;
+  IndexOptions opts;
+  opts.value_mode = mode;
+  CollectionBuilder builder(opts);
+  DblpGenerator gen(params, builder.names(), builder.values());
+  Timer t;
+  CollectionIndex idx = bench::BuildStreaming(
+      &builder, [&gen](DocId d) { return gen.Generate(d); }, n);
+  return ModeResult{std::move(idx), t.ElapsedSeconds()};
+}
+
+}  // namespace
+}  // namespace xseq
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  FlagSet flags(argc, argv);
+  DocId n = bench::Scaled(flags, 30000, 120000);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  const char* kQueries[] = {
+      "//author[text='David']",
+      "/book[key='Maier']/author",
+      "/inproceedings[booktitle='VLDB']/title",
+  };
+
+  bench::Header("Ablation: value representation (DBLP-like, " +
+                std::to_string(n) + " records)");
+  std::printf("%-8s %12s %12s %10s %12s %10s\n", "mode", "index nodes",
+              "bytes", "build(s)", "query (us)", "results");
+
+  std::vector<DocId> exact_results;
+  struct Cfg {
+    const char* name;
+    ValueMode mode;
+  };
+  const Cfg cfgs[] = {{"exact", ValueMode::kExact},
+                      {"hashed", ValueMode::kHashed},
+                      {"chars", ValueMode::kCharSequence}};
+  for (const Cfg& cfg : cfgs) {
+    ModeResult r = Build(cfg.mode, n, seed);
+    uint64_t us = 0, results = 0;
+    for (const char* q : kQueries) {
+      Timer t;
+      auto res = r.idx.Query(q);
+      if (!res.ok()) return 1;
+      us += static_cast<uint64_t>(t.ElapsedMicros());
+      results += res->docs.size();
+    }
+    if (cfg.mode == ValueMode::kExact) {
+      exact_results.push_back(static_cast<DocId>(results));
+    }
+    auto s = r.idx.Stats();
+    std::printf("%-8s %12llu %12llu %10.2f %12.1f %10llu\n", cfg.name,
+                static_cast<unsigned long long>(s.trie_nodes),
+                static_cast<unsigned long long>(s.memory_bytes),
+                r.build_s, static_cast<double>(us) / 3.0,
+                static_cast<unsigned long long>(results));
+  }
+  bench::Note("expected: chars > exact > hashed in index size; hashed may "
+              "over-report (hash collisions) but never misses; chars "
+              "additionally supports starts-with() predicates");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every harness accepts:
+//   --scale=<f>   multiply default dataset sizes by f
+//   --full        paper-scale sizes (slow; minutes on one core)
+//   --seed=<n>    dataset seed
+// and prints paper-shaped rows plus enough context to compare against the
+// original tables/figures (recorded in EXPERIMENTS.md).
+
+#ifndef XSEQ_BENCH_BENCH_UTIL_H_
+#define XSEQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace xseq {
+namespace bench {
+
+/// A generator callback: document by id.
+using DocFn = std::function<Document(DocId)>;
+
+/// Streams `n` documents through the two-phase builder (no retention).
+/// The generator must be deterministic per id.
+inline CollectionIndex BuildStreaming(CollectionBuilder* builder,
+                                      const DocFn& gen, DocId n) {
+  for (DocId d = 0; d < n; ++d) {
+    Status st = builder->Observe(gen(d));
+    if (!st.ok()) {
+      std::fprintf(stderr, "observe failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  Status st = builder->BeginIndexing();
+  if (!st.ok()) std::abort();
+  for (DocId d = 0; d < n; ++d) {
+    st = builder->Index(gen(d));
+    if (!st.ok()) {
+      std::fprintf(stderr, "index failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  auto idx = std::move(*builder).Finish();
+  if (!idx.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n",
+                 idx.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*idx);
+}
+
+/// Scales `base` by --scale / --full.
+inline DocId Scaled(const FlagSet& flags, DocId base, DocId full) {
+  if (flags.GetBool("full", false)) return full;
+  double scale = flags.GetDouble("scale", 1.0);
+  DocId v = static_cast<DocId>(static_cast<double>(base) * scale);
+  return v == 0 ? 1 : v;
+}
+
+/// Prints a rule + centered-ish title.
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace xseq
+
+#endif  // XSEQ_BENCH_BENCH_UTIL_H_

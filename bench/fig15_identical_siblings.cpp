@@ -1,0 +1,67 @@
+// Figure 15: impact of identical sibling nodes on index size.
+//
+// Dataset L3 F5 A25 I? P40 with I swept 0..100%. As I grows, the f2
+// grouping constraint overrides more and more of the probability ordering,
+// so constraint sequencing degrades towards depth-first — but stays below
+// it, because attribute values are still ordered by occurrence probability.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/gen/synthetic.h"
+
+namespace {
+
+void Sweep(const xseq::FlagSet& flags, xseq::DocId n, int value_percent) {
+  using namespace xseq;
+  bench::Header("Figure 15  index size vs identical siblings (L3F5A" +
+                std::to_string(value_percent) + "I?P40, " +
+                std::to_string(n) + " docs)");
+  std::printf("%6s %16s %16s %12s\n", "I (%)", "DF index nodes",
+              "CS index nodes", "CS/DF");
+
+  for (int identical : {0, 20, 40, 60, 80, 100}) {
+    SyntheticParams params;
+    params.identical_percent = identical;
+    params.value_percent = value_percent;
+    params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+    uint64_t nodes[2] = {0, 0};
+    SequencerKind kinds[2] = {SequencerKind::kDepthFirst,
+                              SequencerKind::kProbability};
+    for (int k = 0; k < 2; ++k) {
+      IndexOptions opts;
+      opts.sequencer = kinds[k];
+      CollectionBuilder builder(opts);
+      SyntheticDataset gen(params, builder.names(), builder.values());
+      CollectionIndex idx = bench::BuildStreaming(
+          &builder, [&gen](DocId d) { return gen.Generate(d); }, n);
+      nodes[k] = idx.Stats().trie_nodes;
+    }
+    std::printf("%6d %16llu %16llu %12.3f\n", identical,
+                static_cast<unsigned long long>(nodes[0]),
+                static_cast<unsigned long long>(nodes[1]),
+                static_cast<double>(nodes[1]) /
+                    static_cast<double>(nodes[0]));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  FlagSet flags(argc, argv);
+  DocId n = bench::Scaled(flags, 20000, 500000);
+
+  Sweep(flags, n, 25);  // the paper's dataset
+  Sweep(flags, n, 0);   // structure-only repeated subtrees
+  bench::Note(
+      "paper shape: CS grows towards DF as I rises; the paper reports CS "
+      "still smaller at I=100% because values remain probability-ordered.");
+  bench::Note(
+      "our A=25 generator crosses slightly above DF at I=100% (values sit "
+      "inside high-variety repeated subtrees, so deferring them loses "
+      "shared prefix); with A=0 the paper's ordering holds at every I — "
+      "see EXPERIMENTS.md for the discussion.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 16(a): constraint-sequencing query time vs dataset size
+// (L3 F5 A25 I10 P40, random tree-pattern queries of length 5).
+//
+// Expected shape: sub-linear growth — the paper plots CS on a log axis
+// staying in the tens of milliseconds while the dataset grows 8x.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  FlagSet flags(argc, argv);
+  int queries = static_cast<int>(flags.GetInt("queries", 100));
+  size_t qlen = static_cast<size_t>(flags.GetInt("len", 5));
+
+  bench::Header("Figure 16(a)  CS query time vs dataset size "
+                "(L3F5A25I10P40, query length " + std::to_string(qlen) +
+                ")");
+  std::printf("%10s %14s %16s %14s %12s\n", "docs", "index nodes",
+              "avg query (us)", "avg results", "us/result");
+
+  for (DocId base : {12500u, 25000u, 50000u, 100000u}) {
+    DocId n = bench::Scaled(flags, base, base * 4);
+    SyntheticParams params;
+    params.identical_percent = 10;
+    params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    IndexOptions opts;
+    CollectionBuilder builder(opts);
+    SyntheticDataset gen(params, builder.names(), builder.values());
+    CollectionIndex idx = bench::BuildStreaming(
+        &builder, [&gen](DocId d) { return gen.Generate(d); }, n);
+
+    Rng rng(7, 11);
+    uint64_t total_us = 0;
+    uint64_t total_results = 0;
+    for (int q = 0; q < queries; ++q) {
+      Document sample = gen.Generate(rng.Uniform(n));
+      QueryPattern pattern =
+          SampleQueryPattern(sample, idx.names(), qlen, &rng, 0.6);
+      Timer timer;
+      auto r = idx.executor().ExecutePattern(pattern);
+      if (!r.ok()) return 1;
+      total_us += static_cast<uint64_t>(timer.ElapsedMicros());
+      total_results += r->size();
+    }
+    std::printf("%10u %14llu %16.1f %14.1f %12.3f\n", n,
+                static_cast<unsigned long long>(idx.Stats().trie_nodes),
+                static_cast<double>(total_us) / queries,
+                static_cast<double>(total_results) / queries,
+                total_results == 0
+                    ? 0.0
+                    : static_cast<double>(total_us) /
+                          static_cast<double>(total_results));
+  }
+  bench::Note("paper shape: near-flat (log-scale) query time as the "
+              "dataset grows 8x");
+  return 0;
+}

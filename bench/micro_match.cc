@@ -1,0 +1,100 @@
+// Microbenchmarks: Algorithm 1 subsequence matching (constraint vs naive),
+// query compilation, and end-to-end XPath execution.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+
+namespace xseq {
+namespace {
+
+struct MatchCorpus {
+  std::unique_ptr<CollectionIndex> idx;
+  std::unique_ptr<SyntheticDataset> gen;
+  std::vector<QuerySeq> queries;
+  std::vector<QueryPattern> patterns;
+
+  MatchCorpus() {
+    SyntheticParams params;
+    params.identical_percent = 20;
+    IndexOptions opts;
+    CollectionBuilder builder(opts);
+    gen = std::make_unique<SyntheticDataset>(params, builder.names(),
+                                             builder.values());
+    for (DocId d = 0; d < 20000; ++d) {
+      Status st = builder.Observe(gen->Generate(d));
+      benchmark::DoNotOptimize(st.ok());
+    }
+    Status st = builder.BeginIndexing();
+    benchmark::DoNotOptimize(st.ok());
+    for (DocId d = 0; d < 20000; ++d) {
+      st = builder.Index(gen->Generate(d));
+      benchmark::DoNotOptimize(st.ok());
+    }
+    auto built = std::move(builder).Finish();
+    idx = std::make_unique<CollectionIndex>(std::move(*built));
+
+    Rng rng(3, 29);
+    for (int i = 0; i < 64; ++i) {
+      Document sample = gen->Generate(rng.Uniform(20000));
+      patterns.push_back(
+          SampleQueryPattern(sample, idx->names(), 5, &rng));
+      auto compiled = idx->executor().Compile(patterns.back());
+      if (compiled.ok()) {
+        for (QuerySeq& qs : *compiled) queries.push_back(std::move(qs));
+      }
+    }
+  }
+};
+
+MatchCorpus& GetCorpus() {
+  static MatchCorpus* corpus = new MatchCorpus();
+  return *corpus;
+}
+
+void BM_MatchSequence(benchmark::State& state, MatchMode mode) {
+  MatchCorpus& c = GetCorpus();
+  size_t i = 0;
+  std::vector<DocId> out;
+  for (auto _ : state) {
+    out.clear();
+    Status st = MatchSequence(c.idx->index(),
+                              c.queries[i % c.queries.size()], mode, &out);
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+}
+BENCHMARK_CAPTURE(BM_MatchSequence, constraint, MatchMode::kConstraint);
+BENCHMARK_CAPTURE(BM_MatchSequence, naive, MatchMode::kNaive);
+
+void BM_Compile(benchmark::State& state) {
+  MatchCorpus& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto compiled =
+        c.idx->executor().Compile(c.patterns[i % c.patterns.size()]);
+    benchmark::DoNotOptimize(compiled.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_Compile);
+
+void BM_EndToEndXPath(benchmark::State& state) {
+  MatchCorpus& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = c.idx->executor().ExecutePattern(
+        c.patterns[i % c.patterns.size()]);
+    benchmark::DoNotOptimize(r.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_EndToEndXPath);
+
+}  // namespace
+}  // namespace xseq
+
+BENCHMARK_MAIN();

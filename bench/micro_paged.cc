@@ -1,0 +1,121 @@
+// Microbenchmarks: paged-index matching and buffer-pool mechanics.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/xmark.h"
+#include "src/storage/paged_index.h"
+
+namespace xseq {
+namespace {
+
+struct PagedCorpus {
+  std::unique_ptr<CollectionIndex> idx;
+  std::unique_ptr<PagedIndex> paged;
+  std::vector<QuerySeq> queries;
+
+  PagedCorpus() {
+    XMarkParams params;
+    IndexOptions opts;
+    CollectionBuilder builder(opts);
+    XMarkGenerator gen(params, builder.names(), builder.values());
+    for (DocId d = 0; d < 10000; ++d) {
+      benchmark::DoNotOptimize(builder.Observe(gen.Generate(d)).ok());
+    }
+    benchmark::DoNotOptimize(builder.BeginIndexing().ok());
+    for (DocId d = 0; d < 10000; ++d) {
+      benchmark::DoNotOptimize(builder.Index(gen.Generate(d)).ok());
+    }
+    auto built = std::move(builder).Finish();
+    idx = std::make_unique<CollectionIndex>(std::move(*built));
+    paged = std::make_unique<PagedIndex>(PagedIndex::Build(idx->index()));
+
+    Rng rng(3, 41);
+    for (int i = 0; i < 32; ++i) {
+      Document sample = gen.Generate(rng.Uniform(10000));
+      QueryPattern pattern =
+          SampleQueryPattern(sample, idx->names(), 6, &rng, 0.5);
+      auto compiled = idx->executor().Compile(pattern);
+      if (compiled.ok()) {
+        for (QuerySeq& qs : *compiled) queries.push_back(std::move(qs));
+      }
+    }
+  }
+};
+
+PagedCorpus& GetCorpus() {
+  static PagedCorpus* corpus = new PagedCorpus();
+  return *corpus;
+}
+
+void BM_PagedMatchColdPool(benchmark::State& state) {
+  PagedCorpus& c = GetCorpus();
+  size_t i = 0;
+  std::vector<DocId> out;
+  for (auto _ : state) {
+    BufferPool pool(&c.paged->file(), 1024);  // cold each iteration
+    out.clear();
+    Status st = c.paged->Match(c.queries[i % c.queries.size()],
+                               MatchMode::kConstraint, &pool, &out);
+    benchmark::DoNotOptimize(st.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_PagedMatchColdPool);
+
+void BM_PagedMatchWarmPool(benchmark::State& state) {
+  PagedCorpus& c = GetCorpus();
+  BufferPool pool(&c.paged->file(), 1 << 16);  // effectively everything
+  size_t i = 0;
+  std::vector<DocId> out;
+  for (auto _ : state) {
+    out.clear();
+    Status st = c.paged->Match(c.queries[i % c.queries.size()],
+                               MatchMode::kConstraint, &pool, &out);
+    benchmark::DoNotOptimize(st.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_PagedMatchWarmPool);
+
+void BM_InMemoryMatchReference(benchmark::State& state) {
+  PagedCorpus& c = GetCorpus();
+  size_t i = 0;
+  std::vector<DocId> out;
+  for (auto _ : state) {
+    out.clear();
+    Status st = MatchSequence(c.idx->index(),
+                              c.queries[i % c.queries.size()],
+                              MatchMode::kConstraint, &out);
+    benchmark::DoNotOptimize(st.ok());
+    ++i;
+  }
+}
+BENCHMARK(BM_InMemoryMatchReference);
+
+void BM_BufferPoolFetch(benchmark::State& state) {
+  PagedCorpus& c = GetCorpus();
+  BufferPool pool(&c.paged->file(), 64);
+  Rng rng(5, 3);
+  uint32_t n = c.paged->total_pages();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Fetch(rng.Uniform(n)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BufferPoolFetch);
+
+void BM_PagedBuild(benchmark::State& state) {
+  PagedCorpus& c = GetCorpus();
+  for (auto _ : state) {
+    PagedIndex p = PagedIndex::Build(c.idx->index());
+    benchmark::DoNotOptimize(p.total_pages());
+  }
+}
+BENCHMARK(BM_PagedBuild);
+
+}  // namespace
+}  // namespace xseq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Microbenchmarks: sequencing throughput of every strategy.
+
+#include <benchmark/benchmark.h>
+
+#include "src/gen/synthetic.h"
+#include "src/schema/schema.h"
+#include "src/seq/sequencer.h"
+
+namespace xseq {
+namespace {
+
+/// Shared corpus: 1000 synthetic documents + schema model.
+struct Corpus {
+  NameTable names;
+  ValueEncoder values;
+  PathDict dict;
+  std::vector<Document> docs;
+  std::vector<std::vector<PathId>> paths;
+  std::shared_ptr<const SequencingModel> model;
+
+  explicit Corpus(int identical) {
+    SyntheticParams params;
+    params.identical_percent = identical;
+    SyntheticDataset gen(params, &names, &values);
+    Schema schema;
+    for (DocId d = 0; d < 1000; ++d) {
+      docs.push_back(gen.Generate(d));
+      paths.push_back(BindPaths(docs.back(), &dict));
+      schema.Observe(docs.back(), paths.back());
+    }
+    model = schema.BuildModel(dict);
+  }
+};
+
+Corpus& GetCorpus(int identical) {
+  static Corpus* plain = new Corpus(0);
+  static Corpus* repeats = new Corpus(40);
+  return identical == 0 ? *plain : *repeats;
+}
+
+void BM_Sequence(benchmark::State& state, SequencerKind kind,
+                 int identical) {
+  Corpus& c = GetCorpus(identical);
+  auto sequencer = MakeSequencer(kind, c.model);
+  size_t i = 0;
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    const Document& doc = c.docs[i % c.docs.size()];
+    Sequence seq = sequencer->Encode(doc, c.paths[i % c.docs.size()]);
+    benchmark::DoNotOptimize(seq.data());
+    nodes += seq.size();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(nodes));
+}
+
+BENCHMARK_CAPTURE(BM_Sequence, depth_first, SequencerKind::kDepthFirst, 0);
+BENCHMARK_CAPTURE(BM_Sequence, breadth_first, SequencerKind::kBreadthFirst,
+                  0);
+BENCHMARK_CAPTURE(BM_Sequence, random, SequencerKind::kRandom, 0);
+BENCHMARK_CAPTURE(BM_Sequence, probability, SequencerKind::kProbability, 0);
+BENCHMARK_CAPTURE(BM_Sequence, probability_identical_siblings,
+                  SequencerKind::kProbability, 40);
+
+void BM_BindPaths(benchmark::State& state) {
+  Corpus& c = GetCorpus(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    PathDict dict;
+    auto paths = BindPaths(c.docs[i % c.docs.size()], &dict);
+    benchmark::DoNotOptimize(paths.data());
+    ++i;
+  }
+}
+BENCHMARK(BM_BindPaths);
+
+}  // namespace
+}  // namespace xseq
+
+BENCHMARK_MAIN();

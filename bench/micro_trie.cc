@@ -1,0 +1,93 @@
+// Microbenchmarks: index-tree construction (insert vs bulk load, freeze).
+
+#include <benchmark/benchmark.h>
+
+#include "src/gen/synthetic.h"
+#include "src/index/trie.h"
+#include "src/schema/schema.h"
+#include "src/seq/sequencer.h"
+
+namespace xseq {
+namespace {
+
+/// Pre-sequenced corpus for trie benchmarks.
+struct SeqCorpus {
+  std::vector<std::pair<Sequence, DocId>> seqs;
+
+  SeqCorpus() {
+    NameTable names;
+    ValueEncoder values;
+    PathDict dict;
+    SyntheticParams params;
+    SyntheticDataset gen(params, &names, &values);
+    Schema schema;
+    std::vector<Document> docs;
+    std::vector<std::vector<PathId>> paths;
+    for (DocId d = 0; d < 2000; ++d) {
+      docs.push_back(gen.Generate(d));
+      paths.push_back(BindPaths(docs.back(), &dict));
+      schema.Observe(docs.back(), paths.back());
+    }
+    auto model = schema.BuildModel(dict);
+    auto sequencer = MakeSequencer(SequencerKind::kProbability, model);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      seqs.emplace_back(sequencer->Encode(docs[i], paths[i]),
+                        docs[i].id());
+    }
+  }
+};
+
+SeqCorpus& GetSeqs() {
+  static SeqCorpus* corpus = new SeqCorpus();
+  return *corpus;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  SeqCorpus& c = GetSeqs();
+  for (auto _ : state) {
+    TrieBuilder builder;
+    for (const auto& [seq, doc] : c.seqs) {
+      benchmark::DoNotOptimize(builder.Insert(seq, doc).ok());
+    }
+    benchmark::DoNotOptimize(builder.node_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.seqs.size()));
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieBulkLoad(benchmark::State& state) {
+  SeqCorpus& c = GetSeqs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::pair<Sequence, DocId>> input = c.seqs;
+    state.ResumeTiming();
+    TrieBuilder builder;
+    benchmark::DoNotOptimize(builder.BulkLoad(&input).ok());
+    benchmark::DoNotOptimize(builder.node_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.seqs.size()));
+}
+BENCHMARK(BM_TrieBulkLoad);
+
+void BM_TrieFreeze(benchmark::State& state) {
+  SeqCorpus& c = GetSeqs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    TrieBuilder builder;
+    for (const auto& [seq, doc] : c.seqs) {
+      Status st = builder.Insert(seq, doc);
+      benchmark::DoNotOptimize(st.ok());
+    }
+    state.ResumeTiming();
+    FrozenIndex idx = std::move(builder).Freeze();
+    benchmark::DoNotOptimize(idx.node_count());
+  }
+}
+BENCHMARK(BM_TrieFreeze);
+
+}  // namespace
+}  // namespace xseq
+
+BENCHMARK_MAIN();

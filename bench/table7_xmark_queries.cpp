@@ -1,0 +1,92 @@
+// Table 7: query performance on XMark (the paper's Table 4 queries).
+//
+//   Q1 /site//item[location='United States']/mail/date[text='07/05/2000']
+//   Q2 /site//person/*/age[text='32']
+//   Q3 //closed_auction[seller/person='person11304']/date[text='12/15/1999']
+//
+// Reported per query: compiled sequence length, result size, # disk
+// accesses (cold buffer-pool misses on the paged index) and elapsed time.
+// Paper: 23/5/9 disk accesses, ≤0.1 s each on a 1.8 GHz PC.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/gen/xmark.h"
+#include "src/storage/paged_index.h"
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  FlagSet flags(argc, argv);
+  // XMark factor 1 is ~115 MB; our records are ~25 nodes, so ~160k records
+  // approximates the paper's collection. Default is half that.
+  DocId n = bench::Scaled(flags, 80000, 160000);
+
+  XMarkParams params;
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  IndexOptions opts;  // g_best constraint sequencing
+  CollectionBuilder builder(opts);
+  XMarkGenerator gen(params, builder.names(), builder.values());
+  Timer build_timer;
+  CollectionIndex idx = bench::BuildStreaming(
+      &builder, [&gen](DocId d) { return gen.Generate(d); }, n);
+  PagedIndex paged = PagedIndex::Build(idx.index());
+
+  bench::Header("Table 7  query performance on XMark-like data (" +
+                std::to_string(n) + " records, built in " +
+                std::to_string(build_timer.ElapsedSeconds()) + " s, " +
+                std::to_string(paged.total_pages()) + " pages)");
+  std::printf("%-4s %12s %12s %15s %12s %12s\n", "", "query length",
+              "result size", "# disk accesses", "(index-only)",
+              "time (ms)");
+
+  const char* queries[3] = {
+      "/site//item[location='United States']/mail/date[text='07/05/2000']",
+      "/site//person/*/age[text='32']",
+      "//closed_auction[seller/person='person11304']"
+      "/date[text='12/15/1999']",
+  };
+
+  for (int qi = 0; qi < 3; ++qi) {
+    auto pattern = ParseXPath(queries[qi]);
+    if (!pattern.ok()) {
+      std::fprintf(stderr, "parse: %s\n",
+                   pattern.status().ToString().c_str());
+      return 1;
+    }
+    auto compiled = idx.executor().Compile(*pattern);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile: %s\n",
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    size_t max_len = 0;
+    for (const QuerySeq& qs : *compiled) {
+      max_len = std::max(max_len, qs.size());
+    }
+
+    // Cold run against the paged index: the pool starts empty.
+    BufferPool pool(&paged.file(), 1024);
+    pool.SetRegionBoundary(paged.first_data_page());
+    std::vector<DocId> docs;
+    Timer timer;
+    for (const QuerySeq& qs : *compiled) {
+      Status st = paged.Match(qs, MatchMode::kConstraint, &pool, &docs);
+      if (!st.ok()) {
+        std::fprintf(stderr, "match: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    std::sort(docs.begin(), docs.end());
+    docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+    double ms = timer.ElapsedMillis();
+    std::printf("Q%-3d %12zu %12zu %15llu %12llu %12.3f\n", qi + 1,
+                max_len, docs.size(),
+                static_cast<unsigned long long>(pool.misses()),
+                static_cast<unsigned long long>(pool.link_misses()), ms);
+  }
+  bench::Note("paper: Q1 len 6 -> 1 result, 23 accesses, 0.10 s; "
+              "Q2 len 3 -> 167, 5, 0.02 s; Q3 len 5 -> 6, 9, 0.07 s");
+  bench::Note("shape to match: short queries touch few pages; every query "
+              "well under 0.1 s");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Bibliography scenario: a DBLP-like record collection queried three ways —
+// the sequence index vs the query-by-path and query-by-node baselines —
+// with timing, so the Table 8 comparison can be reproduced interactively.
+
+#include <cstdio>
+
+#include "src/baseline/node_index.h"
+#include "src/baseline/path_index.h"
+#include "src/core/collection_index.h"
+#include "src/gen/dblp.h"
+#include "src/util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace xseq;
+  DocId n = argc > 1 ? static_cast<DocId>(std::atoi(argv[1])) : 30000;
+
+  DblpParams params;
+  IndexOptions options;
+  options.keep_documents = true;  // the baselines index the documents
+  CollectionBuilder builder(options);
+  DblpGenerator gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < n; ++d) {
+    if (!builder.Add(gen.Generate(d)).ok()) return 1;
+  }
+  auto index_or = std::move(builder).Finish();
+  if (!index_or.ok()) return 1;
+  CollectionIndex index = std::move(*index_or);
+
+  std::vector<std::vector<PathId>> paths;
+  for (const Document& d : index.documents()) {
+    paths.push_back(FindPaths(d, index.dict()));
+  }
+  PathIndexBaseline by_path =
+      PathIndexBaseline::Build(index.documents(), paths);
+  NodeIndexBaseline by_node = NodeIndexBaseline::Build(index.documents());
+
+  std::printf("bibliography: %u records\n", n);
+  std::printf("  sequence index: %llu bytes; path index: %llu bytes; "
+              "node index: %llu bytes\n\n",
+              static_cast<unsigned long long>(index.Stats().memory_bytes),
+              static_cast<unsigned long long>(by_path.MemoryBytes()),
+              static_cast<unsigned long long>(by_node.MemoryBytes()));
+
+  const char* queries[] = {
+      "/inproceedings/title",
+      "/book[key='Maier']/author",
+      "/*/author[text='David']",
+      "//author[text='David']",
+      "/article[journal='TODS']/author",
+      "/inproceedings[booktitle='SIGMOD'][year='1999']/title",
+  };
+
+  std::printf("%-48s %10s %10s %10s %8s\n", "query", "paths(ms)",
+              "nodes(ms)", "xseq(ms)", "results");
+  for (const char* q : queries) {
+    auto pattern = ParseXPath(q);
+    if (!pattern.ok()) return 1;
+
+    Timer tp;
+    auto rp = by_path.Query(*pattern, index.dict(), index.names(),
+                            index.values());
+    double paths_ms = tp.ElapsedMillis();
+    Timer tn;
+    auto rn = by_node.Query(*pattern, index.dict(), index.names(),
+                            index.values());
+    double nodes_ms = tn.ElapsedMillis();
+    Timer tc;
+    auto rc = index.executor().ExecutePattern(*pattern);
+    double cs_ms = tc.ElapsedMillis();
+    if (!rp.ok() || !rn.ok() || !rc.ok()) return 1;
+    if (*rp != *rc || *rn != *rc) {
+      std::fprintf(stderr, "methods disagree on %s!\n", q);
+      return 1;
+    }
+    std::printf("%-48s %10.3f %10.3f %10.3f %8zu\n", q, paths_ms, nodes_ms,
+                cs_ms, rc->size());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's running example (Figure 1): a project hierarchy, the
+// sequences it produces, and the Section 3 queries — including the false
+// alarm and false dismissal cases and how constraint matching handles them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/seq/sequence.h"
+
+int main() {
+  using namespace xseq;
+
+  // Figure 1's document plus two variations.
+  const std::vector<std::string> projects = {
+      R"(<Project name="xml">
+           <Research><Manager>tom</Manager><Loc>newyork</Loc></Research>
+           <Develop>
+             <Manager>johnson</Manager>
+             <Unit><Name>GUI</Name><Manager>mary</Manager></Unit>
+             <Unit><Name>engine</Name></Unit>
+             <Loc>boston</Loc>
+           </Develop>
+         </Project>)",
+      R"(<Project name="web">
+           <Research><Loc>boston</Loc></Research>
+           <Develop><Manager>ada</Manager><Loc>boston</Loc></Develop>
+         </Project>)",
+      // Figure 4's shape: two Loc children (identical siblings) with the
+      // interesting sub-elements split across them.
+      R"(<Project name="db">
+           <Develop>
+             <Unit><Name>store</Name></Unit>
+             <Unit><Manager>sam</Manager></Unit>
+           </Develop>
+         </Project>)",
+  };
+
+  IndexOptions options;
+  options.keep_documents = true;
+  CollectionBuilder builder(options);
+  XmlParser parser(builder.names(), builder.values());
+  for (size_t i = 0; i < projects.size(); ++i) {
+    auto doc = parser.Parse(projects[i], static_cast<DocId>(i));
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    if (!builder.Add(std::move(*doc)).ok()) return 1;
+  }
+  auto index_or = std::move(builder).Finish();
+  if (!index_or.ok()) return 1;
+  CollectionIndex index = std::move(*index_or);
+
+  // Show the constraint sequence of Figure 1's document under g_best.
+  {
+    const Document& doc = index.documents()[0];
+    std::vector<PathId> paths = FindPaths(doc, index.dict());
+    Sequence seq = index.sequencer().Encode(doc, paths);
+    std::printf("g_best constraint sequence of Figure 1:\n  %s\n\n",
+                SequenceToString(seq, index.dict(), index.names()).c_str());
+  }
+
+  struct Q {
+    const char* text;
+    const char* why;
+  };
+  const Q queries[] = {
+      {"/Project[Research[Loc='newyork']]/Develop[Loc='boston']",
+       "the paper's Section 3 branching query"},
+      {"/Project//Loc[.='boston']", "descendant axis"},
+      {"/Project/*/Manager", "wildcard step"},
+      {"//Unit[Name][Manager]",
+       "one Unit with BOTH children (doc 1 only; doc 3 splits them across "
+       "two Units — the Figure 4 false alarm, suppressed by the "
+       "sibling-cover test)"},
+      {"/Project/Develop[Unit/Name][Unit/Manager]",
+       "two distinct Units (docs 1 and 3; ordering handled by isomorphism "
+       "expansion — the Figure 5 false dismissal fix)"},
+  };
+
+  for (const Q& q : queries) {
+    auto r = index.Query(q.text);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n  (%s)\n  -> docs:", q.text, q.why);
+    for (DocId d : r->docs) std::printf(" %u", d);
+    if (r->docs.empty()) std::printf(" none");
+    std::printf("\n\n");
+  }
+
+  // Demonstrate the false alarm explicitly: naive matching also reports
+  // doc 2 (whose Name and Manager live in *different* Units) for the
+  // "both children in one Unit" query; constraint matching does not.
+  ExecOptions naive;
+  naive.mode = MatchMode::kNaive;
+  auto alarm = index.Query("//Unit[Name][Manager]", naive);
+  auto exact = index.Query("//Unit[Name][Manager]");
+  if (!alarm.ok() || !exact.ok()) return 1;
+  std::printf("false-alarm demo for //Unit[Name][Manager]:\n");
+  std::printf("  naive subsequence matching: %zu docs (ViST needs a join "
+              "to clean this)\n", alarm->docs.size());
+  std::printf("  constraint matching:        %zu docs (no cleanup pass "
+              "needed)\n", exact->docs.size());
+  return 0;
+}

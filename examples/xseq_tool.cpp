@@ -1,0 +1,259 @@
+// xseq_tool: a small command-line front end — build an index from XML files
+// or a generated dataset, persist it, inspect it, and query it.
+//
+//   xseq_tool build --out=my.idx --xml=a.xml --xml=b.xml
+//   xseq_tool build --out=my.idx --gen=xmark --n=50000
+//   xseq_tool stats --index=my.idx
+//   xseq_tool query --index=my.idx --q="/site//person/*/age[text='32']"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/core/persist.h"
+#include "src/query/explain.h"
+#include "src/gen/dblp.h"
+#include "src/gen/synthetic.h"
+#include "src/gen/xmark.h"
+#include "src/util/flags.h"
+#include "src/xml/record_split.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace xseq;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  xseq_tool build --out=FILE (--xml=FILE ... [--split=tag,...] |"
+      " --gen=xmark|dblp|synthetic --n=N)\n"
+      "              [--sequencer=cs|df|bf] [--values=exact|hashed|chars]\n"
+      "  xseq_tool stats --index=FILE\n"
+      "  xseq_tool query --index=FILE --q=XPATH [--verbose] [--explain]\n");
+  return 2;
+}
+
+std::vector<std::string> CollectXmlArgs(int argc, char** argv) {
+  // FlagSet keeps only the last --xml=...; gather all of them here.
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--xml=", 6) == 0) {
+      files.emplace_back(argv[i] + 6);
+    }
+  }
+  return files;
+}
+
+int Build(const FlagSet& flags, int argc, char** argv) {
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) return Usage();
+
+  IndexOptions options;
+  std::string seq = flags.GetString("sequencer", "cs");
+  if (seq == "df") options.sequencer = SequencerKind::kDepthFirst;
+  if (seq == "bf") options.sequencer = SequencerKind::kBreadthFirst;
+  std::string values = flags.GetString("values", "exact");
+  if (values == "hashed") options.value_mode = ValueMode::kHashed;
+  if (values == "chars") options.value_mode = ValueMode::kCharSequence;
+
+  CollectionBuilder builder(options);
+  Timer timer;
+
+  std::vector<std::string> xml_files = CollectXmlArgs(argc, argv);
+  if (!xml_files.empty()) {
+    // Optional record splitting: --split=item,person decomposes each file
+    // into one record per listed tag (the paper's per-substructure
+    // indexing of large documents).
+    std::vector<std::string> split_tags;
+    {
+      std::string split = flags.GetString("split", "");
+      size_t i = 0;
+      while (i < split.size()) {
+        size_t j = split.find(',', i);
+        if (j == std::string::npos) j = split.size();
+        if (j > i) split_tags.push_back(split.substr(i, j - i));
+        i = j + 1;
+      }
+    }
+    XmlParser parser(builder.names(), builder.values());
+    DocId id = 0;
+    for (const std::string& file : xml_files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", file.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      auto doc = parser.Parse(text.str(), id);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      if (split_tags.empty()) {
+        ++id;
+        Status st = builder.Add(std::move(*doc));
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+        continue;
+      }
+      std::vector<NameId> tags;
+      for (const std::string& t : split_tags) {
+        NameId nid = builder.names()->Find(t);
+        if (nid != Interner::kInvalidId) tags.push_back(nid);
+      }
+      std::vector<Document> records = SplitIntoRecords(*doc, tags, id);
+      if (records.empty()) {
+        std::fprintf(stderr, "%s: no <%s> records found\n", file.c_str(),
+                     flags.GetString("split", "").c_str());
+        return 1;
+      }
+      id += static_cast<DocId>(records.size());
+      for (Document& rec : records) {
+        Status st = builder.Add(std::move(rec));
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  } else {
+    std::string gen = flags.GetString("gen", "");
+    DocId n = static_cast<DocId>(flags.GetInt("n", 10000));
+    uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    std::function<Document(DocId)> make;
+    XMarkParams xp;
+    xp.seed = seed;
+    DblpParams dp;
+    dp.seed = seed;
+    SyntheticParams sp;
+    sp.seed = seed;
+    XMarkGenerator xmark(xp, builder.names(), builder.values());
+    DblpGenerator dblp(dp, builder.names(), builder.values());
+    SyntheticDataset synth(sp, builder.names(), builder.values());
+    if (gen == "xmark") {
+      make = [&](DocId d) { return xmark.Generate(d); };
+    } else if (gen == "dblp") {
+      make = [&](DocId d) { return dblp.Generate(d); };
+    } else if (gen == "synthetic") {
+      make = [&](DocId d) { return synth.Generate(d); };
+    } else {
+      return Usage();
+    }
+    for (DocId d = 0; d < n; ++d) {
+      Status st = builder.Observe(make(d));
+      if (!st.ok()) return 1;
+    }
+    if (!builder.BeginIndexing().ok()) return 1;
+    for (DocId d = 0; d < n; ++d) {
+      Status st = builder.Index(make(d));
+      if (!st.ok()) return 1;
+    }
+  }
+
+  auto index = std::move(builder).Finish();
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  Status st = SaveCollectionIndex(*index, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto s = index->Stats();
+  std::printf("indexed %llu documents (%llu index nodes) in %.2f s -> %s\n",
+              static_cast<unsigned long long>(s.documents),
+              static_cast<unsigned long long>(s.trie_nodes),
+              timer.ElapsedSeconds(), out.c_str());
+  return 0;
+}
+
+int Stats(const FlagSet& flags) {
+  auto index = LoadCollectionIndex(flags.GetString("index", ""));
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto s = index->Stats();
+  std::printf("documents:          %llu\n",
+              static_cast<unsigned long long>(s.documents));
+  std::printf("index nodes:        %llu\n",
+              static_cast<unsigned long long>(s.trie_nodes));
+  std::printf("distinct paths:     %llu\n",
+              static_cast<unsigned long long>(s.distinct_paths));
+  std::printf("sequence elements:  %llu\n",
+              static_cast<unsigned long long>(s.sequence_elements));
+  std::printf("avg sequence len:   %.2f\n", s.avg_sequence_length);
+  std::printf("index bytes:        %llu\n",
+              static_cast<unsigned long long>(s.memory_bytes));
+  std::printf("sequencer:          %s\n",
+              SequencerKindName(index->options().sequencer));
+  return 0;
+}
+
+int Query(const FlagSet& flags) {
+  auto index = LoadCollectionIndex(flags.GetString("index", ""));
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::string q = flags.GetString("q", "");
+  if (q.empty()) return Usage();
+  if (flags.GetBool("explain", false)) {
+    auto plan = ExplainQuery(index->executor(), q, index->dict(),
+                             index->names());
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", plan->c_str());
+  }
+  Timer timer;
+  auto r = index->Query(q);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu documents in %.3f ms\n", r->docs.size(),
+              timer.ElapsedMillis());
+  size_t show = std::min<size_t>(r->docs.size(), 20);
+  for (size_t i = 0; i < show; ++i) std::printf("  doc %u\n", r->docs[i]);
+  if (show < r->docs.size()) {
+    std::printf("  ... and %zu more\n", r->docs.size() - show);
+  }
+  if (flags.GetBool("verbose", false)) {
+    std::printf("instantiations: %zu, orderings: %zu, sequences: %zu\n",
+                r->stats.instantiations, r->stats.orderings,
+                r->stats.matched_sequences);
+    std::printf("link probes: %llu, candidates: %llu, sibling checks: "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    r->stats.match.link_binary_searches),
+                static_cast<unsigned long long>(r->stats.match.candidates),
+                static_cast<unsigned long long>(
+                    r->stats.match.sibling_checks));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  xseq::FlagSet flags(argc, argv);
+  std::string cmd = argv[1];
+  if (cmd == "build") return Build(flags, argc, argv);
+  if (cmd == "stats") return Stats(flags);
+  if (cmd == "query") return Query(flags);
+  return Usage();
+}

@@ -1,0 +1,52 @@
+// Query-by-node baseline (XISS style).
+//
+// Element occurrences are indexed by their *tag name* with (doc, begin,
+// end, level) region labels; a structured query decomposes into one posting
+// fetch per query node plus pairwise structural joins. Name-keyed postings
+// are much less selective than path-keyed ones (every <author> in the
+// collection shares a list regardless of context), which is why Table 8's
+// "nodes" column is the slowest.
+
+#ifndef XSEQ_SRC_BASELINE_NODE_INDEX_H_
+#define XSEQ_SRC_BASELINE_NODE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/region_join.h"
+#include "src/query/query_pattern.h"
+#include "src/seq/path_dict.h"
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+
+namespace xseq {
+
+/// Name-keyed posting lists + a value occurrence table.
+class NodeIndexBaseline {
+ public:
+  /// Indexes `docs`.
+  static NodeIndexBaseline Build(const std::vector<Document>& docs);
+
+  /// Answers a pattern query; same semantics/instantiation as the sequence
+  /// index. Returns sorted doc ids.
+  StatusOr<std::vector<DocId>> Query(const QueryPattern& pattern,
+                                     const PathDict& dict,
+                                     const NameTable& names,
+                                     const ValueEncoder& values,
+                                     BaselineStats* stats = nullptr) const;
+
+  /// Answers one concrete query tree.
+  std::vector<DocId> QueryConcrete(const ConcreteQuery& query,
+                                   BaselineStats* stats) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<NameId, std::vector<RegionEntry>> name_postings_;
+  std::unordered_map<ValueId, std::vector<RegionEntry>> value_postings_;
+  std::vector<RegionEntry> empty_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_BASELINE_NODE_INDEX_H_

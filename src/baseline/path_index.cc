@@ -1,0 +1,100 @@
+#include "src/baseline/path_index.h"
+
+#include <algorithm>
+
+#include "src/util/timer.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+PathIndexBaseline PathIndexBaseline::Build(
+    const std::vector<Document>& docs,
+    const std::vector<std::vector<PathId>>& paths) {
+  PathIndexBaseline out;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const Document& doc = docs[d];
+    std::vector<Region> regions = ComputeRegions(doc);
+    for (const Node* n : doc.nodes()) {
+      const Region& r = regions[n->index];
+      RegionEntry e{doc.id(), r.begin, r.end, r.level};
+      if (n->is_value()) {
+        out.value_postings_[n->sym.id()].push_back(e);
+      } else {
+        out.path_postings_[paths[d][n->index]].push_back(e);
+      }
+    }
+  }
+  // Documents are indexed in id order, regions in begin order, so postings
+  // are already sorted by (doc, begin) when ids ascend; sort defensively.
+  for (auto& [k, v] : out.path_postings_) {
+    (void)k;
+    std::sort(v.begin(), v.end(), [](const RegionEntry& a,
+                                     const RegionEntry& b) {
+      return a.doc != b.doc ? a.doc < b.doc : a.begin < b.begin;
+    });
+  }
+  for (auto& [k, v] : out.value_postings_) {
+    (void)k;
+    std::sort(v.begin(), v.end(), [](const RegionEntry& a,
+                                     const RegionEntry& b) {
+      return a.doc != b.doc ? a.doc < b.doc : a.begin < b.begin;
+    });
+  }
+  return out;
+}
+
+std::vector<DocId> PathIndexBaseline::QueryConcrete(
+    const ConcreteQuery& query, const PathDict& dict,
+    BaselineStats* stats) const {
+  std::vector<const std::vector<RegionEntry>*> lists;
+  lists.reserve(query.tree.node_count());
+  for (const Node* n : query.tree.nodes()) {
+    if (n->is_value()) {
+      auto it = value_postings_.find(n->sym.id());
+      lists.push_back(it == value_postings_.end() ? &empty_ : &it->second);
+    } else {
+      auto it = path_postings_.find(query.paths[n->index]);
+      lists.push_back(it == path_postings_.end() ? &empty_ : &it->second);
+    }
+  }
+  (void)dict;
+  for (const auto* l : lists) {
+    if (l->empty()) return {};
+  }
+  return RegionJoin(query, lists, stats);
+}
+
+StatusOr<std::vector<DocId>> PathIndexBaseline::Query(
+    const QueryPattern& pattern, const PathDict& dict,
+    const NameTable& names, const ValueEncoder& values,
+    BaselineStats* stats) const {
+  BaselineStats local;
+  BaselineStats* st = stats != nullptr ? stats : &local;
+  Timer timer;
+  auto inst = InstantiatePattern(pattern, dict, names, values);
+  if (!inst.ok()) return inst.status();
+  std::vector<DocId> out;
+  for (const ConcreteQuery& cq : inst->queries) {
+    std::vector<DocId> part = QueryConcrete(cq, dict, st);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  st->micros += timer.ElapsedMicros();
+  return out;
+}
+
+uint64_t PathIndexBaseline::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [k, v] : path_postings_) {
+    (void)k;
+    bytes += v.size() * sizeof(RegionEntry) + 16;
+  }
+  for (const auto& [k, v] : value_postings_) {
+    (void)k;
+    bytes += v.size() * sizeof(RegionEntry) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace xseq

@@ -1,0 +1,57 @@
+// Query-by-path baseline (DataGuide / Index Fabric style).
+//
+// Element occurrences are indexed by their full root path; attribute/text
+// values are indexed by value designator only (a classic path index has no
+// composite path+value key — resolving a value predicate means joining the
+// element path's postings with the value's postings, which is exactly the
+// cost Table 8's "paths" column pays on value queries).
+
+#ifndef XSEQ_SRC_BASELINE_PATH_INDEX_H_
+#define XSEQ_SRC_BASELINE_PATH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/baseline/region_join.h"
+#include "src/query/query_pattern.h"
+#include "src/seq/path_dict.h"
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+
+namespace xseq {
+
+/// Path-keyed posting lists + a value occurrence table.
+class PathIndexBaseline {
+ public:
+  /// Indexes `docs`. `paths[i]` must be the path binding of docs[i] against
+  /// `dict` (documents and bindings are not retained).
+  static PathIndexBaseline Build(
+      const std::vector<Document>& docs,
+      const std::vector<std::vector<PathId>>& paths);
+
+  /// Answers a pattern query (wildcards instantiated against `dict` like
+  /// the sequence index does). Returns sorted doc ids.
+  StatusOr<std::vector<DocId>> Query(const QueryPattern& pattern,
+                                     const PathDict& dict,
+                                     const NameTable& names,
+                                     const ValueEncoder& values,
+                                     BaselineStats* stats = nullptr) const;
+
+  /// Answers one concrete query tree.
+  std::vector<DocId> QueryConcrete(const ConcreteQuery& query,
+                                   const PathDict& dict,
+                                   BaselineStats* stats) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  // Element postings keyed by element PathId; value postings keyed by
+  // ValueId. Both sorted by (doc, begin).
+  std::unordered_map<PathId, std::vector<RegionEntry>> path_postings_;
+  std::unordered_map<ValueId, std::vector<RegionEntry>> value_postings_;
+  std::vector<RegionEntry> empty_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_BASELINE_PATH_INDEX_H_

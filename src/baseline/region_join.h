@@ -1,0 +1,59 @@
+// Shared structural-join machinery for the baseline indexes.
+//
+// Both traditional baselines (query-by-path / DataGuide-like and
+// query-by-node / XISS-like) decompose a tree-pattern query into per-node
+// posting lists of region-labeled occurrences and merge-join them document
+// by document — the join work the paper's sequence index avoids. The join
+// evaluates the same injective-per-sibling-group embedding semantics as the
+// rest of xseq, so all methods return identical answers and only cost
+// differs.
+
+#ifndef XSEQ_SRC_BASELINE_REGION_JOIN_H_
+#define XSEQ_SRC_BASELINE_REGION_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/query/instantiate.h"
+#include "src/xml/symbols.h"
+
+namespace xseq {
+
+/// One posting: a node occurrence with its region label.
+struct RegionEntry {
+  DocId doc;
+  uint32_t begin;
+  uint32_t end;
+  uint16_t level;
+};
+
+/// Join cost counters shared by the baselines.
+struct BaselineStats {
+  uint64_t postings_fetched = 0;  ///< posting lists touched
+  uint64_t entries_scanned = 0;   ///< posting entries read
+  uint64_t docs_joined = 0;       ///< documents entering the join
+  uint64_t embed_checks = 0;      ///< candidate pairs tested
+  int64_t micros = 0;
+
+  void Add(const BaselineStats& o) {
+    postings_fetched += o.postings_fetched;
+    entries_scanned += o.entries_scanned;
+    docs_joined += o.docs_joined;
+    embed_checks += o.embed_checks;
+    micros += o.micros;
+  }
+};
+
+/// Evaluates a concrete query tree given per-query-node candidate posting
+/// lists (each sorted by (doc, begin)). `lists[i]` corresponds to the i-th
+/// node of `query.tree` in node-index order. Returns sorted doc ids with at
+/// least one injective embedding. Documents must be candidates of the root
+/// list to be considered.
+std::vector<DocId> RegionJoin(
+    const ConcreteQuery& query,
+    const std::vector<const std::vector<RegionEntry>*>& lists,
+    BaselineStats* stats);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_BASELINE_REGION_JOIN_H_

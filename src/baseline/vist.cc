@@ -1,0 +1,41 @@
+#include "src/baseline/vist.h"
+
+#include "src/query/oracle.h"
+#include "src/util/timer.h"
+
+namespace xseq {
+
+StatusOr<std::vector<DocId>> VistBaseline::Query(
+    const QueryPattern& pattern, VistStats* stats) const {
+  VistStats local;
+  VistStats* st = stats != nullptr ? stats : &local;
+
+  ExecOptions options;
+  options.mode = MatchMode::kNaive;
+  auto candidates =
+      index_->executor().ExecutePattern(pattern, &st->exec, options);
+  if (!candidates.ok()) return candidates.status();
+  st->candidates += candidates->size();
+
+  // Cleanup pass: re-check every candidate document against the pattern's
+  // instantiations (stands in for ViST's join-based elimination).
+  Timer timer;
+  auto inst = InstantiatePattern(pattern, index_->dict(), index_->names(),
+                                 index_->values());
+  if (!inst.ok()) return inst.status();
+  std::vector<DocId> out;
+  for (DocId d : *candidates) {
+    Document doc = fetch_doc_(d);
+    for (const ConcreteQuery& cq : inst->queries) {
+      if (OracleContains(doc, cq)) {
+        out.push_back(d);
+        break;
+      }
+    }
+  }
+  st->verified += out.size();
+  st->verify_micros += timer.ElapsedMicros();
+  return out;
+}
+
+}  // namespace xseq

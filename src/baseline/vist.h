@@ -1,0 +1,53 @@
+// ViST-like baseline (Wang et al., SIGMOD 2003).
+//
+// ViST sequences documents by depth-first traversal and answers queries
+// with naive subsequence matching, which produces false alarms in the
+// presence of identical sibling nodes; the original system removed them
+// with join operations. We model that cleanup as a per-candidate-document
+// verification pass (fetch the document, run the ground-truth embedding
+// check) — the same asymptotics: the cleanup cost scales with the number of
+// naive candidates.
+//
+// The two cost drivers the paper attributes to ViST both emerge naturally:
+//  * depth-first sequences share shorter prefixes => a larger index tree;
+//  * naive matches must be post-verified => extra per-document work.
+
+#ifndef XSEQ_SRC_BASELINE_VIST_H_
+#define XSEQ_SRC_BASELINE_VIST_H_
+
+#include <functional>
+
+#include "src/core/collection_index.h"
+
+namespace xseq {
+
+/// Per-query ViST cost breakdown.
+struct VistStats {
+  ExecStats exec;              ///< naive subsequence matching cost
+  uint64_t candidates = 0;     ///< docs reported by naive matching
+  uint64_t verified = 0;       ///< docs surviving verification
+  int64_t verify_micros = 0;   ///< cleanup time (the "join" cost)
+};
+
+/// ViST-like query engine over a depth-first-built CollectionIndex.
+class VistBaseline {
+ public:
+  /// `index` must have been built with SequencerKind::kDepthFirst.
+  /// `fetch_doc` re-materializes a document by id for verification (a
+  /// generator callback or a lookup into retained documents).
+  VistBaseline(const CollectionIndex* index,
+               std::function<Document(DocId)> fetch_doc)
+      : index_(index), fetch_doc_(std::move(fetch_doc)) {}
+
+  /// Runs `pattern`: naive subsequence matching + verification pass.
+  StatusOr<std::vector<DocId>> Query(const QueryPattern& pattern,
+                                     VistStats* stats = nullptr) const;
+
+ private:
+  const CollectionIndex* index_;
+  std::function<Document(DocId)> fetch_doc_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_BASELINE_VIST_H_

@@ -1,0 +1,190 @@
+#include "src/core/collection_index.h"
+
+#include "src/xml/value_chain.h"
+
+namespace xseq {
+
+CollectionBuilder::CollectionBuilder(IndexOptions options)
+    : options_(options),
+      names_(std::make_unique<NameTable>()),
+      values_(std::make_unique<ValueEncoder>(options.value_mode,
+                                             options.hash_range)),
+      dict_(std::make_unique<PathDict>()),
+      schema_(std::make_unique<Schema>()) {}
+
+CollectionBuilder::CollectionBuilder(IndexOptions options,
+                                     const NameTable& names,
+                                     const ValueEncoder& values)
+    : options_(options),
+      names_(std::make_unique<NameTable>(names)),
+      values_(std::make_unique<ValueEncoder>(values)),
+      dict_(std::make_unique<PathDict>()),
+      schema_(std::make_unique<Schema>()) {}
+
+Status CollectionBuilder::Observe(const Document& doc) {
+  if (indexing_) {
+    return Status::FailedPrecondition(
+        "Observe() after BeginIndexing(); stream documents in two passes");
+  }
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  if (options_.value_mode == ValueMode::kCharSequence) {
+    Document expanded = ExpandValueChains(doc);
+    std::vector<PathId> paths = BindPaths(expanded, dict_.get());
+    schema_->Observe(expanded, paths);
+  } else {
+    std::vector<PathId> paths = BindPaths(doc, dict_.get());
+    schema_->Observe(doc, paths);
+  }
+  ++observed_docs_;
+  return Status::OK();
+}
+
+Status CollectionBuilder::Add(Document&& doc) {
+  XSEQ_RETURN_IF_ERROR(Observe(doc));
+  retained_.push_back(std::move(doc));
+  return Status::OK();
+}
+
+Status CollectionBuilder::BoostPath(std::string_view slash_path,
+                                    double weight) {
+  if (indexing_) {
+    return Status::FailedPrecondition(
+        "BoostPath() must be called before BeginIndexing()");
+  }
+  PathId p = dict_->Resolve(slash_path, *names_);
+  if (p == kInvalidPath) {
+    return Status::NotFound("path not observed in the data: " +
+                            std::string(slash_path));
+  }
+  schema_->SetWeight(p, weight);
+  return Status::OK();
+}
+
+Status CollectionBuilder::BoostValuesUnder(std::string_view slash_path,
+                                           double weight) {
+  if (indexing_) {
+    return Status::FailedPrecondition(
+        "BoostValuesUnder() must be called before BeginIndexing()");
+  }
+  PathId p = dict_->Resolve(slash_path, *names_);
+  if (p == kInvalidPath) {
+    return Status::NotFound("path not observed in the data: " +
+                            std::string(slash_path));
+  }
+  schema_->SetWeight(p, weight);
+  for (PathId c = dict_->FirstChild(p); c != kInvalidPath;
+       c = dict_->NextSibling(c)) {
+    if (dict_->sym(c).is_value()) schema_->SetWeight(c, weight);
+  }
+  return Status::OK();
+}
+
+Status CollectionBuilder::BeginIndexing() {
+  if (indexing_) {
+    return Status::FailedPrecondition("BeginIndexing() called twice");
+  }
+  indexing_ = true;
+  model_ = schema_->BuildModel(*dict_);
+  sequencer_ =
+      MakeSequencer(options_.sequencer, model_, options_.random_seed);
+  if (sequencer_ == nullptr) {
+    return Status::InvalidArgument("unknown sequencer kind");
+  }
+  return Status::OK();
+}
+
+Status CollectionBuilder::SequenceInto(const Document& doc) {
+  if (options_.value_mode == ValueMode::kCharSequence) {
+    Document expanded = ExpandValueChains(doc);
+    return SequenceExpanded(expanded);
+  }
+  return SequenceExpanded(doc);
+}
+
+Status CollectionBuilder::SequenceExpanded(const Document& doc) {
+  // Paths were interned during Observe; Find is enough here, but documents
+  // in streaming mode are re-generated, so re-bind defensively (a path that
+  // was never observed indicates the two passes diverged).
+  std::vector<PathId> paths = FindPaths(doc, *dict_);
+  for (PathId p : paths) {
+    if (p == kInvalidPath) {
+      return Status::InvalidArgument(
+          "document contains a path never observed in phase 1; the two "
+          "streaming passes must supply identical documents");
+    }
+  }
+  Sequence seq = sequencer_->Encode(doc, paths);
+  total_seq_elements_ += seq.size();
+  buffered_.emplace_back(std::move(seq), doc.id());
+  return Status::OK();
+}
+
+Status CollectionBuilder::Index(const Document& doc) {
+  if (!indexing_) {
+    return Status::FailedPrecondition("call BeginIndexing() before Index()");
+  }
+  return SequenceInto(doc);
+}
+
+StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
+  if (!indexing_) {
+    XSEQ_RETURN_IF_ERROR(BeginIndexing());
+  }
+  for (const Document& doc : retained_) {
+    XSEQ_RETURN_IF_ERROR(SequenceInto(doc));
+  }
+
+  TrieBuilder trie;
+  if (options_.bulk_load) {
+    XSEQ_RETURN_IF_ERROR(trie.BulkLoad(&buffered_));
+  } else {
+    for (const auto& [seq, doc] : buffered_) {
+      XSEQ_RETURN_IF_ERROR(trie.Insert(seq, doc));
+    }
+    buffered_.clear();
+  }
+
+  CollectionIndex out;
+  out.options_ = options_;
+  out.index_ = std::move(trie).Freeze();
+  out.names_ = std::move(names_);
+  out.values_ = std::move(values_);
+  out.dict_ = std::move(dict_);
+  out.schema_ = std::move(schema_);
+  out.model_ = std::move(model_);
+  out.sequencer_ = std::move(sequencer_);
+  out.documents_count_ = observed_docs_;
+  out.total_seq_elements_ = total_seq_elements_;
+  if (options_.keep_documents) {
+    out.documents_ = std::move(retained_);
+  }
+  return out;
+}
+
+StatusOr<QueryResult> CollectionIndex::Query(std::string_view xpath,
+                                             const ExecOptions& options)
+    const {
+  QueryResult result;
+  auto docs = executor().Execute(xpath, &result.stats, options);
+  if (!docs.ok()) return docs.status();
+  result.docs = std::move(*docs);
+  return result;
+}
+
+CollectionIndex::SizeStats CollectionIndex::Stats() const {
+  SizeStats s;
+  s.documents = documents_count_;
+  s.trie_nodes = index_.node_count();
+  s.distinct_paths = dict_->size() - 1;  // exclude ε
+  s.sequence_elements = total_seq_elements_;
+  s.memory_bytes = index_.MemoryBytes();
+  s.avg_sequence_length =
+      s.documents == 0 ? 0.0
+                       : static_cast<double>(s.sequence_elements) /
+                             static_cast<double>(s.documents);
+  return s;
+}
+
+}  // namespace xseq

@@ -1,0 +1,180 @@
+// The xseq public facade: build a sequence index over a document collection
+// and answer structured (tree-pattern) queries with document ids.
+//
+// Typical use:
+//
+//   CollectionBuilder builder;                     // g_best, exact values
+//   XmlParser parser(builder.names(), builder.values());
+//   for (const std::string& text : inputs) {
+//     auto doc = parser.Parse(text, next_id++);
+//     ...
+//     builder.Add(std::move(*doc));
+//   }
+//   auto index = std::move(builder).Finish();
+//   auto result = index->Query("/site//person/*/age[text='32']");
+//
+// Building is two-phase inside (Section 5: probabilities must be known
+// before sequencing), so a streaming API is also provided for datasets too
+// large to retain: Observe() every document, BeginIndexing(), then Index()
+// every document again (re-generating or re-parsing them), then Finish().
+
+#ifndef XSEQ_SRC_CORE_COLLECTION_INDEX_H_
+#define XSEQ_SRC_CORE_COLLECTION_INDEX_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/index/matcher.h"
+#include "src/index/trie.h"
+#include "src/query/executor.h"
+#include "src/schema/schema.h"
+#include "src/seq/sequencer.h"
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+#include "src/xml/parser.h"
+
+namespace xseq {
+
+/// Index construction knobs.
+struct IndexOptions {
+  SequencerKind sequencer = SequencerKind::kProbability;
+  ValueMode value_mode = ValueMode::kExact;
+  uint32_t hash_range = 1000;    ///< for ValueMode::kHashed
+  bool bulk_load = true;         ///< sort sequences before insertion
+  uint64_t random_seed = 42;     ///< for SequencerKind::kRandom
+  bool keep_documents = false;   ///< retain Documents in the built index
+};
+
+/// One query answer.
+struct QueryResult {
+  std::vector<DocId> docs;  ///< sorted, deduplicated
+  ExecStats stats;
+};
+
+class CollectionIndex;
+
+/// Accumulates documents and produces a CollectionIndex.
+class CollectionBuilder {
+ public:
+  explicit CollectionBuilder(IndexOptions options = IndexOptions());
+
+  /// Starts from pre-populated vocabulary tables (copied), so documents
+  /// created against a shared global vocabulary keep their ids. Used by
+  /// DynamicIndex's segment builds.
+  CollectionBuilder(IndexOptions options, const NameTable& names,
+                    const ValueEncoder& values);
+
+  /// Vocabulary tables to parse/generate documents against.
+  NameTable* names() { return names_.get(); }
+  ValueEncoder* values() { return values_.get(); }
+  PathDict* dict() { return dict_.get(); }
+  /// Schema under observation (for weights, declared repeatability, stats).
+  Schema* schema() { return schema_.get(); }
+
+  // --- Retained mode -------------------------------------------------
+  /// Observes and retains `doc`. Finish() sequences the retained documents.
+  Status Add(Document&& doc);
+
+  // --- Streaming mode ------------------------------------------------
+  /// Phase 1: records `doc`'s paths and statistics; does not retain it.
+  Status Observe(const Document& doc);
+
+  /// Sets the query weight w(C) (Eq. 6) of the element path
+  /// `slash_path` ("/site/people/person/profile/age"), pulling it earlier
+  /// in the sequences when > 1. Call after observing (so the path exists)
+  /// and before BeginIndexing()/Finish(). Fails on unknown paths.
+  Status BoostPath(std::string_view slash_path, double weight);
+
+  /// Sets w(C) for every *value* designator observed under the element
+  /// path `slash_path` (and for the element itself). The paper's Impact 2
+  /// boosts value nodes like 'Johnson' — in path encoding each distinct
+  /// value is its own path, so the whole class is boosted.
+  Status BoostValuesUnder(std::string_view slash_path, double weight);
+  /// Locks the schema and builds the sequencing model. Call after all
+  /// Observe() calls and before Index().
+  Status BeginIndexing();
+  /// Phase 2: sequences `doc` and queues it for the trie. Documents must be
+  /// re-supplied identically (same ids) as observed.
+  Status Index(const Document& doc);
+
+  /// Builds the index. The builder is consumed.
+  StatusOr<CollectionIndex> Finish() &&;
+
+ private:
+  Status SequenceInto(const Document& doc);
+  Status SequenceExpanded(const Document& doc);
+
+  IndexOptions options_;
+  std::unique_ptr<NameTable> names_;
+  std::unique_ptr<ValueEncoder> values_;
+  std::unique_ptr<PathDict> dict_;
+  std::unique_ptr<Schema> schema_;
+  std::vector<Document> retained_;
+  bool indexing_ = false;
+  std::shared_ptr<const SequencingModel> model_;
+  std::unique_ptr<Sequencer> sequencer_;
+  std::vector<std::pair<Sequence, DocId>> buffered_;
+  uint64_t observed_docs_ = 0;
+  uint64_t total_seq_elements_ = 0;
+};
+
+/// An immutable, queryable index over a document collection.
+class CollectionIndex {
+ public:
+  /// Runs an XPath query (see query_pattern.h for the supported subset).
+  StatusOr<QueryResult> Query(std::string_view xpath,
+                              const ExecOptions& options = {}) const;
+
+  /// Size and shape statistics.
+  struct SizeStats {
+    uint64_t documents = 0;
+    uint64_t trie_nodes = 0;        ///< the paper's Fig. 14 metric
+    uint64_t distinct_paths = 0;
+    uint64_t sequence_elements = 0; ///< sum of sequence lengths
+    uint64_t memory_bytes = 0;      ///< flat index footprint
+    double avg_sequence_length = 0.0;
+  };
+  SizeStats Stats() const;
+
+  const FrozenIndex& index() const { return index_; }
+  const PathDict& dict() const { return *dict_; }
+  const NameTable& names() const { return *names_; }
+  const ValueEncoder& values() const { return *values_; }
+  const Sequencer& sequencer() const { return *sequencer_; }
+  const Schema& schema() const { return *schema_; }
+  const SequencingModel& model() const { return *model_; }
+
+  /// Retained documents (empty unless IndexOptions::keep_documents).
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// The options the index was built with.
+  const IndexOptions& options() const { return options_; }
+
+  QueryExecutor executor() const {
+    return QueryExecutor(&index_, dict_.get(), names_.get(), values_.get(),
+                         sequencer_.get());
+  }
+
+ private:
+  friend class CollectionBuilder;
+  friend StatusOr<CollectionIndex> DecodeCollectionIndex(
+      std::string_view data);
+  CollectionIndex() = default;
+
+  IndexOptions options_;
+  FrozenIndex index_;
+  std::unique_ptr<NameTable> names_;
+  std::unique_ptr<ValueEncoder> values_;
+  std::unique_ptr<PathDict> dict_;
+  std::unique_ptr<Schema> schema_;
+  std::shared_ptr<const SequencingModel> model_;
+  std::unique_ptr<Sequencer> sequencer_;
+  std::vector<Document> documents_;
+  uint64_t documents_count_ = 0;
+  uint64_t total_seq_elements_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_CORE_COLLECTION_INDEX_H_

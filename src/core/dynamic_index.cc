@@ -1,0 +1,126 @@
+#include "src/core/dynamic_index.h"
+
+#include <algorithm>
+
+#include "src/xml/value_chain.h"
+
+namespace xseq {
+
+DynamicIndex::DynamicIndex(DynamicOptions options)
+    : options_(options),
+      names_(std::make_unique<NameTable>()),
+      values_(std::make_unique<ValueEncoder>(options.index.value_mode,
+                                             options.index.hash_range)) {
+  // Segments must retain their documents so Compact() can re-sequence them
+  // under fresher statistics.
+  options_.index.keep_documents = true;
+}
+
+Status DynamicIndex::Add(Document&& doc) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  buffer_.push_back(std::move(doc));
+  ++total_docs_;
+  if (buffer_.size() >= options_.flush_threshold) {
+    return SealBuffer();
+  }
+  return Status::OK();
+}
+
+Status DynamicIndex::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  return SealBuffer();
+}
+
+Status DynamicIndex::SealBuffer() {
+  CollectionBuilder builder(options_.index, *names_, *values_);
+  for (Document& doc : buffer_) {
+    XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
+  }
+  buffer_.clear();
+  auto segment = std::move(builder).Finish();
+  if (!segment.ok()) return segment.status();
+  segments_.push_back(
+      std::make_unique<CollectionIndex>(std::move(*segment)));
+  return Status::OK();
+}
+
+Status DynamicIndex::Compact() {
+  CollectionBuilder builder(options_.index, *names_, *values_);
+  for (const auto& segment : segments_) {
+    for (const Document& doc : segment->documents()) {
+      XSEQ_RETURN_IF_ERROR(builder.Add(CloneDocument(doc)));
+    }
+  }
+  for (Document& doc : buffer_) {
+    XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
+  }
+  buffer_.clear();
+  auto merged = std::move(builder).Finish();
+  if (!merged.ok()) return merged.status();
+  segments_.clear();
+  segments_.push_back(std::make_unique<CollectionIndex>(std::move(*merged)));
+  return Status::OK();
+}
+
+StatusOr<std::vector<DocId>> DynamicIndex::Query(
+    std::string_view xpath, const ExecOptions& options) const {
+  auto pattern = ParseXPath(xpath);
+  if (!pattern.ok()) return pattern.status();
+  return ExecutePattern(*pattern, options);
+}
+
+StatusOr<std::vector<DocId>> DynamicIndex::ExecutePattern(
+    const xseq::QueryPattern& pattern_in, const ExecOptions& options) const {
+  const xseq::QueryPattern* pattern = &pattern_in;
+
+  std::vector<DocId> out;
+  for (const auto& segment : segments_) {
+    auto part = segment->executor().ExecutePattern(*pattern, nullptr,
+                                                   options);
+    if (!part.ok()) return part.status();
+    out.insert(out.end(), part->begin(), part->end());
+  }
+
+  // Unsealed buffer: brute-force scan via the oracle, instantiating the
+  // pattern against a transient dictionary of the buffered documents.
+  // Char-sequence mode scans chain-expanded copies so value chains resolve.
+  if (!buffer_.empty()) {
+    const bool chain_mode =
+        values_->mode() == ValueMode::kCharSequence;
+    std::vector<Document> expanded;
+    if (chain_mode) {
+      expanded.reserve(buffer_.size());
+      for (const Document& doc : buffer_) {
+        expanded.push_back(ExpandValueChains(doc));
+      }
+    }
+    const std::vector<Document>& scan = chain_mode ? expanded : buffer_;
+    PathDict dict;
+    for (const Document& doc : scan) {
+      BindPaths(doc, &dict);
+    }
+    auto inst = InstantiatePattern(*pattern, dict, *names_, *values_,
+                                   options.instantiate);
+    if (!inst.ok()) return inst.status();
+    for (const ConcreteQuery& cq : inst->queries) {
+      std::vector<DocId> part = OracleScan(scan, cq);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t DynamicIndex::TotalIndexNodes() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment->Stats().trie_nodes;
+  }
+  return total;
+}
+
+}  // namespace xseq

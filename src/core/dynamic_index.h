@@ -1,0 +1,86 @@
+// Dynamic (insert-friendly) sequence index.
+//
+// The ViST lineage stresses dynamic maintenance; our CollectionIndex is a
+// frozen snapshot. DynamicIndex makes insertion-after-build practical with
+// a segmented, LSM-like design:
+//
+//  * Incoming documents buffer in memory (their statistics feed the shared
+//    schema immediately).
+//  * When the buffer reaches `flush_threshold`, it is sealed into a
+//    *segment* — a CollectionIndex built with the sequencing model as of
+//    that moment. Sequences inside a segment are self-consistent: queries
+//    against it are compiled with the segment's own sequencer.
+//  * A query runs against every sealed segment plus a brute-force scan of
+//    the unsealed buffer, and unions the ids.
+//  * Compact() rebuilds everything into one segment under the current
+//    global statistics (better sharing, one probe per query).
+//
+// Vocabulary tables (names / values / path dictionary) are shared across
+// segments, so ids remain globally consistent.
+
+#ifndef XSEQ_SRC_CORE_DYNAMIC_INDEX_H_
+#define XSEQ_SRC_CORE_DYNAMIC_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/query/oracle.h"
+
+namespace xseq {
+
+/// Dynamic-index knobs.
+struct DynamicOptions {
+  IndexOptions index;          ///< per-segment build options
+  size_t flush_threshold = 1024;  ///< buffered docs before sealing
+};
+
+/// An appendable index over a growing document collection.
+class DynamicIndex {
+ public:
+  explicit DynamicIndex(DynamicOptions options = DynamicOptions());
+
+  /// Vocabulary to parse/generate against (shared by all segments).
+  NameTable* names() { return names_.get(); }
+  ValueEncoder* values() { return values_.get(); }
+
+  /// Adds a document; seals a segment when the buffer fills up.
+  Status Add(Document&& doc);
+
+  /// Seals the current buffer into a segment (no-op when empty).
+  Status Flush();
+
+  /// Rebuilds all segments + buffer into a single segment using the
+  /// current global statistics.
+  Status Compact();
+
+  /// Runs an XPath query across segments and buffer; sorted unique ids.
+  StatusOr<std::vector<DocId>> Query(std::string_view xpath,
+                                     const ExecOptions& options = {}) const;
+
+  /// Runs an already-parsed pattern.
+  StatusOr<std::vector<DocId>> ExecutePattern(
+      const xseq::QueryPattern& pattern,
+      const ExecOptions& options = {}) const;
+
+  size_t segment_count() const { return segments_.size(); }
+  size_t buffered_documents() const { return buffer_.size(); }
+  uint64_t total_documents() const { return total_docs_; }
+
+  /// Sum of segment index nodes (the size metric of the paper).
+  uint64_t TotalIndexNodes() const;
+
+ private:
+  Status SealBuffer();
+
+  DynamicOptions options_;
+  std::unique_ptr<NameTable> names_;
+  std::unique_ptr<ValueEncoder> values_;
+  std::vector<std::unique_ptr<CollectionIndex>> segments_;
+  std::vector<Document> buffer_;
+  uint64_t total_docs_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_CORE_DYNAMIC_INDEX_H_

@@ -1,0 +1,145 @@
+#include "src/core/persist.h"
+
+#include <cstdio>
+
+#include "src/util/coding.h"
+#include "src/util/hash.h"
+
+namespace xseq {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'S', 'E', 'Q', 'I', 'D', 'X', '1'};
+
+}  // namespace
+
+std::string EncodeCollectionIndex(const CollectionIndex& index) {
+  std::string payload;
+  // Header.
+  PutFixed32(&payload, static_cast<uint32_t>(index.options().sequencer));
+  PutFixed64(&payload, index.options().random_seed);
+  PutFixed32(&payload, index.options().bulk_load ? 1 : 0);
+  PutFixed64(&payload, index.Stats().documents);
+  PutFixed64(&payload, index.Stats().sequence_elements);
+  // Sections.
+  index.names().EncodeTo(&payload);
+  index.values().EncodeTo(&payload);
+  index.dict().EncodeTo(&payload);
+  index.schema().EncodeTo(&payload);
+  index.index().EncodeTo(&payload);
+
+  std::string out(kMagic, sizeof(kMagic));
+  out += payload;
+  PutFixed64(&out, Fnv1a64(payload));
+  return out;
+}
+
+StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data) {
+  if (data.size() < sizeof(kMagic) + 8 ||
+      data.substr(0, sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::Corruption("not an xseq index file");
+  }
+  std::string_view payload =
+      data.substr(sizeof(kMagic), data.size() - sizeof(kMagic) - 8);
+  {
+    Decoder footer(data.substr(data.size() - 8));
+    uint64_t want;
+    XSEQ_RETURN_IF_ERROR(footer.GetFixed64(&want));
+    if (Fnv1a64(payload) != want) {
+      return Status::Corruption("index file checksum mismatch");
+    }
+  }
+
+  Decoder in(payload);
+  CollectionIndex out;
+  uint32_t sequencer_kind = 0, bulk = 0;
+  uint64_t docs = 0, seq_elements = 0;
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&sequencer_kind));
+  XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out.options_.random_seed));
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&bulk));
+  XSEQ_RETURN_IF_ERROR(in.GetFixed64(&docs));
+  XSEQ_RETURN_IF_ERROR(in.GetFixed64(&seq_elements));
+  if (sequencer_kind >
+      static_cast<uint32_t>(SequencerKind::kProbability)) {
+    return Status::Corruption("unknown sequencer kind");
+  }
+  out.options_.sequencer = static_cast<SequencerKind>(sequencer_kind);
+  out.options_.bulk_load = bulk != 0;
+  out.documents_count_ = docs;
+  out.total_seq_elements_ = seq_elements;
+
+  auto names = NameTable::DecodeFrom(&in);
+  if (!names.ok()) return names.status();
+  out.names_ = std::make_unique<NameTable>(std::move(*names));
+
+  auto values = ValueEncoder::DecodeFrom(&in);
+  if (!values.ok()) return values.status();
+  out.values_ = std::make_unique<ValueEncoder>(std::move(*values));
+  out.options_.value_mode = out.values_->mode();
+  out.options_.hash_range = out.values_->hash_range();
+
+  auto dict = PathDict::DecodeFrom(&in);
+  if (!dict.ok()) return dict.status();
+  out.dict_ = std::make_unique<PathDict>(std::move(*dict));
+
+  auto schema = Schema::DecodeFrom(&in);
+  if (!schema.ok()) return schema.status();
+  out.schema_ = std::make_unique<Schema>(std::move(*schema));
+
+  auto index = FrozenIndex::DecodeFrom(&in);
+  if (!index.ok()) return index.status();
+  out.index_ = std::move(*index);
+
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in index file");
+  }
+
+  // Sanity: every indexed path must exist in the dictionary, and the
+  // index's structural invariants must hold (defends against corrupted or
+  // adversarial files whose checksum was recomputed).
+  if (out.index_.distinct_paths() > out.dict_->size()) {
+    return Status::Corruption("index references unknown paths");
+  }
+  XSEQ_RETURN_IF_ERROR(out.index_.Validate());
+
+  out.model_ = out.schema_->BuildModel(*out.dict_);
+  out.sequencer_ = MakeSequencer(out.options_.sequencer, out.model_,
+                                 out.options_.random_seed);
+  if (out.sequencer_ == nullptr) {
+    return Status::Corruption("failed to reconstruct the sequencer");
+  }
+  return out;
+}
+
+Status SaveCollectionIndex(const CollectionIndex& index,
+                           const std::string& path) {
+  std::string data = EncodeCollectionIndex(index);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int rc = std::fclose(f);
+  if (written != data.size() || rc != 0) {
+    return Status::Corruption("short write to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<CollectionIndex> LoadCollectionIndex(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+  return DecodeCollectionIndex(data);
+}
+
+}  // namespace xseq

@@ -1,0 +1,45 @@
+// Index persistence: save a built CollectionIndex to a single binary file
+// and load it back, ready to answer queries.
+//
+// File format (all little-endian):
+//   magic "XSEQIDX1" (8 bytes)
+//   payload:
+//     header   — sequencer kind, random seed, doc count, seq elements
+//     names    — NameTable strings
+//     values   — ValueEncoder (mode, range, strings)
+//     dict     — PathDict entries
+//     schema   — counts, presence counts, repeat flags, weights
+//     index    — FrozenIndex flat arrays
+//   footer   — FNV-1a64 checksum of the payload
+//
+// Retained documents are NOT persisted: a loaded index answers queries but
+// has an empty documents() (baselines needing raw documents must rebuild
+// from the source).
+
+#ifndef XSEQ_SRC_CORE_PERSIST_H_
+#define XSEQ_SRC_CORE_PERSIST_H_
+
+#include <string>
+
+#include "src/core/collection_index.h"
+
+namespace xseq {
+
+/// Serializes `index` into a byte buffer.
+std::string EncodeCollectionIndex(const CollectionIndex& index);
+
+/// Reconstructs an index from EncodeCollectionIndex output. Verifies the
+/// magic and checksum and validates cross-structure invariants.
+StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data);
+
+/// Writes `index` to `path` (atomically via rename is NOT attempted; this
+/// is a plain write).
+Status SaveCollectionIndex(const CollectionIndex& index,
+                           const std::string& path);
+
+/// Reads an index previously written by SaveCollectionIndex.
+StatusOr<CollectionIndex> LoadCollectionIndex(const std::string& path);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_CORE_PERSIST_H_

@@ -1,0 +1,129 @@
+#include "src/gen/dblp.h"
+
+namespace xseq {
+
+namespace {
+
+// A small pool of first names; 'David' and 'Maier' must exist for Table 8.
+const char* kFirstNames[20] = {
+    "David",  "Maier",  "Serge", "Peter",  "Victor", "Jennifer", "Michael",
+    "Hector", "Jeff",   "Dan",   "Mary",   "Susan",  "Rakesh",   "Divesh",
+    "Laura",  "Alon",   "Phil",  "Moshe",  "Yannis", "Timos"};
+
+const char* kVenues[10] = {"SIGMOD", "VLDB",  "ICDE",  "PODS", "EDBT",
+                           "KDD",    "WWW",   "CIKM",  "ICDT", "ER"};
+
+const char* kJournals[6] = {"TODS",  "VLDBJ", "TKDE",
+                            "SIGMOD Record", "Inf. Syst.", "JACM"};
+
+}  // namespace
+
+DblpGenerator::DblpGenerator(const DblpParams& params, NameTable* names,
+                             ValueEncoder* values)
+    : params_(params), names_(names), values_(values) {
+  inproceedings_ = names->Intern("inproceedings");
+  article_ = names->Intern("article");
+  book_ = names->Intern("book");
+  author_ = names->Intern("author");
+  title_ = names->Intern("title");
+  year_ = names->Intern("year");
+  pages_ = names->Intern("pages");
+  booktitle_ = names->Intern("booktitle");
+  journal_ = names->Intern("journal");
+  publisher_ = names->Intern("publisher");
+  ee_ = names->Intern("ee");
+  url_ = names->Intern("url");
+  key_ = names->Intern("key");
+  volume_ = names->Intern("volume");
+  isbn_ = names->Intern("isbn");
+}
+
+Node* DblpGenerator::Elem(Document* doc, Node* parent, NameId tag) const {
+  Node* n = doc->CreateElement(tag);
+  if (parent == nullptr) {
+    doc->SetRoot(n);
+  } else {
+    doc->AppendChild(parent, n);
+  }
+  return n;
+}
+
+void DblpGenerator::Text(Document* doc, Node* parent,
+                         const std::string& text) const {
+  Node* v = doc->CreateValue(values_->Encode(text), text);
+  doc->AppendChild(parent, v);
+}
+
+std::string DblpGenerator::AuthorName(Rng* rng) const {
+  // Zipf-ish: a handful of prolific names, then the long tail.
+  uint32_t r = rng->Uniform(static_cast<uint32_t>(params_.author_pool));
+  if (r < 20) return kFirstNames[r];
+  return "author" + std::to_string(r);
+}
+
+Document DblpGenerator::Generate(DocId id) const {
+  Rng rng(params_.seed ^ 0xD8157ULL, /*stream=*/id * 2 + 1);
+  Document doc(id);
+
+  int kind = static_cast<int>(id % 10);  // 0-5 inproc, 6-8 article, 9 book
+  NameId root_tag =
+      kind <= 5 ? inproceedings_ : (kind <= 8 ? article_ : book_);
+  Node* rec = Elem(&doc, nullptr, root_tag);
+
+  // key attribute, e.g. "conf/sigmod/Maier84".
+  std::string first = AuthorName(&rng);
+  int year = params_.year_lo +
+             static_cast<int>(rng.Uniform(static_cast<uint32_t>(
+                 params_.year_hi - params_.year_lo + 1)));
+  Node* keyattr = doc.CreateAttribute(key_);
+  doc.AppendChild(rec, keyattr);
+  std::string keytext =
+      (kind <= 5 ? "conf/" : (kind <= 8 ? "journals/" : "books/")) + first +
+      std::to_string(year % 100);
+  // A slice of book keys are a bare author name ("Maier"), as in the
+  // paper's Q2 /book[key='Maier']/author.
+  if (kind == 9 && rng.Bernoulli(0.2)) {
+    keytext = kFirstNames[rng.Uniform(20)];
+  }
+  doc.AppendChild(keyattr, doc.CreateValue(values_->Encode(keytext),
+                                           keytext));
+
+  int nauthors = 1 + static_cast<int>(rng.Uniform(3));
+  for (int a = 0; a < nauthors; ++a) {
+    Node* author = Elem(&doc, rec, author_);
+    Text(&doc, author, a == 0 ? first : AuthorName(&rng));
+  }
+  Node* title = Elem(&doc, rec, title_);
+  Text(&doc, title, "On the Topic " + std::to_string(rng.Uniform(100000)));
+  Node* yr = Elem(&doc, rec, year_);
+  Text(&doc, yr, std::to_string(year));
+
+  if (kind <= 5) {
+    Node* bt = Elem(&doc, rec, booktitle_);
+    Text(&doc, bt, kVenues[rng.Uniform(10)]);
+    Node* pg = Elem(&doc, rec, pages_);
+    int lo = static_cast<int>(rng.Uniform(500));
+    Text(&doc, pg, std::to_string(lo) + "-" + std::to_string(lo + 12));
+  } else if (kind <= 8) {
+    Node* jn = Elem(&doc, rec, journal_);
+    Text(&doc, jn, kJournals[rng.Uniform(6)]);
+    Node* vol = Elem(&doc, rec, volume_);
+    Text(&doc, vol, std::to_string(1 + rng.Uniform(40)));
+  } else {
+    Node* pub = Elem(&doc, rec, publisher_);
+    Text(&doc, pub, rng.Bernoulli(0.5) ? "Morgan Kaufmann" : "Springer");
+    Node* isbn = Elem(&doc, rec, isbn_);
+    Text(&doc, isbn, std::to_string(1000000000 + rng.Uniform(900000000)));
+  }
+  if (rng.Bernoulli(0.7)) {
+    Node* ee = Elem(&doc, rec, ee_);
+    Text(&doc, ee, "db/" + std::to_string(id) + ".html");
+  }
+  if (rng.Bernoulli(0.4)) {
+    Node* url = Elem(&doc, rec, url_);
+    Text(&doc, url, "http://dblp.example/rec/" + std::to_string(id));
+  }
+  return doc;
+}
+
+}  // namespace xseq

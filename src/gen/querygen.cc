@@ -1,0 +1,68 @@
+#include "src/gen/querygen.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace xseq {
+
+QueryPattern SampleQueryPattern(const Document& doc, const NameTable& names,
+                                size_t length, Rng* rng,
+                                double value_bias) {
+  QueryPattern q;
+  q.root = std::make_unique<PatternNode>();
+  q.root->test = PatternNode::Test::kWildcard;  // virtual node
+  if (doc.root() == nullptr || length == 0) return q;
+
+  // Grow a connected node set from the document root.
+  std::vector<const Node*> selected{doc.root()};
+  std::vector<const Node*> frontier;
+  for (const Node* c = doc.root()->first_child; c != nullptr;
+       c = c->next_sibling) {
+    frontier.push_back(c);
+  }
+  while (selected.size() < length && !frontier.empty()) {
+    size_t i = rng->Uniform(static_cast<uint32_t>(frontier.size()));
+    if (value_bias > 0.0 && !frontier[i]->is_value() &&
+        rng->Bernoulli(value_bias)) {
+      // Prefer a value leaf when one is available.
+      for (size_t k = 0; k < frontier.size(); ++k) {
+        if (frontier[k]->is_value()) {
+          i = k;
+          break;
+        }
+      }
+    }
+    const Node* n = frontier[i];
+    frontier[i] = frontier.back();
+    frontier.pop_back();
+    selected.push_back(n);
+    for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      // Value nodes without retained text cannot be rendered as literals.
+      if (c->is_value() && c->text == nullptr) continue;
+      frontier.push_back(c);
+    }
+  }
+
+  // Mirror the selected nodes as pattern nodes.
+  std::unordered_map<const Node*, PatternNode*> mirror;
+  for (const Node* n : selected) {
+    auto pn = std::make_unique<PatternNode>();
+    pn->axis = PatternNode::Axis::kChild;
+    if (n->is_value()) {
+      pn->test = PatternNode::Test::kValue;
+      pn->value = n->text != nullptr ? n->text : "";
+    } else {
+      pn->test = PatternNode::Test::kName;
+      pn->name = names.Lookup(n->sym.id());
+    }
+    PatternNode* raw = pn.get();
+    PatternNode* parent =
+        n->parent == nullptr ? q.root.get() : mirror.at(n->parent);
+    parent->children.push_back(std::move(pn));
+    mirror.emplace(n, raw);
+  }
+  q.source = PatternToString(q);
+  return q;
+}
+
+}  // namespace xseq

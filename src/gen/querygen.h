@@ -1,0 +1,29 @@
+// Random query workloads (Fig. 16 experiments).
+//
+// Queries are sampled as connected sub-patterns of actual documents, so a
+// controlled fraction of them have answers. A sample of `length` nodes keeps
+// the document's branching (tree patterns, not just paths) and includes
+// attribute values when value nodes are drawn.
+
+#ifndef XSEQ_SRC_GEN_QUERYGEN_H_
+#define XSEQ_SRC_GEN_QUERYGEN_H_
+
+#include "src/query/query_pattern.h"
+#include "src/util/rng.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Samples a connected sub-pattern of `doc` with up to `length` nodes
+/// (fewer when the document is smaller). All edges use the child axis.
+/// `value_bias` is the probability of preferring a value leaf when one is
+/// available in the frontier — higher bias produces more selective queries
+/// (attribute-value predicates), like the paper's workloads.
+QueryPattern SampleQueryPattern(const Document& doc, const NameTable& names,
+                                size_t length, Rng* rng,
+                                double value_bias = 0.0);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_GEN_QUERYGEN_H_

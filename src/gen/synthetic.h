@@ -1,0 +1,83 @@
+// Synthetic tree-structure generator (Section 6.1).
+//
+// Reproduces the paper's generator: a random DTD-like schema is drawn from
+// user parameters, every schema node gets an occurrence probability uniform
+// in [P%, 1.0], and documents instantiate the schema by flipping those
+// probabilities. Datasets are named by their parameters, e.g. L3F5A25I0P40:
+//
+//   L  maximum tree height
+//   F  maximum fanout of a node
+//   A  percentage of value child nodes
+//   I  percentage of identical sibling nodes (repeatable schema slots)
+//   P  floor (in percent) of the occurrence-probability range
+//
+// Generation is fully deterministic: the schema depends only on (params,
+// seed); document d depends only on (params, seed, d), so the two-pass
+// streaming build can regenerate identical documents.
+
+#ifndef XSEQ_SRC_GEN_SYNTHETIC_H_
+#define XSEQ_SRC_GEN_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Generator parameters (paper defaults for Fig. 14(a)).
+struct SyntheticParams {
+  int max_height = 3;        ///< L
+  int max_fanout = 5;        ///< F
+  int value_percent = 25;    ///< A
+  int identical_percent = 0; ///< I
+  int prob_floor = 40;       ///< P
+  int value_vocab = 100;     ///< distinct values per value slot
+  int max_repeat = 3;        ///< occurrences of a repeatable slot
+  uint64_t seed = 42;
+
+  /// "L3F5A25I0P40"
+  std::string Name() const;
+};
+
+/// Deterministic synthetic dataset.
+class SyntheticDataset {
+ public:
+  /// Draws the schema; element names are interned into `names` and value
+  /// strings are produced lazily per document against `values`.
+  SyntheticDataset(const SyntheticParams& params, NameTable* names,
+                   ValueEncoder* values);
+
+  /// Generates document `id` (deterministic).
+  Document Generate(DocId id) const;
+
+  /// Number of element slots in the drawn schema.
+  size_t SchemaSlots() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    NameId name = 0;           ///< element name (unused for value slots)
+    bool is_value = false;
+    bool repeatable = false;   ///< identical siblings allowed
+    double prob = 1.0;         ///< occurrence probability
+    int vocab_base = 0;        ///< value slots: base of the value id space
+    std::vector<int> children; ///< slot indices
+  };
+
+  void BuildSchema();
+  int BuildSlot(Rng* rng, int depth, int* name_counter);
+  void Instantiate(int slot_index, Node* parent, Document* doc,
+                   Rng* rng) const;
+
+  SyntheticParams params_;
+  NameTable* names_;
+  ValueEncoder* values_;
+  std::vector<Slot> slots_;
+  int root_slot_ = -1;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_GEN_SYNTHETIC_H_

@@ -1,0 +1,342 @@
+#include "src/gen/xmark.h"
+
+#include <cstdio>
+
+namespace xseq {
+
+namespace {
+
+const char* kRegions[6] = {"africa",  "asia",    "australia",
+                           "europe",  "namerica", "samerica"};
+
+const char* kCountries[8] = {"United States", "Germany", "France",
+                             "Japan",         "Brazil",  "Canada",
+                             "Kenya",         "Australia"};
+
+// Rough namerica-heavy weighting like real XMark data.
+const int kCountryWeight[8] = {60, 8, 8, 8, 6, 6, 2, 2};
+
+const char* kCities[6] = {"boston", "newyork",  "tokyo",
+                          "berlin", "saopaulo", "sydney"};
+
+}  // namespace
+
+XMarkGenerator::XMarkGenerator(const XMarkParams& params, NameTable* names,
+                               ValueEncoder* values)
+    : params_(params), names_(names), values_(values) {
+  site_ = names->Intern("site");
+  regions_ = names->Intern("regions");
+  people_ = names->Intern("people");
+  open_auctions_ = names->Intern("open_auctions");
+  closed_auctions_ = names->Intern("closed_auctions");
+  for (int i = 0; i < 6; ++i) region_[i] = names->Intern(kRegions[i]);
+  item_ = names->Intern("item");
+  location_ = names->Intern("location");
+  quantity_ = names->Intern("quantity");
+  name_ = names->Intern("name");
+  payment_ = names->Intern("payment");
+  shipping_ = names->Intern("shipping");
+  incategory_ = names->Intern("incategory");
+  category_attr_ = names->Intern("category");
+  mailbox_ = names->Intern("mailbox");
+  mail_ = names->Intern("mail");
+  from_ = names->Intern("from");
+  to_ = names->Intern("to");
+  date_ = names->Intern("date");
+  id_ = names->Intern("id");
+  person_ = names->Intern("person");
+  emailaddress_ = names->Intern("emailaddress");
+  phone_ = names->Intern("phone");
+  address_ = names->Intern("address");
+  street_ = names->Intern("street");
+  city_ = names->Intern("city");
+  country_ = names->Intern("country");
+  zipcode_ = names->Intern("zipcode");
+  homepage_ = names->Intern("homepage");
+  creditcard_ = names->Intern("creditcard");
+  profile_ = names->Intern("profile");
+  interest_ = names->Intern("interest");
+  education_ = names->Intern("education");
+  gender_ = names->Intern("gender");
+  business_ = names->Intern("business");
+  age_ = names->Intern("age");
+  income_ = names->Intern("income");
+  open_auction_ = names->Intern("open_auction");
+  initial_ = names->Intern("initial");
+  reserve_ = names->Intern("reserve");
+  bidder_ = names->Intern("bidder");
+  time_ = names->Intern("time");
+  personref_ = names->Intern("personref");
+  increase_ = names->Intern("increase");
+  current_ = names->Intern("current");
+  privacy_ = names->Intern("privacy");
+  itemref_ = names->Intern("itemref");
+  seller_ = names->Intern("seller");
+  annotation_ = names->Intern("annotation");
+  description_ = names->Intern("description");
+  interval_ = names->Intern("interval");
+  type_ = names->Intern("type");
+  closed_auction_ = names->Intern("closed_auction");
+  buyer_ = names->Intern("buyer");
+  price_ = names->Intern("price");
+}
+
+Node* XMarkGenerator::Elem(Document* doc, Node* parent, NameId tag) const {
+  Node* n = doc->CreateElement(tag);
+  if (parent == nullptr) {
+    doc->SetRoot(n);
+  } else {
+    doc->AppendChild(parent, n);
+  }
+  return n;
+}
+
+Node* XMarkGenerator::Attr(Document* doc, Node* parent, NameId tag,
+                           const std::string& text) const {
+  Node* a = doc->CreateAttribute(tag);
+  doc->AppendChild(parent, a);
+  Node* v = doc->CreateValue(values_->Encode(text), text);
+  doc->AppendChild(a, v);
+  return a;
+}
+
+Node* XMarkGenerator::Text(Document* doc, Node* parent,
+                           const std::string& text) const {
+  Node* v = doc->CreateValue(values_->Encode(text), text);
+  doc->AppendChild(parent, v);
+  return v;
+}
+
+std::string XMarkGenerator::DateString(Rng* rng) const {
+  // Mild skew: recent dates are more common (auction data clusters).
+  int day = static_cast<int>(
+      rng->Zipf(static_cast<uint32_t>(params_.days), 0.6));
+  int year = 1999 + day / 365;
+  int doy = day % 365;
+  int month = doy / 31 + 1;
+  int dom = doy % 31 + 1;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", month, dom, year);
+  return buf;
+}
+
+std::string XMarkGenerator::PersonString(Rng* rng) const {
+  // Uniform references over the person-id space, like XMark's idrefs.
+  return "person" + std::to_string(rng->Uniform(
+                        static_cast<uint32_t>(params_.persons)));
+}
+
+int XMarkGenerator::RepeatCount(Rng* rng, int max_extra) const {
+  if (!params_.allow_identical_siblings) {
+    (void)rng->Next32();  // keep the stream aligned across both variants
+    return 1;
+  }
+  return 1 + static_cast<int>(
+                 rng->Uniform(static_cast<uint32_t>(max_extra + 1)));
+}
+
+Document XMarkGenerator::GenerateItem(DocId id, Rng* rng) const {
+  Document doc(id);
+  Node* site = Elem(&doc, nullptr, site_);
+  Node* regions = Elem(&doc, site, regions_);
+  Node* region = Elem(&doc, regions, region_[rng->Uniform(6)]);
+  Node* item = Elem(&doc, region, item_);
+  Attr(&doc, item, id_, "item" + std::to_string(id));
+
+  // Weighted country draw.
+  int total = 0;
+  for (int w : kCountryWeight) total += w;
+  int pick = static_cast<int>(rng->Uniform(static_cast<uint32_t>(total)));
+  int country = 0;
+  for (; country < 8; ++country) {
+    pick -= kCountryWeight[country];
+    if (pick < 0) break;
+  }
+  Node* loc = Elem(&doc, item, location_);
+  Text(&doc, loc, kCountries[country]);
+
+  Node* qty = Elem(&doc, item, quantity_);
+  Text(&doc, qty, std::to_string(1 + rng->Uniform(5)));
+  Node* nm = Elem(&doc, item, name_);
+  Text(&doc, nm, "item name " + std::to_string(rng->Uniform(10000)));
+  Node* pay = Elem(&doc, item, payment_);
+  Text(&doc, pay, rng->Bernoulli(0.5) ? "Creditcard" : "Cash");
+  if (rng->Bernoulli(0.6)) {
+    Node* ship = Elem(&doc, item, shipping_);
+    Text(&doc, ship, rng->Bernoulli(0.5) ? "Will ship internationally"
+                                         : "Buyer pays fixed shipping");
+  }
+  int cats = RepeatCount(rng, 2);
+  for (int c = 0; c < cats; ++c) {
+    Node* cat = Elem(&doc, item, incategory_);
+    Attr(&doc, cat, category_attr_,
+         "category" + std::to_string(rng->Uniform(
+                          static_cast<uint32_t>(params_.categories))));
+  }
+  // The paper's Q1 addresses /site//item/mail/date, so mails hang directly
+  // off the item (real XMark nests them under <mailbox>).
+  int mails = RepeatCount(rng, 2);
+  for (int m = 0; m < mails; ++m) {
+    Node* mail = Elem(&doc, item, mail_);
+    Node* from = Elem(&doc, mail, from_);
+    Text(&doc, from, PersonString(rng));
+    Node* to = Elem(&doc, mail, to_);
+    Text(&doc, to, PersonString(rng));
+    Node* d = Elem(&doc, mail, date_);
+    Text(&doc, d, DateString(rng));
+  }
+  return doc;
+}
+
+Document XMarkGenerator::GeneratePerson(DocId id, Rng* rng) const {
+  Document doc(id);
+  Node* site = Elem(&doc, nullptr, site_);
+  Node* people = Elem(&doc, site, people_);
+  Node* person = Elem(&doc, people, person_);
+  Attr(&doc, person, id_, "person" + std::to_string(id));
+  Node* nm = Elem(&doc, person, name_);
+  Text(&doc, nm, "user" + std::to_string(rng->Uniform(100000)));
+  Node* email = Elem(&doc, person, emailaddress_);
+  Text(&doc, email, "mailto:user" + std::to_string(rng->Uniform(100000)));
+  if (rng->Bernoulli(0.4)) {
+    Node* phone = Elem(&doc, person, phone_);
+    Text(&doc, phone, "+1 (" + std::to_string(100 + rng->Uniform(900)) +
+                          ") " + std::to_string(1000000 + rng->Uniform(
+                                                    9000000)));
+  }
+  if (rng->Bernoulli(0.6)) {
+    Node* addr = Elem(&doc, person, address_);
+    Node* street = Elem(&doc, addr, street_);
+    Text(&doc, street, std::to_string(1 + rng->Uniform(99)) + " Main St");
+    Node* city = Elem(&doc, addr, city_);
+    Text(&doc, city, kCities[rng->Uniform(6)]);
+    Node* country = Elem(&doc, addr, country_);
+    Text(&doc, country, kCountries[rng->Uniform(8)]);
+    Node* zip = Elem(&doc, addr, zipcode_);
+    Text(&doc, zip, std::to_string(10000 + rng->Uniform(90000)));
+  }
+  if (rng->Bernoulli(0.3)) {
+    Node* home = Elem(&doc, person, homepage_);
+    Text(&doc, home, "http://www.example.com/~user" +
+                         std::to_string(rng->Uniform(100000)));
+  }
+  if (rng->Bernoulli(0.8)) {
+    Node* profile = Elem(&doc, person, profile_);
+    Attr(&doc, profile, income_,
+         std::to_string(20000 + rng->Uniform(80000)));
+    int interests = RepeatCount(rng, 3) - 1;
+    for (int i = 0; i < interests; ++i) {
+      Node* interest = Elem(&doc, profile, interest_);
+      Attr(&doc, interest, category_attr_,
+           "category" + std::to_string(rng->Uniform(
+                            static_cast<uint32_t>(params_.categories))));
+    }
+    if (rng->Bernoulli(0.7)) {
+      Node* edu = Elem(&doc, profile, education_);
+      Text(&doc, edu, rng->Bernoulli(0.5) ? "College" : "High School");
+    }
+    if (rng->Bernoulli(0.8)) {
+      Node* gender = Elem(&doc, profile, gender_);
+      Text(&doc, gender, rng->Bernoulli(0.5) ? "male" : "female");
+    }
+    Node* business = Elem(&doc, profile, business_);
+    Text(&doc, business, rng->Bernoulli(0.3) ? "Yes" : "No");
+    Node* age = Elem(&doc, profile, age_);
+    Text(&doc, age, std::to_string(18 + rng->Uniform(50)));
+  }
+  if (rng->Bernoulli(0.4)) {
+    Node* cc = Elem(&doc, person, creditcard_);
+    Text(&doc, cc, std::to_string(1000 + rng->Uniform(9000)) + " " +
+                       std::to_string(1000 + rng->Uniform(9000)));
+  }
+  return doc;
+}
+
+Document XMarkGenerator::GenerateOpenAuction(DocId id, Rng* rng) const {
+  Document doc(id);
+  Node* site = Elem(&doc, nullptr, site_);
+  Node* oas = Elem(&doc, site, open_auctions_);
+  Node* oa = Elem(&doc, oas, open_auction_);
+  Attr(&doc, oa, id_, "open_auction" + std::to_string(id));
+  Node* initial = Elem(&doc, oa, initial_);
+  Text(&doc, initial, std::to_string(1 + rng->Uniform(300)));
+  if (rng->Bernoulli(0.5)) {
+    Node* reserve = Elem(&doc, oa, reserve_);
+    Text(&doc, reserve, std::to_string(50 + rng->Uniform(500)));
+  }
+  int bidders = RepeatCount(rng, 3) - 1;
+  for (int b = 0; b < bidders; ++b) {
+    Node* bidder = Elem(&doc, oa, bidder_);
+    Node* d = Elem(&doc, bidder, date_);
+    Text(&doc, d, DateString(rng));
+    Node* t = Elem(&doc, bidder, time_);
+    Text(&doc, t, std::to_string(rng->Uniform(24)) + ":" +
+                      std::to_string(10 + rng->Uniform(50)));
+    Node* pref = Elem(&doc, bidder, personref_);
+    Attr(&doc, pref, person_, PersonString(rng));
+    Node* inc = Elem(&doc, bidder, increase_);
+    Text(&doc, inc, std::to_string(1 + rng->Uniform(20)));
+  }
+  Node* current = Elem(&doc, oa, current_);
+  Text(&doc, current, std::to_string(10 + rng->Uniform(1000)));
+  if (rng->Bernoulli(0.3)) {
+    Node* priv = Elem(&doc, oa, privacy_);
+    Text(&doc, priv, "Yes");
+  }
+  Node* iref = Elem(&doc, oa, itemref_);
+  Attr(&doc, iref, item_, "item" + std::to_string(rng->Uniform(100000)));
+  Node* seller = Elem(&doc, oa, seller_);
+  Attr(&doc, seller, person_, PersonString(rng));
+  Node* interval = Elem(&doc, oa, interval_);
+  Node* start = Elem(&doc, interval, from_);
+  Text(&doc, start, DateString(rng));
+  Node* end = Elem(&doc, interval, to_);
+  Text(&doc, end, DateString(rng));
+  Node* type = Elem(&doc, oa, type_);
+  Text(&doc, type, rng->Bernoulli(0.5) ? "Regular" : "Featured");
+  return doc;
+}
+
+Document XMarkGenerator::GenerateClosedAuction(DocId id, Rng* rng) const {
+  Document doc(id);
+  Node* site = Elem(&doc, nullptr, site_);
+  Node* cas = Elem(&doc, site, closed_auctions_);
+  Node* ca = Elem(&doc, cas, closed_auction_);
+  Node* seller = Elem(&doc, ca, seller_);
+  Attr(&doc, seller, person_, PersonString(rng));
+  Node* buyer = Elem(&doc, ca, buyer_);
+  Attr(&doc, buyer, person_, PersonString(rng));
+  Node* iref = Elem(&doc, ca, itemref_);
+  Attr(&doc, iref, item_, "item" + std::to_string(rng->Uniform(100000)));
+  Node* price = Elem(&doc, ca, price_);
+  Text(&doc, price, std::to_string(10 + rng->Uniform(1000)));
+  Node* d = Elem(&doc, ca, date_);
+  Text(&doc, d, DateString(rng));
+  Node* qty = Elem(&doc, ca, quantity_);
+  Text(&doc, qty, std::to_string(1 + rng->Uniform(5)));
+  Node* type = Elem(&doc, ca, type_);
+  Text(&doc, type, rng->Bernoulli(0.5) ? "Regular" : "Featured");
+  if (rng->Bernoulli(0.6)) {
+    Node* ann = Elem(&doc, ca, annotation_);
+    Node* desc = Elem(&doc, ann, description_);
+    Text(&doc, desc, "happy with the deal " +
+                         std::to_string(rng->Uniform(1000)));
+  }
+  return doc;
+}
+
+Document XMarkGenerator::Generate(DocId id) const {
+  Rng rng(params_.seed ^ 0xABCDEF1234567ULL, /*stream=*/id * 2 + 1);
+  switch (id % 4) {
+    case 0:
+      return GenerateItem(id, &rng);
+    case 1:
+      return GeneratePerson(id, &rng);
+    case 2:
+      return GenerateOpenAuction(id, &rng);
+    default:
+      return GenerateClosedAuction(id, &rng);
+  }
+}
+
+}  // namespace xseq

@@ -1,0 +1,84 @@
+// XMark-like auction-site records (substitution for the XMark xmlgen data).
+//
+// The paper converts each XMark substructure instance — item, person,
+// open_auction, closed_auction — into one record/sequence. We generate such
+// records directly: every record is rooted at <site> and carries the chain
+// down to one substructure, with the tag vocabulary and value distributions
+// needed by the paper's Table 4 queries:
+//
+//   Q1 /site//item[location='United States']/mail/date[text='07/05/2000']
+//   Q2 /site//person/*/age[text='32']
+//   Q3 //closed_auction[seller/person='person11304']/date[text='12/15/1999']
+//
+// Repeatable slots (incategory, mail, bidder, author sets...) produce
+// identical sibling nodes; `allow_identical_siblings=false` caps them at one
+// occurrence (the Table 6 variant).
+
+#ifndef XSEQ_SRC_GEN_XMARK_H_
+#define XSEQ_SRC_GEN_XMARK_H_
+
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Generator parameters.
+struct XMarkParams {
+  uint64_t seed = 42;
+  bool allow_identical_siblings = true;
+  int persons = 12000;     ///< size of the person-id value space
+  int categories = 1000;   ///< size of the category-id value space
+  int days = 730;          ///< distinct date values
+};
+
+/// Deterministic XMark-like record generator. Record kinds cycle
+/// item, person, open_auction, closed_auction by id.
+class XMarkGenerator {
+ public:
+  XMarkGenerator(const XMarkParams& params, NameTable* names,
+                 ValueEncoder* values);
+
+  /// Generates record `id` (deterministic in (params, seed, id)).
+  Document Generate(DocId id) const;
+
+ private:
+  struct Tags;  // interned tag ids
+
+  Document GenerateItem(DocId id, Rng* rng) const;
+  Document GeneratePerson(DocId id, Rng* rng) const;
+  Document GenerateOpenAuction(DocId id, Rng* rng) const;
+  Document GenerateClosedAuction(DocId id, Rng* rng) const;
+
+  Node* Elem(Document* doc, Node* parent, NameId tag) const;
+  Node* Attr(Document* doc, Node* parent, NameId tag,
+             const std::string& text) const;
+  Node* Text(Document* doc, Node* parent, const std::string& text) const;
+
+  std::string DateString(Rng* rng) const;
+  std::string PersonString(Rng* rng) const;
+  int RepeatCount(Rng* rng, int max_extra) const;
+
+  XMarkParams params_;
+  NameTable* names_;
+  ValueEncoder* values_;
+
+  // Interned tags (flat members to keep the header self-contained).
+  NameId site_, regions_, people_, open_auctions_, closed_auctions_;
+  NameId region_[6];
+  NameId item_, location_, quantity_, name_, payment_, shipping_,
+      incategory_, category_attr_, mailbox_, mail_, from_, to_, date_, id_;
+  NameId person_, emailaddress_, phone_, address_, street_, city_, country_,
+      zipcode_, homepage_, creditcard_, profile_, interest_, education_,
+      gender_, business_, age_, income_;
+  NameId open_auction_, initial_, reserve_, bidder_, time_, personref_,
+      increase_, current_, privacy_, itemref_, seller_, annotation_,
+      description_, interval_, type_;
+  NameId closed_auction_, buyer_, price_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_GEN_XMARK_H_

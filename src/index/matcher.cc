@@ -1,0 +1,74 @@
+#include "src/index/matcher.h"
+
+#include <unordered_map>
+
+#include "src/index/matcher_impl.h"
+
+namespace xseq {
+
+namespace {
+
+/// Accessor over the in-memory FrozenIndex.
+class InMemoryAccessor {
+ public:
+  explicit InMemoryAccessor(const FrozenIndex& idx) : idx_(idx) {}
+
+  uint32_t node_count() const {
+    return static_cast<uint32_t>(idx_.node_count());
+  }
+  uint32_t LinkSize(PathId p) const {
+    return static_cast<uint32_t>(idx_.Link(p).size());
+  }
+  uint32_t LinkSerial(PathId p, uint32_t i) const { return idx_.Link(p)[i]; }
+  uint32_t LinkEnd(PathId p, uint32_t i) const {
+    return idx_.end(idx_.Link(p)[i]);
+  }
+  bool HasNested(PathId p) const { return idx_.HasNested(p); }
+  std::pair<uint32_t, uint32_t> DocOffsets(uint32_t serial,
+                                           uint32_t end) const {
+    (void)end;
+    return idx_.DocOffsetsInSubtree(serial);
+  }
+  DocId DocAt(uint32_t offset) const { return idx_.doc_at(offset); }
+
+ private:
+  const FrozenIndex& idx_;
+};
+
+}  // namespace
+
+StatusOr<QuerySeq> BuildQuerySeq(const Document& doc,
+                                 const std::vector<PathId>& paths,
+                                 const Sequencer& sequencer) {
+  std::vector<const Node*> order = sequencer.EncodeOrder(doc, paths);
+  std::unordered_map<uint32_t, int32_t> position;  // node index -> position
+  position.reserve(order.size());
+  QuerySeq q;
+  q.paths.reserve(order.size());
+  q.parent.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Node* n = order[i];
+    position.emplace(n->index, static_cast<int32_t>(i));
+    q.paths.push_back(paths[n->index]);
+    if (n->parent == nullptr) {
+      q.parent.push_back(-1);
+    } else {
+      auto it = position.find(n->parent->index);
+      if (it == position.end()) {
+        return Status::Internal(
+            "sequencer emitted a node before its parent");
+      }
+      q.parent.push_back(it->second);
+    }
+  }
+  return q;
+}
+
+Status MatchSequence(const FrozenIndex& index, const QuerySeq& query,
+                     MatchMode mode, std::vector<DocId>* out,
+                     MatchStats* stats) {
+  return internal::MatchCore(InMemoryAccessor(index), query, mode, out,
+                             stats);
+}
+
+}  // namespace xseq

@@ -1,0 +1,80 @@
+// Constraint subsequence matching (Section 4.2, Algorithm 1).
+//
+// A query is a sequence of path-encoded elements plus, for each element, the
+// position of its query-tree parent. Matching walks the index tree top-down
+// through the horizontal path links: each element is matched to a trie node
+// strictly inside the range of the previously matched node, so a successful
+// match always lies on one root-to-leaf trie path.
+//
+// Two modes:
+//  * kNaive      — plain subsequence matching (criterion 1 of Definition 3
+//                  only). This is what ViST does before its join-based
+//                  cleanup; with identical siblings it produces false alarms.
+//  * kConstraint — additionally enforces criterion 2 through the
+//                  sibling-cover test (Definition 4, generalized to tries):
+//                  a candidate for element y with query parent x matched to
+//                  node v is valid iff the tightest occurrence of path(x)
+//                  containing the candidate is v itself. When path(x) has no
+//                  nested occurrences the test is vacuous (Theorem 3).
+
+#ifndef XSEQ_SRC_INDEX_MATCHER_H_
+#define XSEQ_SRC_INDEX_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/trie.h"
+#include "src/seq/sequencer.h"
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// A compiled query sequence: element paths in match order and the query
+/// tree's parent relation expressed in sequence positions.
+struct QuerySeq {
+  Sequence paths;
+  std::vector<int32_t> parent;  ///< position of the parent element; -1 = root
+
+  size_t size() const { return paths.size(); }
+};
+
+/// Builds the QuerySeq of a query tree `doc` under `sequencer` (which must
+/// be the same strategy used for the data). Fails if the strategy emits a
+/// child before its parent (never the case for the built-in sequencers).
+StatusOr<QuerySeq> BuildQuerySeq(const Document& doc,
+                                 const std::vector<PathId>& paths,
+                                 const Sequencer& sequencer);
+
+/// Matching mode (see file comment).
+enum class MatchMode { kNaive, kConstraint };
+
+/// Cost counters of one match run.
+struct MatchStats {
+  uint64_t link_binary_searches = 0;
+  uint64_t link_entries_read = 0;    ///< path-link entry accesses
+  uint64_t candidates = 0;           ///< candidate trie nodes expanded
+  uint64_t sibling_checks = 0;       ///< sibling-cover tests performed
+  uint64_t sibling_rejections = 0;   ///< candidates killed by the test
+  uint64_t terminals = 0;            ///< complete query embeddings found
+  uint64_t result_docs = 0;
+
+  void Add(const MatchStats& o) {
+    link_binary_searches += o.link_binary_searches;
+    link_entries_read += o.link_entries_read;
+    candidates += o.candidates;
+    sibling_checks += o.sibling_checks;
+    sibling_rejections += o.sibling_rejections;
+    terminals += o.terminals;
+    result_docs += o.result_docs;
+  }
+};
+
+/// Runs subsequence matching of `query` against `index`, appending matching
+/// document ids (sorted, deduplicated) to `out`.
+Status MatchSequence(const FrozenIndex& index, const QuerySeq& query,
+                     MatchMode mode, std::vector<DocId>* out,
+                     MatchStats* stats = nullptr);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_INDEX_MATCHER_H_

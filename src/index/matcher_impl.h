@@ -1,0 +1,166 @@
+// Shared template core of Algorithm 1.
+//
+// The matcher is parameterized over an Accessor so the in-memory index and
+// the paged (simulated-disk) index run the identical search while counting
+// their own access costs. Link entries are (serial, end) label pairs — the
+// paper's Fig. 8 layout — so one entry access yields the full range. An
+// Accessor provides:
+//
+//   uint32_t node_count() const;
+//   uint32_t LinkSize(PathId p) const;
+//   uint32_t LinkSerial(PathId p, uint32_t i) const;  // ascending in i
+//   uint32_t LinkEnd(PathId p, uint32_t i) const;     // n⊣ of that node
+//   bool     HasNested(PathId p) const;
+//   std::pair<uint32_t,uint32_t> DocOffsets(uint32_t serial,
+//                                           uint32_t end) const;
+//   DocId    DocAt(uint32_t offset) const;
+
+#ifndef XSEQ_SRC_INDEX_MATCHER_IMPL_H_
+#define XSEQ_SRC_INDEX_MATCHER_IMPL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/index/matcher.h"
+
+namespace xseq {
+namespace internal {
+
+/// First link index whose entry serial is > `after`, by binary search.
+template <typename Accessor>
+uint32_t LinkUpperBound(const Accessor& acc, PathId path, int64_t after,
+                        MatchStats* stats) {
+  uint32_t lo = 0;
+  uint32_t hi = acc.LinkSize(path);
+  ++stats->link_binary_searches;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    ++stats->link_entries_read;
+    if (static_cast<int64_t>(acc.LinkSerial(path, mid)) <= after) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// The tightest occurrence of `path` whose range contains `serial`
+/// (precondition: at least one exists). Entries before `serial` in the link
+/// are either ancestors (end >= serial) or disjoint (end < serial); the
+/// first ancestor found scanning backwards has the largest serial and is
+/// therefore the tightest.
+template <typename Accessor>
+uint32_t TightestContaining(const Accessor& acc, PathId path,
+                            uint32_t serial, MatchStats* stats) {
+  uint32_t idx = LinkUpperBound(acc, path, serial, stats);
+  while (idx > 0) {
+    --idx;
+    ++stats->link_entries_read;
+    if (acc.LinkEnd(path, idx) >= serial) return acc.LinkSerial(path, idx);
+  }
+  return 0xFFFFFFFFu;  // unreachable when the precondition holds
+}
+
+/// Recursive chain search. `ranges` collects doc-offset intervals of
+/// terminal subtrees.
+template <typename Accessor>
+void SearchRec(const Accessor& acc, const QuerySeq& q, MatchMode mode,
+               size_t i, int64_t v_serial, int64_t v_end,
+               std::vector<uint32_t>* matched,
+               std::vector<std::pair<uint32_t, uint32_t>>* ranges,
+               MatchStats* stats) {
+  if (i == q.size()) {
+    ++stats->terminals;
+    ranges->push_back(acc.DocOffsets(static_cast<uint32_t>(v_serial),
+                                     static_cast<uint32_t>(v_end)));
+    return;
+  }
+  PathId p = q.paths[i];
+  uint32_t link_size = acc.LinkSize(p);
+  uint32_t idx = LinkUpperBound(acc, p, v_serial, stats);
+  for (; idx < link_size; ++idx) {
+    ++stats->link_entries_read;
+    uint32_t r = acc.LinkSerial(p, idx);
+    if (static_cast<int64_t>(r) > v_end) break;
+    ++stats->candidates;
+    if (mode == MatchMode::kConstraint && q.parent[i] >= 0) {
+      PathId parent_path = q.paths[static_cast<size_t>(q.parent[i])];
+      if (acc.HasNested(parent_path)) {
+        ++stats->sibling_checks;
+        uint32_t tight = TightestContaining(acc, parent_path, r, stats);
+        if (tight != (*matched)[static_cast<size_t>(q.parent[i])]) {
+          ++stats->sibling_rejections;
+          continue;  // sibling-covered: wrong identical sibling
+        }
+      }
+    }
+    (*matched)[i] = r;
+    SearchRec(acc, q, mode, i + 1, r, acc.LinkEnd(p, idx), matched, ranges,
+              stats);
+  }
+}
+
+/// Full match: search, then merge the terminal doc-offset intervals and
+/// materialize sorted, deduplicated document ids.
+template <typename Accessor>
+Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
+                 std::vector<DocId>* out, MatchStats* stats) {
+  if (q.paths.empty()) {
+    return Status::InvalidArgument("empty query sequence");
+  }
+  if (q.parent.size() != q.paths.size()) {
+    return Status::InvalidArgument("query parent array size mismatch");
+  }
+  for (size_t i = 0; i < q.parent.size(); ++i) {
+    if (q.parent[i] >= static_cast<int32_t>(i)) {
+      return Status::InvalidArgument(
+          "query parent must precede its child in the sequence");
+    }
+  }
+
+  MatchStats local;
+  MatchStats* st = stats != nullptr ? stats : &local;
+  std::vector<uint32_t> matched(q.size());
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  if (acc.node_count() > 0) {
+    SearchRec(acc, q, mode, 0, /*v_serial=*/-1,
+              /*v_end=*/static_cast<int64_t>(acc.node_count()) - 1, &matched,
+              &ranges, st);
+  }
+
+  // Doc lists are disjoint per offset, so merging intervals deduplicates.
+  std::sort(ranges.begin(), ranges.end());
+  size_t before = out->size();
+  uint32_t cur_lo = 0, cur_hi = 0;
+  bool open = false;
+  auto flush = [&]() {
+    for (uint32_t off = cur_lo; off < cur_hi; ++off) {
+      out->push_back(acc.DocAt(off));
+    }
+  };
+  for (const auto& [lo, hi] : ranges) {
+    if (lo >= hi) continue;
+    if (!open) {
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else if (lo <= cur_hi) {
+      cur_hi = std::max(cur_hi, hi);
+    } else {
+      flush();
+      cur_lo = lo;
+      cur_hi = hi;
+    }
+  }
+  if (open) flush();
+  std::sort(out->begin() + static_cast<ptrdiff_t>(before), out->end());
+  st->result_docs += out->size() - before;
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_INDEX_MATCHER_IMPL_H_

@@ -1,0 +1,264 @@
+#include "src/index/trie.h"
+
+#include <algorithm>
+
+namespace xseq {
+
+uint64_t FrozenIndex::MemoryBytes() const {
+  return nodes_.size() * sizeof(NodeRec) +
+         node_docs_off_.size() * sizeof(uint32_t) +
+         docs_.size() * sizeof(DocId) +
+         link_off_.size() * sizeof(uint32_t) +
+         link_serials_.size() * sizeof(uint32_t) + nested_.size();
+}
+
+Status FrozenIndex::Validate() const {
+  uint32_t n = static_cast<uint32_t>(nodes_.size());
+  if (node_docs_off_.size() != n + 1 && !(n == 0 && node_docs_off_.empty())) {
+    return Status::Corruption("doc offset array size mismatch");
+  }
+  // Ranges laminar and in-bounds.
+  std::vector<uint32_t> stack;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (nodes_[s].end < s || nodes_[s].end >= n) {
+      return Status::Corruption("node range out of bounds at serial " +
+                                std::to_string(s));
+    }
+    while (!stack.empty() && nodes_[stack.back()].end < s) stack.pop_back();
+    if (!stack.empty() && nodes_[s].end > nodes_[stack.back()].end) {
+      return Status::Corruption("node ranges are not laminar at serial " +
+                                std::to_string(s));
+    }
+    stack.push_back(s);
+  }
+  // Doc offsets monotone and bounded.
+  for (size_t i = 0; i + 1 < node_docs_off_.size(); ++i) {
+    if (node_docs_off_[i] > node_docs_off_[i + 1]) {
+      return Status::Corruption("doc offsets not monotone");
+    }
+  }
+  if (!node_docs_off_.empty() && node_docs_off_.back() != docs_.size()) {
+    return Status::Corruption("doc offsets do not cover the doc array");
+  }
+  // Links: ascending serials, correct paths, full partition, exact nested
+  // flags.
+  if (link_serials_.size() != nodes_.size()) {
+    return Status::Corruption("link array size mismatch");
+  }
+  size_t paths = distinct_paths();
+  for (PathId p = 0; p < paths; ++p) {
+    if (link_off_[p] > link_off_[p + 1] ||
+        link_off_[p + 1] > link_serials_.size()) {
+      return Status::Corruption("link offsets invalid for path " +
+                                std::to_string(p));
+    }
+    bool contained = false, seen = false;
+    uint32_t prev = 0, max_end = 0;
+    for (uint32_t i = link_off_[p]; i < link_off_[p + 1]; ++i) {
+      uint32_t s = link_serials_[i];
+      if (s >= n || nodes_[s].path != p) {
+        return Status::Corruption("link entry points at a foreign node");
+      }
+      if (seen && s <= prev) {
+        return Status::Corruption("link not strictly ascending");
+      }
+      if (seen && s <= max_end) contained = true;
+      max_end = seen ? std::max(max_end, nodes_[s].end) : nodes_[s].end;
+      prev = s;
+      seen = true;
+    }
+    bool flagged = p < nested_.size() && nested_[p] != 0;
+    if (flagged != contained) {
+      return Status::Corruption("nested flag wrong for path " +
+                                std::to_string(p));
+    }
+  }
+  return Status::OK();
+}
+
+void FrozenIndex::EncodeTo(std::string* dst) const {
+  PutPodVector(dst, nodes_);
+  PutPodVector(dst, node_docs_off_);
+  PutPodVector(dst, docs_);
+  PutPodVector(dst, link_off_);
+  PutPodVector(dst, link_serials_);
+  PutPodVector(dst, nested_);
+}
+
+StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in) {
+  FrozenIndex out;
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nodes_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.node_docs_off_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.docs_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_off_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_serials_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nested_));
+  if (out.node_docs_off_.size() != out.nodes_.size() + 1 &&
+      !(out.nodes_.empty() && out.node_docs_off_.empty())) {
+    return Status::Corruption("index arrays are inconsistent");
+  }
+  if (out.link_serials_.size() != out.nodes_.size()) {
+    return Status::Corruption("link array size mismatch");
+  }
+  return out;
+}
+
+int32_t TrieBuilder::FindOrAddChild(int32_t parent, PathId path) {
+  uint64_t key = (static_cast<uint64_t>(parent) << 32) | path;
+  auto it = child_index_.find(key);
+  if (it != child_index_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(pool_.size());
+  pool_.push_back(BuildNode{path, -1, -1, {}, -1});
+  BuildNode& p = pool_[parent];
+  if (p.last_child == -1) {
+    p.first_child = id;
+  } else {
+    pool_[p.last_child].next_sibling = id;
+  }
+  p.last_child = id;
+  child_index_.emplace(key, id);
+  return id;
+}
+
+Status TrieBuilder::Insert(const Sequence& seq, DocId doc) {
+  if (seq.empty()) {
+    return Status::InvalidArgument("cannot index an empty sequence");
+  }
+  int32_t cur = 0;
+  for (PathId p : seq) {
+    if (p == kInvalidPath || p == kEpsilonPath) {
+      return Status::InvalidArgument("sequence contains an invalid path id");
+    }
+    cur = FindOrAddChild(cur, p);
+  }
+  pool_[cur].docs.push_back(doc);
+  return Status::OK();
+}
+
+Status TrieBuilder::BulkLoad(std::vector<std::pair<Sequence, DocId>>* input) {
+  std::sort(input->begin(), input->end(),
+            [](const std::pair<Sequence, DocId>& a,
+               const std::pair<Sequence, DocId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+
+  std::vector<int32_t> stack;  // node ids along the previous sequence
+  const Sequence* prev = nullptr;
+  for (auto& [seq, doc] : *input) {
+    if (seq.empty()) {
+      return Status::InvalidArgument("cannot index an empty sequence");
+    }
+    size_t lcp = 0;
+    if (prev != nullptr) {
+      size_t n = std::min(prev->size(), seq.size());
+      while (lcp < n && (*prev)[lcp] == seq[lcp]) ++lcp;
+    }
+    stack.resize(lcp);
+    for (size_t i = lcp; i < seq.size(); ++i) {
+      PathId p = seq[i];
+      if (p == kInvalidPath || p == kEpsilonPath) {
+        return Status::InvalidArgument(
+            "sequence contains an invalid path id");
+      }
+      int32_t parent = stack.empty() ? 0 : stack.back();
+      // In sorted order a reusable child is always covered by the LCP with
+      // the previous sequence, so this creates a new node unless the
+      // sequence duplicates the previous one entirely.
+      stack.push_back(FindOrAddChild(parent, p));
+    }
+    pool_[stack.back()].docs.push_back(doc);
+    prev = &seq;
+  }
+  input->clear();
+  return Status::OK();
+}
+
+FrozenIndex TrieBuilder::Freeze() && {
+  FrozenIndex out;
+  size_t n = pool_.size() - 1;
+  out.nodes_.reserve(n);
+  out.node_docs_off_.reserve(n + 1);
+
+  PathId max_path = 0;
+  uint32_t doc_cursor = 0;
+
+  // Iterative pre-order DFS. An entry with enter=true assigns the serial;
+  // the matching enter=false entry patches the subtree end once all
+  // descendants are numbered. Children are pushed in reverse so they pop in
+  // insertion order.
+  struct Work {
+    int32_t node;
+    uint32_t serial;  // meaningful when !enter
+    bool enter;
+  };
+  std::vector<Work> work;
+
+  auto push_children = [&](int32_t node) {
+    size_t first = work.size();
+    for (int32_t c = pool_[node].first_child; c != -1;
+         c = pool_[c].next_sibling) {
+      work.push_back(Work{c, 0, true});
+    }
+    std::reverse(work.begin() + static_cast<ptrdiff_t>(first), work.end());
+  };
+
+  push_children(0);
+  while (!work.empty()) {
+    Work w = work.back();
+    work.pop_back();
+    if (!w.enter) {
+      out.nodes_[w.serial].end =
+          static_cast<uint32_t>(out.nodes_.size()) - 1;
+      continue;
+    }
+    BuildNode& bn = pool_[w.node];
+    uint32_t serial = static_cast<uint32_t>(out.nodes_.size());
+    out.nodes_.push_back(FrozenIndex::NodeRec{bn.path, serial});
+    max_path = std::max(max_path, bn.path);
+
+    out.node_docs_off_.push_back(doc_cursor);
+    std::sort(bn.docs.begin(), bn.docs.end());
+    for (DocId d : bn.docs) {
+      out.docs_.push_back(d);
+      ++doc_cursor;
+    }
+
+    work.push_back(Work{w.node, serial, false});
+    push_children(w.node);
+  }
+  out.node_docs_off_.push_back(doc_cursor);
+
+  // Path links: counting sort of serials by path. Iterating serials in
+  // ascending order keeps every link sorted.
+  out.link_off_.assign(static_cast<size_t>(max_path) + 2, 0);
+  for (const auto& rec : out.nodes_) ++out.link_off_[rec.path + 1];
+  for (size_t i = 1; i < out.link_off_.size(); ++i) {
+    out.link_off_[i] += out.link_off_[i - 1];
+  }
+  out.link_serials_.resize(out.nodes_.size());
+  out.nested_.assign(static_cast<size_t>(max_path) + 1, 0);
+  {
+    std::vector<uint32_t> cursor(out.link_off_.begin(),
+                                 out.link_off_.end() - 1);
+    // Running max subtree end per path detects nested occurrences
+    // (identical sibling nodes, Eq. 5) in one ascending pass.
+    std::vector<uint32_t> max_end(static_cast<size_t>(max_path) + 1, 0);
+    std::vector<uint8_t> seen(static_cast<size_t>(max_path) + 1, 0);
+    for (uint32_t serial = 0;
+         serial < static_cast<uint32_t>(out.nodes_.size()); ++serial) {
+      PathId p = out.nodes_[serial].path;
+      out.link_serials_[cursor[p]++] = serial;
+      if (seen[p] && serial <= max_end[p]) out.nested_[p] = 1;
+      max_end[p] = std::max(seen[p] ? max_end[p] : 0u,
+                            out.nodes_[serial].end);
+      seen[p] = 1;
+    }
+  }
+
+  pool_.clear();
+  child_index_.clear();
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,144 @@
+// The index tree (Section 4.1): a trie over constraint sequences.
+//
+// Construction follows the paper's three steps:
+//   1. SEQUENCE INSERTION — every document's constraint sequence is inserted
+//      into a trie; the document id is appended to the id list of the node
+//      where the insertion ends. Static data can be bulk loaded by sorting
+//      the sequences first.
+//   2. TREE LABELING — each trie node n gets (n⊢, n⊣): its pre-order serial
+//      and the largest serial in its subtree, so x is a descendant of y iff
+//      x⊢ ∈ (y⊢, y⊣].
+//   3. PATH LINKING — for every distinct path, the sorted list of trie-node
+//      labels carrying that path ("horizontal links", binary searchable).
+//
+// TrieBuilder is the mutable construction stage; Freeze() produces the
+// immutable, flat FrozenIndex the matchers and the paged serializer consume.
+
+#ifndef XSEQ_SRC_INDEX_TRIE_H_
+#define XSEQ_SRC_INDEX_TRIE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/seq/sequence.h"
+#include "src/util/coding.h"
+#include "src/util/status.h"
+#include "src/xml/symbols.h"
+
+namespace xseq {
+
+/// Immutable flattened index tree. Node serials are pre-order positions;
+/// nodes() is indexed by serial.
+class FrozenIndex {
+ public:
+  /// One trie node: the path it carries and the largest serial in its
+  /// subtree (the serial itself is the array position).
+  struct NodeRec {
+    PathId path;
+    uint32_t end;
+  };
+
+  size_t node_count() const { return nodes_.size(); }
+  PathId path(uint32_t serial) const { return nodes_[serial].path; }
+  uint32_t end(uint32_t serial) const { return nodes_[serial].end; }
+
+  /// Horizontal link of `path`: serials in ascending order.
+  std::span<const uint32_t> Link(PathId path) const {
+    if (path + 1 >= link_off_.size()) return {};
+    return std::span<const uint32_t>(link_serials_)
+        .subspan(link_off_[path], link_off_[path + 1] - link_off_[path]);
+  }
+
+  /// True when `path`'s link contains nested occurrences (identical sibling
+  /// nodes, Eq. 5) — the only case where the sibling-cover test is needed.
+  bool HasNested(PathId path) const {
+    return path < nested_.size() && nested_[path] != 0;
+  }
+
+  /// Document ids attached in the subtree of `serial` (contiguous because
+  /// doc lists are laid out in serial order).
+  std::span<const DocId> DocsInSubtree(uint32_t serial) const {
+    uint32_t lo = node_docs_off_[serial];
+    uint32_t hi = node_docs_off_[nodes_[serial].end + 1];
+    return std::span<const DocId>(docs_).subspan(lo, hi - lo);
+  }
+
+  /// Offset range into the global doc array for the subtree of `serial`.
+  std::pair<uint32_t, uint32_t> DocOffsetsInSubtree(uint32_t serial) const {
+    return {node_docs_off_[serial], node_docs_off_[nodes_[serial].end + 1]};
+  }
+
+  DocId doc_at(uint32_t offset) const { return docs_[offset]; }
+  uint32_t total_docs() const { return static_cast<uint32_t>(docs_.size()); }
+  size_t distinct_paths() const {
+    return link_off_.empty() ? 0 : link_off_.size() - 1;
+  }
+
+  /// Bytes of the flat arrays (the in-memory index footprint).
+  uint64_t MemoryBytes() const;
+
+  /// Deep integrity check of every structural invariant: laminar ranges,
+  /// links partitioning the nodes in ascending order, nested flags
+  /// matching actual containment, and monotone doc offsets. O(index size).
+  /// Used after deserialization and available to callers that load index
+  /// files from untrusted media.
+  Status Validate() const;
+
+  /// Appends a binary encoding of the index to `dst` (see
+  /// src/core/persist.h for the file format around it).
+  void EncodeTo(std::string* dst) const;
+  /// Decodes an index previously written by EncodeTo.
+  static StatusOr<FrozenIndex> DecodeFrom(Decoder* in);
+
+ private:
+  friend class TrieBuilder;
+
+  std::vector<NodeRec> nodes_;
+  std::vector<uint32_t> node_docs_off_;  // size node_count()+1
+  std::vector<DocId> docs_;              // grouped by owning node, serial order
+  std::vector<uint32_t> link_off_;       // size max_path+2
+  std::vector<uint32_t> link_serials_;
+  std::vector<uint8_t> nested_;          // per path
+};
+
+/// Mutable trie under construction.
+class TrieBuilder {
+ public:
+  TrieBuilder() { pool_.push_back(BuildNode{kInvalidPath, -1, -1, {}}); }
+
+  /// Inserts one sequence, attaching `doc` at the final node. Empty
+  /// sequences are rejected.
+  Status Insert(const Sequence& seq, DocId doc);
+
+  /// Bulk load: sorts (sequence, doc) pairs and inserts them with
+  /// longest-common-prefix reuse — no hash probing, better locality.
+  /// Clears `input`.
+  Status BulkLoad(std::vector<std::pair<Sequence, DocId>>* input);
+
+  /// Number of trie nodes excluding the virtual root.
+  size_t node_count() const { return pool_.size() - 1; }
+
+  /// Flattens into the immutable index. The builder is consumed.
+  FrozenIndex Freeze() &&;
+
+ private:
+  struct BuildNode {
+    PathId path;
+    int32_t first_child;
+    int32_t last_child;  // for append-order child chaining
+    std::vector<DocId> docs;
+    int32_t next_sibling = -1;
+  };
+
+  int32_t FindOrAddChild(int32_t parent, PathId path);
+
+  std::vector<BuildNode> pool_;
+  // (parent node id, path) -> child node id; used by incremental Insert.
+  std::unordered_map<uint64_t, int32_t> child_index_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_INDEX_TRIE_H_

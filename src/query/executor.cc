@@ -1,0 +1,87 @@
+#include "src/query/executor.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "src/util/timer.h"
+
+namespace xseq {
+
+namespace {
+
+std::string SeqKey(const QuerySeq& q) {
+  std::string key;
+  key.reserve(q.paths.size() * 8);
+  for (size_t i = 0; i < q.paths.size(); ++i) {
+    key.append(reinterpret_cast<const char*>(&q.paths[i]), sizeof(PathId));
+    key.append(reinterpret_cast<const char*>(&q.parent[i]), sizeof(int32_t));
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<std::vector<QuerySeq>> QueryExecutor::Compile(
+    const QueryPattern& pattern, ExecStats* stats,
+    const ExecOptions& options) const {
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+  Timer timer;
+
+  auto inst = InstantiatePattern(pattern, *dict_, *names_, *values_,
+                                 options.instantiate);
+  if (!inst.ok()) return inst.status();
+  st->instantiations += inst->queries.size();
+  st->truncated = st->truncated || inst->truncated;
+
+  std::vector<QuerySeq> out;
+  std::unordered_set<std::string> seen;
+  for (const ConcreteQuery& cq : inst->queries) {
+    IsomorphResult iso = ExpandIsomorphisms(cq, options.isomorph);
+    st->orderings += iso.queries.size();
+    st->truncated = st->truncated || iso.truncated;
+    for (const ConcreteQuery& ordered : iso.queries) {
+      auto qs = BuildQuerySeq(ordered.tree, ordered.paths, *sequencer_);
+      if (!qs.ok()) return qs.status();
+      if (seen.insert(SeqKey(*qs)).second) {
+        out.push_back(std::move(*qs));
+      }
+    }
+  }
+  st->matched_sequences += out.size();
+  st->compile_micros += timer.ElapsedMicros();
+  return out;
+}
+
+StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
+    const QueryPattern& pattern, ExecStats* stats,
+    const ExecOptions& options) const {
+  ExecStats local;
+  ExecStats* st = stats != nullptr ? stats : &local;
+
+  auto compiled = Compile(pattern, st, options);
+  if (!compiled.ok()) return compiled.status();
+
+  Timer timer;
+  std::vector<DocId> out;
+  for (const QuerySeq& qs : *compiled) {
+    XSEQ_RETURN_IF_ERROR(
+        MatchSequence(*index_, qs, options.mode, &out, &st->match));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  st->match_micros += timer.ElapsedMicros();
+  st->result_docs = out.size();
+  return out;
+}
+
+StatusOr<std::vector<DocId>> QueryExecutor::Execute(
+    std::string_view xpath, ExecStats* stats,
+    const ExecOptions& options) const {
+  auto pattern = ParseXPath(xpath);
+  if (!pattern.ok()) return pattern.status();
+  return ExecutePattern(*pattern, stats, options);
+}
+
+}  // namespace xseq

@@ -1,0 +1,84 @@
+// Query executor: XPath text -> document ids, via the sequence index.
+//
+// Pipeline (Sections 3-5):
+//   parse -> instantiate '//'/'*' against the path dictionary ->
+//   expand identical-sibling orderings (false-dismissal fix) ->
+//   compile each concrete tree to a QuerySeq with the *data* sequencer ->
+//   constraint subsequence matching (Algorithm 1) -> union of doc ids.
+//
+// Compiled sequences are deduplicated, so the isomorphism expansion of
+// structurally equal branches costs nothing extra at match time.
+
+#ifndef XSEQ_SRC_QUERY_EXECUTOR_H_
+#define XSEQ_SRC_QUERY_EXECUTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/index/matcher.h"
+#include "src/query/instantiate.h"
+#include "src/query/isomorph.h"
+#include "src/query/query_pattern.h"
+
+namespace xseq {
+
+/// Executor knobs.
+struct ExecOptions {
+  MatchMode mode = MatchMode::kConstraint;
+  InstantiateOptions instantiate;
+  IsomorphOptions isomorph;
+};
+
+/// Per-query cost breakdown.
+struct ExecStats {
+  size_t instantiations = 0;   ///< concrete trees after wildcard resolution
+  size_t orderings = 0;        ///< trees after isomorphism expansion
+  size_t matched_sequences = 0;///< deduplicated sequences actually matched
+  bool truncated = false;      ///< an enumeration cap was hit
+  MatchStats match;            ///< aggregated Algorithm 1 counters
+  int64_t compile_micros = 0;
+  int64_t match_micros = 0;
+  size_t result_docs = 0;
+};
+
+/// Stateless facade over the pieces a query needs. All referenced objects
+/// must outlive the executor.
+class QueryExecutor {
+ public:
+  QueryExecutor(const FrozenIndex* index, const PathDict* dict,
+                const NameTable* names, const ValueEncoder* values,
+                const Sequencer* sequencer)
+      : index_(index),
+        dict_(dict),
+        names_(names),
+        values_(values),
+        sequencer_(sequencer) {}
+
+  /// Parses and runs `xpath`; returns sorted, deduplicated document ids.
+  StatusOr<std::vector<DocId>> Execute(std::string_view xpath,
+                                       ExecStats* stats = nullptr,
+                                       const ExecOptions& options = {}) const;
+
+  /// Runs an already-parsed pattern.
+  StatusOr<std::vector<DocId>> ExecutePattern(
+      const QueryPattern& pattern, ExecStats* stats = nullptr,
+      const ExecOptions& options = {}) const;
+
+  /// Compiles `pattern` into the deduplicated query sequences that would be
+  /// matched (exposed for tests, baselines and benchmarks).
+  StatusOr<std::vector<QuerySeq>> Compile(const QueryPattern& pattern,
+                                          ExecStats* stats = nullptr,
+                                          const ExecOptions& options = {})
+      const;
+
+ private:
+  const FrozenIndex* index_;
+  const PathDict* dict_;
+  const NameTable* names_;
+  const ValueEncoder* values_;
+  const Sequencer* sequencer_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_EXECUTOR_H_

@@ -1,0 +1,74 @@
+#include "src/query/explain.h"
+
+#include <cstdio>
+
+namespace xseq {
+
+std::string QuerySeqToString(const QuerySeq& q, const PathDict& dict,
+                             const NameTable& names) {
+  std::string out;
+  for (size_t i = 0; i < q.paths.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "  [%zu] ", i);
+    out += buf;
+    out += dict.ToString(q.paths[i], names);
+    if (q.parent[i] < 0) {
+      out += "  (root)";
+    } else {
+      std::snprintf(buf, sizeof(buf), "  (parent [%d])", q.parent[i]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<std::string> ExplainQuery(const QueryExecutor& executor,
+                                   std::string_view xpath,
+                                   const PathDict& dict,
+                                   const NameTable& names) {
+  auto pattern = ParseXPath(xpath);
+  if (!pattern.ok()) return pattern.status();
+  ExecStats stats;
+  auto compiled = executor.Compile(*pattern, &stats);
+  if (!compiled.ok()) return compiled.status();
+
+  std::string out = "query: " + std::string(xpath) + "\n";
+  out += "pattern: " + PatternToString(*pattern) + "\n";
+  out += "instantiations: " + std::to_string(stats.instantiations) +
+         ", orderings: " + std::to_string(stats.orderings) +
+         ", deduplicated sequences: " +
+         std::to_string(stats.matched_sequences);
+  if (stats.truncated) out += "  (TRUNCATED by enumeration caps)";
+  out += "\n";
+  for (size_t s = 0; s < compiled->size(); ++s) {
+    out += "sequence " + std::to_string(s) + ":\n";
+    out += QuerySeqToString((*compiled)[s], dict, names);
+  }
+  return out;
+}
+
+std::string SchemaToDot(const Schema& schema, const PathDict& dict,
+                        const NameTable& names) {
+  std::string out = "digraph schema {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (PathId p = 1; p < dict.size(); ++p) {
+    Sym s = dict.sym(p);
+    std::string label =
+        s.is_value() ? "=v" + std::to_string(s.id()) : names.Lookup(s.id());
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  n%u [label=\"%s\\np=%.3f\"%s];\n", p, label.c_str(),
+                  schema.RootProb(p),
+                  schema.MayRepeat(p) ? " peripheries=2" : "");
+    out += buf;
+    PathId parent = dict.parent(p);
+    if (parent != kEpsilonPath) {
+      std::snprintf(buf, sizeof(buf), "  n%u -> n%u;\n", parent, p);
+      out += buf;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xseq

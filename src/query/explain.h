@@ -1,0 +1,36 @@
+// Human-readable query plans and schema dumps — debugging and tooling
+// support (xseq_tool --explain, the sequencing-explorer example).
+
+#ifndef XSEQ_SRC_QUERY_EXPLAIN_H_
+#define XSEQ_SRC_QUERY_EXPLAIN_H_
+
+#include <string>
+
+#include "src/index/matcher.h"
+#include "src/query/executor.h"
+#include "src/schema/schema.h"
+
+namespace xseq {
+
+/// Renders a compiled query sequence with its parent relation, e.g.
+///   [0] /site            (root)
+///   [1] /site/people     (parent [0])
+std::string QuerySeqToString(const QuerySeq& q, const PathDict& dict,
+                             const NameTable& names);
+
+/// Full plan for an XPath string: the pattern, every deduplicated compiled
+/// sequence, and the enumeration statistics.
+StatusOr<std::string> ExplainQuery(const QueryExecutor& executor,
+                                   std::string_view xpath,
+                                   const PathDict& dict,
+                                   const NameTable& names);
+
+/// Graphviz dot rendering of the schema's path tree with existence
+/// probabilities (Fig. 13 as a picture). Repeatable paths are drawn with
+/// doubled borders.
+std::string SchemaToDot(const Schema& schema, const PathDict& dict,
+                        const NameTable& names);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_EXPLAIN_H_

@@ -1,0 +1,54 @@
+// Wildcard instantiation: from patterns to concrete query trees.
+//
+// '//' and '*' steps are resolved against the path dictionary (the set of
+// root paths that actually occur in the data), the way the paper
+// "instantializes '*' to symbol D". Every combination of resolutions yields
+// one *concrete query tree* whose nodes all carry dictionary PathIds; the
+// executor matches each concrete tree and unions the results.
+//
+// Sibling branches are never merged: per the paper's injective tree-pattern
+// semantics, two branches — even with equal steps — must embed onto
+// distinct document nodes per sibling group.
+
+#ifndef XSEQ_SRC_QUERY_INSTANTIATE_H_
+#define XSEQ_SRC_QUERY_INSTANTIATE_H_
+
+#include <vector>
+
+#include "src/query/query_pattern.h"
+#include "src/seq/path_dict.h"
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// A fully concrete query tree: every node bound to a dictionary path.
+struct ConcreteQuery {
+  Document tree;
+  std::vector<PathId> paths;  ///< indexed by node->index
+};
+
+/// Instantiation limits.
+struct InstantiateOptions {
+  /// Hard cap on emitted concrete trees; hitting it sets `truncated`.
+  size_t max_instantiations = 4096;
+};
+
+/// Result of instantiation.
+struct InstantiateResult {
+  std::vector<ConcreteQuery> queries;
+  bool truncated = false;  ///< cap reached; results may be incomplete
+};
+
+/// Enumerates the concrete query trees of `pattern` against `dict`.
+/// A pattern naming an unknown element or value yields zero trees (it can
+/// match nothing). Patterns with multiple top-level branches are rejected.
+StatusOr<InstantiateResult> InstantiatePattern(
+    const QueryPattern& pattern, const PathDict& dict, const NameTable& names,
+    const ValueEncoder& values,
+    const InstantiateOptions& options = InstantiateOptions());
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_INSTANTIATE_H_

@@ -1,0 +1,122 @@
+#include "src/query/isomorph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xseq {
+
+namespace {
+
+/// A permutable group: ≥2 children of one parent sharing a path.
+struct Group {
+  const Node* parent;                  // nullptr = (single) root, never groups
+  std::vector<const Node*> members;    // document order
+  std::vector<uint32_t> order;         // current permutation (indices)
+};
+
+void CollectGroups(const Node* n, const std::vector<PathId>& paths,
+                   std::vector<Group>* groups) {
+  std::map<PathId, std::vector<const Node*>> by_path;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    by_path[paths[c->index]].push_back(c);
+  }
+  for (auto& [p, members] : by_path) {
+    (void)p;
+    if (members.size() >= 2) {
+      Group g;
+      g.parent = n;
+      g.members = members;
+      g.order.resize(members.size());
+      for (uint32_t i = 0; i < members.size(); ++i) g.order[i] = i;
+      groups->push_back(std::move(g));
+    }
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    CollectGroups(c, paths, groups);
+  }
+}
+
+/// Rebuilds the query with each group's members re-ordered per its current
+/// permutation. Group members occupy the group's original positions in the
+/// child list; all other children keep their places.
+void CloneRec(const Node* src, Node* dst_parent,
+              const std::vector<PathId>& src_paths,
+              const std::vector<Group>& groups, ConcreteQuery* out) {
+  Sym s = src->sym;
+  Node* copy = s.is_value() ? out->tree.CreateValue(s.id())
+                            : out->tree.CreateElement(s.id());
+  out->paths.push_back(src_paths[src->index]);
+  if (dst_parent == nullptr) {
+    out->tree.SetRoot(copy);
+  } else {
+    out->tree.AppendChild(dst_parent, copy);
+  }
+
+  // Per-group member cursors for this parent.
+  std::map<const Node*, uint32_t> replacement;  // original child -> member
+  for (const Group& g : groups) {
+    if (g.parent != src) continue;
+    for (uint32_t pos = 0; pos < g.members.size(); ++pos) {
+      // The child at the group's pos-th original slot is replaced by the
+      // permuted member g.members[g.order[pos]].
+      replacement[g.members[pos]] = g.order[pos];
+    }
+  }
+
+  for (const Node* c = src->first_child; c != nullptr; c = c->next_sibling) {
+    const Node* actual = c;
+    auto it = replacement.find(c);
+    if (it != replacement.end()) {
+      // Find the group again to map the index to a node.
+      for (const Group& g : groups) {
+        if (g.parent == src &&
+            std::find(g.members.begin(), g.members.end(), c) !=
+                g.members.end()) {
+          actual = g.members[it->second];
+          break;
+        }
+      }
+    }
+    CloneRec(actual, copy, src_paths, groups, out);
+  }
+}
+
+}  // namespace
+
+IsomorphResult ExpandIsomorphisms(const ConcreteQuery& query,
+                                  const IsomorphOptions& options) {
+  IsomorphResult result;
+  if (query.tree.root() == nullptr) return result;
+
+  std::vector<Group> groups;
+  CollectGroups(query.tree.root(), query.paths, &groups);
+
+  // Odometer over per-group permutations.
+  for (;;) {
+    ConcreteQuery clone;
+    CloneRec(query.tree.root(), nullptr, query.paths, groups, &clone);
+    result.queries.push_back(std::move(clone));
+    if (result.queries.size() >= options.max_orderings) {
+      // Check whether more orderings would exist.
+      size_t k = 0;
+      std::vector<Group> probe = groups;
+      while (k < probe.size() &&
+             !std::next_permutation(probe[k].order.begin(),
+                                    probe[k].order.end())) {
+        ++k;
+      }
+      if (k < probe.size()) result.truncated = true;
+      break;
+    }
+    size_t k = 0;
+    while (k < groups.size() &&
+           !std::next_permutation(groups[k].order.begin(),
+                                  groups[k].order.end())) {
+      ++k;  // this group wrapped to identity; carry to the next
+    }
+    if (k == groups.size()) break;  // all orderings emitted
+  }
+  return result;
+}
+
+}  // namespace xseq

@@ -1,0 +1,41 @@
+// Isomorphism expansion (the paper's false-dismissal fix, Section 3.3).
+//
+// Two isomorphic query trees can sequence differently when identical-path
+// sibling branches are ordered differently, so a query with such branches is
+// asked once per non-equivalent ordering and the results are unioned.
+// Only identical-path sibling *groups* permute: the relative order of
+// distinct paths is fixed by the sequencing strategy.
+
+#ifndef XSEQ_SRC_QUERY_ISOMORPH_H_
+#define XSEQ_SRC_QUERY_ISOMORPH_H_
+
+#include <vector>
+
+#include "src/query/instantiate.h"
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// Expansion limits.
+struct IsomorphOptions {
+  /// Cap on orderings per concrete query; hitting it sets `truncated`.
+  size_t max_orderings = 120;
+};
+
+/// Result of expansion.
+struct IsomorphResult {
+  std::vector<ConcreteQuery> queries;
+  bool truncated = false;
+};
+
+/// Emits one clone of `query` per ordering of its identical-path sibling
+/// groups (at least the identity). Clones are plain rebuilds; duplicate
+/// orderings of structurally equal branches are NOT deduplicated here —
+/// the executor dedups compiled sequences, which is cheaper.
+IsomorphResult ExpandIsomorphisms(
+    const ConcreteQuery& query,
+    const IsomorphOptions& options = IsomorphOptions());
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_ISOMORPH_H_

@@ -1,0 +1,78 @@
+#include "src/query/oracle.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xseq {
+
+namespace {
+
+/// Memoized embedding test: can query node q (subtree) embed at data node d?
+class Embedder {
+ public:
+  bool Embeds(const Node* q, const Node* d) {
+    if (q->sym != d->sym) return false;
+    uint64_t key = (static_cast<uint64_t>(q->index) << 32) | d->index;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    bool ok = MatchChildren(q, d);
+    memo_.emplace(key, ok);
+    return ok;
+  }
+
+ private:
+  /// Injectively assigns q's children to distinct children of d.
+  bool MatchChildren(const Node* q, const Node* d) {
+    std::vector<const Node*> qkids;
+    for (const Node* c = q->first_child; c != nullptr; c = c->next_sibling) {
+      qkids.push_back(c);
+    }
+    if (qkids.empty()) return true;
+    std::vector<const Node*> dkids;
+    for (const Node* c = d->first_child; c != nullptr; c = c->next_sibling) {
+      dkids.push_back(c);
+    }
+    if (dkids.size() < qkids.size()) return false;
+    std::vector<bool> used(dkids.size(), false);
+    return Assign(qkids, dkids, 0, &used);
+  }
+
+  bool Assign(const std::vector<const Node*>& qkids,
+              const std::vector<const Node*>& dkids, size_t i,
+              std::vector<bool>* used) {
+    if (i == qkids.size()) return true;
+    for (size_t j = 0; j < dkids.size(); ++j) {
+      if ((*used)[j]) continue;
+      if (!Embeds(qkids[i], dkids[j])) continue;
+      (*used)[j] = true;
+      if (Assign(qkids, dkids, i + 1, used)) {
+        (*used)[j] = false;
+        return true;
+      }
+      (*used)[j] = false;
+    }
+    return false;
+  }
+
+  std::unordered_map<uint64_t, bool> memo_;
+};
+
+}  // namespace
+
+bool OracleContains(const Document& data, const ConcreteQuery& query) {
+  if (query.tree.root() == nullptr || data.root() == nullptr) return false;
+  Embedder e;
+  return e.Embeds(query.tree.root(), data.root());
+}
+
+std::vector<DocId> OracleScan(const std::vector<Document>& docs,
+                              const ConcreteQuery& query) {
+  std::vector<DocId> out;
+  for (const Document& d : docs) {
+    if (OracleContains(d, query)) out.push_back(d.id());
+  }
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,31 @@
+// Ground-truth structure matcher.
+//
+// Decides, by direct backtracking on the document tree, whether a concrete
+// query tree embeds into a document: an injective-per-sibling-group mapping
+// that preserves labels and parent-child edges. This is the definition the
+// index-based constraint matcher must agree with exactly (Theorem 2), and
+// the reference the ViST-like baseline uses for its per-document
+// verification pass. Exponential in the worst case — it is a test oracle
+// and a verification fallback, not an index.
+
+#ifndef XSEQ_SRC_QUERY_ORACLE_H_
+#define XSEQ_SRC_QUERY_ORACLE_H_
+
+#include <vector>
+
+#include "src/query/instantiate.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// True iff `query` embeds into `data` (labels + parent-child edges,
+/// injective within each sibling group).
+bool OracleContains(const Document& data, const ConcreteQuery& query);
+
+/// Convenience: ids of all documents in `docs` containing `query`.
+std::vector<DocId> OracleScan(const std::vector<Document>& docs,
+                              const ConcreteQuery& query);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_ORACLE_H_

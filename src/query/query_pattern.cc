@@ -1,0 +1,323 @@
+#include "src/query/query_pattern.h"
+
+#include <cctype>
+
+namespace xseq {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+/// Recursive-descent parser over the XPath subset.
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  StatusOr<QueryPattern> Parse() {
+    QueryPattern q;
+    q.source = std::string(s_);
+    q.root = std::make_unique<PatternNode>();
+    q.root->test = PatternNode::Test::kWildcard;  // virtual ε node
+
+    SkipSpace();
+    if (AtEnd()) return Error("empty query");
+    XSEQ_RETURN_IF_ERROR(ParsePath(q.root.get()));
+    SkipSpace();
+    if (!AtEnd()) return Error("trailing characters");
+    return q;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (!AtEnd() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("XPath parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  /// Parses ('/' | '//') step (('/' | '//') step)* attached under `anchor`,
+  /// following the chain: each step becomes a child of the previous one.
+  /// Absolute and relative (predicate-internal) paths share this.
+  Status ParsePath(PatternNode* anchor) {
+    PatternNode* current = anchor;
+    bool first = true;
+    for (;;) {
+      SkipSpace();
+      PatternNode::Axis axis = PatternNode::Axis::kChild;
+      if (Consume('/')) {
+        if (Consume('/')) axis = PatternNode::Axis::kDescendant;
+      } else if (!first) {
+        break;  // end of path
+      }
+      // Tolerate "/[pred]" (e.g. the paper's "/book/[key='Maier']/author"):
+      // a predicate right after a slash applies to the current node.
+      SkipSpace();
+      if (!AtEnd() && Peek() == '[') {
+        if (current == anchor) return Error("predicate before any step");
+        XSEQ_RETURN_IF_ERROR(ParsePredicates(current));
+        first = false;
+        continue;
+      }
+      auto step = ParseStep(axis);
+      if (!step.ok()) {
+        if (first) return step.status();
+        break;
+      }
+      PatternNode* raw = step->get();
+      current->children.push_back(std::move(*step));
+      current = raw;
+      first = false;
+      if (AtEnd() || Peek() != '/') {
+        if (!AtEnd() && Peek() == '[') continue;  // already consumed in step
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Parses one step: nametest predicate*.
+  StatusOr<std::unique_ptr<PatternNode>> ParseStep(PatternNode::Axis axis) {
+    SkipSpace();
+    auto node = std::make_unique<PatternNode>();
+    node->axis = axis;
+    if (Consume('*')) {
+      node->test = PatternNode::Test::kWildcard;
+    } else {
+      Consume('@');  // attributes are ordinary children in our model
+      if (AtEnd() || !IsNameChar(Peek())) return Error("expected a name");
+      size_t start = pos_;
+      while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+      node->test = PatternNode::Test::kName;
+      node->name = std::string(s_.substr(start, pos_ - start));
+    }
+    XSEQ_RETURN_IF_ERROR(ParsePredicates(node.get()));
+    return node;
+  }
+
+  /// Parses zero or more [...] predicates attached to `node`.
+  Status ParsePredicates(PatternNode* node) {
+    for (;;) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '[') return Status::OK();
+      ++pos_;  // '['
+      XSEQ_RETURN_IF_ERROR(ParsePredicateBody(node));
+      SkipSpace();
+      if (!Consume(']')) return Error("expected ']'");
+    }
+  }
+
+  /// Predicate body: starts-with(path,'lit'), text()/text/. = literal, or
+  /// a relative path with an optional = literal.
+  Status ParsePredicateBody(PatternNode* node) {
+    SkipSpace();
+    if (s_.substr(pos_, 12) == "starts-with(") {
+      pos_ += 12;
+      return ParseStartsWith(node);
+    }
+    // text() = 'v'  |  text = 'v'  |  . = 'v'
+    size_t save = pos_;
+    if (TryConsumeTextSelector()) {
+      SkipSpace();
+      if (!Consume('=')) {
+        pos_ = save;  // "text" was an element name after all
+      } else {
+        auto lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        auto v = std::make_unique<PatternNode>();
+        v->axis = PatternNode::Axis::kChild;
+        v->test = PatternNode::Test::kValue;
+        v->value = std::move(*lit);
+        node->children.push_back(std::move(v));
+        return Status::OK();
+      }
+    }
+
+    // Relative path: ('.' | step) (/step)* (= literal)?
+    PatternNode* current = node;
+    bool first = true;
+    bool saw_dot = false;
+    for (;;) {
+      SkipSpace();
+      PatternNode::Axis axis = PatternNode::Axis::kChild;
+      if (Consume('/')) {
+        if (Consume('/')) axis = PatternNode::Axis::kDescendant;
+      } else if (first) {
+        if (!AtEnd() && Peek() == '.') {
+          ++pos_;  // "."; stay on the current node
+          first = false;
+          saw_dot = true;
+          continue;
+        }
+        axis = PatternNode::Axis::kChild;
+      } else {
+        break;
+      }
+      auto step = ParseStep(axis);
+      if (!step.ok()) return step.status();
+      PatternNode* raw = step->get();
+      current->children.push_back(std::move(*step));
+      current = raw;
+      first = false;
+      if (AtEnd() || Peek() != '/') break;
+    }
+
+    SkipSpace();
+    if (Consume('=')) {
+      if (current == node && !saw_dot) {
+        return Error("'=' without a left-hand path");
+      }
+      auto lit = ParseLiteral();
+      if (!lit.ok()) return lit.status();
+      auto v = std::make_unique<PatternNode>();
+      v->axis = PatternNode::Axis::kChild;
+      v->test = PatternNode::Test::kValue;
+      v->value = std::move(*lit);
+      current->children.push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  /// Parses the remainder of starts-with(path, 'literal') — the opening
+  /// keyword and parenthesis are already consumed. `path` may be '.' (the
+  /// current node) or a child-axis relative path. The literal must be
+  /// quoted.
+  Status ParseStartsWith(PatternNode* node) {
+    SkipSpace();
+    PatternNode* current = node;
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+    } else {
+      for (;;) {
+        auto step = ParseStep(PatternNode::Axis::kChild);
+        if (!step.ok()) return step.status();
+        PatternNode* raw = step->get();
+        current->children.push_back(std::move(*step));
+        current = raw;
+        if (!Consume('/')) break;
+      }
+    }
+    SkipSpace();
+    if (!Consume(',')) return Error("expected ',' in starts-with()");
+    SkipSpace();
+    if (AtEnd() || (Peek() != '\'' && Peek() != '"')) {
+      return Error("starts-with() requires a quoted literal");
+    }
+    auto lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    SkipSpace();
+    if (!Consume(')')) return Error("expected ')' in starts-with()");
+    auto v = std::make_unique<PatternNode>();
+    v->axis = PatternNode::Axis::kChild;
+    v->test = PatternNode::Test::kValuePrefix;
+    v->value = std::move(*lit);
+    current->children.push_back(std::move(v));
+    return Status::OK();
+  }
+
+  /// Accepts "text()", "text" (only when followed by '='), or nothing.
+  bool TryConsumeTextSelector() {
+    size_t save = pos_;
+    if (s_.substr(pos_, 6) == "text()") {
+      pos_ += 6;
+      return true;
+    }
+    if (s_.substr(pos_, 4) == "text") {
+      pos_ += 4;
+      size_t look = pos_;
+      while (look < s_.size() &&
+             std::isspace(static_cast<unsigned char>(s_[look]))) {
+        ++look;
+      }
+      if (look < s_.size() && s_[look] == '=') return true;
+      pos_ = save;
+    }
+    return false;
+  }
+
+  /// 'literal', "literal", or a bare token up to ']'.
+  StatusOr<std::string> ParseLiteral() {
+    SkipSpace();
+    if (AtEnd()) return Error("expected a literal");
+    char q = Peek();
+    if (q == '\'' || q == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != q) ++pos_;
+      if (AtEnd()) return Error("unterminated literal");
+      std::string out(s_.substr(start, pos_ - start));
+      ++pos_;
+      return out;
+    }
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ']') ++pos_;
+    size_t end = pos_;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(s_[end - 1]))) {
+      --end;
+    }
+    if (end == start) return Error("empty literal");
+    return std::string(s_.substr(start, end - start));
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+void ToStringRec(const PatternNode* n, std::string* out) {
+  *out += n->axis == PatternNode::Axis::kChild ? "/" : "//";
+  switch (n->test) {
+    case PatternNode::Test::kName:
+      *out += n->name;
+      break;
+    case PatternNode::Test::kWildcard:
+      *out += "*";
+      break;
+    case PatternNode::Test::kValue:
+      *out += "text()='" + n->value + "'";
+      break;
+    case PatternNode::Test::kValuePrefix:
+      *out += "starts-with(.,'" + n->value + "')";
+      break;
+  }
+  for (const auto& c : n->children) {
+    *out += "[";
+    // Render child paths as predicates for an unambiguous canonical form.
+    std::string sub;
+    ToStringRec(c.get(), &sub);
+    *out += sub;
+    *out += "]";
+  }
+}
+
+}  // namespace
+
+StatusOr<QueryPattern> ParseXPath(std::string_view xpath) {
+  return Parser(xpath).Parse();
+}
+
+std::string PatternToString(const QueryPattern& pattern) {
+  std::string out;
+  if (pattern.root == nullptr) return out;
+  for (const auto& c : pattern.root->children) {
+    ToStringRec(c.get(), &out);
+  }
+  return out;
+}
+
+}  // namespace xseq

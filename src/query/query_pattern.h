@@ -1,0 +1,77 @@
+// Query patterns: tree-shaped structured queries and an XPath-subset parser.
+//
+// The paper makes the tree pattern the basic query unit. A QueryPattern is
+// an unordered tree whose nodes carry a node test (name, wildcard '*', or a
+// value literal) and the axis of the edge to their parent (child '/' or
+// descendant '//'). The supported XPath subset covers everything in the
+// paper's workloads (Tables 4 and 8):
+//
+//   /site//item[location='United States']/mail/date[text='07/05/2000']
+//   /site//person/*/age[text='32']
+//   //closed_auction[seller/person='person11304']/date[text='12/15/1999']
+//   /inproceedings/title
+//   /book[key='Maier']/author
+//   //author[text='David']
+//
+// Semantics (made precise in DESIGN.md): a document matches when there is a
+// per-sibling-group injective embedding of the pattern into the document
+// tree that respects node tests and axes. '//' and '*' are later
+// instantiated against the path dictionary, exactly as the paper
+// "instantializes '*' to symbol D".
+
+#ifndef XSEQ_SRC_QUERY_QUERY_PATTERN_H_
+#define XSEQ_SRC_QUERY_QUERY_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// One node of a query pattern.
+struct PatternNode {
+  enum class Axis { kChild, kDescendant };
+  enum class Test {
+    kName,
+    kWildcard,
+    kValue,
+    kValuePrefix,  ///< starts-with(.,'lit'); value must begin with `value`
+  };
+
+  Axis axis = Axis::kChild;  ///< edge from the parent
+  Test test = Test::kName;
+  std::string name;   ///< for kName
+  std::string value;  ///< literal text for kValue
+  std::vector<std::unique_ptr<PatternNode>> children;
+
+  size_t SubtreeSize() const {
+    size_t n = 1;
+    for (const auto& c : children) n += c->SubtreeSize();
+    return n;
+  }
+};
+
+/// A parsed structured query. `root` is a virtual node standing for the
+/// position *above* the document root; its children are the first steps.
+struct QueryPattern {
+  std::unique_ptr<PatternNode> root;
+  std::string source;
+
+  /// Number of real pattern nodes (excluding the virtual root).
+  size_t NodeCount() const {
+    return root == nullptr ? 0 : root->SubtreeSize() - 1;
+  }
+};
+
+/// Parses the XPath subset described above.
+StatusOr<QueryPattern> ParseXPath(std::string_view xpath);
+
+/// Debug rendering (canonical XPath-ish form).
+std::string PatternToString(const QueryPattern& pattern);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_QUERY_PATTERN_H_

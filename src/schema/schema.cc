@@ -1,0 +1,88 @@
+#include "src/schema/schema.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xseq {
+
+void Schema::EnsureSize(size_t n) {
+  if (counts_.size() < n) counts_.resize(n, 0);
+  if (doc_counts_.size() < n) doc_counts_.resize(n, 0);
+  if (may_repeat_.size() < n) may_repeat_.resize(n, 0);
+  if (weights_.size() < n) weights_.resize(n, 1.0);
+}
+
+void Schema::Observe(const Document& doc, const std::vector<PathId>& paths) {
+  ++documents_;
+  // Count occurrences and detect identical siblings: two children of one
+  // parent instance sharing a path.
+  std::unordered_map<PathId, int> sibling_counts;
+  std::unordered_set<PathId> seen_in_doc;
+  for (const Node* n : doc.nodes()) {
+    PathId p = paths[n->index];
+    EnsureSize(p + 1);
+    ++counts_[p];
+    if (seen_in_doc.insert(p).second) ++doc_counts_[p];
+    if (n->first_child == nullptr) continue;
+    sibling_counts.clear();
+    for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      if (++sibling_counts[paths[c->index]] == 2) {
+        EnsureSize(paths[c->index] + 1);
+        may_repeat_[paths[c->index]] = 1;
+      }
+    }
+  }
+}
+
+void Schema::DeclareRepeatable(PathId path) {
+  EnsureSize(path + 1);
+  may_repeat_[path] = 1;
+}
+
+void Schema::SetWeight(PathId path, double weight) {
+  EnsureSize(path + 1);
+  weights_[path] = weight;
+}
+
+double Schema::CondProb(PathId path, const PathDict& dict) const {
+  if (path == kEpsilonPath) return 1.0;
+  PathId parent = dict.parent(path);
+  uint64_t parent_count =
+      parent == kEpsilonPath ? documents_ : DocCount(parent);
+  if (parent_count == 0) return 0.0;
+  return static_cast<double>(DocCount(path)) /
+         static_cast<double>(parent_count);
+}
+
+void Schema::EncodeTo(std::string* dst) const {
+  PutFixed64(dst, documents_);
+  PutPodVector(dst, counts_);
+  PutPodVector(dst, doc_counts_);
+  PutPodVector(dst, may_repeat_);
+  PutPodVector(dst, weights_);
+}
+
+StatusOr<Schema> Schema::DecodeFrom(Decoder* in) {
+  Schema out;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&out.documents_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.counts_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.doc_counts_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.may_repeat_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.weights_));
+  return out;
+}
+
+std::shared_ptr<const SequencingModel> Schema::BuildModel(
+    const PathDict& dict) const {
+  auto model = std::make_shared<SequencingModel>();
+  size_t n = dict.size();
+  model->priority.assign(n, 0.0);
+  model->may_repeat.assign(n, 0);
+  for (PathId p = 0; p < n; ++p) {
+    model->priority[p] = RootProb(p) * Weight(p);
+    model->may_repeat[p] = p < may_repeat_.size() ? may_repeat_[p] : 0;
+  }
+  return model;
+}
+
+}  // namespace xseq

@@ -1,0 +1,105 @@
+// Schema: occurrence probabilities of paths (Section 5.2).
+//
+// The performance-oriented strategy g_best orders nodes by the weighted
+// root-occurrence probability p'(C|root) = p(C|root) * w(C). The schema
+// tracks, per interned path:
+//   * occurrence counts, giving p(C|parent) = count(C)/count(parent(C)) and
+//     p(C|root) = count(C)/documents (the telescoped product of Fig. 13),
+//   * whether identical siblings were ever observed (may_repeat) — or were
+//     declared repeatable by a generator/DTD,
+//   * a user weight w(C) reflecting query frequency and selectivity
+//     (Eq. 6's tunable knob).
+//
+// Probabilities can be observed from the full dataset or estimated from a
+// sample; both paths funnel through Observe().
+
+#ifndef XSEQ_SRC_SCHEMA_SCHEMA_H_
+#define XSEQ_SRC_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/seq/path_dict.h"
+#include "src/util/coding.h"
+#include "src/seq/sequencer.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Per-path statistics and the g_best inputs derived from them.
+class Schema {
+ public:
+  /// Records the occurrences of `doc`'s paths. `paths` comes from
+  /// BindPaths(doc, dict) against the shared dictionary.
+  void Observe(const Document& doc, const std::vector<PathId>& paths);
+
+  /// Marks `path` repeatable regardless of observations (for declared DTD
+  /// cardinalities like '*' / '+').
+  void DeclareRepeatable(PathId path);
+
+  /// Sets the query weight w(C) of `path` (default 1.0). Weights > 1 pull a
+  /// path earlier in the sequences; useful for frequently queried, highly
+  /// selective paths (Impact 2 in the paper).
+  void SetWeight(PathId path, double weight);
+
+  /// Number of observed documents.
+  uint64_t documents() const { return documents_; }
+
+  /// Total occurrences of `path` across all observed documents.
+  uint64_t Count(PathId path) const {
+    return path < counts_.size() ? counts_[path] : 0;
+  }
+
+  /// Documents containing at least one occurrence of `path`.
+  uint64_t DocCount(PathId path) const {
+    return path < doc_counts_.size() ? doc_counts_[path] : 0;
+  }
+
+  /// p(C|root): the *existence* probability of `path` given the root — the
+  /// fraction of documents containing it (Fig. 13's chain product
+  /// telescopes to exactly this). Existence, not expected count: a
+  /// repeatable slot that appears 1-3 times is not more "probable" than a
+  /// mandatory singleton.
+  double RootProb(PathId path) const {
+    return documents_ == 0 ? 0.0
+                           : static_cast<double>(DocCount(path)) /
+                                 static_cast<double>(documents_);
+  }
+
+  /// p(C|parent): existence of `path` relative to its parent path.
+  double CondProb(PathId path, const PathDict& dict) const;
+
+  /// True when identical siblings were observed or declared for `path`.
+  bool MayRepeat(PathId path) const {
+    return path < may_repeat_.size() && may_repeat_[path] != 0;
+  }
+
+  double Weight(PathId path) const {
+    return path < weights_.size() ? weights_[path] : 1.0;
+  }
+
+  /// Builds the immutable inputs of the probability/random sequencers:
+  /// priority = RootProb * Weight, plus the repeat flags. The model is
+  /// sized for every path interned so far.
+  std::shared_ptr<const SequencingModel> BuildModel(
+      const PathDict& dict) const;
+
+  /// Appends a binary encoding of all statistics to `dst`.
+  void EncodeTo(std::string* dst) const;
+  /// Decodes a schema previously written by EncodeTo.
+  static StatusOr<Schema> DecodeFrom(Decoder* in);
+
+ private:
+  void EnsureSize(size_t n);
+
+  uint64_t documents_ = 0;
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> doc_counts_;
+  std::vector<uint8_t> may_repeat_;
+  std::vector<double> weights_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SCHEMA_SCHEMA_H_

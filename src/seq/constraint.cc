@@ -1,0 +1,109 @@
+#include "src/seq/constraint.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace xseq {
+
+StatusOr<std::vector<int32_t>> ForwardPrefixParents(const Sequence& seq,
+                                                    const PathDict& dict) {
+  std::unordered_map<PathId, std::vector<int32_t>> positions;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    positions[seq[i]].push_back(static_cast<int32_t>(i));
+  }
+
+  std::vector<int32_t> parents(seq.size(), -1);
+  int roots = 0;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    PathId p = seq[i];
+    if (p == kEpsilonPath || p == kInvalidPath) {
+      return Status::InvalidArgument("sequence contains an invalid path id");
+    }
+    PathId q = dict.parent(p);
+    if (q == kEpsilonPath) {
+      ++roots;
+      parents[i] = -1;
+      continue;
+    }
+    auto it = positions.find(q);
+    if (it == positions.end()) {
+      return Status::InvalidArgument(
+          "constraint violated: parent path of element " + std::to_string(i) +
+          " does not occur in the sequence");
+    }
+    const std::vector<int32_t>& occ = it->second;
+    // Last occurrence before i, else first occurrence after i.
+    auto lb = std::lower_bound(occ.begin(), occ.end(),
+                               static_cast<int32_t>(i));
+    if (lb != occ.begin()) {
+      parents[i] = *(lb - 1);
+    } else if (lb != occ.end()) {
+      parents[i] = *lb;
+    } else {
+      return Status::InvalidArgument("no parent occurrence found");
+    }
+  }
+  if (roots != 1) {
+    return Status::InvalidArgument(
+        "a constraint sequence must contain exactly one root element, got " +
+        std::to_string(roots));
+  }
+  return parents;
+}
+
+bool IsConstraintSequence(const Sequence& seq, const PathDict& dict) {
+  return ForwardPrefixParents(seq, dict).ok();
+}
+
+bool AncestorsPrecedeDescendants(const Sequence& seq, const PathDict& dict) {
+  auto parents = ForwardPrefixParents(seq, dict);
+  if (!parents.ok()) return false;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if ((*parents)[i] > static_cast<int32_t>(i)) return false;
+  }
+  return true;
+}
+
+bool IdenticalSiblingGroupsContiguous(const Sequence& seq,
+                                      const PathDict& dict) {
+  auto parents_or = ForwardPrefixParents(seq, dict);
+  if (!parents_or.ok()) return false;
+  const std::vector<int32_t>& parents = *parents_or;
+
+  // Group elements by (path, reconstructed parent position) to find
+  // identical siblings, then require each such sibling's subtree to occupy
+  // the contiguous positions [i, i + |subtree| - 1].
+  std::unordered_map<uint64_t, int> group_size;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    uint64_t key = (static_cast<uint64_t>(seq[i]) << 32) |
+                   static_cast<uint32_t>(parents[i] + 1);
+    ++group_size[key];
+  }
+
+  // Subtree extents: max position and node count per subtree root.
+  std::vector<int32_t> max_pos(seq.size());
+  std::vector<int32_t> count(seq.size(), 1);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    max_pos[i] = static_cast<int32_t>(i);
+  }
+  // Accumulate along ancestor chains (ancestors precede descendants is NOT
+  // assumed here, so walk chains explicitly).
+  for (size_t i = 0; i < seq.size(); ++i) {
+    int32_t a = parents[i];
+    while (a != -1) {
+      max_pos[a] = std::max(max_pos[a], static_cast<int32_t>(i));
+      ++count[a];
+      a = parents[a];
+    }
+  }
+
+  for (size_t i = 0; i < seq.size(); ++i) {
+    uint64_t key = (static_cast<uint64_t>(seq[i]) << 32) |
+                   static_cast<uint32_t>(parents[i] + 1);
+    if (group_size[key] < 2) continue;  // no identical sibling
+    if (max_pos[i] != static_cast<int32_t>(i) + count[i] - 1) return false;
+  }
+  return true;
+}
+
+}  // namespace xseq

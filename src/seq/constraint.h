@@ -1,0 +1,49 @@
+// Constraints on sequences of path-encoded nodes (Definitions 1 and 2).
+//
+// A *constraint* f disambiguates ancestor/descendant relationships among
+// path-encoded nodes so any sequence satisfying it maps back to a unique
+// tree (Theorem 1). We implement the paper's forward-prefix constraint f2:
+// the parent of element p_i is the occurrence of p_i's parent path that
+// appears *before* p_i and closest to it; if none appears before, the
+// closest occurrence after it.
+
+#ifndef XSEQ_SRC_SEQ_CONSTRAINT_H_
+#define XSEQ_SRC_SEQ_CONSTRAINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/seq/sequence.h"
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// For each element of `seq`, the position of its parent occurrence under
+/// the forward-prefix rule, or -1 for the root element. Fails with
+/// InvalidArgument when some element's parent path has no occurrence at all
+/// (Definition 1 violated) or the sequence has no unique root.
+StatusOr<std::vector<int32_t>> ForwardPrefixParents(const Sequence& seq,
+                                                    const PathDict& dict);
+
+/// True iff `seq` satisfies Definition 1 under f2: every element's ancestor
+/// paths all occur in the sequence, and exactly one element is a root
+/// (depth-1) element... of which there is exactly one occurrence position
+/// mapped to -1 by ForwardPrefixParents.
+bool IsConstraintSequence(const Sequence& seq, const PathDict& dict);
+
+/// True iff every element's parent occurrence *precedes* it (the stronger
+/// property Algorithm 2 guarantees; required by the trie-based index).
+bool AncestorsPrecedeDescendants(const Sequence& seq, const PathDict& dict);
+
+/// True iff every element that has an identical sibling (same path, same
+/// reconstructed parent) has its whole subtree emitted contiguously starting
+/// at the element itself. This is the grouping discipline of Algorithm 2 —
+/// a *sufficient* condition for the forward-prefix reconstruction to return
+/// the encoder's tree (Definition 2 admits looser layouts, e.g. Table 2's
+/// trailing childless siblings; roundtrip tests cover those separately).
+bool IdenticalSiblingGroupsContiguous(const Sequence& seq,
+                                      const PathDict& dict);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SEQ_CONSTRAINT_H_

@@ -1,0 +1,112 @@
+#include "src/seq/path_dict.h"
+
+#include <algorithm>
+
+namespace xseq {
+
+std::vector<Sym> PathDict::Steps(PathId p) const {
+  std::vector<Sym> steps;
+  while (p != kEpsilonPath && p != kInvalidPath) {
+    steps.push_back(entries_[p].sym);
+    p = entries_[p].parent;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
+
+std::string PathDict::ToString(PathId p, const NameTable& names) const {
+  if (p == kEpsilonPath) return "/";
+  std::string out;
+  for (Sym s : Steps(p)) {
+    if (s.is_value()) {
+      out += "=v";
+      out += std::to_string(s.id());
+    } else {
+      out += '/';
+      out += names.Lookup(s.id());
+    }
+  }
+  return out;
+}
+
+void PathDict::EncodeTo(std::string* dst) const {
+  PutFixed64(dst, entries_.size() - 1);
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    PutFixed32(dst, entries_[i].parent);
+    PutFixed32(dst, entries_[i].sym.raw());
+  }
+}
+
+StatusOr<PathDict> PathDict::DecodeFrom(Decoder* in) {
+  PathDict out;
+  uint64_t n;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t parent, raw;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&parent));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&raw));
+    if (parent >= out.entries_.size()) {
+      return Status::Corruption("path dictionary parent out of range");
+    }
+    out.Intern(parent, Sym::FromRaw(raw));
+  }
+  return out;
+}
+
+PathId PathDict::Resolve(std::string_view slash_path,
+                         const NameTable& names) const {
+  PathId cur = kEpsilonPath;
+  size_t i = 0;
+  while (i < slash_path.size()) {
+    if (slash_path[i] == '/') {
+      ++i;
+      continue;
+    }
+    size_t end = slash_path.find('/', i);
+    if (end == std::string_view::npos) end = slash_path.size();
+    NameId name = names.Find(slash_path.substr(i, end - i));
+    if (name == Interner::kInvalidId) return kInvalidPath;
+    cur = Find(cur, Sym::ForName(name));
+    if (cur == kInvalidPath) return kInvalidPath;
+    i = end;
+  }
+  return cur == kEpsilonPath ? kInvalidPath : cur;
+}
+
+namespace {
+
+void BindRec(const Node* n, PathId parent_path, PathDict* dict,
+             std::vector<PathId>* out) {
+  PathId p = dict->Intern(parent_path, n->sym);
+  (*out)[n->index] = p;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    BindRec(c, p, dict, out);
+  }
+}
+
+void FindRec(const Node* n, PathId parent_path, const PathDict& dict,
+             std::vector<PathId>* out) {
+  PathId p = parent_path == kInvalidPath
+                 ? kInvalidPath
+                 : dict.Find(parent_path, n->sym);
+  (*out)[n->index] = p;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    FindRec(c, p, dict, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PathId> BindPaths(const Document& doc, PathDict* dict) {
+  std::vector<PathId> out(doc.node_count(), kInvalidPath);
+  if (doc.root() != nullptr) BindRec(doc.root(), kEpsilonPath, dict, &out);
+  return out;
+}
+
+std::vector<PathId> FindPaths(const Document& doc, const PathDict& dict) {
+  std::vector<PathId> out(doc.node_count(), kInvalidPath);
+  if (doc.root() != nullptr) FindRec(doc.root(), kEpsilonPath, dict, &out);
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,104 @@
+#include "src/seq/prufer.h"
+
+#include <queue>
+
+namespace xseq {
+
+namespace {
+
+void PostOrderRec(const Node* n, uint32_t* counter,
+                  std::vector<uint32_t>* out) {
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    PostOrderRec(c, counter, out);
+  }
+  (*out)[n->index] = ++(*counter);
+}
+
+}  // namespace
+
+std::vector<uint32_t> PostOrderNumbers(const Document& doc) {
+  std::vector<uint32_t> out(doc.node_count(), 0);
+  uint32_t counter = 0;
+  if (doc.root() != nullptr) PostOrderRec(doc.root(), &counter, &out);
+  return out;
+}
+
+std::vector<uint32_t> PruferEncode(const Document& doc) {
+  size_t n = doc.node_count();
+  std::vector<uint32_t> code;
+  if (n <= 1) return code;
+  code.reserve(n - 1);
+
+  std::vector<uint32_t> number = PostOrderNumbers(doc);
+  // by_number[l] = node with post-order number l (1-based).
+  std::vector<const Node*> by_number(n + 1, nullptr);
+  for (const Node* node : doc.nodes()) by_number[number[node->index]] = node;
+
+  std::vector<uint32_t> remaining_children(n, 0);
+  for (const Node* node : doc.nodes()) {
+    remaining_children[node->index] =
+        static_cast<uint32_t>(node->ChildCount());
+  }
+
+  // Min-heap of numbers of current leaves.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> leaves;
+  for (const Node* node : doc.nodes()) {
+    if (node->first_child == nullptr) leaves.push(number[node->index]);
+  }
+
+  uint32_t root_number = number[doc.root()->index];
+  while (code.size() < n - 1) {
+    uint32_t l = leaves.top();
+    leaves.pop();
+    if (l == root_number) continue;  // never delete the root
+    const Node* leaf = by_number[l];
+    const Node* parent = leaf->parent;
+    code.push_back(number[parent->index]);
+    if (--remaining_children[parent->index] == 0) {
+      leaves.push(number[parent->index]);
+    }
+  }
+  return code;
+}
+
+StatusOr<std::vector<uint32_t>> PruferDecode(
+    const std::vector<uint32_t>& code) {
+  if (code.empty()) {
+    // Single-node tree: label 1 is the root.
+    return std::vector<uint32_t>{0, 0};
+  }
+  uint32_t n = static_cast<uint32_t>(code.size()) + 1;
+  std::vector<uint32_t> child_count(n + 1, 0);
+  for (uint32_t p : code) {
+    if (p < 1 || p > n) {
+      return Status::InvalidArgument("Prüfer code symbol out of range");
+    }
+    ++child_count[p];
+  }
+
+  std::vector<uint32_t> parent(n + 1, 0);
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> leaves;
+  for (uint32_t l = 1; l <= n; ++l) {
+    if (child_count[l] == 0) {
+      if (l == n) {
+        return Status::InvalidArgument(
+            "root (largest label) must appear in a non-trivial code");
+      }
+      leaves.push(l);
+    }
+  }
+
+  for (uint32_t p : code) {
+    if (leaves.empty()) {
+      return Status::InvalidArgument("malformed Prüfer code (no leaf left)");
+    }
+    uint32_t l = leaves.top();
+    leaves.pop();
+    parent[l] = p;
+    if (--child_count[p] == 0 && p != n) leaves.push(p);
+  }
+  parent[n] = 0;  // root
+  return parent;
+}
+
+}  // namespace xseq

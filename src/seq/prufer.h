@@ -1,0 +1,38 @@
+// Prüfer codes for rooted trees (the PRIX lineage).
+//
+// The paper discusses Prüfer sequences as the succinct ad hoc encoding used
+// by PRIX [16]: number the n nodes, repeatedly delete the leaf with the
+// smallest number and append its parent's number; stop when only the root
+// remains (n-1 output symbols for a rooted tree). We number nodes by
+// post-order, as PRIX does, which makes the code of a subtree a contiguous
+// subword. Both directions are provided; the roundtrip is exercised by the
+// property tests.
+
+#ifndef XSEQ_SRC_SEQ_PRUFER_H_
+#define XSEQ_SRC_SEQ_PRUFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Post-order numbers of all nodes (1-based, root = n), indexed by
+/// node->index.
+std::vector<uint32_t> PostOrderNumbers(const Document& doc);
+
+/// Prüfer code of `doc` under post-order numbering: for i = 1..n-1 in
+/// deletion order, the number of the deleted leaf's parent.
+std::vector<uint32_t> PruferEncode(const Document& doc);
+
+/// Rebuilds the parent relation from a Prüfer code over labels 1..n where
+/// n = code.size() + 1 and n is the root. Returns parent[l] for l = 1..n
+/// (parent[n] = 0). Fails on malformed codes.
+StatusOr<std::vector<uint32_t>> PruferDecode(
+    const std::vector<uint32_t>& code);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SEQ_PRUFER_H_

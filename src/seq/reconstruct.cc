@@ -1,0 +1,30 @@
+#include "src/seq/reconstruct.h"
+
+#include <vector>
+
+namespace xseq {
+
+StatusOr<Document> ReconstructTree(const Sequence& seq, const PathDict& dict,
+                                   DocId id) {
+  auto parents_or = ForwardPrefixParents(seq, dict);
+  if (!parents_or.ok()) return parents_or.status();
+  const std::vector<int32_t>& parents = *parents_or;
+
+  Document doc(id);
+  std::vector<Node*> nodes(seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    Sym s = dict.sym(seq[i]);
+    nodes[i] = s.is_value() ? doc.CreateValue(s.id())
+                            : doc.CreateElement(s.id());
+  }
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (parents[i] == -1) {
+      doc.SetRoot(nodes[i]);
+    } else {
+      doc.AppendChild(nodes[static_cast<size_t>(parents[i])], nodes[i]);
+    }
+  }
+  return doc;
+}
+
+}  // namespace xseq

@@ -1,0 +1,26 @@
+// Sequence -> tree reconstruction (Theorem 1).
+//
+// Rebuilds the unique document tree a constraint sequence represents by
+// resolving every element's parent through the forward-prefix rule. Used by
+// the property tests (tree -> sequence -> tree roundtrips) and by the
+// ViST-like baseline's verification pass.
+
+#ifndef XSEQ_SRC_SEQ_RECONSTRUCT_H_
+#define XSEQ_SRC_SEQ_RECONSTRUCT_H_
+
+#include "src/seq/constraint.h"
+#include "src/seq/sequence.h"
+#include "src/util/status.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Reconstructs the tree encoded by `seq`. Element kinds degrade to
+/// kElement/kValue (the attribute distinction is not part of the encoding).
+/// Fails when `seq` is not a constraint sequence.
+StatusOr<Document> ReconstructTree(const Sequence& seq, const PathDict& dict,
+                                   DocId id = 0);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SEQ_RECONSTRUCT_H_

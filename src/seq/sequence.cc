@@ -1,0 +1,23 @@
+#include "src/seq/sequence.h"
+
+namespace xseq {
+
+std::string SequenceToString(const Sequence& seq, const PathDict& dict,
+                             const NameTable& names) {
+  std::string out = "<";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dict.ToString(seq[i], names);
+  }
+  out += ">";
+  return out;
+}
+
+size_t CommonPrefix(const Sequence& a, const Sequence& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace xseq

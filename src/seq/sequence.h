@@ -1,0 +1,31 @@
+// Constraint sequences: the sequential representation of a tree.
+//
+// A sequence is simply the list of path-encoded nodes in emission order.
+// Whether a given order is a *valid* constraint sequence (reconstructible
+// into a unique tree, Theorem 1) is checked by the validators in
+// constraint.h.
+
+#ifndef XSEQ_SRC_SEQ_SEQUENCE_H_
+#define XSEQ_SRC_SEQ_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/seq/path_dict.h"
+
+namespace xseq {
+
+/// A sequence of path-encoded nodes.
+using Sequence = std::vector<PathId>;
+
+/// Renders a sequence like "<P, PR, PRL, PRLv1>" using single-letter-ish
+/// path renderings. For debugging, tests and the examples.
+std::string SequenceToString(const Sequence& seq, const PathDict& dict,
+                             const NameTable& names);
+
+/// Length of the longest common prefix of two sequences.
+size_t CommonPrefix(const Sequence& a, const Sequence& b);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SEQ_SEQUENCE_H_

@@ -1,0 +1,208 @@
+#include "src/seq/sequencer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace xseq {
+
+const char* SequencerKindName(SequencerKind kind) {
+  switch (kind) {
+    case SequencerKind::kDepthFirst:
+      return "depth-first";
+    case SequencerKind::kBreadthFirst:
+      return "breadth-first";
+    case SequencerKind::kRandom:
+      return "random";
+    case SequencerKind::kProbability:
+      return "constraint";  // the paper's "CS" series
+  }
+  return "unknown";
+}
+
+Sequence Sequencer::Encode(const Document& doc,
+                           const std::vector<PathId>& paths) const {
+  std::vector<const Node*> order = EncodeOrder(doc, paths);
+  Sequence out;
+  out.reserve(order.size());
+  for (const Node* n : order) out.push_back(paths[n->index]);
+  return out;
+}
+
+namespace {
+
+/// Children of `n` in canonical order: ascending path id, document position
+/// breaking ties among identical siblings. Sequencing must be a pure
+/// function of the paths — not of the incidental child order in the input —
+/// or a query whose branches are written in a different order than the data
+/// would be falsely dismissed.
+std::vector<const Node*> CanonicalChildren(const Node* n,
+                                           const std::vector<PathId>& paths) {
+  std::vector<const Node*> kids;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    kids.push_back(c);
+  }
+  std::stable_sort(kids.begin(), kids.end(),
+                   [&paths](const Node* a, const Node* b) {
+                     return paths[a->index] < paths[b->index];
+                   });
+  return kids;
+}
+
+void DepthFirstRec(const Node* n, const std::vector<PathId>& paths,
+                   std::vector<const Node*>* out) {
+  out->push_back(n);
+  for (const Node* c : CanonicalChildren(n, paths)) {
+    DepthFirstRec(c, paths, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> DepthFirstSequencer::EncodeOrder(
+    const Document& doc, const std::vector<PathId>& paths) const {
+  std::vector<const Node*> out;
+  out.reserve(doc.node_count());
+  if (doc.root() != nullptr) DepthFirstRec(doc.root(), paths, &out);
+  return out;
+}
+
+std::vector<const Node*> BreadthFirstSequencer::EncodeOrder(
+    const Document& doc, const std::vector<PathId>& paths) const {
+  std::vector<const Node*> out;
+  out.reserve(doc.node_count());
+  if (doc.root() == nullptr) return out;
+  std::deque<const Node*> queue{doc.root()};
+  while (!queue.empty()) {
+    const Node* n = queue.front();
+    queue.pop_front();
+    out.push_back(n);
+    for (const Node* c : CanonicalChildren(n, paths)) {
+      queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Max-heap comparator for g_best: higher priority first; ties broken by
+/// path id then document position so the order is a pure function of the
+/// path priorities (identical across data and query sequencing).
+struct PriorityCmp {
+  const SequencingModel* model;
+  const std::vector<PathId>* paths;
+
+  bool operator()(const Node* a, const Node* b) const {
+    PathId pa = (*paths)[a->index];
+    PathId pb = (*paths)[b->index];
+    double qa = model->PriorityOf(pa);
+    double qb = model->PriorityOf(pb);
+    if (qa != qb) return qa < qb;  // lower priority sinks
+    if (pa != pb) return pa > pb;
+    return a->index > b->index;
+  }
+};
+
+using PriorityHeap =
+    std::priority_queue<const Node*, std::vector<const Node*>, PriorityCmp>;
+
+/// Emits `x` and its entire subtree contiguously (the Algorithm 2 recursion
+/// for nodes with identical siblings), ordering within the subtree by the
+/// same strategy.
+void EmitGroupedByPriority(const Node* x, const SequencingModel& model,
+                           const std::vector<PathId>& paths,
+                           std::vector<const Node*>* out) {
+  out->push_back(x);
+  PriorityHeap local{PriorityCmp{&model, &paths}};
+  for (const Node* c = x->first_child; c != nullptr; c = c->next_sibling) {
+    local.push(c);
+  }
+  while (!local.empty()) {
+    const Node* y = local.top();
+    local.pop();
+    if (model.MayRepeat(paths[y->index])) {
+      EmitGroupedByPriority(y, model, paths, out);
+    } else {
+      out->push_back(y);
+      for (const Node* c = y->first_child; c != nullptr;
+           c = c->next_sibling) {
+        local.push(c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> ProbabilitySequencer::EncodeOrder(
+    const Document& doc, const std::vector<PathId>& paths) const {
+  assert(model_ != nullptr);
+  std::vector<const Node*> out;
+  out.reserve(doc.node_count());
+  if (doc.root() == nullptr) return out;
+  // The root cannot have identical siblings; treat the whole document like
+  // one grouped emission rooted at the document root.
+  EmitGroupedByPriority(doc.root(), *model_, paths, &out);
+  return out;
+}
+
+namespace {
+
+/// Emits `x`'s subtree contiguously in uniformly random constraint order.
+void EmitGroupedRandom(const Node* x, const SequencingModel& model,
+                       const std::vector<PathId>& paths, Rng* rng,
+                       std::vector<const Node*>* out) {
+  out->push_back(x);
+  std::vector<const Node*> avail;
+  for (const Node* c = x->first_child; c != nullptr; c = c->next_sibling) {
+    avail.push_back(c);
+  }
+  while (!avail.empty()) {
+    size_t i = rng->Uniform(static_cast<uint32_t>(avail.size()));
+    const Node* y = avail[i];
+    avail[i] = avail.back();
+    avail.pop_back();
+    if (model.MayRepeat(paths[y->index])) {
+      EmitGroupedRandom(y, model, paths, rng, out);
+    } else {
+      out->push_back(y);
+      for (const Node* c = y->first_child; c != nullptr;
+           c = c->next_sibling) {
+        avail.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> RandomSequencer::EncodeOrder(
+    const Document& doc, const std::vector<PathId>& paths) const {
+  assert(model_ != nullptr);
+  std::vector<const Node*> out;
+  out.reserve(doc.node_count());
+  if (doc.root() == nullptr) return out;
+  Rng rng(seed_, /*stream=*/doc.id() * 2 + 1);
+  EmitGroupedRandom(doc.root(), *model_, paths, &rng, &out);
+  return out;
+}
+
+std::unique_ptr<Sequencer> MakeSequencer(
+    SequencerKind kind, std::shared_ptr<const SequencingModel> model,
+    uint64_t seed) {
+  switch (kind) {
+    case SequencerKind::kDepthFirst:
+      return std::make_unique<DepthFirstSequencer>();
+    case SequencerKind::kBreadthFirst:
+      return std::make_unique<BreadthFirstSequencer>();
+    case SequencerKind::kRandom:
+      return std::make_unique<RandomSequencer>(std::move(model), seed);
+    case SequencerKind::kProbability:
+      return std::make_unique<ProbabilitySequencer>(std::move(model));
+  }
+  return nullptr;
+}
+
+}  // namespace xseq

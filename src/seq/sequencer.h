@@ -1,0 +1,128 @@
+// Sequencers: user strategies `g` that order path-encoded nodes.
+//
+// All strategies except breadth-first produce *valid* constraint sequences
+// under the forward-prefix constraint f2 (Eq. 3): whenever a node's path is
+// marked repeatable (identical siblings can occur for it anywhere in the
+// data), its whole subtree is emitted contiguously, which is the paper's
+// Algorithm 2 grouping rule.
+//
+// The grouping decision is driven by the *schema* (may_repeat per path), not
+// by the instance. This is what keeps the order of a query sequence
+// compatible with the order of every data sequence — a query that does not
+// itself contain the repeated sibling still groups the same way the data
+// does (see DESIGN.md, "Grouping must be schema-driven").
+//
+// Breadth-first is provided because the paper evaluates it (Fig. 14), but it
+// is only a valid constraint sequencing for data without identical siblings.
+
+#ifndef XSEQ_SRC_SEQ_SEQUENCER_H_
+#define XSEQ_SRC_SEQ_SEQUENCER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/seq/sequence.h"
+#include "src/util/rng.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Per-path inputs of the probability strategy g_best: the weighted root
+/// occurrence probability p'(C|root) = p(C|root) * w(C) and the repeatable
+/// flag. Indexed by PathId; built by Schema::BuildModel().
+struct SequencingModel {
+  std::vector<double> priority;     ///< p'(path | root); higher emits earlier
+  std::vector<uint8_t> may_repeat;  ///< identical siblings possible for path
+
+  double PriorityOf(PathId p) const {
+    return p < priority.size() ? priority[p] : 0.0;
+  }
+  bool MayRepeat(PathId p) const {
+    return p < may_repeat.size() && may_repeat[p] != 0;
+  }
+};
+
+/// The available strategies.
+enum class SequencerKind {
+  kDepthFirst,
+  kBreadthFirst,
+  kRandom,       ///< arbitrary order within constraint f2
+  kProbability,  ///< g_best: descending p'(C|root) within constraint f2
+};
+
+/// Returns a short stable name ("depth-first", ...).
+const char* SequencerKindName(SequencerKind kind);
+
+/// Interface of a sequencing strategy.
+class Sequencer {
+ public:
+  virtual ~Sequencer() = default;
+
+  /// Emits the nodes of `doc` in sequence order. `paths[node->index]` must
+  /// hold the PathId of every node (from BindPaths).
+  virtual std::vector<const Node*> EncodeOrder(
+      const Document& doc, const std::vector<PathId>& paths) const = 0;
+
+  /// The constraint sequence of `doc`: EncodeOrder mapped through `paths`.
+  Sequence Encode(const Document& doc,
+                  const std::vector<PathId>& paths) const;
+
+  virtual SequencerKind kind() const = 0;
+};
+
+/// Depth-first traversal in document child order (ViST's sequencing).
+class DepthFirstSequencer : public Sequencer {
+ public:
+  std::vector<const Node*> EncodeOrder(
+      const Document& doc, const std::vector<PathId>& paths) const override;
+  SequencerKind kind() const override { return SequencerKind::kDepthFirst; }
+};
+
+/// Level-order traversal. Valid only without identical siblings.
+class BreadthFirstSequencer : public Sequencer {
+ public:
+  std::vector<const Node*> EncodeOrder(
+      const Document& doc, const std::vector<PathId>& paths) const override;
+  SequencerKind kind() const override { return SequencerKind::kBreadthFirst; }
+};
+
+/// Uniformly random order among the nodes whose parent was emitted, subject
+/// to the f2 grouping rule. Deterministic per (seed, doc id).
+class RandomSequencer : public Sequencer {
+ public:
+  explicit RandomSequencer(std::shared_ptr<const SequencingModel> model,
+                           uint64_t seed = 42)
+      : model_(std::move(model)), seed_(seed) {}
+
+  std::vector<const Node*> EncodeOrder(
+      const Document& doc, const std::vector<PathId>& paths) const override;
+  SequencerKind kind() const override { return SequencerKind::kRandom; }
+
+ private:
+  std::shared_ptr<const SequencingModel> model_;
+  uint64_t seed_;
+};
+
+/// g_best (Algorithm 2): emit available nodes by descending weighted
+/// occurrence probability; subtrees of repeatable paths are contiguous.
+class ProbabilitySequencer : public Sequencer {
+ public:
+  explicit ProbabilitySequencer(std::shared_ptr<const SequencingModel> model)
+      : model_(std::move(model)) {}
+
+  std::vector<const Node*> EncodeOrder(
+      const Document& doc, const std::vector<PathId>& paths) const override;
+  SequencerKind kind() const override { return SequencerKind::kProbability; }
+
+ private:
+  std::shared_ptr<const SequencingModel> model_;
+};
+
+/// Factory. `model` is required for kRandom and kProbability.
+std::unique_ptr<Sequencer> MakeSequencer(
+    SequencerKind kind, std::shared_ptr<const SequencingModel> model = {},
+    uint64_t seed = 42);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SEQ_SEQUENCER_H_

@@ -1,0 +1,91 @@
+// LRU buffer pool over a PageFile, with fetch accounting.
+//
+// `misses` is the paper's "# disk accesses": the number of page fetches
+// that had to go to the (simulated) disk. Clear() empties the pool so each
+// query can be measured cold, as the paper's per-query numbers are.
+
+#ifndef XSEQ_SRC_STORAGE_BUFFER_POOL_H_
+#define XSEQ_SRC_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/storage/page.h"
+
+namespace xseq {
+
+/// LRU page cache.
+class BufferPool {
+ public:
+  /// `capacity` in pages. The paper's machine had 256 MB of RAM; the
+  /// default (1024 pages = 4 MiB) models a small dedicated pool.
+  explicit BufferPool(const PageFile* file, uint32_t capacity = 1024)
+      : file_(file), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Region split for reporting: misses on pages below the boundary are
+  /// counted as index (link) reads, at/above as data (doc) reads.
+  void SetRegionBoundary(uint32_t first_data_page) {
+    boundary_ = first_data_page;
+  }
+
+  /// Fetches a page through the cache.
+  const Page& Fetch(uint32_t page_id) {
+    ++fetches_;
+    auto it = map_.find(page_id);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return file_->page(page_id);
+    }
+    ++misses_;
+    if (page_id < boundary_) {
+      ++link_misses_;
+    } else {
+      ++data_misses_;
+    }
+    lru_.push_front(page_id);
+    map_[page_id] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return file_->page(page_id);
+  }
+
+  /// Drops all cached pages (keeps counters).
+  void Clear() {
+    lru_.clear();
+    map_.clear();
+  }
+
+  /// Zeroes the counters (keeps cache contents).
+  void ResetCounters() {
+    fetches_ = hits_ = misses_ = link_misses_ = data_misses_ = 0;
+  }
+
+  uint64_t fetches() const { return fetches_; }
+  uint64_t hits() const { return hits_; }
+  /// Simulated disk reads.
+  uint64_t misses() const { return misses_; }
+  /// Disk reads below / at-or-above the region boundary.
+  uint64_t link_misses() const { return link_misses_; }
+  uint64_t data_misses() const { return data_misses_; }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  const PageFile* file_;
+  uint32_t capacity_;
+  std::list<uint32_t> lru_;
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> map_;
+  uint32_t boundary_ = 0xFFFFFFFFu;
+  uint64_t fetches_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t link_misses_ = 0;
+  uint64_t data_misses_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_STORAGE_BUFFER_POOL_H_

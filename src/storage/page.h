@@ -1,0 +1,73 @@
+// Simulated disk pages.
+//
+// The paper reports query cost in "# disk accesses" / "# pages" on a 2005
+// PC. We reproduce the *shape* of those I/O curves with a simulated paged
+// store: index structures are serialized into fixed 4 KiB pages and every
+// query goes through an LRU buffer pool that counts page fetches. No real
+// disk is involved (and none is needed — the metric is page touches).
+
+#ifndef XSEQ_SRC_STORAGE_PAGE_H_
+#define XSEQ_SRC_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace xseq {
+
+/// Fixed page size (bytes).
+inline constexpr uint32_t kPageSize = 4096;
+
+/// One disk page.
+struct Page {
+  uint8_t data[kPageSize];
+};
+
+/// An in-memory "disk": a growable array of pages.
+class PageFile {
+ public:
+  /// Appends a zeroed page; returns its id.
+  uint32_t Allocate() {
+    pages_.push_back(std::make_unique<Page>());
+    std::memset(pages_.back()->data, 0, kPageSize);
+    return static_cast<uint32_t>(pages_.size() - 1);
+  }
+
+  /// Grows the file to at least `n` pages.
+  void EnsurePages(uint32_t n) {
+    while (pages_.size() < n) Allocate();
+  }
+
+  Page* mutable_page(uint32_t id) { return pages_[id].get(); }
+  const Page& page(uint32_t id) const { return *pages_[id]; }
+
+  uint32_t page_count() const {
+    return static_cast<uint32_t>(pages_.size());
+  }
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(pages_.size()) * kPageSize;
+  }
+
+  /// Writes `len` bytes at absolute byte offset `off`, growing as needed.
+  void WriteAt(uint64_t off, const void* src, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    while (len > 0) {
+      uint32_t page_id = static_cast<uint32_t>(off / kPageSize);
+      uint32_t in_page = static_cast<uint32_t>(off % kPageSize);
+      EnsurePages(page_id + 1);
+      size_t chunk = std::min<size_t>(len, kPageSize - in_page);
+      std::memcpy(mutable_page(page_id)->data + in_page, p, chunk);
+      p += chunk;
+      off += chunk;
+      len -= chunk;
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_STORAGE_PAGE_H_

@@ -1,0 +1,155 @@
+#include "src/storage/paged_index.h"
+
+#include "src/index/matcher_impl.h"
+
+namespace xseq {
+
+namespace {
+
+/// Bytes per link entry: (serial, end).
+constexpr uint64_t kLinkEntryBytes = 8;
+/// Bytes per doc-offset entry and per doc id.
+constexpr uint64_t kWordBytes = 4;
+
+}  // namespace
+
+PagedIndex PagedIndex::Build(const FrozenIndex& index) {
+  PagedIndex out;
+  out.node_count_ = static_cast<uint32_t>(index.node_count());
+
+  size_t paths = index.distinct_paths();
+  out.link_off_.assign(paths + 1, 0);
+  out.nested_.assign(paths, 0);
+
+  // Link region: per path, (serial, end) pairs in link order.
+  out.link_base_ = 0;
+  uint64_t entry_cursor = 0;
+  for (PathId p = 0; p < paths; ++p) {
+    out.link_off_[p] = static_cast<uint32_t>(entry_cursor);
+    out.nested_[p] = index.HasNested(p) ? 1 : 0;
+    for (uint32_t serial : index.Link(p)) {
+      uint32_t pair[2] = {serial, index.end(serial)};
+      out.file_.WriteAt(entry_cursor * kLinkEntryBytes, pair, sizeof(pair));
+      ++entry_cursor;
+    }
+  }
+  out.link_off_[paths] = static_cast<uint32_t>(entry_cursor);
+
+  uint64_t link_bytes = entry_cursor * kLinkEntryBytes;
+  out.doc_off_base_ =
+      static_cast<uint32_t>((link_bytes + kPageSize - 1) / kPageSize);
+
+  // Doc-offset region: node_docs_off[serial], plus the final sentinel.
+  uint64_t doc_off_bytes =
+      (static_cast<uint64_t>(out.node_count_) + 1) * kWordBytes;
+  for (uint32_t s = 0; s <= out.node_count_; ++s) {
+    uint32_t off = s < out.node_count_
+                       ? index.DocOffsetsInSubtree(s).first
+                       : index.total_docs();
+    out.file_.WriteAt(
+        static_cast<uint64_t>(out.doc_off_base_) * kPageSize +
+            static_cast<uint64_t>(s) * kWordBytes,
+        &off, sizeof(off));
+  }
+
+  out.doc_base_ = out.doc_off_base_ +
+                  static_cast<uint32_t>(
+                      (doc_off_bytes + kPageSize - 1) / kPageSize);
+
+  // Doc region.
+  for (uint32_t i = 0; i < index.total_docs(); ++i) {
+    DocId d = index.doc_at(i);
+    out.file_.WriteAt(static_cast<uint64_t>(out.doc_base_) * kPageSize +
+                          static_cast<uint64_t>(i) * kWordBytes,
+                      &d, sizeof(d));
+  }
+  // Materialize at least the metadata pages even for an empty index.
+  out.file_.EnsurePages(out.doc_base_ + 1);
+  return out;
+}
+
+namespace {
+
+/// Accessor running Algorithm 1 against pages through a BufferPool.
+class PagedAccessor {
+ public:
+  PagedAccessor(const PagedIndex& idx, const PageFile& file,
+                const std::vector<uint32_t>& link_off,
+                const std::vector<uint8_t>& nested, uint32_t nodes,
+                uint32_t doc_off_base, uint32_t doc_base, BufferPool* pool)
+      : idx_(idx),
+        file_(file),
+        link_off_(link_off),
+        nested_(nested),
+        nodes_(nodes),
+        doc_off_base_(doc_off_base),
+        doc_base_(doc_base),
+        pool_(pool) {}
+
+  uint32_t node_count() const { return nodes_; }
+
+  uint32_t LinkSize(PathId p) const {
+    if (p + 1 >= link_off_.size()) return 0;
+    return link_off_[p + 1] - link_off_[p];
+  }
+
+  uint32_t LinkSerial(PathId p, uint32_t i) const {
+    return ReadWord(EntryByte(p, i));
+  }
+
+  uint32_t LinkEnd(PathId p, uint32_t i) const {
+    return ReadWord(EntryByte(p, i) + 4);
+  }
+
+  bool HasNested(PathId p) const {
+    return p < nested_.size() && nested_[p] != 0;
+  }
+
+  std::pair<uint32_t, uint32_t> DocOffsets(uint32_t serial,
+                                           uint32_t end) const {
+    uint64_t base = static_cast<uint64_t>(doc_off_base_) * kPageSize;
+    uint32_t lo = ReadWord(base + static_cast<uint64_t>(serial) * 4);
+    uint32_t hi = ReadWord(base + static_cast<uint64_t>(end + 1) * 4);
+    return {lo, hi};
+  }
+
+  DocId DocAt(uint32_t offset) const {
+    return ReadWord(static_cast<uint64_t>(doc_base_) * kPageSize +
+                    static_cast<uint64_t>(offset) * 4);
+  }
+
+ private:
+  uint64_t EntryByte(PathId p, uint32_t i) const {
+    return (static_cast<uint64_t>(link_off_[p]) + i) * 8;
+  }
+
+  uint32_t ReadWord(uint64_t byte_off) const {
+    uint32_t page_id = static_cast<uint32_t>(byte_off / kPageSize);
+    uint32_t in_page = static_cast<uint32_t>(byte_off % kPageSize);
+    const Page& page = pool_->Fetch(page_id);
+    uint32_t v;
+    std::memcpy(&v, page.data + in_page, sizeof(v));
+    return v;
+  }
+
+  const PagedIndex& idx_;
+  const PageFile& file_;
+  const std::vector<uint32_t>& link_off_;
+  const std::vector<uint8_t>& nested_;
+  uint32_t nodes_;
+  uint32_t doc_off_base_;
+  uint32_t doc_base_;
+  BufferPool* pool_;
+};
+
+}  // namespace
+
+Status PagedIndex::Match(const QuerySeq& query, MatchMode mode,
+                         BufferPool* pool, std::vector<DocId>* out,
+                         MatchStats* stats) const {
+  PagedAccessor acc(*this, file_, link_off_, nested_, node_count_,
+                    doc_off_base_, doc_base_, pool);
+  return internal::MatchCore(acc, query, mode, out, stats);
+}
+
+}  // namespace xseq

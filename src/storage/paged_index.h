@@ -1,0 +1,65 @@
+// Disk-resident form of the sequence index.
+//
+// Serializes a FrozenIndex into simulated pages:
+//   * link region  — per path, the (serial, end) label pairs of its
+//     horizontal link, contiguous (Fig. 8's linked lists, laid out flat for
+//     binary search);
+//   * doc-offset region — per serial, the start offset of its doc list;
+//   * doc region   — document ids grouped by node in serial order.
+//
+// Small metadata (per-path entry offsets, nested flags, region bases) stays
+// in memory, like the link headers on the left of Fig. 8. Queries run the
+// identical Algorithm 1 through a BufferPool, so the pool's miss counter is
+// the paper's "# disk accesses".
+
+#ifndef XSEQ_SRC_STORAGE_PAGED_INDEX_H_
+#define XSEQ_SRC_STORAGE_PAGED_INDEX_H_
+
+#include <vector>
+
+#include "src/index/matcher.h"
+#include "src/index/trie.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page.h"
+
+namespace xseq {
+
+/// The paged index plus its simulated disk file.
+class PagedIndex {
+ public:
+  /// Serializes `index` into pages.
+  static PagedIndex Build(const FrozenIndex& index);
+
+  /// Runs Algorithm 1 against the paged representation, fetching pages
+  /// through `pool`. Results and match statistics are identical to the
+  /// in-memory matcher; I/O cost is observable via the pool's counters.
+  Status Match(const QuerySeq& query, MatchMode mode, BufferPool* pool,
+               std::vector<DocId>* out, MatchStats* stats = nullptr) const;
+
+  const PageFile& file() const { return file_; }
+  uint32_t node_count() const { return node_count_; }
+
+  /// Pages in each region (link / doc-offset / doc) and in total.
+  uint32_t link_pages() const { return doc_off_base_ - link_base_; }
+  uint32_t total_pages() const { return file_.page_count(); }
+  /// First page of the doc-offset region (pass to
+  /// BufferPool::SetRegionBoundary to split I/O accounting).
+  uint32_t first_data_page() const { return doc_off_base_; }
+
+ private:
+  friend class PagedAccessor;
+
+  PageFile file_;
+  uint32_t node_count_ = 0;
+  // Per-path link directory (entry index into the link region) + flags.
+  std::vector<uint32_t> link_off_;  // size max_path+2
+  std::vector<uint8_t> nested_;
+  // Region base page ids.
+  uint32_t link_base_ = 0;
+  uint32_t doc_off_base_ = 0;
+  uint32_t doc_base_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_STORAGE_PAGED_INDEX_H_

@@ -1,0 +1,120 @@
+// Binary encoding helpers for index persistence (RocksDB-style).
+//
+// Fixed-width little-endian integers and length-prefixed strings, written
+// into a std::string buffer and read back through a bounds-checked Slice
+// reader that surfaces corruption as Status instead of UB.
+
+#ifndef XSEQ_SRC_UTIL_CODING_H_
+#define XSEQ_SRC_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace xseq {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+inline void PutString(std::string* dst, std::string_view s) {
+  PutFixed64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+template <typename T>
+void PutPodVector(std::string* dst, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutFixed64(dst, v.size());
+  dst->append(reinterpret_cast<const char*>(v.data()),
+              v.size() * sizeof(T));
+}
+
+/// Bounds-checked sequential reader.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Status GetFixed32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return Truncated();
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data_.data() + pos_);
+    *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status GetFixed64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    XSEQ_RETURN_IF_ERROR(GetFixed32(&lo));
+    XSEQ_RETURN_IF_ERROR(GetFixed32(&hi));
+    *v = (static_cast<uint64_t>(hi) << 32) | lo;
+    return Status::OK();
+  }
+
+  Status GetDouble(double* v) {
+    uint64_t bits;
+    XSEQ_RETURN_IF_ERROR(GetFixed64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  Status GetString(std::string* s) {
+    uint64_t n;
+    XSEQ_RETURN_IF_ERROR(GetFixed64(&n));
+    if (data_.size() - pos_ < n) return Truncated();
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status GetPodVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n;
+    XSEQ_RETURN_IF_ERROR(GetFixed64(&n));
+    if (n > (data_.size() - pos_) / sizeof(T)) return Truncated();
+    v->resize(n);
+    std::memcpy(v->data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Truncated() const {
+    return Status::Corruption("truncated input at offset " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_CODING_H_

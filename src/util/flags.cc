@@ -1,0 +1,58 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace xseq {
+
+FlagSet::FlagSet(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "";
+    } else {
+      values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               std::string def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : def;
+}
+
+double FlagSet::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xseq

@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the benchmark harnesses.
+//
+// Supports --name=value and boolean --name. No registry, no globals: each
+// harness constructs a FlagSet from argv and queries it.
+
+#ifndef XSEQ_SRC_UTIL_FLAGS_H_
+#define XSEQ_SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace xseq {
+
+/// Parsed --key=value / --key command-line flags.
+class FlagSet {
+ public:
+  FlagSet(int argc, char** argv);
+
+  /// True if --name or --name=... was present.
+  bool Has(const std::string& name) const;
+
+  /// String value of --name=... or `def` when absent.
+  std::string GetString(const std::string& name, std::string def) const;
+
+  /// Integer value of --name=... or `def` when absent or unparsable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Double value of --name=... or `def` when absent or unparsable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean: present without value => true; "true"/"1" => true.
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_FLAGS_H_

@@ -1,0 +1,38 @@
+// Hashing helpers.
+//
+// FNV-1a is used for hashed attribute-value designators (the paper's
+// "v_i = h('boston')" option) because its output stream is stable across
+// platforms and standard-library versions, keeping datasets and golden test
+// expectations reproducible.
+
+#ifndef XSEQ_SRC_UTIL_HASH_H_
+#define XSEQ_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xseq {
+
+/// 64-bit FNV-1a over the bytes of `s`.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Stable hash of `s` reduced into [0, range). Precondition: range > 0.
+inline uint32_t HashToRange(std::string_view s, uint32_t range) {
+  return static_cast<uint32_t>(Fnv1a64(s) % range);
+}
+
+/// Combines two hash values (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_HASH_H_

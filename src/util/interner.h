@@ -1,0 +1,88 @@
+// String interning: maps strings to dense uint32 ids and back.
+//
+// Used for designators (element/attribute names) and for exact-mode
+// attribute values. Ids are assigned in first-seen order starting at 0,
+// which keeps them dense and suitable for direct array indexing.
+
+#ifndef XSEQ_SRC_UTIL_INTERNER_H_
+#define XSEQ_SRC_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/coding.h"
+
+namespace xseq {
+
+/// Bidirectional string <-> dense id map.
+class Interner {
+ public:
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  /// Returns the id for `s`, assigning a new one on first sight.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    // Key must point at the stable stored string, not the argument.
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` or kInvalidId if it was never interned.
+  uint32_t Find(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  /// Precondition: id < size().
+  const std::string& Lookup(uint32_t id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Appends all strings in id order.
+  void EncodeTo(std::string* dst) const {
+    PutFixed64(dst, strings_.size());
+    for (const std::string& s : strings_) PutString(dst, s);
+  }
+
+  /// Re-interns strings written by EncodeTo (identical ids).
+  static StatusOr<Interner> DecodeFrom(Decoder* in) {
+    Interner out;
+    uint64_t n;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&n));
+    std::string s;
+    for (uint64_t i = 0; i < n; ++i) {
+      XSEQ_RETURN_IF_ERROR(in->GetString(&s));
+      out.Intern(s);
+    }
+    return out;
+  }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  // The map owns std::string copies of the keys, so growth of strings_
+  // cannot invalidate them.
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t, Hash, Eq> ids_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_INTERNER_H_

@@ -1,0 +1,28 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace xseq {
+
+uint32_t Rng::Zipf(uint32_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Rejection-inversion sampling (Hörmann & Derflinger) simplified for
+  // workload generation. Deterministic given the generator state.
+  double u = NextDouble();
+  // Invert an approximate CDF: P(rank <= k) ~ H(k+1)/H(n) with
+  // H(x) ~ x^(1-s)/(1-s) for s != 1, ln(x) for s == 1.
+  if (std::fabs(s - 1.0) < 1e-9) {
+    double hn = std::log(static_cast<double>(n) + 1.0);
+    double k = std::exp(u * hn) - 1.0;
+    uint32_t r = static_cast<uint32_t>(k);
+    return r >= n ? n - 1 : r;
+  }
+  double e = 1.0 - s;
+  double hn = (std::pow(static_cast<double>(n) + 1.0, e) - 1.0) / e;
+  double k = std::pow(u * hn * e + 1.0, 1.0 / e) - 1.0;
+  uint32_t r = static_cast<uint32_t>(k);
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace xseq

@@ -1,0 +1,166 @@
+// Status / StatusOr: error handling without exceptions across the public API.
+//
+// Modeled on the conventions used by RocksDB and Abseil: functions that can
+// fail return a Status (or a StatusOr<T> when they also produce a value).
+// Statuses are cheap to copy in the OK case (no allocation).
+
+#ifndef XSEQ_SRC_UTIL_STATUS_H_
+#define XSEQ_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xseq {
+
+/// Broad category of a failure. Kept intentionally small; detail goes in the
+/// message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< a looked-up entity does not exist
+  kCorruption,        ///< stored/serialized data failed validation
+  kOutOfRange,        ///< index / position outside the valid range
+  kFailedPrecondition,///< object not in the required state for the call
+  kUnimplemented,     ///< feature intentionally not supported
+  kResourceExhausted, ///< a configured limit was exceeded
+  kInternal,          ///< invariant violation; indicates a bug in xseq
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail. An OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const {
+    return code() == StatusCode::kUnimplemented;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null <=> OK
+};
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value (the common return path).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. Must not be OK.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define XSEQ_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::xseq::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_STATUS_H_

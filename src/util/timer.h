@@ -1,0 +1,43 @@
+// Lightweight wall-clock timing for benchmarks and query statistics.
+
+#ifndef XSEQ_SRC_UTIL_TIMER_H_
+#define XSEQ_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xseq {
+
+/// Monotonic wall-clock stopwatch. Started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_TIMER_H_

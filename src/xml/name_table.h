@@ -1,0 +1,111 @@
+// Designator tables: element/attribute names and attribute values.
+//
+// Values support the paper's two options:
+//  * kExact  — every distinct value string gets its own designator
+//              (collision-free; the default),
+//  * kHashed — values are reduced by a stable hash into a fixed range
+//              (ViST's choice; collisions can cause extra candidate
+//              documents, never missed ones).
+
+#ifndef XSEQ_SRC_XML_NAME_TABLE_H_
+#define XSEQ_SRC_XML_NAME_TABLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/hash.h"
+#include "src/util/interner.h"
+#include "src/xml/symbols.h"
+
+namespace xseq {
+
+/// Interns element/attribute names into dense NameIds.
+class NameTable {
+ public:
+  NameId Intern(std::string_view name) { return names_.Intern(name); }
+
+  /// Returns the id for `name` or Interner::kInvalidId if never seen.
+  NameId Find(std::string_view name) const { return names_.Find(name); }
+
+  const std::string& Lookup(NameId id) const { return names_.Lookup(id); }
+
+  size_t size() const { return names_.size(); }
+
+  void EncodeTo(std::string* dst) const { names_.EncodeTo(dst); }
+  static StatusOr<NameTable> DecodeFrom(Decoder* in) {
+    auto interner = Interner::DecodeFrom(in);
+    if (!interner.ok()) return interner.status();
+    NameTable out;
+    out.names_ = std::move(*interner);
+    return out;
+  }
+
+ private:
+  Interner names_;
+};
+
+/// How attribute/text values are mapped to value designators.
+enum class ValueMode {
+  kExact,         ///< one designator per distinct string (default)
+  kHashed,        ///< stable hash into [0, hash_range)
+  kCharSequence,  ///< per-character chains (Index Fabric style); enables
+                  ///< prefix predicates — see src/xml/value_chain.h
+};
+
+/// Maps value strings to ValueIds under a ValueMode.
+class ValueEncoder {
+ public:
+  explicit ValueEncoder(ValueMode mode = ValueMode::kExact,
+                        uint32_t hash_range = 1000)
+      : mode_(mode), hash_range_(hash_range) {}
+
+  ValueMode mode() const { return mode_; }
+  uint32_t hash_range() const { return hash_range_; }
+
+  /// Encodes `text`. In kHashed mode distinct strings may collide.
+  ValueId Encode(std::string_view text) {
+    if (mode_ == ValueMode::kHashed) return HashToRange(text, hash_range_);
+    return values_.Intern(text);
+  }
+
+  /// Encodes without interning new ids; returns Interner::kInvalidId for an
+  /// exact-mode string never seen in the data (such a value matches nothing).
+  ValueId EncodeForLookup(std::string_view text) const {
+    if (mode_ == ValueMode::kHashed) return HashToRange(text, hash_range_);
+    return values_.Find(text);
+  }
+
+  /// Exact mode only: the original string for `id`.
+  const std::string& Lookup(ValueId id) const { return values_.Lookup(id); }
+
+  /// Number of distinct designators issued (exact mode).
+  size_t size() const { return values_.size(); }
+
+  void EncodeTo(std::string* dst) const {
+    PutFixed32(dst, static_cast<uint32_t>(mode_));
+    PutFixed32(dst, hash_range_);
+    values_.EncodeTo(dst);
+  }
+  static StatusOr<ValueEncoder> DecodeFrom(Decoder* in) {
+    uint32_t mode = 0, range = 0;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&mode));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&range));
+    if (mode > static_cast<uint32_t>(ValueMode::kCharSequence)) {
+      return Status::Corruption("unknown value mode");
+    }
+    auto interner = Interner::DecodeFrom(in);
+    if (!interner.ok()) return interner.status();
+    ValueEncoder out(static_cast<ValueMode>(mode), range);
+    out.values_ = std::move(*interner);
+    return out;
+  }
+
+ private:
+  ValueMode mode_;
+  uint32_t hash_range_;
+  Interner values_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_NAME_TABLE_H_

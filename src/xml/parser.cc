@@ -1,0 +1,312 @@
+#include "src/xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace xseq {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < s_.size() ? s_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (s_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  bool StartsWith(std::string_view prefix) const {
+    return s_.substr(pos_, prefix.size()) == prefix;
+  }
+  void Skip(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return s_.substr(from, to - from);
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::Corruption("XML parse error at line " +
+                              std::to_string(line_) + ": " + what);
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Decodes entity and character references in `raw` into `out`.
+Status DecodeText(Cursor* cur_for_err, std::string_view raw,
+                  std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c != '&') {
+      out->push_back(c);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return cur_for_err->Error("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string_view digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return cur_for_err->Error("bad character reference");
+      unsigned long cp = 0;
+      for (char d : digits) {
+        int v;
+        if (d >= '0' && d <= '9') {
+          v = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          v = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          v = d - 'A' + 10;
+        } else {
+          return cur_for_err->Error("bad character reference");
+        }
+        cp = cp * base + static_cast<unsigned long>(v);
+        if (cp > 0x10FFFF) {
+          return cur_for_err->Error("character reference out of range");
+        }
+      }
+      // Encode the code point as UTF-8.
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return cur_for_err->Error("unknown entity '&" + std::string(ent) +
+                                ";'");
+    }
+    i = semi;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Document> XmlParser::Parse(std::string_view xml, DocId id,
+                                    const ParseOptions& options) {
+  Document doc(id);
+  Cursor cur(xml);
+  std::vector<Node*> stack;  // open elements
+  std::string scratch;
+
+  auto flush_text = [&](std::string_view raw) -> Status {
+    if (stack.empty()) {
+      if (IsAllWhitespace(raw)) return Status::OK();
+      return cur.Error("text outside the root element");
+    }
+    if (!options.keep_whitespace_text && IsAllWhitespace(raw)) {
+      return Status::OK();
+    }
+    XSEQ_RETURN_IF_ERROR(DecodeText(&cur, raw, &scratch));
+    Node* v = doc.CreateValue(values_->Encode(scratch), scratch);
+    doc.AppendChild(stack.back(), v);
+    return Status::OK();
+  };
+
+  auto parse_name = [&]() -> StatusOr<std::string_view> {
+    size_t start = cur.pos();
+    if (cur.AtEnd() || !IsNameStartChar(cur.Peek())) {
+      return cur.Error("expected a name");
+    }
+    while (!cur.AtEnd() && IsNameChar(cur.Peek())) cur.Advance();
+    return cur.Slice(start, cur.pos());
+  };
+
+  while (!cur.AtEnd()) {
+    if (cur.Peek() != '<') {
+      // Text run up to the next tag.
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != '<') cur.Advance();
+      XSEQ_RETURN_IF_ERROR(flush_text(cur.Slice(start, cur.pos())));
+      continue;
+    }
+
+    if (cur.StartsWith("<!--")) {
+      cur.Skip(4);
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && !cur.StartsWith("-->")) cur.Advance();
+      if (cur.AtEnd()) return cur.Error("unterminated comment");
+      (void)start;
+      cur.Skip(3);
+      continue;
+    }
+    if (cur.StartsWith("<![CDATA[")) {
+      cur.Skip(9);
+      size_t start = cur.pos();
+      while (!cur.AtEnd() && !cur.StartsWith("]]>")) cur.Advance();
+      if (cur.AtEnd()) return cur.Error("unterminated CDATA section");
+      std::string_view raw = cur.Slice(start, cur.pos());
+      cur.Skip(3);
+      if (stack.empty()) return cur.Error("CDATA outside the root element");
+      if (!raw.empty()) {
+        Node* v = doc.CreateValue(values_->Encode(raw), raw);
+        doc.AppendChild(stack.back(), v);
+      }
+      continue;
+    }
+    if (cur.StartsWith("<?")) {
+      cur.Skip(2);
+      while (!cur.AtEnd() && !cur.StartsWith("?>")) cur.Advance();
+      if (cur.AtEnd()) return cur.Error("unterminated processing instruction");
+      cur.Skip(2);
+      continue;
+    }
+    if (cur.StartsWith("<!DOCTYPE") || cur.StartsWith("<!doctype")) {
+      // Skip to the matching '>' accounting for an internal subset.
+      int depth = 0;
+      while (!cur.AtEnd()) {
+        char c = cur.Peek();
+        cur.Advance();
+        if (c == '[') ++depth;
+        if (c == ']') --depth;
+        if (c == '>' && depth <= 0) break;
+      }
+      continue;
+    }
+    if (cur.StartsWith("</")) {
+      cur.Skip(2);
+      auto name = parse_name();
+      if (!name.ok()) return name.status();
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || cur.Peek() != '>') {
+        return cur.Error("malformed closing tag");
+      }
+      cur.Advance();
+      if (stack.empty()) {
+        return cur.Error("closing tag with no open element");
+      }
+      NameId expect = stack.back()->sym.id();
+      if (names_->Lookup(expect) != *name) {
+        return cur.Error("mismatched closing tag </" + std::string(*name) +
+                         ">, expected </" + names_->Lookup(expect) + ">");
+      }
+      stack.pop_back();
+      continue;
+    }
+
+    // Opening tag.
+    cur.Advance();  // consume '<'
+    auto name = parse_name();
+    if (!name.ok()) return name.status();
+    Node* elem = doc.CreateElement(names_->Intern(*name));
+    if (stack.empty()) {
+      if (doc.root() != nullptr) {
+        return cur.Error("multiple root elements");
+      }
+      doc.SetRoot(elem);
+    } else {
+      doc.AppendChild(stack.back(), elem);
+    }
+
+    // Attributes.
+    for (;;) {
+      cur.SkipWhitespace();
+      if (cur.AtEnd()) return cur.Error("unterminated tag");
+      if (cur.Peek() == '>' || cur.StartsWith("/>")) break;
+      auto attr = parse_name();
+      if (!attr.ok()) return attr.status();
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || cur.Peek() != '=') {
+        return cur.Error("attribute without value");
+      }
+      cur.Advance();
+      cur.SkipWhitespace();
+      if (cur.AtEnd() || (cur.Peek() != '"' && cur.Peek() != '\'')) {
+        return cur.Error("attribute value must be quoted");
+      }
+      char quote = cur.Peek();
+      cur.Advance();
+      size_t vstart = cur.pos();
+      while (!cur.AtEnd() && cur.Peek() != quote) cur.Advance();
+      if (cur.AtEnd()) return cur.Error("unterminated attribute value");
+      std::string_view raw = cur.Slice(vstart, cur.pos());
+      cur.Advance();
+      XSEQ_RETURN_IF_ERROR(DecodeText(&cur, raw, &scratch));
+      Node* a = doc.CreateAttribute(names_->Intern(*attr));
+      doc.AppendChild(elem, a);
+      Node* v = doc.CreateValue(values_->Encode(scratch), scratch);
+      doc.AppendChild(a, v);
+    }
+
+    if (cur.StartsWith("/>")) {
+      cur.Skip(2);
+      // Element already closed; nothing pushed.
+    } else {
+      cur.Advance();  // '>'
+      stack.push_back(elem);
+    }
+  }
+
+  if (!stack.empty()) {
+    return cur.Error("unclosed element <" +
+                     names_->Lookup(stack.back()->sym.id()) + ">");
+  }
+  if (doc.root() == nullptr) {
+    return cur.Error("no root element");
+  }
+  return doc;
+}
+
+}  // namespace xseq

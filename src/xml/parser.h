@@ -1,0 +1,46 @@
+// A from-scratch, non-validating XML parser producing xseq Documents.
+//
+// Supported: elements, attributes, text content, self-closing tags,
+// comments, processing instructions, CDATA sections, DOCTYPE (skipped),
+// the five predefined entities and numeric character references.
+// Not supported (rejected or ignored, by design — the paper's data model
+// does not use them): external entities, namespaces-aware validation
+// (prefixes are kept as part of the name), DTD content models.
+
+#ifndef XSEQ_SRC_XML_PARSER_H_
+#define XSEQ_SRC_XML_PARSER_H_
+
+#include <string_view>
+
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Parser knobs.
+struct ParseOptions {
+  /// Keep text nodes that consist solely of whitespace (default: dropped,
+  /// as they are formatting artifacts).
+  bool keep_whitespace_text = false;
+};
+
+/// Parses XML text into Documents, interning names/values into the shared
+/// vocabulary tables.
+class XmlParser {
+ public:
+  XmlParser(NameTable* names, ValueEncoder* values)
+      : names_(names), values_(values) {}
+
+  /// Parses one well-formed XML document.
+  StatusOr<Document> Parse(std::string_view xml, DocId id = 0,
+                           const ParseOptions& options = ParseOptions());
+
+ private:
+  NameTable* names_;
+  ValueEncoder* values_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_PARSER_H_

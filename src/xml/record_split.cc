@@ -1,0 +1,83 @@
+#include "src/xml/record_split.h"
+
+#include <algorithm>
+
+namespace xseq {
+
+namespace {
+
+Node* CopySubtree(const Node* n, Document* out) {
+  Node* copy;
+  if (n->is_value()) {
+    copy = n->text != nullptr ? out->CreateValue(n->sym.id(), n->text)
+                              : out->CreateValue(n->sym.id());
+  } else {
+    copy = out->CreateElement(n->sym.id());
+    copy->kind = n->kind;
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    out->AppendChild(copy, CopySubtree(c, out));
+  }
+  return copy;
+}
+
+/// Builds one record: the ancestor chain (elements only, no siblings) and
+/// the record subtree.
+Document MakeRecord(const Node* record_root, DocId id) {
+  Document out(id);
+  // Collect ancestors root-first.
+  std::vector<const Node*> chain;
+  for (const Node* a = record_root->parent; a != nullptr; a = a->parent) {
+    chain.push_back(a);
+  }
+  std::reverse(chain.begin(), chain.end());
+  Node* parent = nullptr;
+  for (const Node* a : chain) {
+    Node* copy = out.CreateElement(a->sym.id());
+    copy->kind = a->kind;
+    if (parent == nullptr) {
+      out.SetRoot(copy);
+    } else {
+      out.AppendChild(parent, copy);
+    }
+    parent = copy;
+  }
+  Node* subtree = CopySubtree(record_root, &out);
+  if (parent == nullptr) {
+    out.SetRoot(subtree);
+  } else {
+    out.AppendChild(parent, subtree);
+  }
+  return out;
+}
+
+void FindRecordRoots(const Node* n, const std::vector<NameId>& tags,
+                     std::vector<const Node*>* out) {
+  if (!n->is_value() &&
+      std::find(tags.begin(), tags.end(), n->sym.id()) != tags.end()) {
+    out->push_back(n);
+    return;  // nested record tags stay inside the outer record
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    FindRecordRoots(c, tags, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Document> SplitIntoRecords(const Document& doc,
+                                       const std::vector<NameId>& record_tags,
+                                       DocId first_id) {
+  std::vector<Document> records;
+  if (doc.root() == nullptr) return records;
+  std::vector<const Node*> roots;
+  FindRecordRoots(doc.root(), record_tags, &roots);
+  DocId id = first_id;
+  records.reserve(roots.size());
+  for (const Node* r : roots) {
+    records.push_back(MakeRecord(r, id++));
+  }
+  return records;
+}
+
+}  // namespace xseq

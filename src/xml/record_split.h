@@ -1,0 +1,32 @@
+// Record splitting: one large XML document -> many record documents.
+//
+// The paper indexes *records* (DBLP publications, XMark substructures) and
+// notes that a large document's DTD "can always be decomposed into multiple
+// small, homogeneous structures" with a separate index per substructure.
+// SplitIntoRecords implements that decomposition: every element whose tag
+// is in `record_tags` roots one record; the record document preserves the
+// chain of ancestors down from the root (so absolute paths — /site//item —
+// still resolve), the record subtree itself, and nothing else.
+
+#ifndef XSEQ_SRC_XML_RECORD_SPLIT_H_
+#define XSEQ_SRC_XML_RECORD_SPLIT_H_
+
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Splits `doc` at elements whose NameId is in `record_tags`. Records are
+/// numbered `first_id`, `first_id + 1`, ... in document order. Nested
+/// record tags are not split again (the outer record keeps its subtree).
+/// Returns an empty vector when no record tag occurs.
+std::vector<Document> SplitIntoRecords(
+    const Document& doc, const std::vector<NameId>& record_tags,
+    DocId first_id = 0);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_RECORD_SPLIT_H_

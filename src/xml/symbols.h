@@ -1,0 +1,64 @@
+// Core identifier types shared across xseq.
+//
+// The paper designates every element/attribute name by a *designator* and
+// every attribute value by a value designator (hashed or exact). A path step
+// is therefore one of two symbol spaces; Sym packs the space tag and the id
+// into 32 bits so paths, sequences and index nodes stay compact.
+
+#ifndef XSEQ_SRC_XML_SYMBOLS_H_
+#define XSEQ_SRC_XML_SYMBOLS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace xseq {
+
+/// Dense id of an element/attribute name (designator).
+using NameId = uint32_t;
+
+/// Dense or hashed id of an attribute/text value.
+using ValueId = uint32_t;
+
+/// Id of an indexed document/record.
+using DocId = uint32_t;
+
+/// A step symbol in a root path: either a name designator or a value
+/// designator. The high bit tags the space; ids are limited to 2^31-1.
+class Sym {
+ public:
+  Sym() : raw_(0) {}
+
+  static Sym ForName(NameId id) { return Sym(id & kIdMask); }
+  static Sym ForValue(ValueId id) { return Sym((id & kIdMask) | kValueBit); }
+
+  bool is_value() const { return (raw_ & kValueBit) != 0; }
+  bool is_name() const { return !is_value(); }
+  uint32_t id() const { return raw_ & kIdMask; }
+
+  /// Raw packed representation (stable; usable as a map key).
+  uint32_t raw() const { return raw_; }
+  static Sym FromRaw(uint32_t raw) { return Sym(raw); }
+
+  friend bool operator==(Sym a, Sym b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Sym a, Sym b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Sym a, Sym b) { return a.raw_ < b.raw_; }
+
+ private:
+  explicit Sym(uint32_t raw) : raw_(raw) {}
+
+  static constexpr uint32_t kValueBit = 0x80000000u;
+  static constexpr uint32_t kIdMask = 0x7FFFFFFFu;
+
+  uint32_t raw_;
+};
+
+}  // namespace xseq
+
+template <>
+struct std::hash<xseq::Sym> {
+  size_t operator()(xseq::Sym s) const noexcept {
+    return std::hash<uint32_t>()(s.raw());
+  }
+};
+
+#endif  // XSEQ_SRC_XML_SYMBOLS_H_

@@ -1,0 +1,103 @@
+#include "src/xml/tree.h"
+
+#include <algorithm>
+
+namespace xseq {
+
+namespace {
+
+void ComputeRegionsRec(const Node* n, uint16_t level, uint32_t* counter,
+                       std::vector<Region>* out) {
+  Region& r = (*out)[n->index];
+  r.begin = (*counter)++;
+  r.level = level;
+  for (Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    ComputeRegionsRec(c, static_cast<uint16_t>(level + 1), counter, out);
+  }
+  r.end = *counter - 1;
+}
+
+}  // namespace
+
+std::vector<Region> ComputeRegions(const Document& doc) {
+  std::vector<Region> out(doc.node_count());
+  uint32_t counter = 0;
+  if (doc.root() != nullptr) ComputeRegionsRec(doc.root(), 0, &counter, &out);
+  return out;
+}
+
+std::string CanonicalString(const Node* node) {
+  std::vector<std::string> kids;
+  for (Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+    kids.push_back(CanonicalString(c));
+  }
+  std::sort(kids.begin(), kids.end());
+  std::string out = "(";
+  out += std::to_string(node->sym.raw());
+  for (const std::string& k : kids) out += k;
+  out += ")";
+  return out;
+}
+
+bool UnorderedEqual(const Node* a, const Node* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  return CanonicalString(a) == CanonicalString(b);
+}
+
+namespace {
+
+uint32_t Depth(const Node* n) {
+  uint32_t best = 0;
+  for (Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    best = std::max(best, Depth(c) + 1);
+  }
+  return best;
+}
+
+}  // namespace
+
+CollectionStats ComputeStats(const std::vector<Document>& docs) {
+  CollectionStats s;
+  s.documents = docs.size();
+  for (const Document& d : docs) {
+    s.nodes += d.node_count();
+    for (const Node* n : d.nodes()) {
+      if (n->is_value()) ++s.value_nodes;
+    }
+    if (d.root() != nullptr) {
+      s.max_depth = std::max(s.max_depth, Depth(d.root()));
+    }
+  }
+  s.avg_nodes_per_doc =
+      s.documents == 0 ? 0.0
+                       : static_cast<double>(s.nodes) /
+                             static_cast<double>(s.documents);
+  return s;
+}
+
+namespace {
+
+Node* CloneRec(const Node* n, Document* out) {
+  Node* copy;
+  if (n->is_value()) {
+    copy = n->text != nullptr ? out->CreateValue(n->sym.id(), n->text)
+                              : out->CreateValue(n->sym.id());
+  } else {
+    copy = out->CreateElement(n->sym.id());
+    copy->kind = n->kind;  // preserve the attribute distinction
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    out->AppendChild(copy, CloneRec(c, out));
+  }
+  return copy;
+}
+
+}  // namespace
+
+Document CloneDocument(const Document& src) {
+  Document out(src.id());
+  if (src.root() != nullptr) out.SetRoot(CloneRec(src.root(), &out));
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,169 @@
+// Document tree model.
+//
+// XML documents (and the synthetic records of the paper's experiments) are
+// unordered labeled trees with three node kinds: elements, attributes and
+// values. Attributes are modeled as children of their element — the paper
+// treats them identically to sub-elements — and every attribute/text value
+// is a leaf value node.
+//
+// Nodes are arena-allocated; a Document owns its arena and exposes nodes in
+// creation order through nodes() for cheap per-node side arrays.
+
+#ifndef XSEQ_SRC_XML_TREE_H_
+#define XSEQ_SRC_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/arena.h"
+#include "src/xml/name_table.h"
+#include "src/xml/symbols.h"
+
+namespace xseq {
+
+/// Node kinds. Attributes behave exactly like elements for indexing; the
+/// distinction is kept only for faithful re-serialization.
+enum class NodeKind : uint8_t {
+  kElement,
+  kAttribute,
+  kValue,
+};
+
+/// A tree node. Trivially destructible (arena-allocated).
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  Sym sym;                    ///< name symbol, or value symbol for kValue
+  uint32_t index = 0;         ///< position in Document::nodes()
+  const char* text = nullptr; ///< original text of a value node, else null
+  Node* parent = nullptr;
+  Node* first_child = nullptr;
+  Node* last_child = nullptr;
+  Node* next_sibling = nullptr;
+
+  bool is_value() const { return kind == NodeKind::kValue; }
+
+  /// Number of children (O(children)).
+  size_t ChildCount() const {
+    size_t n = 0;
+    for (Node* c = first_child; c != nullptr; c = c->next_sibling) ++n;
+    return n;
+  }
+};
+
+/// An XML document / record: a rooted tree plus its arena.
+class Document {
+ public:
+  explicit Document(DocId id = 0) : id_(id) {}
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  DocId id() const { return id_; }
+  void set_id(DocId id) { id_ = id; }
+
+  Node* root() const { return root_; }
+
+  /// All nodes in creation order; node->index is the position here.
+  const std::vector<Node*>& nodes() const { return nodes_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Creates an element node (detached until appended / set as root).
+  Node* CreateElement(NameId name) {
+    return Create(NodeKind::kElement, Sym::ForName(name), nullptr, 0);
+  }
+
+  /// Creates an attribute node.
+  Node* CreateAttribute(NameId name) {
+    return Create(NodeKind::kAttribute, Sym::ForName(name), nullptr, 0);
+  }
+
+  /// Creates a value (text) leaf. `text` is copied into the arena.
+  Node* CreateValue(ValueId value, std::string_view text) {
+    return Create(NodeKind::kValue, Sym::ForValue(value), text.data(),
+                  text.size());
+  }
+
+  /// Creates a value leaf without retaining the original text (generators
+  /// that only care about designators).
+  Node* CreateValue(ValueId value) {
+    return Create(NodeKind::kValue, Sym::ForValue(value), nullptr, 0);
+  }
+
+  /// Makes `node` the document root. Precondition: no root set yet.
+  void SetRoot(Node* node) { root_ = node; }
+
+  /// Appends `child` as the last child of `parent`.
+  void AppendChild(Node* parent, Node* child) {
+    child->parent = parent;
+    if (parent->last_child == nullptr) {
+      parent->first_child = child;
+    } else {
+      parent->last_child->next_sibling = child;
+    }
+    parent->last_child = child;
+  }
+
+  /// Approximate heap footprint.
+  size_t MemoryUsage() const {
+    return arena_.BytesReserved() + nodes_.capacity() * sizeof(Node*);
+  }
+
+ private:
+  Node* Create(NodeKind kind, Sym sym, const char* text, size_t len) {
+    Node* n = arena_.New<Node>();
+    n->kind = kind;
+    n->sym = sym;
+    n->index = static_cast<uint32_t>(nodes_.size());
+    if (text != nullptr) n->text = arena_.CopyString(text, len);
+    nodes_.push_back(n);
+    return n;
+  }
+
+  DocId id_;
+  Arena arena_;
+  Node* root_ = nullptr;
+  std::vector<Node*> nodes_;
+};
+
+/// Pre-order region label of a node: begin = pre-order rank, end = largest
+/// rank in the subtree, level = depth (root = 0). The classic interval
+/// containment scheme used by XISS-style structural joins.
+struct Region {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  uint16_t level = 0;
+};
+
+/// Computes region labels for every node, indexed by node->index.
+std::vector<Region> ComputeRegions(const Document& doc);
+
+/// Canonical string of the subtree at `node`: equal strings <=> the subtrees
+/// are isomorphic as *unordered* labeled trees. Quadratic worst case; meant
+/// for tests and small trees.
+std::string CanonicalString(const Node* node);
+
+/// Unordered-isomorphism comparison of two trees.
+bool UnorderedEqual(const Node* a, const Node* b);
+
+/// Summary statistics of a document collection.
+struct CollectionStats {
+  uint64_t documents = 0;
+  uint64_t nodes = 0;        ///< elements + attributes + values
+  uint64_t value_nodes = 0;
+  uint32_t max_depth = 0;
+  double avg_nodes_per_doc = 0.0;
+};
+
+/// Computes statistics over `docs`.
+CollectionStats ComputeStats(const std::vector<Document>& docs);
+
+/// Deep copy of `src` (kinds, symbols and value text preserved).
+Document CloneDocument(const Document& src);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_TREE_H_

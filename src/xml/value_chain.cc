@@ -1,0 +1,43 @@
+#include "src/xml/value_chain.h"
+
+#include <string_view>
+
+namespace xseq {
+
+namespace {
+
+void ExpandRec(const Node* n, Node* parent, Document* out) {
+  if (n->is_value() && n->text != nullptr) {
+    std::string_view text = n->text;
+    Node* cur = parent;
+    for (unsigned char c : text) {
+      Node* ch = out->CreateValue(static_cast<ValueId>(c));
+      out->AppendChild(cur, ch);
+      cur = ch;
+    }
+    Node* term = out->CreateValue(kChainTerminator);
+    out->AppendChild(cur, term);
+    return;  // value leaves have no children
+  }
+  Node* copy = n->is_value() ? out->CreateValue(n->sym.id())
+                             : out->CreateElement(n->sym.id());
+  if (n->kind == NodeKind::kAttribute) copy->kind = NodeKind::kAttribute;
+  if (parent == nullptr) {
+    out->SetRoot(copy);
+  } else {
+    out->AppendChild(parent, copy);
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    ExpandRec(c, copy, out);
+  }
+}
+
+}  // namespace
+
+Document ExpandValueChains(const Document& src) {
+  Document out(src.id());
+  if (src.root() != nullptr) ExpandRec(src.root(), nullptr, &out);
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,31 @@
+// Character-chain value representation (the paper's second option).
+//
+// Instead of one designator per value ("boston" -> v1), a value can be
+// represented by the sequence of its characters ("b,o,s,t,o,n", as in
+// Index Fabric), each character a path step. Equality predicates then match
+// the full chain plus a terminator; *prefix* predicates (starts-with)
+// match the chain without the terminator — substring search inside values
+// becomes ordinary subsequence matching.
+//
+// The transform keeps the tree model unchanged: a value leaf becomes a
+// unary chain of value nodes whose ids are the character codes, closed by
+// a terminator node.
+
+#ifndef XSEQ_SRC_XML_VALUE_CHAIN_H_
+#define XSEQ_SRC_XML_VALUE_CHAIN_H_
+
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// The value id closing every character chain (no character maps to it).
+inline constexpr ValueId kChainTerminator = 256;
+
+/// Returns a copy of `src` where every value leaf carrying text is replaced
+/// by its character chain. Value leaves without retained text keep their
+/// designator unchanged.
+Document ExpandValueChains(const Document& src);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_VALUE_CHAIN_H_

@@ -1,0 +1,33 @@
+// Serializes Documents back to XML text (round-trip support and examples).
+
+#ifndef XSEQ_SRC_XML_WRITER_H_
+#define XSEQ_SRC_XML_WRITER_H_
+
+#include <string>
+
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+
+/// Writer knobs.
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation. NOTE: indentation inserts
+  /// whitespace around text content, so parse(write(doc)) is only an exact
+  /// round trip with indent = false.
+  bool indent = false;
+  bool declaration = false; ///< emit an <?xml version="1.0"?> prolog
+};
+
+/// Renders `doc` as XML text. Attribute nodes become tag attributes;
+/// value leaves become text content. Value nodes generated without original
+/// text are rendered as "v<id>".
+std::string WriteXml(const Document& doc, const NameTable& names,
+                     const WriteOptions& options = WriteOptions());
+
+/// Escapes &, <, >, " and ' for inclusion in XML text/attributes.
+std::string EscapeXml(std::string_view raw);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_XML_WRITER_H_

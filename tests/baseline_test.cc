@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/node_index.h"
+#include "src/baseline/path_index.h"
+#include "src/baseline/vist.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/query/oracle.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+/// Fixture: a retained-document CollectionIndex plus all three baselines.
+class BaselineTest : public ::testing::Test {
+ protected:
+  void Build(const std::vector<std::string>& specs,
+             SequencerKind kind = SequencerKind::kProbability) {
+    IndexOptions opts;
+    opts.sequencer = kind;
+    opts.keep_documents = true;
+    idx_ = std::make_unique<CollectionIndex>(
+        testing::MakeIndex(specs, opts));
+    // Rebind paths for the baseline build.
+    std::vector<std::vector<PathId>> paths;
+    for (const Document& d : idx_->documents()) {
+      paths.push_back(FindPaths(d, idx_->dict()));
+    }
+    path_index_ = std::make_unique<PathIndexBaseline>(
+        PathIndexBaseline::Build(idx_->documents(), paths));
+    node_index_ = std::make_unique<NodeIndexBaseline>(
+        NodeIndexBaseline::Build(idx_->documents()));
+  }
+
+  std::vector<DocId> ByPath(const std::string& xpath) {
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok());
+    auto r = path_index_->Query(*q, idx_->dict(), idx_->names(),
+                                idx_->values());
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  std::vector<DocId> ByNode(const std::string& xpath) {
+    auto q = ParseXPath(xpath);
+    EXPECT_TRUE(q.ok());
+    auto r = node_index_->Query(*q, idx_->dict(), idx_->names(),
+                                idx_->values());
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  std::vector<DocId> BySequence(const std::string& xpath) {
+    auto r = idx_->Query(xpath);
+    EXPECT_TRUE(r.ok());
+    return r->docs;
+  }
+
+  std::unique_ptr<CollectionIndex> idx_;
+  std::unique_ptr<PathIndexBaseline> path_index_;
+  std::unique_ptr<NodeIndexBaseline> node_index_;
+};
+
+TEST_F(BaselineTest, AllMethodsAgreeOnHandQueries) {
+  Build({
+      "P(R(U(M('a')),L('b')),D(L('b')))",
+      "P(R(L('b')),D(M('a')))",
+      "P(D(L('c')),D(L('b')))",
+      "P(R(U(M('z'))))",
+  });
+  for (const char* q :
+       {"/P/R/L", "/P//L", "//L[.='b']", "/P/*/M", "/P[R/L][D]",
+        "//M[.='a']", "/P/D/L[.='b']", "/P", "//U"}) {
+    std::vector<DocId> seq = BySequence(q);
+    EXPECT_EQ(ByPath(q), seq) << q;
+    EXPECT_EQ(ByNode(q), seq) << q;
+  }
+}
+
+TEST_F(BaselineTest, IdenticalSiblingSemanticsMatch) {
+  Build({"P(L(S),L(B))", "P(L(S,B))", "P(L(S))"});
+  for (const char* q : {"/P/L[S][B]", "/P[L/S][L/B]", "/P/L/S"}) {
+    std::vector<DocId> seq = BySequence(q);
+    EXPECT_EQ(ByPath(q), seq) << q;
+    EXPECT_EQ(ByNode(q), seq) << q;
+  }
+}
+
+TEST_F(BaselineTest, StatsTracked) {
+  Build({"P(R(L))", "P(R(M))"});
+  auto q = ParseXPath("/P/R/L");
+  ASSERT_TRUE(q.ok());
+  BaselineStats ps, ns;
+  ASSERT_TRUE(path_index_
+                  ->Query(*q, idx_->dict(), idx_->names(), idx_->values(),
+                          &ps)
+                  .ok());
+  ASSERT_TRUE(node_index_
+                  ->Query(*q, idx_->dict(), idx_->names(), idx_->values(),
+                          &ns)
+                  .ok());
+  EXPECT_GT(ps.postings_fetched, 0u);
+  EXPECT_GT(ns.entries_scanned, 0u);
+  EXPECT_GT(ps.docs_joined, 0u);
+  EXPECT_GT(path_index_->MemoryBytes(), 0u);
+  EXPECT_GT(node_index_->MemoryBytes(), 0u);
+}
+
+TEST_F(BaselineTest, VistMatchesConstraintResults) {
+  Build({"P(L(S),L(B))", "P(L(S,B))", "P(R(L(S)))"},
+        SequencerKind::kDepthFirst);
+  const std::vector<Document>& docs = idx_->documents();
+  VistBaseline vist(idx_.get(), [&docs](DocId d) {
+    // Rebuild a shallow copy via the canonical string is overkill; the
+    // retained documents are addressable by position == id here.
+    const Document& src = docs[d];
+    Document copy(src.id());
+    std::vector<const Node*> stack{src.root()};
+    std::vector<Node*> mirror{nullptr};
+    // Simple recursive clone.
+    std::function<Node*(const Node*)> clone = [&](const Node* n) -> Node* {
+      Node* c = n->is_value() ? copy.CreateValue(n->sym.id())
+                              : copy.CreateElement(n->sym.id());
+      for (const Node* k = n->first_child; k != nullptr;
+           k = k->next_sibling) {
+        copy.AppendChild(c, clone(k));
+      }
+      return c;
+    };
+    copy.SetRoot(clone(src.root()));
+    return copy;
+  });
+
+  auto q = ParseXPath("/P/L[S][B]");
+  ASSERT_TRUE(q.ok());
+  VistStats stats;
+  auto r = vist.Query(*q, &stats);
+  ASSERT_TRUE(r.ok());
+  // Naive matching over-reports doc 0; verification removes it.
+  EXPECT_EQ(*r, (std::vector<DocId>{1}));
+  EXPECT_GT(stats.candidates, stats.verified);
+  EXPECT_GT(stats.verify_micros, -1);
+}
+
+TEST(BaselineSweep, RandomWorkloadAllMethodsAgree) {
+  SyntheticParams params;
+  params.identical_percent = 40;
+  params.value_vocab = 6;
+  params.seed = 404;
+  IndexOptions opts;
+  opts.keep_documents = true;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < 150; ++d) {
+    ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+
+  std::vector<std::vector<PathId>> paths;
+  for (const Document& d : idx->documents()) {
+    paths.push_back(FindPaths(d, idx->dict()));
+  }
+  PathIndexBaseline by_path =
+      PathIndexBaseline::Build(idx->documents(), paths);
+  NodeIndexBaseline by_node = NodeIndexBaseline::Build(idx->documents());
+
+  Rng rng(99, 2);
+  for (int q = 0; q < 40; ++q) {
+    Document sample = gen.Generate(rng.Uniform(150));
+    QueryPattern pattern =
+        SampleQueryPattern(sample, idx->names(), 2 + rng.Uniform(5), &rng);
+    auto seq = idx->executor().ExecutePattern(pattern);
+    ASSERT_TRUE(seq.ok());
+    auto p = by_path.Query(pattern, idx->dict(), idx->names(),
+                           idx->values());
+    auto n = by_node.Query(pattern, idx->dict(), idx->names(),
+                           idx->values());
+    ASSERT_TRUE(p.ok());
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*p, *seq) << pattern.source;
+    EXPECT_EQ(*n, *seq) << pattern.source;
+  }
+}
+
+}  // namespace
+}  // namespace xseq

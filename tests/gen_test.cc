@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/gen/dblp.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/gen/xmark.h"
+#include "src/seq/path_dict.h"
+#include "src/xml/tree.h"
+#include "src/xml/writer.h"
+
+namespace xseq {
+namespace {
+
+bool HasIdenticalSiblings(const Document& doc) {
+  for (const Node* n : doc.nodes()) {
+    std::set<uint32_t> seen;
+    for (const Node* c = n->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_value()) continue;
+      if (!seen.insert(c->sym.raw()).second) return true;
+    }
+  }
+  return false;
+}
+
+TEST(Synthetic, NameEncodesParameters) {
+  SyntheticParams p;
+  p.max_height = 3;
+  p.max_fanout = 5;
+  p.value_percent = 25;
+  p.identical_percent = 0;
+  p.prob_floor = 40;
+  EXPECT_EQ(p.Name(), "L3F5A25I0P40");
+}
+
+TEST(Synthetic, DeterministicPerSeedAndId) {
+  SyntheticParams p;
+  NameTable n1, n2;
+  ValueEncoder v1, v2;
+  SyntheticDataset a(p, &n1, &v1);
+  SyntheticDataset b(p, &n2, &v2);
+  for (DocId d : {0u, 5u, 99u}) {
+    Document da = a.Generate(d);
+    Document db = b.Generate(d);
+    EXPECT_TRUE(UnorderedEqual(da.root(), db.root())) << d;
+  }
+  // Different ids give different documents (almost surely).
+  Document d0 = a.Generate(0);
+  Document d1 = a.Generate(1);
+  EXPECT_FALSE(UnorderedEqual(d0.root(), d1.root()));
+}
+
+TEST(Synthetic, RespectsHeightBound) {
+  SyntheticParams p;
+  p.max_height = 3;
+  NameTable names;
+  ValueEncoder values;
+  SyntheticDataset gen(p, &names, &values);
+  for (DocId d = 0; d < 50; ++d) {
+    Document doc = gen.Generate(d);
+    std::vector<Region> r = ComputeRegions(doc);
+    for (const Node* n : doc.nodes()) {
+      // Elements reach depth max_height-1; value leaves one deeper.
+      EXPECT_LE(r[n->index].level, 3u);
+    }
+  }
+}
+
+TEST(Synthetic, IdenticalSiblingKnob) {
+  NameTable names;
+  ValueEncoder values;
+  SyntheticParams none;
+  none.identical_percent = 0;
+  SyntheticDataset gen0(none, &names, &values);
+  int with = 0;
+  for (DocId d = 0; d < 100; ++d) {
+    if (HasIdenticalSiblings(gen0.Generate(d))) ++with;
+  }
+  EXPECT_EQ(with, 0);
+
+  SyntheticParams lots;
+  lots.identical_percent = 80;
+  SyntheticDataset gen80(lots, &names, &values);
+  with = 0;
+  for (DocId d = 0; d < 100; ++d) {
+    if (HasIdenticalSiblings(gen80.Generate(d))) ++with;
+  }
+  EXPECT_GT(with, 50);
+}
+
+TEST(Synthetic, ReasonableDocumentSizes) {
+  NameTable names;
+  ValueEncoder values;
+  SyntheticParams p;  // L3F5A25I0P40
+  SyntheticDataset gen(p, &names, &values);
+  uint64_t total = 0;
+  for (DocId d = 0; d < 200; ++d) total += gen.Generate(d).node_count();
+  double avg = static_cast<double>(total) / 200.0;
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 60.0);
+}
+
+TEST(XMark, DeterministicAndKindsCycle) {
+  XMarkParams p;
+  NameTable names;
+  ValueEncoder values;
+  XMarkGenerator gen(p, &names, &values);
+  Document item = gen.Generate(0);
+  Document person = gen.Generate(1);
+  Document oa = gen.Generate(2);
+  Document ca = gen.Generate(3);
+  auto root_child_tag = [&](const Document& d) {
+    return names.Lookup(d.root()->first_child->sym.id());
+  };
+  EXPECT_EQ(names.Lookup(item.root()->sym.id()), "site");
+  EXPECT_EQ(root_child_tag(item), "regions");
+  EXPECT_EQ(root_child_tag(person), "people");
+  EXPECT_EQ(root_child_tag(oa), "open_auctions");
+  EXPECT_EQ(root_child_tag(ca), "closed_auctions");
+
+  XMarkGenerator gen2(p, &names, &values);
+  Document again = gen2.Generate(0);
+  EXPECT_TRUE(UnorderedEqual(item.root(), again.root()));
+}
+
+TEST(XMark, IdenticalSiblingSwitch) {
+  NameTable names;
+  ValueEncoder values;
+  XMarkParams with;
+  with.allow_identical_siblings = true;
+  XMarkGenerator gw(with, &names, &values);
+  int found = 0;
+  for (DocId d = 0; d < 200; ++d) {
+    if (HasIdenticalSiblings(gw.Generate(d))) ++found;
+  }
+  EXPECT_GT(found, 20);
+
+  XMarkParams without;
+  without.allow_identical_siblings = false;
+  XMarkGenerator go(without, &names, &values);
+  for (DocId d = 0; d < 200; ++d) {
+    EXPECT_FALSE(HasIdenticalSiblings(go.Generate(d))) << d;
+  }
+}
+
+TEST(XMark, QueryableValuesExist) {
+  // The Table 4 literals must be producible by the generator's value
+  // spaces: scan some records for dates and locations.
+  NameTable names;
+  ValueEncoder values;
+  XMarkParams p;
+  XMarkGenerator gen(p, &names, &values);
+  bool us = false;
+  for (DocId d = 0; d < 400 && !us; d += 4) {  // items
+    Document doc = gen.Generate(d);
+    for (const Node* n : doc.nodes()) {
+      if (n->is_value() && n->text != nullptr &&
+          std::string(n->text) == "United States") {
+        us = true;
+      }
+    }
+  }
+  EXPECT_TRUE(us);
+}
+
+TEST(Dblp, ShapeMatchesPaperStatistics) {
+  NameTable names;
+  ValueEncoder values;
+  DblpParams p;
+  DblpGenerator gen(p, &names, &values);
+  uint64_t nodes = 0;
+  uint32_t maxdepth = 0;
+  for (DocId d = 0; d < 500; ++d) {
+    Document doc = gen.Generate(d);
+    nodes += doc.node_count();
+    std::vector<Region> r = ComputeRegions(doc);
+    for (const Node* n : doc.nodes()) {
+      maxdepth = std::max(maxdepth, static_cast<uint32_t>(r[n->index].level));
+    }
+  }
+  double avg = static_cast<double>(nodes) / 500.0;
+  EXPECT_GT(avg, 12.0);   // paper: ≈21 sequence elements
+  EXPECT_LT(avg, 30.0);
+  EXPECT_LE(maxdepth, 6u);  // paper: max depth 6
+}
+
+TEST(Dblp, RecordMixAndKeyAuthors) {
+  NameTable names;
+  ValueEncoder values;
+  DblpParams p;
+  DblpGenerator gen(p, &names, &values);
+  int inproc = 0, article = 0, book = 0, david = 0, maier_key = 0;
+  for (DocId d = 0; d < 1000; ++d) {
+    Document doc = gen.Generate(d);
+    std::string tag = names.Lookup(doc.root()->sym.id());
+    if (tag == "inproceedings") ++inproc;
+    if (tag == "article") ++article;
+    if (tag == "book") ++book;
+    for (const Node* n : doc.nodes()) {
+      if (!n->is_value() || n->text == nullptr) continue;
+      std::string t = n->text;
+      if (t == "David") ++david;
+      if (t == "Maier" && n->parent->kind == NodeKind::kAttribute) {
+        ++maier_key;
+      }
+    }
+  }
+  EXPECT_EQ(inproc, 600);
+  EXPECT_EQ(article, 300);
+  EXPECT_EQ(book, 100);
+  EXPECT_GT(david, 0);
+  EXPECT_GT(maier_key, 0);
+}
+
+TEST(QueryGen, SamplesConnectedPatterns) {
+  NameTable names;
+  ValueEncoder values;
+  SyntheticParams p;
+  SyntheticDataset gen(p, &names, &values);
+  Rng rng(5);
+  for (DocId d = 0; d < 20; ++d) {
+    Document doc = gen.Generate(d);
+    QueryPattern q = SampleQueryPattern(doc, names, 5, &rng);
+    EXPECT_LE(q.NodeCount(), 5u);
+    EXPECT_GE(q.NodeCount(), 1u);
+    // The root step must be the document root's tag.
+    ASSERT_EQ(q.root->children.size(), 1u);
+    EXPECT_EQ(q.root->children[0]->name,
+              names.Lookup(doc.root()->sym.id()));
+  }
+}
+
+TEST(QueryGen, RespectsLengthBudget) {
+  NameTable names;
+  ValueEncoder values;
+  XMarkParams p;
+  XMarkGenerator gen(p, &names, &values);
+  Rng rng(11);
+  Document doc = gen.Generate(0);
+  for (size_t len : {1u, 3u, 8u, 12u}) {
+    QueryPattern q = SampleQueryPattern(doc, names, len, &rng);
+    EXPECT_LE(q.NodeCount(), len);
+  }
+}
+
+}  // namespace
+}  // namespace xseq

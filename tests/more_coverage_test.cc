@@ -1,0 +1,262 @@
+// Second-round unit coverage: corners of the parser/writer, Prüfer property
+// roundtrips, paged-storage boundaries, schema declarations, instantiation
+// of mixed axes, and thread-safety of the read path.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/seq/constraint.h"
+#include "src/seq/prufer.h"
+#include "src/storage/paged_index.h"
+#include "src/xml/parser.h"
+#include "src/xml/writer.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+// ------------------------------------------------------------- parser
+
+TEST(ParserCorners, SelfClosingRootAndAttributesOnly) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto doc = parser.Parse("<a x='1' y='2'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ChildCount(), 2u);
+}
+
+TEST(ParserCorners, DeeplyNestedDoctypeSubset) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto doc = parser.Parse(
+      "<!DOCTYPE a [ <!ENTITY x \"[nested [brackets]]\"> ]><a/>");
+  ASSERT_TRUE(doc.ok());
+}
+
+TEST(ParserCorners, KeepWhitespaceOption) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  ParseOptions opts;
+  opts.keep_whitespace_text = true;
+  auto doc = parser.Parse("<a> <b/> </a>", 0, opts);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ChildCount(), 3u);  // ws, b, ws
+}
+
+TEST(ParserCorners, MixedContentOrderPreserved) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto doc = parser.Parse("<a>one<b/>two</a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* c1 = doc->root()->first_child;
+  EXPECT_TRUE(c1->is_value());
+  EXPECT_STREQ(c1->text, "one");
+  EXPECT_FALSE(c1->next_sibling->is_value());
+  EXPECT_STREQ(c1->next_sibling->next_sibling->text, "two");
+}
+
+TEST(ParserCorners, AttributeEntityDecoding) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto doc = parser.Parse("<a t='&lt;x&gt; &#65;'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_STREQ(doc->root()->first_child->first_child->text, "<x> A");
+}
+
+TEST(WriterCorners, ValueWithoutTextRendersDesignator) {
+  NameTable names;
+  ValueEncoder values;
+  Document doc(0);
+  Node* root = doc.CreateElement(names.Intern("a"));
+  doc.SetRoot(root);
+  doc.AppendChild(root, doc.CreateValue(42));
+  std::string xml = WriteXml(doc, names);
+  EXPECT_EQ(xml, "<a>v42</a>");
+}
+
+// ------------------------------------------------------------- Prüfer
+
+TEST(PruferProperty, RandomTreesRoundTripParentArrays) {
+  NameTable names;
+  ValueEncoder values;
+  SyntheticParams params;
+  params.identical_percent = 40;
+  SyntheticDataset gen(params, &names, &values);
+  for (DocId d = 0; d < 60; ++d) {
+    Document doc = gen.Generate(d);
+    if (doc.node_count() < 2) continue;
+    std::vector<uint32_t> code = PruferEncode(doc);
+    ASSERT_EQ(code.size(), doc.node_count() - 1) << d;
+    auto parent = PruferDecode(code);
+    ASSERT_TRUE(parent.ok()) << d;
+    std::vector<uint32_t> number = PostOrderNumbers(doc);
+    for (const Node* n : doc.nodes()) {
+      uint32_t want =
+          n->parent == nullptr ? 0 : number[n->parent->index];
+      EXPECT_EQ((*parent)[number[n->index]], want) << d;
+    }
+  }
+}
+
+// ------------------------------------------------------- paged storage
+
+TEST(PagedCorners, EmptyIndexPages) {
+  TrieBuilder builder;
+  FrozenIndex empty = std::move(builder).Freeze();
+  PagedIndex paged = PagedIndex::Build(empty);
+  EXPECT_GT(paged.total_pages(), 0u);
+  BufferPool pool(&paged.file(), 4);
+  QuerySeq q;
+  q.paths = {1};
+  q.parent = {-1};
+  std::vector<DocId> out;
+  EXPECT_TRUE(paged.Match(q, MatchMode::kConstraint, &pool, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PagedCorners, TinyBufferPoolStillCorrect) {
+  CollectionIndex idx = testing::MakeIndex(
+      {"P(R(L('a')),D)", "P(R(M('b')))", "P(D(L('a')))"});
+  PagedIndex paged = PagedIndex::Build(idx.index());
+  auto compiled = idx.executor().Compile(*ParseXPath("/P//L[.='a']"));
+  ASSERT_TRUE(compiled.ok());
+  BufferPool pool(&paged.file(), 1);  // pathological: one page
+  std::vector<DocId> out;
+  for (const QuerySeq& qs : *compiled) {
+    ASSERT_TRUE(
+        paged.Match(qs, MatchMode::kConstraint, &pool, &out).ok());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  auto mem = idx.Query("/P//L[.='a']");
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(out, mem->docs);
+  EXPECT_GT(pool.misses(), 0u);  // evictions happen, results stay correct
+}
+
+// ------------------------------------------------------------- schema
+
+TEST(SchemaCorners, DeclaredRepeatabilityForcesGrouping) {
+  // A path never observed repeating can still be declared repeatable
+  // (from a DTD '*'), and sequencing must then group it.
+  NameTable names;
+  ValueEncoder values;
+  PathDict dict;
+  Schema schema;
+  Document doc = testing::MakeDoc("P(D(M),R)", &names, &values);
+  auto paths = BindPaths(doc, &dict);
+  schema.Observe(doc, paths);
+  PathId pd = paths[doc.root()->first_child->index];
+  schema.DeclareRepeatable(pd);
+  auto model = schema.BuildModel(dict);
+  EXPECT_TRUE(model->MayRepeat(pd));
+  auto seq = MakeSequencer(SequencerKind::kProbability, model)
+                 ->Encode(doc, paths);
+  EXPECT_TRUE(IdenticalSiblingGroupsContiguous(seq, dict));
+}
+
+// ------------------------------------------------------ instantiation
+
+TEST(InstantiateCorners, DescendantThenWildcardThenValue) {
+  CollectionIndex idx = testing::MakeIndex({
+      "site(open(auction(seller('bob'),price('10'))))",
+      "site(closed(auction(seller('eve'))))",
+  });
+  auto r = idx.Query("//auction/*[.='bob']");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0}));
+  auto r2 = idx.Query("/site/*/auction[seller]");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->docs, (std::vector<DocId>{0, 1}));
+}
+
+TEST(InstantiateCorners, RootLevelWildcard) {
+  CollectionIndex idx =
+      testing::MakeIndex({"a(x('1'))", "b(x('1'))", "c(y('1'))"});
+  auto r = idx.Query("/*/x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0, 1}));
+  auto r2 = idx.Query("//x[.='1']");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->docs, (std::vector<DocId>{0, 1}));
+}
+
+// -------------------------------------------------------- concurrency
+
+TEST(Concurrency, ParallelQueriesAgree) {
+  SyntheticParams params;
+  params.identical_percent = 20;
+  params.value_vocab = 8;
+  IndexOptions opts;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < 150; ++d) {
+    ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+
+  // Pre-compute reference answers single-threaded.
+  NameTable names;
+  ValueEncoder values;
+  SyntheticDataset sampler(params, &names, &values);
+  Rng rng(66, 1);
+  std::vector<QueryPattern> patterns;
+  std::vector<std::vector<DocId>> expected;
+  for (int q = 0; q < 16; ++q) {
+    Document sample = sampler.Generate(rng.Uniform(150));
+    patterns.push_back(
+        SampleQueryPattern(sample, idx->names(), 4, &rng, 0.4));
+    auto r = idx->executor().ExecutePattern(patterns.back());
+    ASSERT_TRUE(r.ok());
+    expected.push_back(*r);
+  }
+
+  // The read path is const; hammer it from several threads.
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int round = 0; round < 20; ++round) {
+        for (size_t i = 0; i < patterns.size(); ++i) {
+          auto r = idx->executor().ExecutePattern(patterns[i]);
+          if (!r.ok() || *r != expected[i]) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+// ------------------------------------------------------------- misc
+
+TEST(CollectionIndexCorners, EmptyCollection) {
+  CollectionBuilder builder;
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->Stats().documents, 0u);
+  auto r = idx->Query("/a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->docs.empty());
+}
+
+TEST(CollectionIndexCorners, SingleNodeDocuments) {
+  CollectionIndex idx = testing::MakeIndex({"a", "b", "a"});
+  EXPECT_EQ(idx.Stats().trie_nodes, 2u);
+  auto r = idx.Query("/a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace xseq

@@ -1,0 +1,265 @@
+// Regression guards for the paper's headline experimental claims, at test
+// scale: if a change breaks one of these orderings, EXPERIMENTS.md is no
+// longer true and the build should say so.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <climits>
+
+#include "src/baseline/node_index.h"
+#include "src/baseline/path_index.h"
+#include "src/baseline/vist.h"
+#include "src/gen/dblp.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/gen/xmark.h"
+#include "src/util/timer.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+uint64_t TrieNodes(SequencerKind kind, const SyntheticParams& params,
+                   DocId n) {
+  IndexOptions opts;
+  opts.sequencer = kind;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < n; ++d) {
+    Status st = builder.Add(gen.Generate(d));
+    EXPECT_TRUE(st.ok());
+  }
+  auto idx = std::move(builder).Finish();
+  EXPECT_TRUE(idx.ok());
+  return idx->Stats().trie_nodes;
+}
+
+TEST(PaperClaims, Figure14SequencerOrdering) {
+  // Random >> breadth-first > depth-first > constraint (Fig. 14).
+  SyntheticParams params;  // L3F5A25I0P40
+  constexpr DocId kDocs = 1500;
+  uint64_t random = TrieNodes(SequencerKind::kRandom, params, kDocs);
+  uint64_t bf = TrieNodes(SequencerKind::kBreadthFirst, params, kDocs);
+  uint64_t df = TrieNodes(SequencerKind::kDepthFirst, params, kDocs);
+  uint64_t cs = TrieNodes(SequencerKind::kProbability, params, kDocs);
+  EXPECT_GT(random, bf);
+  EXPECT_GT(bf, df);
+  EXPECT_GT(df, cs);
+  // §6.2: random needs several times the space of CS.
+  EXPECT_GT(static_cast<double>(random) / static_cast<double>(cs), 2.5);
+}
+
+TEST(PaperClaims, Figure14GapWidensWithScale) {
+  SyntheticParams params;
+  double ratio_small =
+      static_cast<double>(TrieNodes(SequencerKind::kDepthFirst, params,
+                                    500)) /
+      static_cast<double>(TrieNodes(SequencerKind::kProbability, params,
+                                    500));
+  double ratio_large =
+      static_cast<double>(TrieNodes(SequencerKind::kDepthFirst, params,
+                                    3000)) /
+      static_cast<double>(TrieNodes(SequencerKind::kProbability, params,
+                                    3000));
+  EXPECT_GT(ratio_large, ratio_small);
+}
+
+TEST(PaperClaims, Figure15ConvergenceTowardDepthFirst) {
+  // CS/DF grows as the identical-sibling percentage rises.
+  double prev = 0.0;
+  for (int identical : {0, 40, 80}) {
+    SyntheticParams params;
+    params.identical_percent = identical;
+    double ratio =
+        static_cast<double>(
+            TrieNodes(SequencerKind::kProbability, params, 1200)) /
+        static_cast<double>(
+            TrieNodes(SequencerKind::kDepthFirst, params, 1200));
+    EXPECT_GT(ratio, prev) << identical;
+    prev = ratio;
+  }
+  EXPECT_LT(prev, 1.3);  // never wildly above DF
+}
+
+TEST(PaperClaims, Tables56ConstraintHalvesXMarkIndex) {
+  for (bool identical : {true, false}) {
+    auto build = [&](SequencerKind kind) {
+      XMarkParams params;
+      params.allow_identical_siblings = identical;
+      IndexOptions opts;
+      opts.sequencer = kind;
+      CollectionBuilder builder(opts);
+      XMarkGenerator gen(params, builder.names(), builder.values());
+      for (DocId d = 0; d < 1200; ++d) {
+        Status st = builder.Add(gen.Generate(d));
+        EXPECT_TRUE(st.ok());
+      }
+      auto idx = std::move(builder).Finish();
+      EXPECT_TRUE(idx.ok());
+      return idx->Stats().trie_nodes;
+    };
+    uint64_t df = build(SequencerKind::kDepthFirst);
+    uint64_t cs = build(SequencerKind::kProbability);
+    double ratio = static_cast<double>(cs) / static_cast<double>(df);
+    EXPECT_LT(ratio, 0.8) << "identical=" << identical;
+    EXPECT_GT(ratio, 0.2) << "identical=" << identical;
+  }
+}
+
+TEST(PaperClaims, Table8SequenceIndexWinsValueQueries) {
+  DblpParams params;
+  IndexOptions opts;
+  opts.keep_documents = true;
+  CollectionBuilder builder(opts);
+  DblpGenerator gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < 4000; ++d) {
+    ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+  std::vector<std::vector<PathId>> paths;
+  for (const Document& d : idx->documents()) {
+    paths.push_back(FindPaths(d, idx->dict()));
+  }
+  PathIndexBaseline by_path =
+      PathIndexBaseline::Build(idx->documents(), paths);
+  NodeIndexBaseline by_node = NodeIndexBaseline::Build(idx->documents());
+
+  // Identical answers on the paper's queries, and CS at least as fast in
+  // aggregate (the paper's gap was far larger because its joins paid real
+  // disk I/O; in memory we only demand the ordering, with repetition and
+  // warmup to de-noise the timing).
+  const char* queries[] = {"/book[key='Maier']/author",
+                           "/*/author[text='David']",
+                           "//author[text='David']"};
+  int64_t paths_us = 0, nodes_us = 0, cs_us = 0;
+  for (const char* q : queries) {
+    auto pattern = ParseXPath(q);
+    ASSERT_TRUE(pattern.ok());
+    // Warmup + answer check.
+    auto rp = by_path.Query(*pattern, idx->dict(), idx->names(),
+                            idx->values());
+    auto rn = by_node.Query(*pattern, idx->dict(), idx->names(),
+                            idx->values());
+    auto rc = idx->executor().ExecutePattern(*pattern);
+    ASSERT_TRUE(rp.ok());
+    ASSERT_TRUE(rn.ok());
+    ASSERT_TRUE(rc.ok());
+    EXPECT_EQ(*rp, *rc) << q;
+    EXPECT_EQ(*rn, *rc) << q;
+    // Minimum over repetitions per method: robust against scheduler
+    // noise spikes on shared machines.
+    int64_t p_min = INT64_MAX, n_min = INT64_MAX, c_min = INT64_MAX;
+    for (int rep = 0; rep < 5; ++rep) {
+      Timer tp;
+      (void)by_path.Query(*pattern, idx->dict(), idx->names(),
+                          idx->values());
+      p_min = std::min(p_min, tp.ElapsedMicros());
+      Timer tn;
+      (void)by_node.Query(*pattern, idx->dict(), idx->names(),
+                          idx->values());
+      n_min = std::min(n_min, tn.ElapsedMicros());
+      Timer tc;
+      (void)idx->executor().ExecutePattern(*pattern);
+      c_min = std::min(c_min, tc.ElapsedMicros());
+    }
+    paths_us += p_min;
+    nodes_us += n_min;
+    cs_us += c_min;
+  }
+  EXPECT_LT(cs_us, paths_us);
+  EXPECT_LT(cs_us, nodes_us);
+}
+
+TEST(PaperClaims, Figure16bViStNeedsCleanupAndAgreesAfterIt) {
+  SyntheticParams params;
+  params.identical_percent = 25;
+  params.value_vocab = 6;
+  params.seed = 321;
+
+  IndexOptions df_opts;
+  df_opts.sequencer = SequencerKind::kDepthFirst;
+  CollectionBuilder df_builder(df_opts);
+  SyntheticDataset gen(params, df_builder.names(), df_builder.values());
+  for (DocId d = 0; d < 400; ++d) {
+    ASSERT_TRUE(df_builder.Observe(gen.Generate(d)).ok());
+  }
+  ASSERT_TRUE(df_builder.BeginIndexing().ok());
+  for (DocId d = 0; d < 400; ++d) {
+    ASSERT_TRUE(df_builder.Index(gen.Generate(d)).ok());
+  }
+  auto df_idx = std::move(df_builder).Finish();
+  ASSERT_TRUE(df_idx.ok());
+  VistBaseline vist(&*df_idx, [&gen](DocId d) { return gen.Generate(d); });
+
+  IndexOptions cs_opts;
+  CollectionBuilder cs_builder(cs_opts);
+  SyntheticDataset gen2(params, cs_builder.names(), cs_builder.values());
+  for (DocId d = 0; d < 400; ++d) {
+    ASSERT_TRUE(cs_builder.Add(gen2.Generate(d)).ok());
+  }
+  auto cs_idx = std::move(cs_builder).Finish();
+  ASSERT_TRUE(cs_idx.ok());
+
+  // DF index is larger (the paper's first ViST cost driver).
+  EXPECT_GT(df_idx->Stats().trie_nodes, cs_idx->Stats().trie_nodes);
+
+  Rng rng(12, 3);
+  uint64_t cleanup = 0;
+  for (int q = 0; q < 25; ++q) {
+    Document sample = gen.Generate(rng.Uniform(400));
+    QueryPattern pattern =
+        SampleQueryPattern(sample, cs_idx->names(), 5, &rng, 0.3);
+    VistStats vs;
+    auto rv = vist.Query(pattern, &vs);
+    auto rc = cs_idx->executor().ExecutePattern(pattern);
+    ASSERT_TRUE(rv.ok());
+    ASSERT_TRUE(rc.ok());
+    EXPECT_EQ(*rv, *rc) << pattern.source;
+    cleanup += vs.candidates - vs.verified;
+  }
+  // The second cost driver: naive matching over-reports and needs cleanup.
+  EXPECT_GT(cleanup, 0u);
+}
+
+TEST(PaperClaims, Impact2WeightBoostShrinksCandidates) {
+  auto build = [&](double w) {
+    XMarkParams params;
+    IndexOptions opts;
+    CollectionBuilder builder(opts);
+    XMarkGenerator gen(params, builder.names(), builder.values());
+    for (DocId d = 0; d < 2000; ++d) {
+      Status st = builder.Observe(gen.Generate(d));
+      EXPECT_TRUE(st.ok());
+    }
+    if (w != 1.0) {
+      EXPECT_TRUE(
+          builder.BoostPath("/site/people/person/profile", w).ok());
+      EXPECT_TRUE(
+          builder
+              .BoostValuesUnder("/site/people/person/profile/age", w)
+              .ok());
+    }
+    EXPECT_TRUE(builder.BeginIndexing().ok());
+    for (DocId d = 0; d < 2000; ++d) {
+      Status st = builder.Index(gen.Generate(d));
+      EXPECT_TRUE(st.ok());
+    }
+    auto idx = std::move(builder).Finish();
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  };
+  CollectionIndex plain = build(1.0);
+  CollectionIndex boosted = build(64.0);
+  const char* q = "/site//person[profile/age='32']/emailaddress";
+  auto a = plain.Query(q);
+  auto b = boosted.Query(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->docs, b->docs);
+  EXPECT_LT(b->stats.match.candidates, a->stats.match.candidates);
+}
+
+}  // namespace
+}  // namespace xseq

@@ -1,0 +1,211 @@
+// Property-based tests: the index must agree exactly with the ground-truth
+// oracle on randomized datasets and workloads, and every constraint
+// sequence must reconstruct to its source tree. These sweeps are the
+// strongest check of Theorems 1-3.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/query/oracle.h"
+#include "src/seq/constraint.h"
+#include "src/seq/reconstruct.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+struct SweepCase {
+  SequencerKind sequencer;
+  int identical_percent;
+  int value_percent;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string kind;
+  switch (info.param.sequencer) {
+    case SequencerKind::kDepthFirst:
+      kind = "DF";
+      break;
+    case SequencerKind::kBreadthFirst:
+      kind = "BF";
+      break;
+    case SequencerKind::kRandom:
+      kind = "RND";
+      break;
+    case SequencerKind::kProbability:
+      kind = "CS";
+      break;
+  }
+  return kind + "_I" + std::to_string(info.param.identical_percent) + "_A" +
+         std::to_string(info.param.value_percent) + "_S" +
+         std::to_string(info.param.seed);
+}
+
+class IndexVsOracle : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(IndexVsOracle, RandomQueriesAgree) {
+  const SweepCase& c = GetParam();
+  SyntheticParams params;
+  params.identical_percent = c.identical_percent;
+  params.value_percent = c.value_percent;
+  params.seed = c.seed;
+  params.value_vocab = 6;  // small vocab => queries with values hit often
+
+  IndexOptions opts;
+  opts.sequencer = c.sequencer;
+  opts.keep_documents = true;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  constexpr DocId kDocs = 120;
+  for (DocId d = 0; d < kDocs; ++d) {
+    ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+
+  Rng rng(c.seed ^ 0xBEEF, 3);
+  int nonempty = 0;
+  for (int q = 0; q < 60; ++q) {
+    // Sample a query pattern from a random document (some in the
+    // collection, some from outside it so misses occur too).
+    DocId src = rng.Uniform(kDocs + 40);
+    Document sample = gen.Generate(src);
+    size_t len = 2 + rng.Uniform(6);
+    QueryPattern pattern = SampleQueryPattern(sample, idx->names(), len,
+                                              &rng);
+
+    auto got = idx->executor().ExecutePattern(pattern);
+    ASSERT_TRUE(got.ok()) << pattern.source;
+
+    auto inst = InstantiatePattern(pattern, idx->dict(), idx->names(),
+                                   idx->values());
+    ASSERT_TRUE(inst.ok());
+    std::vector<DocId> expect;
+    for (const ConcreteQuery& cq : inst->queries) {
+      auto part = OracleScan(idx->documents(), cq);
+      expect.insert(expect.end(), part.begin(), part.end());
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+
+    EXPECT_EQ(*got, expect) << "query: " << pattern.source;
+    if (!expect.empty()) ++nonempty;
+  }
+  // The workload must actually exercise hits, not just misses.
+  EXPECT_GT(nonempty, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexVsOracle,
+    ::testing::Values(
+        SweepCase{SequencerKind::kDepthFirst, 0, 25, 1},
+        SweepCase{SequencerKind::kDepthFirst, 30, 25, 2},
+        SweepCase{SequencerKind::kDepthFirst, 80, 40, 3},
+        SweepCase{SequencerKind::kProbability, 0, 25, 4},
+        SweepCase{SequencerKind::kProbability, 30, 25, 5},
+        SweepCase{SequencerKind::kProbability, 80, 40, 6},
+        SweepCase{SequencerKind::kProbability, 100, 25, 7},
+        // Random sequencing demonstrates representation validity and index
+        // size (Fig. 14) — its per-document order cannot be replicated for
+        // a query, so it is not a querying strategy and is absent here.
+        SweepCase{SequencerKind::kBreadthFirst, 0, 25, 9}),
+    CaseName);
+
+class RoundTrip : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RoundTrip, SequencesReconstructToSourceTrees) {
+  const SweepCase& c = GetParam();
+  SyntheticParams params;
+  params.identical_percent = c.identical_percent;
+  params.value_percent = c.value_percent;
+  params.seed = c.seed;
+
+  NameTable names;
+  ValueEncoder values;
+  SyntheticDataset gen(params, &names, &values);
+  PathDict dict;
+  Schema schema;
+  std::vector<Document> docs;
+  std::vector<std::vector<PathId>> paths;
+  for (DocId d = 0; d < 150; ++d) {
+    docs.push_back(gen.Generate(d));
+    paths.push_back(BindPaths(docs.back(), &dict));
+    schema.Observe(docs.back(), paths.back());
+  }
+  auto model = schema.BuildModel(dict);
+  auto sequencer = MakeSequencer(c.sequencer, model, 99);
+
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Sequence seq = sequencer->Encode(docs[i], paths[i]);
+    ASSERT_TRUE(IsConstraintSequence(seq, dict)) << i;
+    EXPECT_TRUE(AncestorsPrecedeDescendants(seq, dict)) << i;
+    EXPECT_TRUE(IdenticalSiblingGroupsContiguous(seq, dict)) << i;
+    auto tree = ReconstructTree(seq, dict);
+    ASSERT_TRUE(tree.ok()) << i;
+    EXPECT_TRUE(UnorderedEqual(tree->root(), docs[i].root())) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTrip,
+    ::testing::Values(
+        SweepCase{SequencerKind::kDepthFirst, 0, 25, 11},
+        SweepCase{SequencerKind::kDepthFirst, 50, 25, 12},
+        SweepCase{SequencerKind::kDepthFirst, 100, 40, 13},
+        SweepCase{SequencerKind::kProbability, 0, 25, 14},
+        SweepCase{SequencerKind::kProbability, 50, 25, 15},
+        SweepCase{SequencerKind::kProbability, 100, 40, 16},
+        SweepCase{SequencerKind::kRandom, 0, 25, 17},
+        SweepCase{SequencerKind::kRandom, 50, 25, 18},
+        SweepCase{SequencerKind::kRandom, 100, 40, 19}),
+    CaseName);
+
+TEST(NaiveVsConstraint, NaiveIsSupersetAndOvershootsOnlyWithSiblings) {
+  // Constraint results ⊆ naive results always; equality without identical
+  // siblings (Theorem 3's vacuous case).
+  for (int identical : {0, 60}) {
+    SyntheticParams params;
+    params.identical_percent = identical;
+    params.seed = 77;
+    params.value_vocab = 6;
+    IndexOptions opts;
+    opts.keep_documents = true;
+    CollectionBuilder builder(opts);
+    SyntheticDataset gen(params, builder.names(), builder.values());
+    for (DocId d = 0; d < 150; ++d) {
+      ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+    }
+    auto idx = std::move(builder).Finish();
+    ASSERT_TRUE(idx.ok());
+
+    Rng rng(123, 9);
+    uint64_t overshoot = 0;
+    for (int q = 0; q < 40; ++q) {
+      Document sample = gen.Generate(rng.Uniform(150));
+      QueryPattern pattern =
+          SampleQueryPattern(sample, idx->names(), 2 + rng.Uniform(5), &rng);
+      ExecOptions cs_opts, naive_opts;
+      naive_opts.mode = MatchMode::kNaive;
+      auto cs = idx->executor().ExecutePattern(pattern, nullptr, cs_opts);
+      auto nv = idx->executor().ExecutePattern(pattern, nullptr, naive_opts);
+      ASSERT_TRUE(cs.ok());
+      ASSERT_TRUE(nv.ok());
+      EXPECT_TRUE(std::includes(nv->begin(), nv->end(), cs->begin(),
+                                cs->end()))
+          << pattern.source;
+      overshoot += nv->size() - cs->size();
+    }
+    if (identical == 0) {
+      EXPECT_EQ(overshoot, 0u) << "no false alarms possible without "
+                                  "identical siblings";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xseq

@@ -1,0 +1,127 @@
+// Tests for record splitting, including the end-to-end path a real corpus
+// takes: one big XML file -> records -> index -> queries.
+
+#include <gtest/gtest.h>
+
+#include "src/core/collection_index.h"
+#include "src/xml/parser.h"
+#include "src/xml/record_split.h"
+#include "src/xml/writer.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+TEST(RecordSplit, SplitsAtTagAndKeepsAncestorChain) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto big = parser.Parse(
+      "<site><regions><item id='a'><loc>x</loc></item>"
+      "<item id='b'/></regions><people><person/></people></site>");
+  ASSERT_TRUE(big.ok());
+
+  std::vector<Document> records =
+      SplitIntoRecords(*big, {names.Find("item")}, 10);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id(), 10u);
+  EXPECT_EQ(records[1].id(), 11u);
+  // Chain: site -> regions -> item(...).
+  const Node* root = records[0].root();
+  EXPECT_EQ(names.Lookup(root->sym.id()), "site");
+  EXPECT_EQ(root->ChildCount(), 1u);
+  const Node* regions = root->first_child;
+  EXPECT_EQ(names.Lookup(regions->sym.id()), "regions");
+  const Node* item = regions->first_child;
+  EXPECT_EQ(names.Lookup(item->sym.id()), "item");
+  // The person substructure is not in item records.
+  for (const Node* n : records[0].nodes()) {
+    EXPECT_NE(n->sym.raw(), Sym::ForName(names.Find("person")).raw());
+  }
+}
+
+TEST(RecordSplit, MultipleTagsAndMissingTag) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto big = parser.Parse("<db><a/><b/><a/></db>");
+  ASSERT_TRUE(big.ok());
+  auto recs = SplitIntoRecords(
+      *big, {names.Find("a"), names.Find("b")});
+  EXPECT_EQ(recs.size(), 3u);
+  auto none = SplitIntoRecords(*big, {names.Intern("zzz")});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RecordSplit, NestedRecordTagsStayInOuterRecord) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto big = parser.Parse("<db><a><a/><c/></a></db>");
+  ASSERT_TRUE(big.ok());
+  auto recs = SplitIntoRecords(*big, {names.Find("a")});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].node_count(), 4u);  // db, a, a, c
+}
+
+TEST(RecordSplit, RootItselfCanBeARecord) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto big = parser.Parse("<inproceedings><title>t</title></inproceedings>");
+  ASSERT_TRUE(big.ok());
+  auto recs = SplitIntoRecords(*big, {names.Find("inproceedings")});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(UnorderedEqual(recs[0].root(), big->root()));
+}
+
+TEST(RecordSplit, EndToEndBigDocumentToQueries) {
+  // Build a "big" auction document, split it into item/person records,
+  // index them, and query with absolute paths.
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  std::string xml = "<site><regions>";
+  for (int i = 0; i < 20; ++i) {
+    xml += "<item id='i" + std::to_string(i) + "'><location>" +
+           (i % 4 == 0 ? "United States" : "Japan") +
+           "</location></item>";
+  }
+  xml += "</regions><people>";
+  for (int i = 0; i < 10; ++i) {
+    xml += "<person><age>" + std::to_string(20 + i % 3) +
+           "</age></person>";
+  }
+  xml += "</people></site>";
+  auto big = parser.Parse(xml);
+  ASSERT_TRUE(big.ok());
+
+  IndexOptions opts;
+  CollectionBuilder builder(opts);
+  // Share vocabulary: re-parse against the builder's tables.
+  XmlParser parser2(builder.names(), builder.values());
+  auto big2 = parser2.Parse(xml);
+  ASSERT_TRUE(big2.ok());
+  std::vector<NameId> tags = {builder.names()->Find("item"),
+                              builder.names()->Find("person")};
+  std::vector<Document> records = SplitIntoRecords(*big2, tags);
+  ASSERT_EQ(records.size(), 30u);
+  for (Document& rec : records) {
+    ASSERT_TRUE(builder.Add(std::move(rec)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+
+  auto r1 = idx->Query("/site//item[location='United States']");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->docs.size(), 5u);
+  auto r2 = idx->Query("/site/people/person[age='21']");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->docs.size(), 3u);
+  auto r3 = idx->Query("//person");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->docs.size(), 10u);
+}
+
+}  // namespace
+}  // namespace xseq

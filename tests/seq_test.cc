@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/schema/schema.h"
+#include "src/seq/constraint.h"
+#include "src/seq/path_dict.h"
+#include "src/seq/prufer.h"
+#include "src/seq/reconstruct.h"
+#include "src/seq/sequence.h"
+#include "src/seq/sequencer.h"
+#include "src/xml/tree.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+using testing::MakeDoc;
+
+class SeqTest : public ::testing::Test {
+ protected:
+  Document Doc(std::string_view spec, DocId id = 0) {
+    return MakeDoc(spec, &names_, &values_, id);
+  }
+
+  /// Renders `doc`'s sequence under `kind` as "/P /P/D ..." tokens.
+  std::vector<std::string> Render(const Document& doc, SequencerKind kind,
+                                  std::shared_ptr<const SequencingModel> m =
+                                      nullptr) {
+    std::vector<PathId> paths = BindPaths(doc, &dict_);
+    if (m == nullptr) {
+      // Infer a model from this document alone.
+      Schema schema;
+      schema.Observe(doc, paths);
+      m = schema.BuildModel(dict_);
+    }
+    auto seq = MakeSequencer(kind, m)->Encode(doc, paths);
+    std::vector<std::string> out;
+    for (PathId p : seq) out.push_back(dict_.ToString(p, names_));
+    return out;
+  }
+
+  NameTable names_;
+  ValueEncoder values_;
+  PathDict dict_;
+};
+
+TEST_F(SeqTest, PathDictInternsDense) {
+  Document doc = Doc("P(R(L),D(L))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  // Distinct paths: P, PR, PRL, PD, PDL.
+  std::set<PathId> distinct(paths.begin(), paths.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  EXPECT_EQ(dict_.size(), 6u);  // + epsilon
+}
+
+TEST_F(SeqTest, PathDictSharedAcrossDocs) {
+  Document a = Doc("P(R(L))");
+  Document b = Doc("P(R(L),D)");
+  BindPaths(a, &dict_);
+  size_t after_a = dict_.size();
+  BindPaths(b, &dict_);
+  EXPECT_EQ(dict_.size(), after_a + 1);  // only PD is new
+}
+
+TEST_F(SeqTest, PathDictParentDepthSteps) {
+  Document doc = Doc("P(R(L('boston')))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  const Node* value = doc.nodes().back();
+  PathId leaf = paths[value->index];
+  EXPECT_EQ(dict_.depth(leaf), 4u);
+  EXPECT_TRUE(dict_.sym(leaf).is_value());
+  PathId l = dict_.parent(leaf);
+  EXPECT_EQ(names_.Lookup(dict_.sym(l).id()), "L");
+  EXPECT_EQ(dict_.Steps(leaf).size(), 4u);
+  EXPECT_EQ(dict_.ToString(l, names_), "/P/R/L");
+}
+
+TEST_F(SeqTest, PathDictPrefixRelation) {
+  Document doc = Doc("P(R(L),D)");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  PathId p = paths[doc.root()->index];
+  PathId prl = paths[doc.root()->first_child->first_child->index];
+  PathId pd = paths[doc.root()->first_child->next_sibling->index];
+  EXPECT_TRUE(dict_.IsPrefixOf(p, prl));
+  EXPECT_TRUE(dict_.IsPrefixOf(prl, prl));
+  EXPECT_FALSE(dict_.IsPrefixOf(prl, pd));
+  EXPECT_FALSE(dict_.IsPrefixOf(pd, prl));
+  EXPECT_TRUE(dict_.IsPrefixOf(kEpsilonPath, p));
+}
+
+TEST_F(SeqTest, FindPathsReadOnly) {
+  Document a = Doc("P(R)");
+  BindPaths(a, &dict_);
+  size_t sz = dict_.size();
+  Document b = Doc("P(D)");
+  std::vector<PathId> found = FindPaths(b, dict_);
+  EXPECT_EQ(dict_.size(), sz);  // unchanged
+  EXPECT_NE(found[b.root()->index], kInvalidPath);
+  EXPECT_EQ(found[b.root()->first_child->index], kInvalidPath);
+}
+
+TEST_F(SeqTest, DepthFirstMatchesPaperTable1) {
+  // Fig 3(b): P(v0, D(L(v1)), D(M(v2))) ->
+  //   <P, Pv0, PD, PDL, PDLv1, PD, PDM, PDMv2>
+  Document doc = Doc("P('v0',D(L('v1')),D(M('v2')))");
+  auto seq = Render(doc, SequencerKind::kDepthFirst);
+  std::vector<std::string> expect = {
+      "/P",        "/P=v0",     "/P/D",       "/P/D/L",
+      "/P/D/L=v0", "/P/D",      "/P/D/M",     "/P/D/M=v1"};
+  // Value ids depend on interning order: v0 -> 0, v1 -> 1, v2 -> 2.
+  expect[4] = "/P/D/L=v1";
+  expect[7] = "/P/D/M=v2";
+  EXPECT_EQ(seq, expect);
+}
+
+TEST_F(SeqTest, BreadthFirstLevelOrder) {
+  // Fig 3(c): P(v0, D, D(L(v1), M(v2))) breadth-first:
+  //   <P, Pv0, PD, PD, PDL, PDM, PDLv1, PDMv2>
+  Document doc = Doc("P('v0',D,D(L('v1'),M('v2')))");
+  auto seq = Render(doc, SequencerKind::kBreadthFirst);
+  std::vector<std::string> expect = {"/P",     "/P=v0",  "/P/D",
+                                     "/P/D",   "/P/D/L", "/P/D/M",
+                                     "/P/D/L=v1", "/P/D/M=v2"};
+  EXPECT_EQ(seq, expect);
+}
+
+TEST_F(SeqTest, ProbabilitySequencingMatchesPaperSection52) {
+  // Figure 13's example: priorities p(C|root):
+  //   P 1.0, R 0.9, U 0.72, M 0.576, L 0.36, Lv3 0.036, v1 0.001,
+  //   Mv2 0.00064
+  // Expected g_best sequence:
+  //   <P, PR, PRU, PRUM, PRL, PRLv3, Pv1, PRUMv2>   (Section 5.2)
+  Document doc = Doc("P('v1',R(U(M('v2')),L('v3')))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+
+  auto model = std::make_shared<SequencingModel>();
+  model->priority.assign(dict_.size(), 0.0);
+  model->may_repeat.assign(dict_.size(), 0);
+  auto set = [&](const Node* n, double pr) {
+    model->priority[paths[n->index]] = pr;
+  };
+  const Node* root = doc.root();
+  const Node* v1 = root->first_child;
+  const Node* r = v1->next_sibling;
+  const Node* u = r->first_child;
+  const Node* m = u->first_child;
+  const Node* v2 = m->first_child;
+  const Node* l = u->next_sibling;
+  const Node* v3 = l->first_child;
+  set(root, 1.0);
+  set(v1, 0.001);
+  set(r, 0.9);
+  set(u, 0.72);
+  set(m, 0.576);
+  set(v2, 0.00064);
+  set(l, 0.36);
+  set(v3, 0.036);
+
+  auto seq = MakeSequencer(SequencerKind::kProbability, model)
+                 ->Encode(doc, paths);
+  std::vector<std::string> got;
+  for (PathId p : seq) got.push_back(dict_.ToString(p, names_));
+  // Value interning order: 'v1'->0, 'v2'->1, 'v3'->2.
+  EXPECT_EQ(got, (std::vector<std::string>{
+                     "/P", "/P/R", "/P/R/U", "/P/R/U/M", "/P/R/L",
+                     "/P/R/L=v2", "/P=v0", "/P/R/U/M=v1"}));
+}
+
+TEST_F(SeqTest, ProbabilitySequencesShareLongPrefixes) {
+  // The paper's Impact 1 (Fig. 11 / Table 3): two documents differing only
+  // in rare values share a prefix of length 6 under g_best but only 1 under
+  // depth-first.
+  Document a = Doc("P('va',R(U(M('v2')),L('v3')))", 0);
+  Document b = Doc("P('vb',R(U(M('v6')),L('v3')))", 1);
+  std::vector<PathId> pa = BindPaths(a, &dict_);
+  std::vector<PathId> pb = BindPaths(b, &dict_);
+  Schema schema;
+  schema.Observe(a, pa);
+  schema.Observe(b, pb);
+  auto model = schema.BuildModel(dict_);
+
+  auto cs = MakeSequencer(SequencerKind::kProbability, model);
+  auto df = MakeSequencer(SequencerKind::kDepthFirst);
+  EXPECT_GE(CommonPrefix(cs->Encode(a, pa), cs->Encode(b, pb)), 6u);
+  EXPECT_EQ(CommonPrefix(df->Encode(a, pa), df->Encode(b, pb)), 1u);
+}
+
+TEST_F(SeqTest, GroupingKeepsRepeatableSubtreesContiguous) {
+  Document doc = Doc("P(D(M('x')),D(M('y')),R)");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  Schema schema;
+  schema.Observe(doc, paths);
+  auto model = schema.BuildModel(dict_);
+  ASSERT_TRUE(model->MayRepeat(paths[doc.root()->first_child->index]));
+  Sequence seq = MakeSequencer(SequencerKind::kProbability, model)
+                     ->Encode(doc, paths);
+  EXPECT_TRUE(IdenticalSiblingGroupsContiguous(seq, dict_));
+  EXPECT_TRUE(AncestorsPrecedeDescendants(seq, dict_));
+}
+
+TEST_F(SeqTest, SchemaDrivenGroupingAppliesWithoutInstanceSiblings) {
+  // The query-compatibility property: a document *without* identical
+  // siblings still groups subtrees whose path is repeatable in the schema.
+  Document data = Doc("P(D(M),D(M),R)", 0);   // causes may_repeat for PD
+  Document query = Doc("P(D(M),R)", 1);       // no identical siblings itself
+  std::vector<PathId> pd = BindPaths(data, &dict_);
+  std::vector<PathId> pq = BindPaths(query, &dict_);
+  Schema schema;
+  schema.Observe(data, pd);
+  auto model = schema.BuildModel(dict_);
+  auto cs = MakeSequencer(SequencerKind::kProbability, model);
+  Sequence dseq = cs->Encode(data, pd);
+  Sequence qseq = cs->Encode(query, pq);
+  // qseq must be a subsequence of dseq.
+  size_t j = 0;
+  for (PathId p : dseq) {
+    if (j < qseq.size() && qseq[j] == p) ++j;
+  }
+  EXPECT_EQ(j, qseq.size())
+      << "query order incompatible with data order";
+}
+
+TEST_F(SeqTest, RandomSequencerDeterministicPerDoc) {
+  Document doc = Doc("P(R(L),D(M),E,F(G))", 7);
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  Schema schema;
+  schema.Observe(doc, paths);
+  auto model = schema.BuildModel(dict_);
+  auto s1 = MakeSequencer(SequencerKind::kRandom, model, 99);
+  auto s2 = MakeSequencer(SequencerKind::kRandom, model, 99);
+  EXPECT_EQ(s1->Encode(doc, paths), s2->Encode(doc, paths));
+  auto s3 = MakeSequencer(SequencerKind::kRandom, model, 100);
+  // Different seed usually gives a different order (not guaranteed, but
+  // with 8 nodes the chance of collision is tiny).
+  EXPECT_NE(s1->Encode(doc, paths), s3->Encode(doc, paths));
+}
+
+TEST_F(SeqTest, AllStrategiesEmitEveryNodeOnce) {
+  Document doc = Doc("P(R(U(M('v2')),L('v3')),D(L('b')),'v1')");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  Schema schema;
+  schema.Observe(doc, paths);
+  auto model = schema.BuildModel(dict_);
+  for (SequencerKind kind :
+       {SequencerKind::kDepthFirst, SequencerKind::kBreadthFirst,
+        SequencerKind::kRandom, SequencerKind::kProbability}) {
+    Sequence seq = MakeSequencer(kind, model)->Encode(doc, paths);
+    EXPECT_EQ(seq.size(), doc.node_count()) << SequencerKindName(kind);
+    Sequence sorted_seq = seq;
+    Sequence sorted_paths = paths;
+    std::sort(sorted_seq.begin(), sorted_seq.end());
+    std::sort(sorted_paths.begin(), sorted_paths.end());
+    EXPECT_EQ(sorted_seq, sorted_paths) << SequencerKindName(kind);
+  }
+}
+
+TEST_F(SeqTest, ForwardPrefixParentsPrefersLastBefore) {
+  // <P, PD, PDM, PD, PDM>: each PDM attaches to the nearest preceding PD.
+  Document doc = Doc("P(D(M),D(M))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  Sequence seq = MakeSequencer(SequencerKind::kDepthFirst)
+                     ->Encode(doc, paths);
+  auto parents = ForwardPrefixParents(seq, dict_);
+  ASSERT_TRUE(parents.ok());
+  EXPECT_EQ((*parents)[0], -1);
+  EXPECT_EQ((*parents)[1], 0);
+  EXPECT_EQ((*parents)[2], 1);
+  EXPECT_EQ((*parents)[3], 0);
+  EXPECT_EQ((*parents)[4], 3);
+}
+
+TEST_F(SeqTest, ForwardPrefixParentsFallsBackToFirstAfter) {
+  // Paper Table 2 admits sequences where a childless identical sibling
+  // appears after descendants of its twin:
+  //   <P, PD, PDM, PDL, PD>  (second PD trails)
+  Document doc = Doc("P(D(M,L),D)");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  PathId p = paths[doc.root()->index];
+  PathId pd = paths[doc.root()->first_child->index];
+  PathId pdm = paths[doc.root()->first_child->first_child->index];
+  PathId pdl =
+      paths[doc.root()->first_child->first_child->next_sibling->index];
+  Sequence seq{p, pd, pdm, pdl, pd};
+  auto parents = ForwardPrefixParents(seq, dict_);
+  ASSERT_TRUE(parents.ok());
+  EXPECT_EQ((*parents)[2], 1);
+  EXPECT_EQ((*parents)[3], 1);
+  EXPECT_EQ((*parents)[4], 0);
+  auto tree = ReconstructTree(seq, dict_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(UnorderedEqual(tree->root(), doc.root()));
+}
+
+TEST_F(SeqTest, ConstraintViolationDetected) {
+  Document doc = Doc("P(D(M))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  PathId pdm = paths[doc.root()->first_child->first_child->index];
+  PathId p = paths[doc.root()->index];
+  // PDM without PD occurrence violates Definition 1.
+  Sequence bad{p, pdm};
+  EXPECT_FALSE(IsConstraintSequence(bad, dict_));
+  auto st = ForwardPrefixParents(bad, dict_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.status().IsInvalidArgument());
+}
+
+TEST_F(SeqTest, MultipleRootsRejected) {
+  Document doc = Doc("P(D)");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  PathId p = paths[doc.root()->index];
+  Sequence two_roots{p, p};
+  EXPECT_FALSE(IsConstraintSequence(two_roots, dict_));
+}
+
+TEST_F(SeqTest, ReconstructionRoundTripAllStrategies) {
+  for (const char* spec :
+       {"P", "P('v')", "P(D(M('x')),D(M('y')),R(L('z')))",
+        "P(D(L(S('a'),B('b'))),D(L(S('c'))),E('d'))",
+        "a(b(c(d(e('v1')))),b(c(d)),f)"}) {
+    Document doc = Doc(spec);
+    std::vector<PathId> paths = BindPaths(doc, &dict_);
+    Schema schema;
+    schema.Observe(doc, paths);
+    auto model = schema.BuildModel(dict_);
+    for (SequencerKind kind :
+         {SequencerKind::kDepthFirst, SequencerKind::kRandom,
+          SequencerKind::kProbability}) {
+      Sequence seq = MakeSequencer(kind, model)->Encode(doc, paths);
+      auto tree = ReconstructTree(seq, dict_);
+      ASSERT_TRUE(tree.ok()) << spec << " " << SequencerKindName(kind);
+      EXPECT_TRUE(UnorderedEqual(tree->root(), doc.root()))
+          << spec << " via " << SequencerKindName(kind) << ": "
+          << SequenceToString(seq, dict_, names_);
+    }
+  }
+}
+
+TEST_F(SeqTest, BreadthFirstAmbiguousWithIdenticalSiblings) {
+  // The known limitation: BF sequences of trees with identical siblings can
+  // reconstruct to a different tree (which is why the paper uses BF only on
+  // I=0 datasets).
+  Document doc = Doc("P(L(S),L(B))");
+  std::vector<PathId> paths = BindPaths(doc, &dict_);
+  Sequence seq = MakeSequencer(SequencerKind::kBreadthFirst)
+                     ->Encode(doc, paths);
+  auto tree = ReconstructTree(seq, dict_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(UnorderedEqual(tree->root(), doc.root()));
+}
+
+TEST(Prufer, PaperFigure2aExample) {
+  // Fig 2(a): P(R, D(L), D(M)) with labels from post-order style numbering.
+  // The paper reports <5,6,2,6,6> for its labeling; with our post-order
+  // numbering the code is a deterministic variant — lock its round trip and
+  // length (n-1).
+  NameTable names;
+  ValueEncoder values;
+  Document doc = testing::MakeDoc("P(R,D(L),D(M))", &names, &values);
+  std::vector<uint32_t> code = PruferEncode(doc);
+  EXPECT_EQ(code.size(), doc.node_count() - 1);
+  auto parent = PruferDecode(code);
+  ASSERT_TRUE(parent.ok());
+  // Rebuild parent relation from the document for comparison.
+  std::vector<uint32_t> number = PostOrderNumbers(doc);
+  std::vector<uint32_t> expect(doc.node_count() + 1, 0);
+  for (const Node* n : doc.nodes()) {
+    expect[number[n->index]] =
+        n->parent == nullptr ? 0 : number[n->parent->index];
+  }
+  EXPECT_EQ(*parent, expect);
+}
+
+TEST(Prufer, SingleNodeAndChain) {
+  NameTable names;
+  ValueEncoder values;
+  Document single = testing::MakeDoc("P", &names, &values);
+  EXPECT_TRUE(PruferEncode(single).empty());
+  auto decoded = PruferDecode({});
+  ASSERT_TRUE(decoded.ok());
+
+  Document chain = testing::MakeDoc("a(b(c(d)))", &names, &values);
+  std::vector<uint32_t> code = PruferEncode(chain);
+  EXPECT_EQ(code.size(), 3u);
+  ASSERT_TRUE(PruferDecode(code).ok());
+}
+
+TEST(Prufer, RejectsMalformedCode) {
+  EXPECT_FALSE(PruferDecode({99}).ok());    // out of range
+  EXPECT_FALSE(PruferDecode({1, 1}).ok());  // root never appears
+}
+
+TEST(Schema, CountsAndProbabilities) {
+  NameTable names;
+  ValueEncoder values;
+  PathDict dict;
+  Schema schema;
+  // Two docs: R always present under P; D in one of two.
+  Document a = testing::MakeDoc("P(R,D)", &names, &values, 0);
+  Document b = testing::MakeDoc("P(R)", &names, &values, 1);
+  auto pa = BindPaths(a, &dict);
+  auto pb = BindPaths(b, &dict);
+  schema.Observe(a, pa);
+  schema.Observe(b, pb);
+  PathId p = pa[a.root()->index];
+  PathId pr = pa[a.root()->first_child->index];
+  PathId pd = pa[a.root()->first_child->next_sibling->index];
+  EXPECT_EQ(schema.documents(), 2u);
+  EXPECT_DOUBLE_EQ(schema.RootProb(p), 1.0);
+  EXPECT_DOUBLE_EQ(schema.RootProb(pr), 1.0);
+  EXPECT_DOUBLE_EQ(schema.RootProb(pd), 0.5);
+  EXPECT_DOUBLE_EQ(schema.CondProb(pd, dict), 0.5);
+  EXPECT_FALSE(schema.MayRepeat(pd));
+}
+
+TEST(Schema, MayRepeatDetectedAndDeclared) {
+  NameTable names;
+  ValueEncoder values;
+  PathDict dict;
+  Schema schema;
+  Document a = testing::MakeDoc("P(D,D,R)", &names, &values);
+  auto pa = BindPaths(a, &dict);
+  schema.Observe(a, pa);
+  PathId pd = pa[a.root()->first_child->index];
+  PathId pr = pa[a.root()->first_child->next_sibling->next_sibling->index];
+  EXPECT_TRUE(schema.MayRepeat(pd));
+  EXPECT_FALSE(schema.MayRepeat(pr));
+  schema.DeclareRepeatable(pr);
+  EXPECT_TRUE(schema.MayRepeat(pr));
+}
+
+TEST(Schema, WeightsTuneTheModel) {
+  // Impact 2: boosting a rare path's weight moves it earlier.
+  NameTable names;
+  ValueEncoder values;
+  PathDict dict;
+  Schema schema;
+  std::vector<Document> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back(testing::MakeDoc(
+        i == 0 ? "P(C,J)" : "P(C)", &names, &values, static_cast<DocId>(i)));
+    auto paths = BindPaths(docs.back(), &dict);
+    schema.Observe(docs.back(), paths);
+  }
+  auto pa = FindPaths(docs[0], dict);
+  PathId pc = pa[docs[0].root()->first_child->index];
+  PathId pj = pa[docs[0].root()->first_child->next_sibling->index];
+  auto model = schema.BuildModel(dict);
+  EXPECT_GT(model->PriorityOf(pc), model->PriorityOf(pj));
+  schema.SetWeight(pj, 100.0);
+  model = schema.BuildModel(dict);
+  EXPECT_LT(model->PriorityOf(pc), model->PriorityOf(pj));
+  // And the sequencer respects it.
+  auto seq = MakeSequencer(SequencerKind::kProbability, model)
+                 ->Encode(docs[0], pa);
+  EXPECT_EQ(seq[1], pj);
+}
+
+}  // namespace
+}  // namespace xseq

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page.h"
+#include "src/storage/paged_index.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+TEST(PageFile, AllocateAndWrite) {
+  PageFile f;
+  EXPECT_EQ(f.page_count(), 0u);
+  uint32_t p = f.Allocate();
+  EXPECT_EQ(p, 0u);
+  uint32_t v = 0xDEADBEEF;
+  f.WriteAt(100, &v, sizeof(v));
+  uint32_t got;
+  std::memcpy(&got, f.page(0).data + 100, sizeof(got));
+  EXPECT_EQ(got, v);
+}
+
+TEST(PageFile, WriteAcrossPageBoundary) {
+  PageFile f;
+  uint64_t v = 0x1122334455667788ULL;
+  f.WriteAt(kPageSize - 4, &v, sizeof(v));
+  EXPECT_EQ(f.page_count(), 2u);
+  uint8_t buf[8];
+  std::memcpy(buf, f.page(0).data + kPageSize - 4, 4);
+  std::memcpy(buf + 4, f.page(1).data, 4);
+  EXPECT_EQ(std::memcmp(buf, &v, 8), 0);
+}
+
+TEST(PageFile, GrowsOnDemand) {
+  PageFile f;
+  uint32_t v = 7;
+  f.WriteAt(10 * kPageSize, &v, sizeof(v));
+  EXPECT_EQ(f.page_count(), 11u);
+  EXPECT_EQ(f.bytes(), 11u * kPageSize);
+}
+
+TEST(BufferPool, CountsHitsAndMisses) {
+  PageFile f;
+  f.EnsurePages(10);
+  BufferPool pool(&f, 4);
+  pool.Fetch(0);
+  pool.Fetch(1);
+  pool.Fetch(0);
+  EXPECT_EQ(pool.fetches(), 3u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, EvictsLeastRecentlyUsed) {
+  PageFile f;
+  f.EnsurePages(10);
+  BufferPool pool(&f, 2);
+  pool.Fetch(0);
+  pool.Fetch(1);
+  pool.Fetch(0);  // 0 is now MRU
+  pool.Fetch(2);  // evicts 1
+  pool.ResetCounters();
+  pool.Fetch(0);
+  EXPECT_EQ(pool.misses(), 0u);
+  pool.Fetch(1);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPool, ClearDropsCache) {
+  PageFile f;
+  f.EnsurePages(4);
+  BufferPool pool(&f, 4);
+  pool.Fetch(0);
+  pool.Clear();
+  pool.ResetCounters();
+  pool.Fetch(0);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+class PagedIndexTest : public ::testing::Test {
+ protected:
+  void Build(const std::vector<std::string>& specs) {
+    idx_ = std::make_unique<CollectionIndex>(testing::MakeIndex(specs));
+    paged_ = std::make_unique<PagedIndex>(PagedIndex::Build(idx_->index()));
+  }
+
+  /// Runs `xpath` both in-memory and paged; expects identical results and
+  /// returns the paged run's disk reads.
+  uint64_t CompareAndCountReads(const std::string& xpath) {
+    auto mem = idx_->Query(xpath);
+    EXPECT_TRUE(mem.ok());
+    auto compiled = idx_->executor().Compile(*ParseXPath(xpath));
+    EXPECT_TRUE(compiled.ok());
+    BufferPool pool(&paged_->file(), 1024);
+    std::vector<DocId> paged_docs;
+    for (const QuerySeq& qs : *compiled) {
+      EXPECT_TRUE(paged_
+                      ->Match(qs, MatchMode::kConstraint, &pool,
+                              &paged_docs)
+                      .ok());
+    }
+    std::sort(paged_docs.begin(), paged_docs.end());
+    paged_docs.erase(std::unique(paged_docs.begin(), paged_docs.end()),
+                     paged_docs.end());
+    EXPECT_EQ(paged_docs, mem->docs) << xpath;
+    return pool.misses();
+  }
+
+  std::unique_ptr<CollectionIndex> idx_;
+  std::unique_ptr<PagedIndex> paged_;
+};
+
+TEST_F(PagedIndexTest, AgreesWithInMemoryMatcher) {
+  Build({"P(R(L('a')),D(M('b')))", "P(R(M('b')))", "P(D(L('a'),M('b')))",
+         "P(L(S),L(B))"});
+  for (const char* q :
+       {"/P/R/L", "/P//M", "/P/D[M]", "/P/L[S][B]", "/P//L[.='a']"}) {
+    uint64_t reads = CompareAndCountReads(q);
+    EXPECT_GT(reads, 0u) << q;
+  }
+}
+
+TEST_F(PagedIndexTest, DiskReadsBoundedByPages) {
+  Build({"P(R(L))", "P(R(M))", "P(D)"});
+  uint64_t reads = CompareAndCountReads("/P/R/L");
+  EXPECT_LE(reads, paged_->total_pages());
+}
+
+TEST_F(PagedIndexTest, WarmPoolServesFromCache) {
+  Build({"P(R(L))", "P(R(M))"});
+  auto compiled = idx_->executor().Compile(*ParseXPath("/P/R/L"));
+  ASSERT_TRUE(compiled.ok());
+  BufferPool pool(&paged_->file(), 1024);
+  std::vector<DocId> out;
+  ASSERT_TRUE(paged_
+                  ->Match((*compiled)[0], MatchMode::kConstraint, &pool,
+                          &out)
+                  .ok());
+  uint64_t cold = pool.misses();
+  EXPECT_GT(cold, 0u);
+  pool.ResetCounters();
+  out.clear();
+  ASSERT_TRUE(paged_
+                  ->Match((*compiled)[0], MatchMode::kConstraint, &pool,
+                          &out)
+                  .ok());
+  EXPECT_EQ(pool.misses(), 0u);  // fully cached
+  EXPECT_GT(pool.hits(), 0u);
+}
+
+TEST(PagedIndexScale, LargerCollectionsAgreeUnderPaging) {
+  SyntheticParams params;
+  params.identical_percent = 30;
+  params.value_vocab = 8;
+  IndexOptions opts;
+  opts.keep_documents = true;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < 400; ++d) {
+    ASSERT_TRUE(builder.Add(gen.Generate(d)).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+  PagedIndex paged = PagedIndex::Build(idx->index());
+  EXPECT_GT(paged.total_pages(), 1u);
+
+  Rng rng(31, 5);
+  for (int q = 0; q < 25; ++q) {
+    Document sample = gen.Generate(rng.Uniform(400));
+    QueryPattern pattern = SampleQueryPattern(sample, idx->names(),
+                                              2 + rng.Uniform(6), &rng);
+    auto mem = idx->executor().ExecutePattern(pattern);
+    ASSERT_TRUE(mem.ok());
+    auto compiled = idx->executor().Compile(pattern);
+    ASSERT_TRUE(compiled.ok());
+    BufferPool pool(&paged.file(), 256);
+    std::vector<DocId> out;
+    for (const QuerySeq& qs : *compiled) {
+      ASSERT_TRUE(
+          paged.Match(qs, MatchMode::kConstraint, &pool, &out).ok());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    EXPECT_EQ(out, *mem) << pattern.source;
+  }
+}
+
+}  // namespace
+}  // namespace xseq

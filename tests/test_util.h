@@ -1,0 +1,99 @@
+// Shared helpers for xseq tests: a tiny tree-spec DSL and index builders.
+//
+// Tree specs: `P(R(U(M('v2')),L('v3')),'v1')` — identifiers are element
+// names, quoted tokens are value leaves. Whitespace is ignored.
+
+#ifndef XSEQ_TESTS_TEST_UTIL_H_
+#define XSEQ_TESTS_TEST_UTIL_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/xml/name_table.h"
+#include "src/xml/tree.h"
+
+namespace xseq {
+namespace testing {
+
+namespace internal {
+
+inline bool IsIdent(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+inline void SkipWs(std::string_view s, size_t* i) {
+  while (*i < s.size() && (s[*i] == ' ' || s[*i] == ',')) ++(*i);
+}
+
+inline Node* ParseSpecNode(std::string_view s, size_t* i, Document* doc,
+                           NameTable* names, ValueEncoder* values) {
+  SkipWs(s, i);
+  assert(*i < s.size());
+  if (s[*i] == '\'') {
+    ++(*i);
+    size_t start = *i;
+    while (*i < s.size() && s[*i] != '\'') ++(*i);
+    std::string text(s.substr(start, *i - start));
+    ++(*i);  // closing quote
+    return doc->CreateValue(values->Encode(text), text);
+  }
+  size_t start = *i;
+  while (*i < s.size() && IsIdent(s[*i])) ++(*i);
+  assert(*i > start && "expected an identifier in tree spec");
+  Node* n = doc->CreateElement(
+      names->Intern(std::string(s.substr(start, *i - start))));
+  SkipWs(s, i);
+  if (*i < s.size() && s[*i] == '(') {
+    ++(*i);
+    for (;;) {
+      SkipWs(s, i);
+      if (*i < s.size() && s[*i] == ')') {
+        ++(*i);
+        break;
+      }
+      Node* child = ParseSpecNode(s, i, doc, names, values);
+      doc->AppendChild(n, child);
+    }
+  }
+  return n;
+}
+
+}  // namespace internal
+
+/// Builds a Document from a tree spec.
+inline Document MakeDoc(std::string_view spec, NameTable* names,
+                        ValueEncoder* values, DocId id = 0) {
+  Document doc(id);
+  size_t i = 0;
+  Node* root =
+      internal::ParseSpecNode(spec, &i, &doc, names, values);
+  doc.SetRoot(root);
+  return doc;
+}
+
+/// Builds a CollectionIndex over the given tree specs (ids 0..n-1),
+/// retaining the documents for oracle checks.
+inline CollectionIndex MakeIndex(const std::vector<std::string>& specs,
+                                 IndexOptions options = IndexOptions()) {
+  options.keep_documents = true;
+  CollectionBuilder builder(options);
+  DocId id = 0;
+  for (const std::string& spec : specs) {
+    Document doc = MakeDoc(spec, builder.names(), builder.values(), id++);
+    Status st = builder.Add(std::move(doc));
+    assert(st.ok());
+    (void)st;
+  }
+  auto idx = std::move(builder).Finish();
+  assert(idx.ok());
+  return std::move(*idx);
+}
+
+}  // namespace testing
+}  // namespace xseq
+
+#endif  // XSEQ_TESTS_TEST_UTIL_H_

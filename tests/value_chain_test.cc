@@ -1,0 +1,182 @@
+// Tests for the character-chain value representation (the paper's second
+// value option) and the starts-with() prefix predicate it enables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/xml/value_chain.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+TEST(ValueChain, ExpandsLeafIntoCharChain) {
+  NameTable names;
+  ValueEncoder values;
+  Document doc = testing::MakeDoc("P(L('ab'))", &names, &values);
+  Document expanded = ExpandValueChains(doc);
+  // P -> L -> 'a' -> 'b' -> terminator.
+  EXPECT_EQ(expanded.node_count(), 5u);
+  const Node* l = expanded.root()->first_child;
+  const Node* a = l->first_child;
+  const Node* b = a->first_child;
+  const Node* t = b->first_child;
+  EXPECT_TRUE(a->is_value());
+  EXPECT_EQ(a->sym.id(), static_cast<ValueId>('a'));
+  EXPECT_EQ(b->sym.id(), static_cast<ValueId>('b'));
+  EXPECT_EQ(t->sym.id(), kChainTerminator);
+  EXPECT_EQ(t->first_child, nullptr);
+}
+
+TEST(ValueChain, EmptyValueBecomesBareTerminator) {
+  NameTable names;
+  ValueEncoder values;
+  Document doc = testing::MakeDoc("P(L(''))", &names, &values);
+  Document expanded = ExpandValueChains(doc);
+  EXPECT_EQ(expanded.node_count(), 3u);  // P, L, terminator
+  EXPECT_EQ(expanded.root()->first_child->first_child->sym.id(),
+            kChainTerminator);
+}
+
+TEST(ValueChain, PreservesStructureAndAttributes) {
+  NameTable names;
+  ValueEncoder values;
+  XmlParser parser(&names, &values);
+  auto doc = parser.Parse("<a id='x'><b>hi</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  Document expanded = ExpandValueChains(*doc);
+  const Node* id = expanded.root()->first_child;
+  EXPECT_EQ(id->kind, NodeKind::kAttribute);
+  // id -> 'x' -> term; b -> 'h','i',term; c
+  EXPECT_EQ(expanded.node_count(), 1u + 1 + 2 + 1 + 3 + 1);
+}
+
+TEST(XPathParser, StartsWithForms) {
+  auto q = ParseXPath("/P/L[starts-with(., 'bos')]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const PatternNode* l = q->root->children[0]->children[0].get();
+  ASSERT_EQ(l->children.size(), 1u);
+  EXPECT_EQ(l->children[0]->test, PatternNode::Test::kValuePrefix);
+  EXPECT_EQ(l->children[0]->value, "bos");
+
+  auto q2 = ParseXPath("//item[starts-with(name/text, 'wid')]");
+  ASSERT_TRUE(q2.ok());
+
+  EXPECT_FALSE(ParseXPath("/P[starts-with(.,'x'").ok());
+  EXPECT_FALSE(ParseXPath("/P[starts-with(., bare)]").ok());
+}
+
+class ChainModeTest : public ::testing::Test {
+ protected:
+  CollectionIndex Build(ValueMode mode,
+                        const std::vector<std::string>& specs) {
+    IndexOptions opts;
+    opts.value_mode = mode;
+    opts.keep_documents = true;
+    return testing::MakeIndex(specs, opts);
+  }
+
+  const std::vector<std::string> specs_ = {
+      "P(L('boston'),R('x'))", "P(L('boxford'))", "P(L('newyork'))",
+      "P(L('bo'))", "P(R('boston'))"};
+};
+
+TEST_F(ChainModeTest, EqualityQueriesMatchExactMode) {
+  CollectionIndex exact = Build(ValueMode::kExact, specs_);
+  CollectionIndex chain = Build(ValueMode::kCharSequence, specs_);
+  for (const char* q :
+       {"/P/L[.='boston']", "/P/L[.='bo']", "/P/L[.='bost']",
+        "/P/R[.='boston']", "//L[.='newyork']", "/P/L"}) {
+    auto re = exact.Query(q);
+    auto rc = chain.Query(q);
+    ASSERT_TRUE(re.ok()) << q;
+    ASSERT_TRUE(rc.ok()) << q;
+    EXPECT_EQ(re->docs, rc->docs) << q;
+  }
+}
+
+TEST_F(ChainModeTest, PrefixQueriesInChainMode) {
+  CollectionIndex chain = Build(ValueMode::kCharSequence, specs_);
+  auto r = chain.Query("/P/L[starts-with(., 'bo')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0, 1, 3}));
+  r = chain.Query("/P/L[starts-with(., 'bos')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0}));
+  r = chain.Query("//R[starts-with(., 'bos')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{4}));
+  r = chain.Query("/P/L[starts-with(., 'zz')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->docs.empty());
+}
+
+TEST_F(ChainModeTest, PrefixQueriesInExactModeEnumerateValues) {
+  CollectionIndex exact = Build(ValueMode::kExact, specs_);
+  auto r = exact.Query("/P/L[starts-with(., 'bo')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0, 1, 3}));
+}
+
+TEST_F(ChainModeTest, PrefixQueriesRejectedInHashedMode) {
+  CollectionIndex hashed = Build(ValueMode::kHashed, specs_);
+  auto r = hashed.Query("/P/L[starts-with(., 'bo')]");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnimplemented());
+}
+
+TEST_F(ChainModeTest, EmptyPrefixMatchesEveryValue) {
+  CollectionIndex chain = Build(ValueMode::kCharSequence, specs_);
+  auto r = chain.Query("/P/L[starts-with(., '')]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs, (std::vector<DocId>{0, 1, 2, 3}));
+}
+
+TEST(ChainModeSweep, RandomWorkloadAgreesWithExactMode) {
+  SyntheticParams params;
+  params.identical_percent = 30;
+  params.value_vocab = 8;
+  params.seed = 1234;
+
+  auto build = [&](ValueMode mode) {
+    IndexOptions opts;
+    opts.value_mode = mode;
+    CollectionBuilder builder(opts);
+    SyntheticDataset gen(params, builder.names(), builder.values());
+    for (DocId d = 0; d < 120; ++d) {
+      Status st = builder.Add(gen.Generate(d));
+      EXPECT_TRUE(st.ok());
+    }
+    auto idx = std::move(builder).Finish();
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  };
+  CollectionIndex exact = build(ValueMode::kExact);
+  CollectionIndex chain = build(ValueMode::kCharSequence);
+
+  // Sampling happens against a third generator with identical output.
+  NameTable names;
+  ValueEncoder values;
+  SyntheticDataset gen(params, &names, &values);
+  Rng rng(55, 3);
+  int nonempty = 0;
+  for (int q = 0; q < 50; ++q) {
+    Document sample = gen.Generate(rng.Uniform(140));
+    QueryPattern pattern =
+        SampleQueryPattern(sample, names, 2 + rng.Uniform(5), &rng, 0.5);
+    auto re = exact.executor().ExecutePattern(pattern);
+    auto rc = chain.executor().ExecutePattern(pattern);
+    ASSERT_TRUE(re.ok()) << pattern.source;
+    ASSERT_TRUE(rc.ok()) << pattern.source;
+    EXPECT_EQ(*re, *rc) << pattern.source;
+    if (!re->empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 5);
+}
+
+}  // namespace
+}  // namespace xseq

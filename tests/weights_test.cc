@@ -1,0 +1,192 @@
+// Tests for the tunable weighting mechanism w(C) (Eq. 6, Impact 2):
+// boosting a frequently-queried, highly selective path pulls it earlier in
+// the sequences, shrinking the match search space without changing answers.
+
+#include <gtest/gtest.h>
+
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+/// A corpus where every document shares a common chain P/U/M and only a
+/// few contain the selective J element: the paper's Impact 2 setup.
+std::vector<std::string> ImpactTwoCorpus(int docs, int selective_every) {
+  std::vector<std::string> specs;
+  for (int d = 0; d < docs; ++d) {
+    std::string spec = "P(U(M('m" + std::to_string(d % 7) + "'))";
+    if (d % selective_every == 0) {
+      spec += ",J('johnson')";
+    }
+    spec += ",K('k" + std::to_string(d % 5) + "'))";
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+CollectionIndex BuildWeighted(const std::vector<std::string>& specs,
+                              double j_weight) {
+  IndexOptions opts;
+  opts.keep_documents = true;
+  CollectionBuilder builder(opts);
+  DocId id = 0;
+  for (const std::string& spec : specs) {
+    Document doc = testing::MakeDoc(spec, builder.names(),
+                                    builder.values(), id++);
+    EXPECT_TRUE(builder.Add(std::move(doc)).ok());
+  }
+  if (j_weight != 1.0) {
+    EXPECT_TRUE(builder.BoostPath("/P/J", j_weight).ok());
+  }
+  auto idx = std::move(builder).Finish();
+  EXPECT_TRUE(idx.ok());
+  return std::move(*idx);
+}
+
+TEST(Weights, BoostPathValidation) {
+  CollectionBuilder builder;
+  Document doc =
+      testing::MakeDoc("P(J)", builder.names(), builder.values(), 0);
+  ASSERT_TRUE(builder.Add(std::move(doc)).ok());
+  EXPECT_TRUE(builder.BoostPath("/P/X", 5.0).IsNotFound());
+  EXPECT_TRUE(builder.BoostPath("/nonsense", 5.0).IsNotFound());
+  EXPECT_TRUE(builder.BoostPath("/P/J", 5.0).ok());
+  EXPECT_TRUE(builder.BeginIndexing().ok());
+  EXPECT_TRUE(builder.BoostPath("/P/J", 5.0).IsFailedPrecondition());
+}
+
+TEST(Weights, BoostMovesPathEarlierInSequences) {
+  auto specs = ImpactTwoCorpus(40, 4);
+  CollectionIndex plain = BuildWeighted(specs, 1.0);
+  CollectionIndex boosted = BuildWeighted(specs, 50.0);
+
+  auto first_position_of_j = [](const CollectionIndex& idx) {
+    const Document& doc = idx.documents()[0];  // contains J
+    std::vector<PathId> paths = FindPaths(doc, idx.dict());
+    Sequence seq = idx.sequencer().Encode(doc, paths);
+    PathId pj = idx.dict().Resolve("/P/J", idx.names());
+    EXPECT_NE(pj, kInvalidPath);
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i] == pj) return i;
+    }
+    return seq.size();
+  };
+  EXPECT_LT(first_position_of_j(boosted), first_position_of_j(plain));
+}
+
+TEST(Weights, BoostValuesUnderMovesValuesEarly) {
+  CollectionBuilder builder;
+  for (DocId d = 0; d < 20; ++d) {
+    // Common structure, J carries a selective value.
+    Document doc = testing::MakeDoc(
+        "P(U(M('m')),J('j" + std::to_string(d % 2) + "'))",
+        builder.names(), builder.values(), d);
+    ASSERT_TRUE(builder.Add(std::move(doc)).ok());
+  }
+  EXPECT_TRUE(builder.BoostValuesUnder("/P/X", 9.0).IsNotFound());
+  ASSERT_TRUE(builder.BoostValuesUnder("/P/J", 40.0).ok());
+  auto idx = std::move(builder).Finish();
+  ASSERT_TRUE(idx.ok());
+
+  // In the sequences, J's value now precedes the U/M chain.
+  const char* q = "/P[J='j1']/U/M";
+  auto r = idx->Query(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->docs.size(), 10u);
+  auto compiled = idx->executor().Compile(*ParseXPath(q));
+  ASSERT_TRUE(compiled.ok());
+  const QuerySeq& qs = (*compiled)[0];
+  size_t pos_value = qs.size(), pos_m = qs.size();
+  for (size_t i = 0; i < qs.paths.size(); ++i) {
+    if (idx->dict().sym(qs.paths[i]).is_value()) pos_value = i;
+    PathId pm = idx->dict().Resolve("/P/U/M", idx->names());
+    if (qs.paths[i] == pm) pos_m = i;
+  }
+  EXPECT_LT(pos_value, pos_m);
+}
+
+TEST(Weights, AnswersUnchangedByBoost) {
+  auto specs = ImpactTwoCorpus(60, 5);
+  CollectionIndex plain = BuildWeighted(specs, 1.0);
+  CollectionIndex boosted = BuildWeighted(specs, 50.0);
+  for (const char* q :
+       {"/P[J='johnson']/U/M", "/P/J", "/P/U/M[.='m3']", "/P/K[.='k2']",
+        "/P[J]/K"}) {
+    auto a = plain.Query(q);
+    auto b = boosted.Query(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(a->docs, b->docs) << q;
+  }
+}
+
+TEST(Weights, BoostShrinksSearchSpaceForSelectiveQueries) {
+  // Impact 2: without the boost, the matcher grinds through the common
+  // P/U/M prefix before the selective J kills the candidates; with the
+  // boost, J is checked early.
+  auto specs = ImpactTwoCorpus(200, 50);  // J very selective
+  CollectionIndex plain = BuildWeighted(specs, 1.0);
+  CollectionIndex boosted = BuildWeighted(specs, 50.0);
+
+  const char* q = "/P[J='johnson']/U/M[.='m1']";
+  auto a = plain.Query(q);
+  auto b = boosted.Query(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->docs, b->docs);
+  EXPECT_LT(b->stats.match.candidates, a->stats.match.candidates);
+}
+
+TEST(Weights, RandomWorkloadUnchangedByBoosts) {
+  SyntheticParams params;
+  params.identical_percent = 20;
+  params.seed = 88;
+  params.value_vocab = 6;
+
+  auto build = [&](bool boost) {
+    IndexOptions opts;
+    CollectionBuilder builder(opts);
+    SyntheticDataset gen(params, builder.names(), builder.values());
+    for (DocId d = 0; d < 100; ++d) {
+      Status st = builder.Add(gen.Generate(d));
+      EXPECT_TRUE(st.ok());
+    }
+    if (boost) {
+      // Boost a handful of observed element paths (whichever resolve).
+      int boosted = 0;
+      for (PathId p = 1; p < builder.dict()->size() && boosted < 5; ++p) {
+        if (builder.dict()->sym(p).is_name() &&
+            builder.dict()->depth(p) >= 2) {
+          builder.schema()->SetWeight(p, 10.0 + static_cast<double>(p));
+          ++boosted;
+        }
+      }
+    }
+    auto idx = std::move(builder).Finish();
+    EXPECT_TRUE(idx.ok());
+    return std::move(*idx);
+  };
+
+  CollectionIndex plain = build(false);
+  CollectionIndex boosted = build(true);
+  NameTable names;
+  ValueEncoder values;
+  SyntheticDataset gen(params, &names, &values);
+  Rng rng(77, 13);
+  for (int q = 0; q < 40; ++q) {
+    Document sample = gen.Generate(rng.Uniform(100));
+    QueryPattern pattern =
+        SampleQueryPattern(sample, names, 2 + rng.Uniform(5), &rng, 0.4);
+    auto a = plain.executor().ExecutePattern(pattern);
+    auto b = boosted.executor().ExecutePattern(pattern);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << pattern.source;
+  }
+}
+
+}  // namespace
+}  // namespace xseq

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/xml/name_table.h"
+#include "src/xml/parser.h"
+#include "src/xml/tree.h"
+#include "src/xml/writer.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  StatusOr<Document> Parse(std::string_view xml) {
+    XmlParser parser(&names_, &values_);
+    return parser.Parse(xml, 1);
+  }
+  NameTable names_;
+  ValueEncoder values_;
+};
+
+TEST_F(ParserTest, SimpleElement) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(names_.Lookup(doc->root()->sym.id()), "a");
+  EXPECT_EQ(doc->node_count(), 1u);
+}
+
+TEST_F(ParserTest, NestedElementsAndText) {
+  auto doc = Parse("<a><b>hello</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  Node* root = doc->root();
+  EXPECT_EQ(root->ChildCount(), 2u);
+  Node* b = root->first_child;
+  EXPECT_EQ(names_.Lookup(b->sym.id()), "b");
+  ASSERT_NE(b->first_child, nullptr);
+  EXPECT_TRUE(b->first_child->is_value());
+  EXPECT_STREQ(b->first_child->text, "hello");
+}
+
+TEST_F(ParserTest, AttributesBecomeChildNodes) {
+  auto doc = Parse("<item id=\"42\" loc='boston'/>");
+  ASSERT_TRUE(doc.ok());
+  Node* root = doc->root();
+  EXPECT_EQ(root->ChildCount(), 2u);
+  Node* id = root->first_child;
+  EXPECT_EQ(id->kind, NodeKind::kAttribute);
+  EXPECT_EQ(names_.Lookup(id->sym.id()), "id");
+  ASSERT_NE(id->first_child, nullptr);
+  EXPECT_STREQ(id->first_child->text, "42");
+  Node* loc = id->next_sibling;
+  EXPECT_STREQ(loc->first_child->text, "boston");
+}
+
+TEST_F(ParserTest, WhitespaceTextDropped) {
+  auto doc = Parse("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ChildCount(), 1u);
+}
+
+TEST_F(ParserTest, EntitiesDecoded) {
+  auto doc = Parse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_STREQ(doc->root()->first_child->text, "<x> & \"y\" 'AB");
+}
+
+TEST_F(ParserTest, CommentsAndPisIgnored) {
+  auto doc = Parse("<?xml version=\"1.0\"?><!-- hi --><a><!--x--><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ChildCount(), 1u);
+}
+
+TEST_F(ParserTest, CdataKeptVerbatim) {
+  auto doc = Parse("<a><![CDATA[<not>&parsed;]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_STREQ(doc->root()->first_child->text, "<not>&parsed;");
+}
+
+TEST_F(ParserTest, DoctypeSkipped) {
+  auto doc = Parse("<!DOCTYPE a [<!ELEMENT a (b)>]><a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->ChildCount(), 1u);
+}
+
+TEST_F(ParserTest, MismatchedTagRejected) {
+  auto doc = Parse("<a><b></a></b>");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsCorruption());
+}
+
+TEST_F(ParserTest, UnclosedElementRejected) {
+  EXPECT_FALSE(Parse("<a><b>").ok());
+}
+
+TEST_F(ParserTest, MultipleRootsRejected) {
+  EXPECT_FALSE(Parse("<a/><b/>").ok());
+}
+
+TEST_F(ParserTest, TextOutsideRootRejected) {
+  EXPECT_FALSE(Parse("junk<a/>").ok());
+}
+
+TEST_F(ParserTest, UnknownEntityRejected) {
+  EXPECT_FALSE(Parse("<a>&bogus;</a>").ok());
+}
+
+TEST_F(ParserTest, EmptyInputRejected) { EXPECT_FALSE(Parse("").ok()); }
+
+TEST_F(ParserTest, PaperFigure1Document) {
+  // The running example of the paper (Project hierarchy).
+  auto doc = Parse(R"(
+    <Project name="xml">
+      <Research><Manager>tom</Manager><Loc>newyork</Loc></Research>
+      <Develop>
+        <Manager>johnson</Manager>
+        <Unit><Manager>mary</Manager><Name>GUI</Name></Unit>
+        <Unit><Name>engine</Name></Unit>
+        <Loc>boston</Loc>
+      </Develop>
+    </Project>)");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  CollectionStats s = ComputeStats(
+      [&] {
+        std::vector<Document> v;
+        v.push_back(std::move(*doc));
+        return v;
+      }());
+  EXPECT_EQ(s.documents, 1u);
+  EXPECT_EQ(s.nodes, 21u);  // 12 elements + 1 attribute + 8 values
+  EXPECT_EQ(s.value_nodes, 8u);
+  EXPECT_EQ(s.max_depth, 4u);  // Project/Develop/Unit/Manager/value
+}
+
+TEST_F(ParserTest, RoundTripThroughWriter) {
+  const char* xml =
+      "<site><item id=\"i1\"><location>United States</location>"
+      "<desc>5 &lt; 6 &amp; x</desc></item></site>";
+  auto doc = Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  std::string out = WriteXml(*doc, names_);
+  auto doc2 = Parse(out);
+  ASSERT_TRUE(doc2.ok()) << out;
+  EXPECT_TRUE(UnorderedEqual(doc->root(), doc2->root()));
+}
+
+TEST(Writer, EscapesSpecials) {
+  EXPECT_EQ(EscapeXml("a<b>&'\""), "a&lt;b&gt;&amp;&apos;&quot;");
+}
+
+TEST(Writer, IndentedOutputHasNewlines) {
+  NameTable names;
+  ValueEncoder values;
+  Document doc = testing::MakeDoc("a(b('x'),c)", &names, &values);
+  WriteOptions opts;
+  opts.indent = true;
+  opts.declaration = true;
+  std::string out = WriteXml(doc, names, opts);
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find("  <b>"), std::string::npos);
+}
+
+TEST(Tree, RegionsNestAndLevel) {
+  NameTable names;
+  ValueEncoder values;
+  Document doc = testing::MakeDoc("P(R(M),D(L,M))", &names, &values);
+  std::vector<Region> r = ComputeRegions(doc);
+  const Node* root = doc.root();
+  EXPECT_EQ(r[root->index].begin, 0u);
+  EXPECT_EQ(r[root->index].end, 5u);
+  EXPECT_EQ(r[root->index].level, 0u);
+  const Node* rnode = root->first_child;
+  EXPECT_EQ(r[rnode->index].begin, 1u);
+  EXPECT_EQ(r[rnode->index].end, 2u);
+  const Node* d = rnode->next_sibling;
+  EXPECT_EQ(r[d->index].begin, 3u);
+  EXPECT_EQ(r[d->index].end, 5u);
+  EXPECT_EQ(r[d->first_child->index].level, 2u);
+}
+
+TEST(Tree, UnorderedEqualIgnoresSiblingOrder) {
+  NameTable names;
+  ValueEncoder values;
+  Document a = testing::MakeDoc("P(L(S),L(B))", &names, &values);
+  Document b = testing::MakeDoc("P(L(B),L(S))", &names, &values);
+  Document c = testing::MakeDoc("P(L(S,B))", &names, &values);
+  EXPECT_TRUE(UnorderedEqual(a.root(), b.root()));
+  EXPECT_FALSE(UnorderedEqual(a.root(), c.root()));
+}
+
+TEST(Tree, CanonicalStringDistinguishesValues) {
+  NameTable names;
+  ValueEncoder values;
+  Document a = testing::MakeDoc("L('boston')", &names, &values);
+  Document b = testing::MakeDoc("L('newyork')", &names, &values);
+  EXPECT_NE(CanonicalString(a.root()), CanonicalString(b.root()));
+}
+
+TEST(ValueEncoder, ExactModeIsCollisionFree) {
+  ValueEncoder v(ValueMode::kExact);
+  ValueId a = v.Encode("boston");
+  ValueId b = v.Encode("newyork");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Encode("boston"), a);
+  EXPECT_EQ(v.Lookup(a), "boston");
+  EXPECT_EQ(v.EncodeForLookup("never-seen"), Interner::kInvalidId);
+}
+
+TEST(ValueEncoder, HashedModeStaysInRange) {
+  ValueEncoder v(ValueMode::kHashed, 100);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(v.Encode("value" + std::to_string(i)), 100u);
+  }
+  // Lookup path agrees with encode path.
+  EXPECT_EQ(v.Encode("boston"), v.EncodeForLookup("boston"));
+}
+
+}  // namespace
+}  // namespace xseq
