@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_build.dir/ablation_build.cpp.o"
+  "CMakeFiles/ablation_build.dir/ablation_build.cpp.o.d"
+  "ablation_build"
+  "ablation_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sibling_cover.dir/ablation_sibling_cover.cpp.o"
+  "CMakeFiles/ablation_sibling_cover.dir/ablation_sibling_cover.cpp.o.d"
+  "ablation_sibling_cover"
+  "ablation_sibling_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sibling_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

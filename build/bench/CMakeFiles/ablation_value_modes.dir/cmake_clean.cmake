@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_modes.dir/ablation_value_modes.cpp.o"
+  "CMakeFiles/ablation_value_modes.dir/ablation_value_modes.cpp.o.d"
+  "ablation_value_modes"
+  "ablation_value_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

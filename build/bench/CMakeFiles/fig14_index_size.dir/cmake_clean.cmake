@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_index_size.dir/fig14_index_size.cpp.o"
+  "CMakeFiles/fig14_index_size.dir/fig14_index_size.cpp.o.d"
+  "fig14_index_size"
+  "fig14_index_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_index_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_identical_siblings.dir/fig15_identical_siblings.cpp.o"
+  "CMakeFiles/fig15_identical_siblings.dir/fig15_identical_siblings.cpp.o.d"
+  "fig15_identical_siblings"
+  "fig15_identical_siblings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_identical_siblings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

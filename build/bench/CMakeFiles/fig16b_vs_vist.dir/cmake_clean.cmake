@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_vs_vist.dir/fig16b_vs_vist.cpp.o"
+  "CMakeFiles/fig16b_vs_vist.dir/fig16b_vs_vist.cpp.o.d"
+  "fig16b_vs_vist"
+  "fig16b_vs_vist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_vs_vist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

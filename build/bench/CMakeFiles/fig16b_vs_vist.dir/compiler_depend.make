@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16b_vs_vist.
+# This may be replaced when dependencies are built.

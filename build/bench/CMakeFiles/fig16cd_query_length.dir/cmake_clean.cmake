@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16cd_query_length.dir/fig16cd_query_length.cpp.o"
+  "CMakeFiles/fig16cd_query_length.dir/fig16cd_query_length.cpp.o.d"
+  "fig16cd_query_length"
+  "fig16cd_query_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16cd_query_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_paged.dir/micro_paged.cc.o"
+  "CMakeFiles/micro_paged.dir/micro_paged.cc.o.d"
+  "micro_paged"
+  "micro_paged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_paged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sequencing.dir/micro_sequencing.cc.o"
+  "CMakeFiles/micro_sequencing.dir/micro_sequencing.cc.o.d"
+  "micro_sequencing"
+  "micro_sequencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

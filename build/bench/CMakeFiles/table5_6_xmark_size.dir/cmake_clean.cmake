@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_6_xmark_size.dir/table5_6_xmark_size.cpp.o"
+  "CMakeFiles/table5_6_xmark_size.dir/table5_6_xmark_size.cpp.o.d"
+  "table5_6_xmark_size"
+  "table5_6_xmark_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_6_xmark_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

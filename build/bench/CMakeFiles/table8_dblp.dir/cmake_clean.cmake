@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_dblp.dir/table8_dblp.cpp.o"
+  "CMakeFiles/table8_dblp.dir/table8_dblp.cpp.o.d"
+  "table8_dblp"
+  "table8_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

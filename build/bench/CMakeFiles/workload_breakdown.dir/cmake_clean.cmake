@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_breakdown.dir/workload_breakdown.cpp.o"
+  "CMakeFiles/workload_breakdown.dir/workload_breakdown.cpp.o.d"
+  "workload_breakdown"
+  "workload_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auction_site.dir/auction_site.cpp.o"
+  "CMakeFiles/example_auction_site.dir/auction_site.cpp.o.d"
+  "example_auction_site"
+  "example_auction_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auction_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

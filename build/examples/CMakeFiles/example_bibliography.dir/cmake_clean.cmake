@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bibliography.dir/bibliography.cpp.o"
+  "CMakeFiles/example_bibliography.dir/bibliography.cpp.o.d"
+  "example_bibliography"
+  "example_bibliography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bibliography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_project_catalog.dir/project_catalog.cpp.o"
+  "CMakeFiles/example_project_catalog.dir/project_catalog.cpp.o.d"
+  "example_project_catalog"
+  "example_project_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_project_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

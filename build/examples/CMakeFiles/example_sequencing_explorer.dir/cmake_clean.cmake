@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sequencing_explorer.dir/sequencing_explorer.cpp.o"
+  "CMakeFiles/example_sequencing_explorer.dir/sequencing_explorer.cpp.o.d"
+  "example_sequencing_explorer"
+  "example_sequencing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sequencing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xseq_tool.dir/xseq_tool.cpp.o"
+  "CMakeFiles/example_xseq_tool.dir/xseq_tool.cpp.o.d"
+  "example_xseq_tool"
+  "example_xseq_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xseq_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/node_index.cc" "src/CMakeFiles/xseq.dir/baseline/node_index.cc.o" "gcc" "src/CMakeFiles/xseq.dir/baseline/node_index.cc.o.d"
+  "/root/repo/src/baseline/path_index.cc" "src/CMakeFiles/xseq.dir/baseline/path_index.cc.o" "gcc" "src/CMakeFiles/xseq.dir/baseline/path_index.cc.o.d"
+  "/root/repo/src/baseline/region_join.cc" "src/CMakeFiles/xseq.dir/baseline/region_join.cc.o" "gcc" "src/CMakeFiles/xseq.dir/baseline/region_join.cc.o.d"
+  "/root/repo/src/baseline/vist.cc" "src/CMakeFiles/xseq.dir/baseline/vist.cc.o" "gcc" "src/CMakeFiles/xseq.dir/baseline/vist.cc.o.d"
+  "/root/repo/src/core/collection_index.cc" "src/CMakeFiles/xseq.dir/core/collection_index.cc.o" "gcc" "src/CMakeFiles/xseq.dir/core/collection_index.cc.o.d"
+  "/root/repo/src/core/dynamic_index.cc" "src/CMakeFiles/xseq.dir/core/dynamic_index.cc.o" "gcc" "src/CMakeFiles/xseq.dir/core/dynamic_index.cc.o.d"
+  "/root/repo/src/core/persist.cc" "src/CMakeFiles/xseq.dir/core/persist.cc.o" "gcc" "src/CMakeFiles/xseq.dir/core/persist.cc.o.d"
+  "/root/repo/src/gen/dblp.cc" "src/CMakeFiles/xseq.dir/gen/dblp.cc.o" "gcc" "src/CMakeFiles/xseq.dir/gen/dblp.cc.o.d"
+  "/root/repo/src/gen/querygen.cc" "src/CMakeFiles/xseq.dir/gen/querygen.cc.o" "gcc" "src/CMakeFiles/xseq.dir/gen/querygen.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/xseq.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/xseq.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/gen/xmark.cc" "src/CMakeFiles/xseq.dir/gen/xmark.cc.o" "gcc" "src/CMakeFiles/xseq.dir/gen/xmark.cc.o.d"
+  "/root/repo/src/index/matcher.cc" "src/CMakeFiles/xseq.dir/index/matcher.cc.o" "gcc" "src/CMakeFiles/xseq.dir/index/matcher.cc.o.d"
+  "/root/repo/src/index/trie.cc" "src/CMakeFiles/xseq.dir/index/trie.cc.o" "gcc" "src/CMakeFiles/xseq.dir/index/trie.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/xseq.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/explain.cc" "src/CMakeFiles/xseq.dir/query/explain.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/explain.cc.o.d"
+  "/root/repo/src/query/instantiate.cc" "src/CMakeFiles/xseq.dir/query/instantiate.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/instantiate.cc.o.d"
+  "/root/repo/src/query/isomorph.cc" "src/CMakeFiles/xseq.dir/query/isomorph.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/isomorph.cc.o.d"
+  "/root/repo/src/query/oracle.cc" "src/CMakeFiles/xseq.dir/query/oracle.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/oracle.cc.o.d"
+  "/root/repo/src/query/query_pattern.cc" "src/CMakeFiles/xseq.dir/query/query_pattern.cc.o" "gcc" "src/CMakeFiles/xseq.dir/query/query_pattern.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/xseq.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/xseq.dir/schema/schema.cc.o.d"
+  "/root/repo/src/seq/constraint.cc" "src/CMakeFiles/xseq.dir/seq/constraint.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/constraint.cc.o.d"
+  "/root/repo/src/seq/path_dict.cc" "src/CMakeFiles/xseq.dir/seq/path_dict.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/path_dict.cc.o.d"
+  "/root/repo/src/seq/prufer.cc" "src/CMakeFiles/xseq.dir/seq/prufer.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/prufer.cc.o.d"
+  "/root/repo/src/seq/reconstruct.cc" "src/CMakeFiles/xseq.dir/seq/reconstruct.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/reconstruct.cc.o.d"
+  "/root/repo/src/seq/sequence.cc" "src/CMakeFiles/xseq.dir/seq/sequence.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/sequence.cc.o.d"
+  "/root/repo/src/seq/sequencer.cc" "src/CMakeFiles/xseq.dir/seq/sequencer.cc.o" "gcc" "src/CMakeFiles/xseq.dir/seq/sequencer.cc.o.d"
+  "/root/repo/src/storage/paged_index.cc" "src/CMakeFiles/xseq.dir/storage/paged_index.cc.o" "gcc" "src/CMakeFiles/xseq.dir/storage/paged_index.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/xseq.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/xseq.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/xseq.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/xseq.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xseq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xseq.dir/util/status.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/xseq.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/xseq.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/record_split.cc" "src/CMakeFiles/xseq.dir/xml/record_split.cc.o" "gcc" "src/CMakeFiles/xseq.dir/xml/record_split.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/xseq.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/xseq.dir/xml/tree.cc.o.d"
+  "/root/repo/src/xml/value_chain.cc" "src/CMakeFiles/xseq.dir/xml/value_chain.cc.o" "gcc" "src/CMakeFiles/xseq.dir/xml/value_chain.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/xseq.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/xseq.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/xseq_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/xseq_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/dynamic_index_test.cc" "tests/CMakeFiles/xseq_tests.dir/dynamic_index_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/dynamic_index_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/xseq_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/gen_test.cc" "tests/CMakeFiles/xseq_tests.dir/gen_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/gen_test.cc.o.d"
+  "/root/repo/tests/generator_oracle_test.cc" "tests/CMakeFiles/xseq_tests.dir/generator_oracle_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/generator_oracle_test.cc.o.d"
+  "/root/repo/tests/invariants_test.cc" "tests/CMakeFiles/xseq_tests.dir/invariants_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/invariants_test.cc.o.d"
+  "/root/repo/tests/matcher_test.cc" "tests/CMakeFiles/xseq_tests.dir/matcher_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/matcher_test.cc.o.d"
+  "/root/repo/tests/more_coverage_test.cc" "tests/CMakeFiles/xseq_tests.dir/more_coverage_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/more_coverage_test.cc.o.d"
+  "/root/repo/tests/paper_claims_test.cc" "tests/CMakeFiles/xseq_tests.dir/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/paper_claims_test.cc.o.d"
+  "/root/repo/tests/persist_test.cc" "tests/CMakeFiles/xseq_tests.dir/persist_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/persist_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xseq_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/xseq_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/record_split_test.cc" "tests/CMakeFiles/xseq_tests.dir/record_split_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/record_split_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/xseq_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/seq_test.cc" "tests/CMakeFiles/xseq_tests.dir/seq_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/seq_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/xseq_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/xseq_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/value_chain_test.cc" "tests/CMakeFiles/xseq_tests.dir/value_chain_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/value_chain_test.cc.o.d"
+  "/root/repo/tests/weights_test.cc" "tests/CMakeFiles/xseq_tests.dir/weights_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/weights_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xseq_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xseq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
