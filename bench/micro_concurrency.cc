@@ -1,0 +1,129 @@
+// Concurrency scaling harness: build time and batch-query throughput on
+// XMark-like data at 1/2/4/8 threads. Emits one JSON line per thread
+// configuration (machine-readable scaling record) in addition to the
+// human-readable table.
+//
+//   micro_concurrency [--n=N] [--scale=f] [--queries=Q] [--seed=S]
+//                     [--out=BENCH_concurrency.json]
+//
+// Parallel builds are bit-identical to serial ones, so every config also
+// cross-checks its index node count against the threads=1 baseline.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gen/xmark.h"
+#include "src/util/thread_pool.h"
+
+namespace xseq {
+namespace {
+
+int Run(const FlagSet& flags) {
+  const DocId n = bench::Scaled(flags, 20000, 100000);
+  const int query_rounds = flags.GetInt("queries", 8);
+  const std::string out_path =
+      flags.GetString("out", "BENCH_concurrency.json");
+
+  XMarkParams params;
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  // A mixed batch: value-selective, wildcard and '//' queries (the Table 7
+  // shapes), replicated to make one QueryBatch call big enough to spread.
+  const char* shapes[4] = {
+      "/site//item[location='United States']/mail/date[text='07/05/2000']",
+      "/site//person/*/age[text='32']",
+      "//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
+      "/site//person/name",
+  };
+  std::vector<std::string> batch;
+  for (int r = 0; r < query_rounds; ++r) {
+    for (const char* q : shapes) batch.push_back(q);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  bench::Header("concurrency scaling on XMark (" + std::to_string(n) +
+                " records, " + std::to_string(batch.size()) +
+                " queries/batch, hardware threads: " +
+                std::to_string(ResolveThreadCount(0)) + ")");
+  std::printf("%8s %14s %14s %16s %12s\n", "threads", "build (s)",
+              "batch (ms)", "queries/s", "index nodes");
+
+  uint64_t baseline_nodes = 0;
+  double base_build = 0.0;
+  double base_qps = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    IndexOptions opts;
+    opts.threads = threads;
+    CollectionBuilder builder(opts);
+    XMarkGenerator gen(params, builder.names(), builder.values());
+    Timer build_timer;
+    CollectionIndex idx = bench::BuildStreaming(
+        &builder, [&gen](DocId d) { return gen.Generate(d); }, n);
+    const double build_s = build_timer.ElapsedSeconds();
+    const uint64_t nodes = idx.Stats().trie_nodes;
+    if (threads == 1) baseline_nodes = nodes;
+    if (nodes != baseline_nodes) {
+      std::fprintf(stderr,
+                   "FATAL: threads=%d built %llu nodes, serial built %llu\n",
+                   threads, static_cast<unsigned long long>(nodes),
+                   static_cast<unsigned long long>(baseline_nodes));
+      return 1;
+    }
+
+    // Warm once, then time the batch entry point.
+    (void)idx.QueryBatch(batch, ExecOptions(), threads);
+    Timer query_timer;
+    auto results = idx.QueryBatch(batch, ExecOptions(), threads);
+    const double batch_ms = query_timer.ElapsedMillis();
+    size_t failed = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) ++failed;
+    }
+    if (failed != 0) {
+      std::fprintf(stderr, "FATAL: %zu queries failed\n", failed);
+      return 1;
+    }
+    const double qps =
+        batch_ms <= 0.0
+            ? 0.0
+            : static_cast<double>(batch.size()) / (batch_ms / 1000.0);
+    if (threads == 1) {
+      base_build = build_s;
+      base_qps = qps;
+    }
+
+    std::printf("%8d %14.3f %14.3f %16.0f %12llu\n", threads, build_s,
+                batch_ms, qps, static_cast<unsigned long long>(nodes));
+    std::fprintf(
+        out,
+        "{\"bench\": \"concurrency\", \"dataset\": \"xmark\", "
+        "\"records\": %llu, \"threads\": %d, \"build_seconds\": %.6f, "
+        "\"batch_queries\": %zu, \"batch_millis\": %.6f, "
+        "\"queries_per_second\": %.1f, \"build_speedup\": %.3f, "
+        "\"query_speedup\": %.3f, \"index_nodes\": %llu}\n",
+        static_cast<unsigned long long>(n), threads, build_s, batch.size(),
+        batch_ms, qps, base_build > 0.0 ? base_build / build_s : 0.0,
+        base_qps > 0.0 ? qps / base_qps : 0.0,
+        static_cast<unsigned long long>(nodes));
+  }
+  std::fclose(out);
+  bench::Note("wrote " + out_path);
+  bench::Note("speedups are relative to threads=1 on this machine; with a "
+              "single hardware core all configs time alike.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xseq
+
+int main(int argc, char** argv) {
+  xseq::FlagSet flags(argc, argv);
+  return xseq::Run(flags);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_concurrency.dir/micro_concurrency.cc.o"
+  "CMakeFiles/micro_concurrency.dir/micro_concurrency.cc.o.d"
+  "micro_concurrency"
+  "micro_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -225,5 +225,16 @@ bench/CMakeFiles/micro_trie.dir/micro_trie.cc.o: \
  /usr/include/c++/12/array /root/repo/src/xml/tree.h \
  /root/repo/src/util/arena.h /root/repo/src/index/trie.h \
  /usr/include/c++/12/span /root/repo/src/seq/sequence.h \
- /root/repo/src/seq/path_dict.h /root/repo/src/schema/schema.h \
- /root/repo/src/seq/sequencer.h
+ /root/repo/src/seq/path_dict.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/schema/schema.h /root/repo/src/seq/sequencer.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/xseq_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/xseq_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/concurrency_test.cc.o.d"
   "/root/repo/tests/core_test.cc" "tests/CMakeFiles/xseq_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/core_test.cc.o.d"
   "/root/repo/tests/dynamic_index_test.cc" "tests/CMakeFiles/xseq_tests.dir/dynamic_index_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/dynamic_index_test.cc.o.d"
   "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/xseq_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/xseq_tests.dir/explain_test.cc.o.d"

@@ -301,6 +301,20 @@ tests/CMakeFiles/xseq_tests.dir/persist_test.cc.o: \
  /root/repo/src/xml/name_table.h /root/repo/src/util/hash.h \
  /root/repo/src/util/interner.h /root/repo/src/xml/symbols.h \
  /root/repo/src/xml/tree.h /root/repo/src/util/arena.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/seq/sequencer.h /root/repo/src/util/rng.h \
  /root/repo/src/query/executor.h /root/repo/src/query/instantiate.h \
  /root/repo/src/query/query_pattern.h /root/repo/src/query/isomorph.h \

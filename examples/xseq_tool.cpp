@@ -33,9 +33,14 @@ int Usage() {
       "usage:\n"
       "  xseq_tool build --out=FILE (--xml=FILE ... [--split=tag,...] |"
       " --gen=xmark|dblp|synthetic --n=N)\n"
-      "              [--sequencer=cs|df|bf] [--values=exact|hashed|chars]\n"
+      "              [--sequencer=cs|df|bf] [--values=exact|hashed|chars]"
+      " [--threads=N]\n"
       "  xseq_tool stats --index=FILE\n"
-      "  xseq_tool query --index=FILE --q=XPATH [--verbose] [--explain]\n");
+      "  xseq_tool query --index=FILE --q=XPATH [--verbose] [--explain]"
+      " [--threads=N]\n"
+      "\n"
+      "  --threads=N  worker threads (0 = hardware concurrency / "
+      "XSEQ_THREADS, 1 = serial)\n");
   return 2;
 }
 
@@ -61,6 +66,8 @@ int Build(const FlagSet& flags, int argc, char** argv) {
   std::string values = flags.GetString("values", "exact");
   if (values == "hashed") options.value_mode = ValueMode::kHashed;
   if (values == "chars") options.value_mode = ValueMode::kCharSequence;
+  options.threads = flags.GetInt("threads", 0);
+  std::printf("threads: %d\n", ResolveThreadCount(options.threads));
 
   CollectionBuilder builder(options);
   Timer timer;
@@ -209,6 +216,9 @@ int Query(const FlagSet& flags) {
   }
   std::string q = flags.GetString("q", "");
   if (q.empty()) return Usage();
+  ExecOptions exec;
+  exec.threads = flags.GetInt("threads", 1);
+  std::printf("threads: %d\n", ResolveThreadCount(exec.threads));
   if (flags.GetBool("explain", false)) {
     auto plan = ExplainQuery(index->executor(), q, index->dict(),
                              index->names());
@@ -219,7 +229,7 @@ int Query(const FlagSet& flags) {
     std::printf("%s", plan->c_str());
   }
   Timer timer;
-  auto r = index->Query(q);
+  auto r = index->Query(q, exec);
   if (!r.ok()) {
     std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
     return 1;

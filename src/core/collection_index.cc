@@ -95,19 +95,21 @@ Status CollectionBuilder::BeginIndexing() {
   return Status::OK();
 }
 
-Status CollectionBuilder::SequenceInto(const Document& doc) {
+Status CollectionBuilder::SequenceDocTo(
+    const Document& doc, std::pair<Sequence, DocId>* slot) const {
+  // Per-document pure: reads only state frozen by BeginIndexing() (path
+  // dictionary, model, sequencer), which is what makes batch sequencing
+  // safe to fan out across the pool.
+  const Document* src = &doc;
+  Document expanded(0);
   if (options_.value_mode == ValueMode::kCharSequence) {
-    Document expanded = ExpandValueChains(doc);
-    return SequenceExpanded(expanded);
+    expanded = ExpandValueChains(doc);
+    src = &expanded;
   }
-  return SequenceExpanded(doc);
-}
-
-Status CollectionBuilder::SequenceExpanded(const Document& doc) {
   // Paths were interned during Observe; Find is enough here, but documents
   // in streaming mode are re-generated, so re-bind defensively (a path that
   // was never observed indicates the two passes diverged).
-  std::vector<PathId> paths = FindPaths(doc, *dict_);
+  std::vector<PathId> paths = FindPaths(*src, *dict_);
   for (PathId p : paths) {
     if (p == kInvalidPath) {
       return Status::InvalidArgument(
@@ -115,9 +117,43 @@ Status CollectionBuilder::SequenceExpanded(const Document& doc) {
           "streaming passes must supply identical documents");
     }
   }
-  Sequence seq = sequencer_->Encode(doc, paths);
-  total_seq_elements_ += seq.size();
-  buffered_.emplace_back(std::move(seq), doc.id());
+  slot->first = sequencer_->Encode(*src, paths);
+  slot->second = src->id();
+  return Status::OK();
+}
+
+Status CollectionBuilder::SequenceInto(const Document& doc) {
+  std::pair<Sequence, DocId> slot;
+  XSEQ_RETURN_IF_ERROR(SequenceDocTo(doc, &slot));
+  total_seq_elements_ += slot.first.size();
+  buffered_.push_back(std::move(slot));
+  return Status::OK();
+}
+
+ThreadPool* CollectionBuilder::BuildPool() {
+  if (options_.threads == 0) return DefaultPool();
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  return pool_.get();
+}
+
+Status CollectionBuilder::FlushPending() {
+  if (pending_.empty()) return Status::OK();
+  ThreadPool* pool = BuildPool();
+  const size_t base = buffered_.size();
+  buffered_.resize(base + pending_.size());
+  std::vector<Status> results(pending_.size());
+  pool->ParallelFor(pending_.size(), [&](size_t i) {
+    results[i] = SequenceDocTo(pending_[i], &buffered_[base + i]);
+  });
+  pending_.clear();
+  for (const Status& st : results) {
+    if (!st.ok()) return st;
+  }
+  for (size_t i = base; i < buffered_.size(); ++i) {
+    total_seq_elements_ += buffered_[i].first.size();
+  }
   return Status::OK();
 }
 
@@ -128,17 +164,51 @@ Status CollectionBuilder::Index(const Document& doc) {
   return SequenceInto(doc);
 }
 
+Status CollectionBuilder::Index(Document&& doc) {
+  if (!indexing_) {
+    return Status::FailedPrecondition("call BeginIndexing() before Index()");
+  }
+  ThreadPool* pool = BuildPool();
+  if (pool->width() <= 1) return SequenceInto(doc);
+  pending_.push_back(std::move(doc));
+  if (pending_.size() >= static_cast<size_t>(pool->width()) * 8) {
+    return FlushPending();
+  }
+  return Status::OK();
+}
+
 StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
   if (!indexing_) {
     XSEQ_RETURN_IF_ERROR(BeginIndexing());
   }
-  for (const Document& doc : retained_) {
-    XSEQ_RETURN_IF_ERROR(SequenceInto(doc));
+  XSEQ_RETURN_IF_ERROR(FlushPending());
+  ThreadPool* pool = BuildPool();
+  if (pool->width() > 1 && retained_.size() > 1) {
+    // Sequencing is per-document pure; only the ordered append into
+    // `buffered_` is a merge point, and writing pre-sized slots keeps the
+    // result byte-identical to the serial loop below.
+    const size_t base = buffered_.size();
+    buffered_.resize(base + retained_.size());
+    std::vector<Status> results(retained_.size());
+    pool->ParallelFor(retained_.size(), [&](size_t i) {
+      results[i] = SequenceDocTo(retained_[i], &buffered_[base + i]);
+    });
+    for (const Status& st : results) {
+      if (!st.ok()) return st;
+    }
+    for (size_t i = base; i < buffered_.size(); ++i) {
+      total_seq_elements_ += buffered_[i].first.size();
+    }
+  } else {
+    for (const Document& doc : retained_) {
+      XSEQ_RETURN_IF_ERROR(SequenceInto(doc));
+    }
   }
 
   TrieBuilder trie;
   if (options_.bulk_load) {
-    XSEQ_RETURN_IF_ERROR(trie.BulkLoad(&buffered_));
+    XSEQ_RETURN_IF_ERROR(
+        trie.BulkLoad(&buffered_, pool->width() > 1 ? pool : nullptr));
   } else {
     for (const auto& [seq, doc] : buffered_) {
       XSEQ_RETURN_IF_ERROR(trie.Insert(seq, doc));
@@ -171,6 +241,35 @@ StatusOr<QueryResult> CollectionIndex::Query(std::string_view xpath,
   if (!docs.ok()) return docs.status();
   result.docs = std::move(*docs);
   return result;
+}
+
+std::vector<StatusOr<QueryResult>> CollectionIndex::QueryBatch(
+    const std::vector<std::string>& xpaths, const ExecOptions& options,
+    int threads) const {
+  std::vector<StatusOr<QueryResult>> out(
+      xpaths.size(), Status::Internal("query was not executed"));
+  ExecOptions per_query = options;
+  per_query.threads = 1;  // batch parallelism replaces match parallelism
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> local;
+  if (threads == 0) {
+    pool = DefaultPool();
+  } else if (threads > 1) {
+    local = std::make_unique<ThreadPool>(threads);
+    pool = local.get();
+  }
+  if (pool == nullptr || pool->width() <= 1 || xpaths.size() <= 1) {
+    for (size_t i = 0; i < xpaths.size(); ++i) {
+      out[i] = Query(xpaths[i], per_query);
+    }
+    return out;
+  }
+  // Query() is const and touches only the frozen index; every worker writes
+  // its own slot.
+  pool->ParallelFor(xpaths.size(), [&](size_t i) {
+    out[i] = Query(xpaths[i], per_query);
+  });
+  return out;
 }
 
 CollectionIndex::SizeStats CollectionIndex::Stats() const {

@@ -22,6 +22,7 @@
 #define XSEQ_SRC_CORE_COLLECTION_INDEX_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "src/schema/schema.h"
 #include "src/seq/sequencer.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 #include "src/xml/name_table.h"
 #include "src/xml/parser.h"
 
@@ -44,6 +46,11 @@ struct IndexOptions {
   bool bulk_load = true;         ///< sort sequences before insertion
   uint64_t random_seed = 42;     ///< for SequencerKind::kRandom
   bool keep_documents = false;   ///< retain Documents in the built index
+  /// Build parallelism: 0 = the process-wide default pool (XSEQ_THREADS /
+  /// hardware concurrency), 1 = strictly serial, n > 1 = a dedicated pool.
+  /// Parallel builds produce bit-identical indexes; the knob only trades
+  /// wall-clock for cores. Not persisted with the index.
+  int threads = 0;
 };
 
 /// One query answer.
@@ -98,12 +105,25 @@ class CollectionBuilder {
   /// re-supplied identically (same ids) as observed.
   Status Index(const Document& doc);
 
+  /// As above, taking ownership. With a parallel pool the document is
+  /// deferred into a bounded batch that is sequenced across the pool once
+  /// full, so errors may surface on a later Index()/Finish() call rather
+  /// than the offending one.
+  Status Index(Document&& doc);
+
   /// Builds the index. The builder is consumed.
   StatusOr<CollectionIndex> Finish() &&;
 
  private:
   Status SequenceInto(const Document& doc);
-  Status SequenceExpanded(const Document& doc);
+  /// Sequences `doc` into `slot` touching only frozen shared state (dict,
+  /// model, sequencer); safe to call concurrently for distinct docs/slots.
+  Status SequenceDocTo(const Document& doc,
+                       std::pair<Sequence, DocId>* slot) const;
+  /// Sequences the deferred streaming batch across the pool, preserving
+  /// arrival order in `buffered_`.
+  Status FlushPending();
+  ThreadPool* BuildPool();
 
   IndexOptions options_;
   std::unique_ptr<NameTable> names_;
@@ -115,6 +135,8 @@ class CollectionBuilder {
   std::shared_ptr<const SequencingModel> model_;
   std::unique_ptr<Sequencer> sequencer_;
   std::vector<std::pair<Sequence, DocId>> buffered_;
+  std::vector<Document> pending_;  ///< streaming docs awaiting batch sequencing
+  std::unique_ptr<ThreadPool> pool_;  ///< owned pool when threads > 1
   uint64_t observed_docs_ = 0;
   uint64_t total_seq_elements_ = 0;
 };
@@ -125,6 +147,16 @@ class CollectionIndex {
   /// Runs an XPath query (see query_pattern.h for the supported subset).
   StatusOr<QueryResult> Query(std::string_view xpath,
                               const ExecOptions& options = {}) const;
+
+  /// Runs many queries concurrently across a thread pool — the serving
+  /// building block. `threads`: 0 = default pool, 1 = serial, n > 1 = a
+  /// dedicated pool. Each query runs serially on its worker (batch
+  /// parallelism replaces ExecOptions::threads, which is ignored here).
+  /// Results are positionally aligned with `xpaths` and identical to
+  /// serial Query() calls.
+  std::vector<StatusOr<QueryResult>> QueryBatch(
+      const std::vector<std::string>& xpaths,
+      const ExecOptions& options = {}, int threads = 0) const;
 
   /// Size and shape statistics.
   struct SizeStats {

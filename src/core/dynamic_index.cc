@@ -1,6 +1,7 @@
 #include "src/core/dynamic_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/xml/value_chain.h"
 
@@ -10,46 +11,129 @@ DynamicIndex::DynamicIndex(DynamicOptions options)
     : options_(options),
       names_(std::make_unique<NameTable>()),
       values_(std::make_unique<ValueEncoder>(options.index.value_mode,
-                                             options.index.hash_range)) {
+                                             options.index.hash_range)),
+      pool_(std::make_unique<ThreadPool>(options.index.threads)) {
   // Segments must retain their documents so Compact() can re-sequence them
   // under fresher statistics.
   options_.index.keep_documents = true;
+}
+
+DynamicIndex::~DynamicIndex() {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForSealsLocked(&lock);
 }
 
 Status DynamicIndex::Add(Document&& doc) {
   if (doc.root() == nullptr) {
     return Status::InvalidArgument("document has no root");
   }
+  std::unique_lock<std::mutex> lock(mu_);
+  XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
   buffer_.push_back(std::move(doc));
   ++total_docs_;
   if (buffer_.size() >= options_.flush_threshold) {
-    return SealBuffer();
+    return SealBufferLocked();
   }
   return Status::OK();
 }
 
 Status DynamicIndex::Flush() {
-  if (buffer_.empty()) return Status::OK();
-  return SealBuffer();
+  std::unique_lock<std::mutex> lock(mu_);
+  XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
+  return SealBufferLocked();
 }
 
-Status DynamicIndex::SealBuffer() {
-  CollectionBuilder builder(options_.index, *names_, *values_);
-  for (Document& doc : buffer_) {
-    XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
+Status DynamicIndex::SealBufferLocked() {
+  if (buffer_.empty()) return Status::OK();
+  if (pool_->width() <= 1) {
+    // Serial pool: build inline under the lock (the legacy path).
+    CollectionBuilder builder(options_.index, *names_, *values_);
+    for (Document& doc : buffer_) {
+      XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
+    }
+    buffer_.clear();
+    auto segment = std::move(builder).Finish();
+    if (!segment.ok()) return segment.status();
+    segments_.push_back(
+        std::make_shared<const CollectionIndex>(std::move(*segment)));
+    return Status::OK();
   }
+
+  // Move the buffer into an immutable in-flight batch, reserve its slot in
+  // segments_ (so ordering and segment_count are fixed now), and build off
+  // this thread. The builder copies the vocabulary tables, so it must be
+  // constructed here, under the lock, not in the task.
+  auto batch = std::make_shared<SealBatch>();
+  batch->docs = std::move(buffer_);
   buffer_.clear();
-  auto segment = std::move(builder).Finish();
-  if (!segment.ok()) return segment.status();
-  segments_.push_back(
-      std::make_unique<CollectionIndex>(std::move(*segment)));
+  batch->slot = segments_.size();
+  segments_.push_back(nullptr);
+  sealing_.push_back(batch);
+  ++pending_seals_;
+  auto builder = std::make_shared<CollectionBuilder>(options_.index, *names_,
+                                                     *values_);
+  pool_->Submit([this, batch, builder] {
+    Status st;
+    for (const Document& doc : batch->docs) {
+      st = builder->Add(CloneDocument(doc));
+      if (!st.ok()) break;
+    }
+    std::shared_ptr<const CollectionIndex> built;
+    if (st.ok()) {
+      auto segment = std::move(*builder).Finish();
+      if (segment.ok()) {
+        built =
+            std::make_shared<const CollectionIndex>(std::move(*segment));
+      } else {
+        st = segment.status();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (built != nullptr) {
+        segments_[batch->slot] = std::move(built);
+        sealing_.erase(std::find(sealing_.begin(), sealing_.end(), batch));
+      } else {
+        // Keep the batch in sealing_ so its documents stay queryable (and
+        // reachable by a later Compact()); surface the error on the next
+        // mutating call.
+        if (seal_error_.ok()) seal_error_ = st;
+      }
+      --pending_seals_;
+      // Notify under the lock: a drained waiter (e.g. the destructor) may
+      // destroy the condition variable the moment it re-acquires mu_.
+      seal_cv_.notify_all();
+    }
+  });
   return Status::OK();
 }
 
+void DynamicIndex::WaitForSealsLocked(std::unique_lock<std::mutex>* lock)
+    const {
+  seal_cv_.wait(*lock, [this] { return pending_seals_ == 0; });
+}
+
+Status DynamicIndex::TakeSealErrorLocked() {
+  Status st = seal_error_;
+  seal_error_ = Status::OK();
+  return st;
+}
+
 Status DynamicIndex::Compact() {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForSealsLocked(&lock);
+  XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
   CollectionBuilder builder(options_.index, *names_, *values_);
   for (const auto& segment : segments_) {
+    if (segment == nullptr) continue;
     for (const Document& doc : segment->documents()) {
+      XSEQ_RETURN_IF_ERROR(builder.Add(CloneDocument(doc)));
+    }
+  }
+  // Batches whose background build failed (they are the only entries left
+  // once pending_seals_ == 0) still hold their documents; fold them in.
+  for (const auto& batch : sealing_) {
+    for (const Document& doc : batch->docs) {
       XSEQ_RETURN_IF_ERROR(builder.Add(CloneDocument(doc)));
     }
   }
@@ -60,7 +144,9 @@ Status DynamicIndex::Compact() {
   auto merged = std::move(builder).Finish();
   if (!merged.ok()) return merged.status();
   segments_.clear();
-  segments_.push_back(std::make_unique<CollectionIndex>(std::move(*merged)));
+  sealing_.clear();
+  segments_.push_back(
+      std::make_shared<const CollectionIndex>(std::move(*merged)));
   return Status::OK();
 }
 
@@ -72,41 +158,93 @@ StatusOr<std::vector<DocId>> DynamicIndex::Query(
 }
 
 StatusOr<std::vector<DocId>> DynamicIndex::ExecutePattern(
-    const xseq::QueryPattern& pattern_in, const ExecOptions& options) const {
-  const xseq::QueryPattern* pattern = &pattern_in;
+    const xseq::QueryPattern& pattern, const ExecOptions& options,
+    ExecStats* stats) const {
+  return ExecutePatternImpl(pattern, options, stats,
+                            /*parallel_segments=*/true);
+}
 
+Status DynamicIndex::ScanDocs(const std::vector<Document>& docs,
+                              const xseq::QueryPattern& pattern,
+                              const ExecOptions& options,
+                              std::vector<DocId>* out) const {
+  if (docs.empty()) return Status::OK();
+  // Brute-force scan via the oracle, instantiating the pattern against a
+  // transient dictionary of just these documents. Char-sequence mode scans
+  // chain-expanded copies so value chains resolve.
+  const bool chain_mode = values_->mode() == ValueMode::kCharSequence;
+  std::vector<Document> expanded;
+  if (chain_mode) {
+    expanded.reserve(docs.size());
+    for (const Document& doc : docs) {
+      expanded.push_back(ExpandValueChains(doc));
+    }
+  }
+  const std::vector<Document>& scan = chain_mode ? expanded : docs;
+  PathDict dict;
+  for (const Document& doc : scan) {
+    BindPaths(doc, &dict);
+  }
+  auto inst = InstantiatePattern(pattern, dict, *names_, *values_,
+                                 options.instantiate);
+  if (!inst.ok()) return inst.status();
+  for (const ConcreteQuery& cq : inst->queries) {
+    std::vector<DocId> part = OracleScan(scan, cq);
+    out->insert(out->end(), part.begin(), part.end());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
+    const xseq::QueryPattern& pattern, const ExecOptions& options,
+    ExecStats* stats, bool parallel_segments) const {
   std::vector<DocId> out;
-  for (const auto& segment : segments_) {
-    auto part = segment->executor().ExecutePattern(*pattern, nullptr,
-                                                   options);
-    if (!part.ok()) return part.status();
-    out.insert(out.end(), part->begin(), part->end());
+  std::vector<std::shared_ptr<const CollectionIndex>> segments;
+  std::vector<std::shared_ptr<const SealBatch>> batches;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    segments.reserve(segments_.size());
+    for (const auto& segment : segments_) {
+      if (segment != nullptr) segments.push_back(segment);
+    }
+    batches = sealing_;
+    // The live buffer mutates under Add(), so it is scanned while the lock
+    // is held. Everything snapshotted above is immutable; a batch that
+    // lands as a segment mid-query was excluded from `segments`, so no
+    // document is counted twice.
+    XSEQ_RETURN_IF_ERROR(ScanDocs(buffer_, pattern, options, &out));
+  }
+  for (const auto& batch : batches) {
+    XSEQ_RETURN_IF_ERROR(ScanDocs(batch->docs, pattern, options, &out));
   }
 
-  // Unsealed buffer: brute-force scan via the oracle, instantiating the
-  // pattern against a transient dictionary of the buffered documents.
-  // Char-sequence mode scans chain-expanded copies so value chains resolve.
-  if (!buffer_.empty()) {
-    const bool chain_mode =
-        values_->mode() == ValueMode::kCharSequence;
-    std::vector<Document> expanded;
-    if (chain_mode) {
-      expanded.reserve(buffer_.size());
-      for (const Document& doc : buffer_) {
-        expanded.push_back(ExpandValueChains(doc));
+  if (parallel_segments && pool_->width() > 1 && segments.size() > 1) {
+    const size_t k = segments.size();
+    std::vector<std::vector<DocId>> parts(k);
+    std::vector<ExecStats> part_stats(k);
+    std::vector<Status> results(k, Status::OK());
+    pool_->ParallelFor(k, [&](size_t i) {
+      auto part = segments[i]->executor().ExecutePattern(
+          pattern, &part_stats[i], options);
+      if (part.ok()) {
+        parts[i] = std::move(*part);
+      } else {
+        results[i] = part.status();
       }
+    });
+    for (size_t i = 0; i < k; ++i) {
+      XSEQ_RETURN_IF_ERROR(results[i]);
+      if (stats != nullptr) stats->Add(part_stats[i]);
+      out.insert(out.end(), parts[i].begin(), parts[i].end());
     }
-    const std::vector<Document>& scan = chain_mode ? expanded : buffer_;
-    PathDict dict;
-    for (const Document& doc : scan) {
-      BindPaths(doc, &dict);
-    }
-    auto inst = InstantiatePattern(*pattern, dict, *names_, *values_,
-                                   options.instantiate);
-    if (!inst.ok()) return inst.status();
-    for (const ConcreteQuery& cq : inst->queries) {
-      std::vector<DocId> part = OracleScan(scan, cq);
-      out.insert(out.end(), part.begin(), part.end());
+  } else {
+    for (const auto& segment : segments) {
+      ExecStats part_stats;
+      auto part = segment->executor().ExecutePattern(pattern, &part_stats,
+                                                     options);
+      if (!part.ok()) return part.status();
+      if (stats != nullptr) stats->Add(part_stats);
+      out.insert(out.end(), part->begin(), part->end());
     }
   }
 
@@ -115,10 +253,49 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePattern(
   return out;
 }
 
+std::vector<StatusOr<std::vector<DocId>>> DynamicIndex::QueryBatch(
+    const std::vector<std::string>& xpaths,
+    const ExecOptions& options) const {
+  std::vector<StatusOr<std::vector<DocId>>> out(
+      xpaths.size(), Status::Internal("query was not executed"));
+  ExecOptions per_query = options;
+  per_query.threads = 1;  // batch parallelism replaces match parallelism
+  auto run_one = [&](size_t i) -> StatusOr<std::vector<DocId>> {
+    auto pattern = ParseXPath(xpaths[i]);
+    if (!pattern.ok()) return pattern.status();
+    // Inner segment probing is serial: the batch saturates the pool.
+    return ExecutePatternImpl(*pattern, per_query, nullptr,
+                              /*parallel_segments=*/false);
+  };
+  if (pool_->width() <= 1 || xpaths.size() <= 1) {
+    for (size_t i = 0; i < xpaths.size(); ++i) out[i] = run_one(i);
+    return out;
+  }
+  pool_->ParallelFor(xpaths.size(), [&](size_t i) { out[i] = run_one(i); });
+  return out;
+}
+
+size_t DynamicIndex::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+size_t DynamicIndex::buffered_documents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+uint64_t DynamicIndex::total_documents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_docs_;
+}
+
 uint64_t DynamicIndex::TotalIndexNodes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForSealsLocked(&lock);
   uint64_t total = 0;
   for (const auto& segment : segments_) {
-    total += segment->Stats().trie_nodes;
+    if (segment != nullptr) total += segment->Stats().trie_nodes;
   }
   return total;
 }

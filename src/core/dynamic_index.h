@@ -17,66 +17,124 @@
 //
 // Vocabulary tables (names / values / path dictionary) are shared across
 // segments, so ids remain globally consistent.
+//
+// Threading: the index is internally synchronized — Add/Flush/Query/
+// QueryBatch may race freely from many threads. With a pool of width > 1
+// sealing happens *off the caller's thread*: Add() moves the full buffer
+// into an in-flight batch and returns; a pool task builds the segment and
+// publishes it. Queries arriving in between scan the in-flight batch
+// brute-force, so answers never miss documents. Flush() triggers a seal
+// without waiting; Compact() and TotalIndexNodes() drain pending seals
+// first. The one rule callers keep: documents handed to Add() must already
+// be fully parsed/generated — the shared NameTable/ValueEncoder are not
+// internally synchronized against concurrent interning during queries.
 
 #ifndef XSEQ_SRC_CORE_DYNAMIC_INDEX_H_
 #define XSEQ_SRC_CORE_DYNAMIC_INDEX_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/core/collection_index.h"
 #include "src/query/oracle.h"
+#include "src/util/thread_pool.h"
 
 namespace xseq {
 
 /// Dynamic-index knobs.
 struct DynamicOptions {
-  IndexOptions index;          ///< per-segment build options
+  IndexOptions index;          ///< per-segment build options (threads: pool width)
   size_t flush_threshold = 1024;  ///< buffered docs before sealing
 };
 
-/// An appendable index over a growing document collection.
+/// An appendable, internally synchronized index over a growing document
+/// collection.
 class DynamicIndex {
  public:
   explicit DynamicIndex(DynamicOptions options = DynamicOptions());
+  ~DynamicIndex();
 
   /// Vocabulary to parse/generate against (shared by all segments).
   NameTable* names() { return names_.get(); }
   ValueEncoder* values() { return values_.get(); }
 
-  /// Adds a document; seals a segment when the buffer fills up.
+  /// Adds a document; kicks off a background seal when the buffer fills up
+  /// (inline when the pool is serial).
   Status Add(Document&& doc);
 
-  /// Seals the current buffer into a segment (no-op when empty).
+  /// Seals the current buffer into a segment (no-op when empty). The build
+  /// itself runs on the pool; this call does not wait for it.
   Status Flush();
 
   /// Rebuilds all segments + buffer into a single segment using the
-  /// current global statistics.
+  /// current global statistics. Drains pending seals first; the rebuild
+  /// sequences documents across the pool.
   Status Compact();
 
   /// Runs an XPath query across segments and buffer; sorted unique ids.
   StatusOr<std::vector<DocId>> Query(std::string_view xpath,
                                      const ExecOptions& options = {}) const;
 
-  /// Runs an already-parsed pattern.
+  /// Runs an already-parsed pattern. Sealed segments are probed in
+  /// parallel on the pool; `stats`, when given, aggregates per-segment
+  /// ExecStats via ExecStats::Add.
   StatusOr<std::vector<DocId>> ExecutePattern(
-      const xseq::QueryPattern& pattern,
+      const xseq::QueryPattern& pattern, const ExecOptions& options = {},
+      ExecStats* stats = nullptr) const;
+
+  /// Runs many XPath queries across the pool; results are positionally
+  /// aligned with `xpaths`. Each query probes its segments serially (the
+  /// batch already saturates the pool).
+  std::vector<StatusOr<std::vector<DocId>>> QueryBatch(
+      const std::vector<std::string>& xpaths,
       const ExecOptions& options = {}) const;
 
-  size_t segment_count() const { return segments_.size(); }
-  size_t buffered_documents() const { return buffer_.size(); }
-  uint64_t total_documents() const { return total_docs_; }
+  /// Sealed segments plus seals in flight (each in-flight batch becomes
+  /// exactly one segment).
+  size_t segment_count() const;
+  size_t buffered_documents() const;
+  uint64_t total_documents() const;
 
-  /// Sum of segment index nodes (the size metric of the paper).
+  /// Sum of segment index nodes (the size metric of the paper). Waits for
+  /// in-flight seals so the number is stable.
   uint64_t TotalIndexNodes() const;
 
  private:
-  Status SealBuffer();
+  /// A buffer snapshot being built into a segment on the pool. Queries scan
+  /// `docs` brute-force until the segment lands in its reserved slot.
+  struct SealBatch {
+    std::vector<Document> docs;
+    size_t slot = 0;  ///< index in segments_ reserved for the result
+  };
+
+  Status SealBufferLocked();
+  void WaitForSealsLocked(std::unique_lock<std::mutex>* lock) const;
+  Status TakeSealErrorLocked();
+  StatusOr<std::vector<DocId>> ExecutePatternImpl(
+      const xseq::QueryPattern& pattern, const ExecOptions& options,
+      ExecStats* stats, bool parallel_segments) const;
+  /// Brute-force scan of not-yet-indexed documents (live buffer and
+  /// in-flight batches).
+  Status ScanDocs(const std::vector<Document>& docs,
+                  const xseq::QueryPattern& pattern,
+                  const ExecOptions& options, std::vector<DocId>* out) const;
 
   DynamicOptions options_;
   std::unique_ptr<NameTable> names_;
   std::unique_ptr<ValueEncoder> values_;
-  std::vector<std::unique_ptr<CollectionIndex>> segments_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable seal_cv_;
+  /// Sealed segments; a null entry is a slot reserved by an in-flight seal.
+  std::vector<std::shared_ptr<const CollectionIndex>> segments_;
+  /// Batches currently being sealed on the pool (immutable once published).
+  std::vector<std::shared_ptr<const SealBatch>> sealing_;
+  size_t pending_seals_ = 0;
+  Status seal_error_;  ///< first background build failure, surfaced later
   std::vector<Document> buffer_;
   uint64_t total_docs_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace xseq {
@@ -65,9 +66,37 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
 
   Timer timer;
   std::vector<DocId> out;
-  for (const QuerySeq& qs : *compiled) {
-    XSEQ_RETURN_IF_ERROR(
-        MatchSequence(*index_, qs, options.mode, &out, &st->match));
+
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned;
+  if (options.threads == 0) {
+    pool = DefaultPool();
+  } else if (options.threads > 1) {
+    owned = std::make_unique<ThreadPool>(options.threads);
+    pool = owned.get();
+  }
+  if (pool != nullptr && pool->width() > 1 && compiled->size() > 1) {
+    // Each MatchSequence call is read-only over the FrozenIndex; per-slot
+    // outputs merge in sequence order, so counters and ids are identical to
+    // the serial loop below.
+    const size_t k = compiled->size();
+    std::vector<std::vector<DocId>> parts(k);
+    std::vector<MatchStats> part_stats(k);
+    std::vector<Status> results(k);
+    pool->ParallelFor(k, [&](size_t i) {
+      results[i] = MatchSequence(*index_, (*compiled)[i], options.mode,
+                                 &parts[i], &part_stats[i]);
+    });
+    for (size_t i = 0; i < k; ++i) {
+      XSEQ_RETURN_IF_ERROR(results[i]);
+      st->match.Add(part_stats[i]);
+      out.insert(out.end(), parts[i].begin(), parts[i].end());
+    }
+  } else {
+    for (const QuerySeq& qs : *compiled) {
+      XSEQ_RETURN_IF_ERROR(
+          MatchSequence(*index_, qs, options.mode, &out, &st->match));
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

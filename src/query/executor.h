@@ -27,6 +27,12 @@ struct ExecOptions {
   MatchMode mode = MatchMode::kConstraint;
   InstantiateOptions instantiate;
   IsomorphOptions isomorph;
+  /// Match-level parallelism: the deduplicated compiled sequences of one
+  /// query are matched concurrently (each MatchSequence call is read-only
+  /// over the FrozenIndex). 1 = serial (default: single queries are usually
+  /// latency-bound on one sequence), 0 = the process default pool, n > 1 =
+  /// a dedicated pool for this call. Results are identical to serial.
+  int threads = 1;
 };
 
 /// Per-query cost breakdown.
@@ -39,6 +45,19 @@ struct ExecStats {
   int64_t compile_micros = 0;
   int64_t match_micros = 0;
   size_t result_docs = 0;
+
+  /// Accumulates `o` (mirrors MatchStats::Add); used wherever per-segment
+  /// or per-batch stats are aggregated.
+  void Add(const ExecStats& o) {
+    instantiations += o.instantiations;
+    orderings += o.orderings;
+    matched_sequences += o.matched_sequences;
+    truncated = truncated || o.truncated;
+    match.Add(o.match);
+    compile_micros += o.compile_micros;
+    match_micros += o.match_micros;
+    result_docs += o.result_docs;
+  }
 };
 
 /// Stateless facade over the pieces a query needs. All referenced objects

@@ -42,7 +42,7 @@ StatusOr<PathDict> PathDict::DecodeFrom(Decoder* in) {
   uint64_t n;
   XSEQ_RETURN_IF_ERROR(in->GetFixed64(&n));
   for (uint64_t i = 0; i < n; ++i) {
-    uint32_t parent, raw;
+    uint32_t parent = 0, raw = 0;  // GCC can't see GetFixed32 under TSan
     XSEQ_RETURN_IF_ERROR(in->GetFixed32(&parent));
     XSEQ_RETURN_IF_ERROR(in->GetFixed32(&raw));
     if (parent >= out.entries_.size()) {
