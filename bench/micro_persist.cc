@@ -1,0 +1,100 @@
+// Microbenchmarks: index persistence — encode/decode CPU cost, integrity
+// inspection, and the crash-safe save/load path (temp write + fsync +
+// rename) including the Env indirection.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/core/persist.h"
+#include "src/gen/xmark.h"
+#include "src/util/env.h"
+
+namespace xseq {
+namespace {
+
+std::unique_ptr<CollectionIndex> BuildCorpus(DocId docs) {
+  XMarkParams params;
+  IndexOptions opts;
+  CollectionBuilder builder(opts);
+  XMarkGenerator gen(params, builder.names(), builder.values());
+  for (DocId d = 0; d < docs; ++d) {
+    benchmark::DoNotOptimize(builder.Observe(gen.Generate(d)).ok());
+  }
+  benchmark::DoNotOptimize(builder.BeginIndexing().ok());
+  for (DocId d = 0; d < docs; ++d) {
+    benchmark::DoNotOptimize(builder.Index(gen.Generate(d)).ok());
+  }
+  auto built = std::move(builder).Finish();
+  return std::make_unique<CollectionIndex>(std::move(*built));
+}
+
+void BM_EncodeIndex(benchmark::State& state) {
+  auto idx = BuildCorpus(static_cast<DocId>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string data = EncodeCollectionIndex(*idx);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeIndex)->Arg(1000)->Arg(10000);
+
+void BM_DecodeIndex(benchmark::State& state) {
+  auto idx = BuildCorpus(static_cast<DocId>(state.range(0)));
+  std::string data = EncodeCollectionIndex(*idx);
+  for (auto _ : state) {
+    auto loaded = DecodeCollectionIndex(data);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_DecodeIndex)->Arg(1000)->Arg(10000);
+
+void BM_InspectIndex(benchmark::State& state) {
+  auto idx = BuildCorpus(static_cast<DocId>(state.range(0)));
+  std::string data = EncodeCollectionIndex(*idx);
+  for (auto _ : state) {
+    IndexFileReport report = InspectEncodedIndex(data);
+    benchmark::DoNotOptimize(report.status.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_InspectIndex)->Arg(10000);
+
+void BM_SaveAtomic(benchmark::State& state) {
+  auto idx = BuildCorpus(static_cast<DocId>(state.range(0)));
+  std::string path = "/tmp/xseq_bench_persist.idx";
+  size_t bytes = EncodeCollectionIndex(*idx).size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SaveCollectionIndex(*idx, path).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SaveAtomic)->Arg(1000)->Arg(10000);
+
+void BM_LoadIndex(benchmark::State& state) {
+  auto idx = BuildCorpus(static_cast<DocId>(state.range(0)));
+  std::string path = "/tmp/xseq_bench_persist.idx";
+  if (!SaveCollectionIndex(*idx, path).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto loaded = LoadCollectionIndex(path);
+    benchmark::DoNotOptimize(loaded.ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_LoadIndex)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace xseq
+
+BENCHMARK_MAIN();

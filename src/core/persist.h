@@ -1,16 +1,25 @@
 // Index persistence: save a built CollectionIndex to a single binary file
 // and load it back, ready to answer queries.
 //
-// File format (all little-endian):
-//   magic "XSEQIDX1" (8 bytes)
-//   payload:
-//     header   — sequencer kind, random seed, doc count, seq elements
-//     names    — NameTable strings
-//     values   — ValueEncoder (mode, range, strings)
-//     dict     — PathDict entries
-//     schema   — counts, presence counts, repeat flags, weights
-//     index    — FrozenIndex flat arrays
-//   footer   — FNV-1a64 checksum of the payload
+// File format, version 2 (all little-endian):
+//   magic   "XSEQIDX" (7 bytes) + format version byte (currently 2)
+//   6 framed sections, in order: header, names, values, dict, schema, index
+//     each frame: payload length (fixed64), FNV-1a64 of the payload
+//     (fixed64), then the payload bytes
+//   footer  — FNV-1a64 over everything between the version byte and the
+//             footer (so frame headers are covered too)
+//
+// Per-section checksums let a failed load name the section that is damaged;
+// every frame length is validated against the remaining input before any
+// allocation, so an adversarial header cannot force a huge allocation.
+//
+// Durability: SaveCollectionIndex writes `<path>.tmp`, fsyncs it, atomically
+// renames it over `path`, and fsyncs the directory. A crash or I/O error at
+// any point leaves the previous index at `path` intact; the temp file is
+// removed on failure. All filesystem access goes through an Env, so tests
+// inject faults deterministically (src/util/env.h). Transient failures
+// (kIOError) are retried with exponential backoff, bounded by
+// PersistOptions::max_attempts; corruption is never retried.
 //
 // Retained documents are NOT persisted: a loaded index answers queries but
 // has an empty documents() (baselines needing raw documents must rebuild
@@ -20,25 +29,70 @@
 #define XSEQ_SRC_CORE_PERSIST_H_
 
 #include <string>
+#include <vector>
 
 #include "src/core/collection_index.h"
+#include "src/util/env.h"
 
 namespace xseq {
+
+/// The format version written by this build.
+inline constexpr uint8_t kIndexFormatVersion = 2;
+
+/// Environment and retry policy for on-disk save/load.
+struct PersistOptions {
+  /// Filesystem to use; nullptr means Env::Default().
+  Env* env = nullptr;
+  /// Total tries for transient (kIOError) failures; >= 1.
+  int max_attempts = 3;
+  /// First retry backoff, doubled per subsequent retry. Sleeps go through
+  /// Env::SleepForMicroseconds, so test Envs can make them free.
+  uint64_t backoff_micros = 1000;
+};
 
 /// Serializes `index` into a byte buffer.
 std::string EncodeCollectionIndex(const CollectionIndex& index);
 
 /// Reconstructs an index from EncodeCollectionIndex output. Verifies the
-/// magic and checksum and validates cross-structure invariants.
+/// magic, version, per-section checksums, and footer; validates
+/// cross-structure invariants; errors name the failing section.
 StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data);
 
-/// Writes `index` to `path` (atomically via rename is NOT attempted; this
-/// is a plain write).
+/// Writes `index` to `path` crash-safely (temp file + fsync + rename).
+/// On failure the previous contents of `path`, if any, are untouched.
 Status SaveCollectionIndex(const CollectionIndex& index,
-                           const std::string& path);
+                           const std::string& path,
+                           const PersistOptions& options = {});
 
 /// Reads an index previously written by SaveCollectionIndex.
-StatusOr<CollectionIndex> LoadCollectionIndex(const std::string& path);
+StatusOr<CollectionIndex> LoadCollectionIndex(
+    const std::string& path, const PersistOptions& options = {});
+
+/// One framed section as seen by InspectEncodedIndex.
+struct IndexSectionInfo {
+  std::string name;      ///< "header", "names", "values", ...
+  uint64_t offset = 0;   ///< payload offset within the file
+  uint64_t length = 0;   ///< payload length in bytes
+  bool checksum_ok = false;
+};
+
+/// Integrity report over an encoded index image (see `xseq_tool verify`).
+struct IndexFileReport {
+  bool magic_ok = false;
+  uint32_t version = 0;
+  bool version_supported = false;
+  std::vector<IndexSectionInfo> sections;
+  bool footer_ok = false;
+  uint64_t trailing_bytes = 0;
+  /// OK iff every check above passed; otherwise the first failure,
+  /// matching what DecodeCollectionIndex would report.
+  Status status;
+};
+
+/// Walks the file structure without building an index: cheap integrity
+/// checking and attribution. Never allocates proportionally to claimed
+/// (possibly adversarial) lengths.
+IndexFileReport InspectEncodedIndex(std::string_view data);
 
 }  // namespace xseq
 

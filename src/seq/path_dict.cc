@@ -39,7 +39,7 @@ void PathDict::EncodeTo(std::string* dst) const {
 
 StatusOr<PathDict> PathDict::DecodeFrom(Decoder* in) {
   PathDict out;
-  uint64_t n;
+  uint64_t n = 0;  // GCC can't see GetFixed64 under ASan
   XSEQ_RETURN_IF_ERROR(in->GetFixed64(&n));
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t parent = 0, raw = 0;  // GCC can't see GetFixed32 under TSan

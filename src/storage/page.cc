@@ -1,0 +1,87 @@
+#include "src/storage/page.h"
+
+#include "src/util/coding.h"
+#include "src/util/hash.h"
+
+namespace xseq {
+
+// Spill format (little-endian):
+//   magic "XSEQPAGE" (8 bytes)
+//   version (fixed32, currently 1)
+//   page count (fixed32)
+//   per-page FNV-1a64 checksums (count * fixed64)
+//   raw pages (count * kPageSize)
+
+namespace {
+
+constexpr char kPageMagic[8] = {'X', 'S', 'E', 'Q', 'P', 'A', 'G', 'E'};
+constexpr uint32_t kPageFormatVersion = 1;
+
+}  // namespace
+
+Status PageFile::SaveTo(Env* env, const std::string& path) const {
+  std::string out(kPageMagic, sizeof(kPageMagic));
+  PutFixed32(&out, kPageFormatVersion);
+  PutFixed32(&out, page_count());
+  out.reserve(out.size() + pages_.size() * (8 + kPageSize));
+  for (const auto& p : pages_) {
+    PutFixed64(&out, Fnv1a64(std::string_view(
+                         reinterpret_cast<const char*>(p->data), kPageSize)));
+  }
+  for (const auto& p : pages_) {
+    out.append(reinterpret_cast<const char*>(p->data), kPageSize);
+  }
+  return AtomicWriteFile(env, path, out);
+}
+
+StatusOr<PageFile> PageFile::LoadFrom(Env* env, const std::string& path) {
+  std::string data;
+  XSEQ_RETURN_IF_ERROR(env->ReadFileToString(path, &data));
+  if (data.size() < sizeof(kPageMagic) ||
+      std::memcmp(data.data(), kPageMagic, sizeof(kPageMagic)) != 0) {
+    return Status::Corruption("not an xseq page file (bad magic)");
+  }
+  Decoder in(std::string_view(data).substr(sizeof(kPageMagic)));
+  uint32_t version = 0, count = 0;
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&version));
+  if (version > kPageFormatVersion) {
+    return Status::Unimplemented("page file format version " +
+                                 std::to_string(version) +
+                                 " is newer than this build supports");
+  }
+  if (version != kPageFormatVersion) {
+    return Status::Corruption("unsupported page file format version " +
+                              std::to_string(version));
+  }
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&count));
+  // Bound the claimed count against the actual bytes present before any
+  // allocation (each page costs 8 checksum bytes + kPageSize payload).
+  if (count > in.remaining() / (8 + kPageSize)) {
+    return Status::Corruption("page file claims " + std::to_string(count) +
+                              " pages but only " +
+                              std::to_string(in.remaining()) +
+                              " bytes follow");
+  }
+  std::vector<uint64_t> checksums(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&checksums[i]));
+  }
+  PageFile file;
+  file.pages_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view raw;
+    XSEQ_RETURN_IF_ERROR(in.GetRaw(kPageSize, &raw));
+    if (Fnv1a64(raw) != checksums[i]) {
+      return Status::Corruption("checksum mismatch in page " +
+                                std::to_string(i));
+    }
+    file.pages_.push_back(std::make_unique<Page>());
+    std::memcpy(file.pages_.back()->data, raw.data(), kPageSize);
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in page file");
+  }
+  return file;
+}
+
+}  // namespace xseq

@@ -12,7 +12,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "src/util/env.h"
 
 namespace xseq {
 
@@ -48,6 +51,16 @@ class PageFile {
   uint64_t bytes() const {
     return static_cast<uint64_t>(pages_.size()) * kPageSize;
   }
+
+  /// Spills the page file to a real file at `path` through `env`, with a
+  /// per-page checksum table, using the same atomic temp-write + fsync +
+  /// rename protocol as the index image (src/util/env.h).
+  Status SaveTo(Env* env, const std::string& path) const;
+
+  /// Reads back a SaveTo image. Verifies the magic, version, and every
+  /// page checksum (errors name the damaged page); bounds the claimed
+  /// page count against the actual file size before allocating.
+  static StatusOr<PageFile> LoadFrom(Env* env, const std::string& path);
 
   /// Writes `len` bytes at absolute byte offset `off`, growing as needed.
   void WriteAt(uint64_t off, const void* src, size_t len) {

@@ -102,8 +102,17 @@ class Decoder {
     return Status::OK();
   }
 
+  /// Yields a view of the next `n` raw bytes without copying.
+  Status GetRaw(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return Truncated();
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
 
  private:
   Status Truncated() const {

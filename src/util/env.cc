@@ -1,0 +1,386 @@
+#include "src/util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xseq {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  return Status::IOError(std::move(msg));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->clear();
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        out->clear();
+        return PosixError("read " + path_, errno);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return PosixError("stat " + path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  const int fd_;
+  const std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return PosixError("open for writing " + path, errno);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError("open " + path, errno);
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(fd, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return PosixError("remove " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return PosixError("open dir " + dir, errno);
+    Status st;
+    if (::fsync(fd) != 0) st = PosixError("fsync dir " + dir, errno);
+    ::close(fd);
+    return st;
+  }
+
+  uint64_t NowMicros() override {
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000 +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000;
+  }
+
+  void SleepForMicroseconds(uint64_t micros) override {
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(micros / 1000000);
+    ts.tv_nsec = static_cast<long>((micros % 1000000) * 1000);
+    ::nanosleep(&ts, nullptr);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;  // leaked: process-lifetime singleton
+  return env;
+}
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  auto file = NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  auto size = (*file)->Size();
+  if (!size.ok()) return size.status();
+  XSEQ_RETURN_IF_ERROR((*file)->Read(0, *size, out));
+  if (out->size() != *size) {
+    return Status::IOError("short read of " + path + ": got " +
+                           std::to_string(out->size()) + " of " +
+                           std::to_string(*size) + " bytes");
+  }
+  return Status::OK();
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp);
+  if (!file.ok()) return file.status();
+  Status st = (*file)->Append(data);
+  if (st.ok()) st = (*file)->Sync();
+  Status close_st = (*file)->Close();
+  if (st.ok()) st = close_st;
+  if (st.ok()) st = env->RenameFile(tmp, path);
+  if (!st.ok()) {
+    Status cleanup = env->RemoveFile(tmp);
+    (void)cleanup;  // the temp may already be gone (e.g. a torn rename)
+    return st;
+  }
+  // The rename is only durable once the directory entry is synced.
+  return env->SyncDir(DirName(path));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+Status Injected(const std::string& what) {
+  return Status::IOError("injected fault: " + what);
+}
+
+}  // namespace
+
+/// Counts Append/Sync/Close against the shared op schedule and applies the
+/// kind-appropriate failure.
+class FaultInjectionWritableFile final : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::unique_ptr<WritableFile> base,
+                             std::string path, FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->NextOpShouldFail()) {
+      // Short write: half the bytes land, then the device "fails".
+      Status ignored = base_->Append(data.substr(0, data.size() / 2));
+      (void)ignored;
+      return Injected("short write to " + path_);
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (env_->NextOpShouldFail()) {
+      return Injected("fsync " + path_);
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (env_->NextOpShouldFail()) {
+      Status ignored = base_->Close();  // fd is gone either way
+      (void)ignored;
+      return Injected("close " + path_);
+    }
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  const std::string path_;
+  FaultInjectionEnv* const env_;
+};
+
+/// Counts Read calls against the read schedule; fails them or flips a bit.
+class FaultInjectionRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultInjectionRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                                 std::string path, FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    FaultInjectionEnv::ReadFaultKind kind;
+    if (env_->NextReadShouldFail(&kind)) {
+      if (kind == FaultInjectionEnv::ReadFaultKind::kReadError) {
+        out->clear();
+        return Injected("read " + path_);
+      }
+      XSEQ_RETURN_IF_ERROR(base_->Read(offset, n, out));
+      if (!out->empty()) {
+        uint64_t point = env_->FlipPoint(out->size() * 8);
+        (*out)[point / 8] ^= static_cast<char>(1u << (point % 8));
+      }
+      return Status::OK();
+    }
+    return base_->Read(offset, n, out);
+  }
+
+  StatusOr<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  const std::string path_;
+  FaultInjectionEnv* const env_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
+    : base_(base), seed_(seed) {}
+
+void FaultInjectionEnv::FailOperation(uint64_t op_index) {
+  fail_ops_[op_index] = true;
+}
+
+void FaultInjectionEnv::FailRead(uint64_t read_index, ReadFaultKind kind) {
+  fail_reads_[read_index] = kind;
+}
+
+void FaultInjectionEnv::ClearFaults() {
+  fail_ops_.clear();
+  fail_reads_.clear();
+}
+
+bool FaultInjectionEnv::NextOpShouldFail() {
+  uint64_t index = ops_seen_++;
+  auto it = fail_ops_.find(index);
+  if (it == fail_ops_.end()) return false;
+  fail_ops_.erase(it);  // one-shot: a retry of this operation succeeds
+  return true;
+}
+
+bool FaultInjectionEnv::NextReadShouldFail(ReadFaultKind* kind) {
+  uint64_t index = reads_seen_++;
+  auto it = fail_reads_.find(index);
+  if (it == fail_reads_.end()) return false;
+  *kind = it->second;
+  fail_reads_.erase(it);
+  return true;
+}
+
+uint64_t FaultInjectionEnv::FlipPoint(uint64_t span) {
+  return span == 0 ? 0 : SplitMix64(seed_ ^ (reads_seen_ * 0x51ull)) % span;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  if (NextOpShouldFail()) return Injected("open for writing " + path);
+  auto base = base_->NewWritableFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(new FaultInjectionWritableFile(
+      std::move(*base), path, this));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
+  auto base = base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(new FaultInjectionRandomAccessFile(
+      std::move(*base), path, this));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (NextOpShouldFail()) {
+    // Torn rename: the crash hits after the source entry is unlinked but
+    // before the destination entry is durable — the worst honest outcome
+    // rename(2) can leave behind. The destination is never half-written.
+    Status ignored = base_->RemoveFile(from);
+    (void)ignored;
+    return Injected("rename " + from + " -> " + to);
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (NextOpShouldFail()) return Injected("remove " + path);
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  if (NextOpShouldFail()) return Injected("fsync dir " + dir);
+  return base_->SyncDir(dir);
+}
+
+uint64_t FaultInjectionEnv::NowMicros() { return base_->NowMicros(); }
+
+void FaultInjectionEnv::SleepForMicroseconds(uint64_t micros) {
+  slept_micros_ += micros;  // recorded, not slept: tests stay fast
+}
+
+}  // namespace xseq

@@ -1,0 +1,197 @@
+// Env: the process's window onto the outside world (filesystem, clock).
+//
+// All durable-storage code goes through an Env instead of calling the OS
+// directly, in the style of LevelDB/RocksDB. This buys two things:
+//
+//  * a single place where every syscall failure is turned into a
+//    Status::IOError carrying strerror(errno), and
+//  * substitutable implementations — PosixEnv for production and
+//    FaultInjectionEnv for tests, which deterministically injects short
+//    writes, failed fsyncs, torn renames, read errors, and bit flips at
+//    scheduled operation counts so crash-safety can be proven by sweeping
+//    a fault over every I/O operation of a save.
+//
+// Errors are reported as StatusCode::kIOError (possibly transient; callers
+// may retry) except for open-of-missing-file, which is kNotFound.
+
+#ifndef XSEQ_SRC_UTIL_ENV_H_
+#define XSEQ_SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// A file being written sequentially. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces written data to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Idempotent; the destructor closes if needed but
+  /// swallows errors, so callers that care must Close() explicitly.
+  virtual Status Close() = 0;
+};
+
+/// A read-only file supporting positional reads. Thread-safe.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset` into `*out` (replacing its
+  /// contents). Reading at or past EOF yields an empty string, not an error.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  /// The current size of the file in bytes.
+  virtual StatusOr<uint64_t> Size() const = 0;
+};
+
+/// Operating-system services used by storage code.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for writing.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` for positional reads. kNotFound if it does not exist.
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Reads the entire file at `path` into `*out`.
+  virtual Status ReadFileToString(const std::string& path, std::string* out);
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` if it exists.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Deletes `path`. Removing a missing file is kNotFound.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// fsyncs the directory `dir` so that entry creations/renames inside it
+  /// survive a crash.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Monotonic-enough clock for backoff bookkeeping.
+  virtual uint64_t NowMicros() = 0;
+
+  /// Blocks the calling thread. Test Envs record instead of sleeping, so
+  /// retry backoff is testable without wall-clock delays.
+  virtual void SleepForMicroseconds(uint64_t micros) = 0;
+};
+
+/// The directory part of `path` ("." when there is no slash).
+std::string DirName(const std::string& path);
+
+/// Durably replaces the contents of `path` with `data`: writes
+/// `<path>.tmp`, fsyncs it, atomically renames it over `path`, and fsyncs
+/// the directory. On failure the previous contents of `path` (if any) are
+/// untouched and the temp file is removed best-effort. This is the one
+/// write protocol every persisted artifact uses.
+Status AtomicWriteFile(Env* env, const std::string& path,
+                       std::string_view data);
+
+/// An Env that forwards to a base Env but fails chosen operations, for
+/// crash-safety and error-path tests.
+///
+/// Every mutating filesystem call (open-for-write, append, sync, close,
+/// rename, remove, sync-dir) increments a shared operation counter; the
+/// value of the counter *before* the call is its operation index. Faults
+/// are scheduled at indices: when a scheduled index comes up, that
+/// operation fails in a kind-appropriate way:
+///
+///   append    -> short write: only the first half of the bytes reach the
+///                base file, then kIOError
+///   sync      -> kIOError without syncing
+///   close     -> the data is flushed (close(2) semantics) but kIOError is
+///                returned
+///   rename    -> torn rename: the source file is destroyed, the
+///                destination is left untouched, kIOError
+///   open/remove/sync-dir -> kIOError, no effect
+///
+/// Reads have a separate counter and schedule, since load paths interleave
+/// with writes differently: a scheduled read fault either fails the read
+/// (kReadError) or silently flips one deterministic bit (kBitFlip).
+///
+/// Faults are one-shot: once fired, the schedule entry is consumed, so a
+/// retry of the failed operation succeeds. Everything is deterministic —
+/// the same schedule against the same call sequence fails the same call.
+/// SleepForMicroseconds records instead of sleeping.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class ReadFaultKind {
+    kReadError,  ///< the read call fails with kIOError
+    kBitFlip,    ///< the read succeeds but one bit is flipped
+  };
+
+  explicit FaultInjectionEnv(Env* base, uint64_t seed = 0);
+
+  /// Schedules the write-side operation with index `op_index` to fail.
+  void FailOperation(uint64_t op_index);
+
+  /// Schedules the `read_index`-th read to misbehave.
+  void FailRead(uint64_t read_index, ReadFaultKind kind);
+
+  /// Removes all scheduled faults.
+  void ClearFaults();
+
+  /// Write-side operations seen so far. Running a workload once against a
+  /// fault-free FaultInjectionEnv measures how many indices a sweep must
+  /// cover.
+  uint64_t ops_seen() const { return ops_seen_; }
+  uint64_t reads_seen() const { return reads_seen_; }
+
+  /// Total time "slept" through SleepForMicroseconds.
+  uint64_t slept_micros() const { return slept_micros_; }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(uint64_t micros) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+  friend class FaultInjectionRandomAccessFile;
+
+  /// Claims the next write-side operation index; true if it must fail.
+  bool NextOpShouldFail();
+  /// Claims the next read index; true if it must fail, with the kind.
+  bool NextReadShouldFail(ReadFaultKind* kind);
+  /// Deterministic position for bit flips, derived from the seed and the
+  /// read index that faulted.
+  uint64_t FlipPoint(uint64_t span);
+
+  Env* const base_;
+  const uint64_t seed_;
+  uint64_t ops_seen_ = 0;
+  uint64_t reads_seen_ = 0;
+  uint64_t slept_micros_ = 0;
+  std::map<uint64_t, bool> fail_ops_;  // op index -> pending
+  std::map<uint64_t, ReadFaultKind> fail_reads_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_UTIL_ENV_H_

@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnimplemented,     ///< feature intentionally not supported
   kResourceExhausted, ///< a configured limit was exceeded
   kInternal,          ///< invariant violation; indicates a bug in xseq
+  kIOError,           ///< the environment failed (disk, filesystem); possibly
+                      ///< transient and safe to retry, unlike kCorruption
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -64,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -93,6 +98,7 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code() && a.message() == b.message();

@@ -1,0 +1,173 @@
+// Tests for the Env abstraction: POSIX behavior (write/read/rename/remove,
+// errno-carrying messages) and the deterministic FaultInjectionEnv.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/env.h"
+
+namespace xseq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Status WriteWholeFile(Env* env, const std::string& path,
+                      std::string_view data) {
+  auto f = env->NewWritableFile(path);
+  if (!f.ok()) return f.status();
+  Status st = (*f)->Append(data);
+  if (st.ok()) st = (*f)->Sync();
+  Status close_st = (*f)->Close();
+  return st.ok() ? close_st : st;
+}
+
+TEST(PosixEnv, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = TempPath("env_roundtrip.dat");
+  ASSERT_TRUE(WriteWholeFile(env, path, "hello env").ok());
+  EXPECT_TRUE(env->FileExists(path));
+
+  std::string back;
+  ASSERT_TRUE(env->ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "hello env");
+
+  auto file = env->NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 9u);
+  std::string part;
+  ASSERT_TRUE((*file)->Read(6, 3, &part).ok());
+  EXPECT_EQ(part, "env");
+  // Reading past EOF yields empty, not an error.
+  ASSERT_TRUE((*file)->Read(100, 5, &part).ok());
+  EXPECT_TRUE(part.empty());
+
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnv, MissingFileIsNotFoundWithErrno) {
+  Env* env = Env::Default();
+  std::string missing = TempPath("env_does_not_exist.dat");
+  auto file = env->NewRandomAccessFile(missing);
+  EXPECT_TRUE(file.status().IsNotFound());
+  // strerror(ENOENT) text reaches the message.
+  EXPECT_NE(file.status().message().find("No such file"), std::string::npos)
+      << file.status().ToString();
+  EXPECT_TRUE(env->RemoveFile(missing).IsNotFound());
+}
+
+TEST(PosixEnv, OpenForWriteInMissingDirIsIOErrorOrNotFound) {
+  Env* env = Env::Default();
+  auto file = env->NewWritableFile("/nonexistent-dir/xseq/env.dat");
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsNotFound() || file.status().IsIOError());
+}
+
+TEST(PosixEnv, RenameReplacesDestination) {
+  Env* env = Env::Default();
+  std::string a = TempPath("env_rename_a.dat");
+  std::string b = TempPath("env_rename_b.dat");
+  ASSERT_TRUE(WriteWholeFile(env, a, "new").ok());
+  ASSERT_TRUE(WriteWholeFile(env, b, "old").ok());
+  ASSERT_TRUE(env->RenameFile(a, b).ok());
+  EXPECT_FALSE(env->FileExists(a));
+  std::string back;
+  ASSERT_TRUE(env->ReadFileToString(b, &back).ok());
+  EXPECT_EQ(back, "new");
+  ASSERT_TRUE(env->RemoveFile(b).ok());
+  EXPECT_TRUE(env->SyncDir(DirName(b)).ok());
+}
+
+TEST(Env, DirName) {
+  EXPECT_EQ(DirName("/a/b/c.idx"), "/a/b");
+  EXPECT_EQ(DirName("/c.idx"), "/");
+  EXPECT_EQ(DirName("c.idx"), ".");
+}
+
+TEST(FaultInjectionEnv, CleanPassThroughCountsOps) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TempPath("fault_passthrough.dat");
+  ASSERT_TRUE(WriteWholeFile(&env, path, "abc").ok());
+  // open + append + sync + close.
+  EXPECT_EQ(env.ops_seen(), 4u);
+  std::string back;
+  ASSERT_TRUE(env.ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "abc");
+  EXPECT_GE(env.reads_seen(), 1u);
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnv, ShortWriteLeavesHalfTheBytes) {
+  FaultInjectionEnv env(Env::Default());
+  env.FailOperation(1);  // op 0 = open, op 1 = append
+  std::string path = TempPath("fault_short_write.dat");
+  Status st = WriteWholeFile(&env, path, "0123456789");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  std::string back;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "01234");  // only half landed
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnv, FaultsAreOneShot) {
+  FaultInjectionEnv env(Env::Default());
+  env.FailOperation(2);  // the first sync
+  std::string path = TempPath("fault_oneshot.dat");
+  EXPECT_TRUE(WriteWholeFile(&env, path, "x").IsIOError());
+  // Same call sequence again: the consumed fault does not re-fire.
+  EXPECT_TRUE(WriteWholeFile(&env, path, "x").ok());
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnv, TornRenameDestroysSourceOnly) {
+  FaultInjectionEnv env(Env::Default());
+  std::string from = TempPath("fault_torn_from.dat");
+  std::string to = TempPath("fault_torn_to.dat");
+  ASSERT_TRUE(WriteWholeFile(&env, from, "next").ok());
+  ASSERT_TRUE(WriteWholeFile(&env, to, "current").ok());
+  env.FailOperation(env.ops_seen());  // the upcoming rename
+  EXPECT_TRUE(env.RenameFile(from, to).IsIOError());
+  EXPECT_FALSE(env.FileExists(from));
+  std::string back;
+  ASSERT_TRUE(env.ReadFileToString(to, &back).ok());
+  EXPECT_EQ(back, "current");  // destination untouched
+  ASSERT_TRUE(env.RemoveFile(to).ok());
+}
+
+TEST(FaultInjectionEnv, ReadErrorAndDeterministicBitFlip) {
+  std::string path = TempPath("fault_read.dat");
+  ASSERT_TRUE(WriteWholeFile(Env::Default(), path, "immutable data").ok());
+
+  FaultInjectionEnv env(Env::Default(), /*seed=*/7);
+  env.FailRead(0, FaultInjectionEnv::ReadFaultKind::kReadError);
+  std::string out;
+  EXPECT_TRUE(env.ReadFileToString(path, &out).IsIOError());
+
+  // Two envs with the same seed flip the same bit.
+  std::string flipped[2];
+  for (int i = 0; i < 2; ++i) {
+    FaultInjectionEnv seeded(Env::Default(), /*seed=*/99);
+    seeded.FailRead(0, FaultInjectionEnv::ReadFaultKind::kBitFlip);
+    ASSERT_TRUE(seeded.ReadFileToString(path, &flipped[i]).ok());
+    EXPECT_NE(flipped[i], "immutable data");
+  }
+  EXPECT_EQ(flipped[0], flipped[1]);
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionEnv, SleepIsRecordedNotSlept) {
+  FaultInjectionEnv env(Env::Default());
+  uint64_t before = Env::Default()->NowMicros();
+  env.SleepForMicroseconds(60ull * 1000 * 1000);  // "a minute"
+  uint64_t elapsed = Env::Default()->NowMicros() - before;
+  EXPECT_EQ(env.slept_micros(), 60ull * 1000 * 1000);
+  EXPECT_LT(elapsed, 5ull * 1000 * 1000);  // and no real minute passed
+}
+
+}  // namespace
+}  // namespace xseq

@@ -6,6 +6,7 @@
 #include "src/storage/buffer_pool.h"
 #include "src/storage/page.h"
 #include "src/storage/paged_index.h"
+#include "src/util/coding.h"
 #include "tests/test_util.h"
 
 namespace xseq {
@@ -40,6 +41,59 @@ TEST(PageFile, GrowsOnDemand) {
   f.WriteAt(10 * kPageSize, &v, sizeof(v));
   EXPECT_EQ(f.page_count(), 11u);
   EXPECT_EQ(f.bytes(), 11u * kPageSize);
+}
+
+TEST(PageFile, SpillRoundTripsThroughDisk) {
+  PageFile f;
+  uint64_t a = 0xA1B2C3D4E5F60718ULL, b = 0x1020304050607080ULL;
+  f.WriteAt(17, &a, sizeof(a));
+  f.WriteAt(3 * kPageSize + 5, &b, sizeof(b));
+  std::string path = ::testing::TempDir() + "/xseq_pagefile.pages";
+  ASSERT_TRUE(f.SaveTo(Env::Default(), path).ok());
+
+  auto back = PageFile::LoadFrom(Env::Default(), path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->page_count(), f.page_count());
+  for (uint32_t p = 0; p < f.page_count(); ++p) {
+    EXPECT_EQ(std::memcmp(back->page(p).data, f.page(p).data, kPageSize), 0)
+        << "page " << p;
+  }
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(PageFile, SpillDetectsDamageAndNamesThePage) {
+  PageFile f;
+  uint32_t v = 42;
+  f.WriteAt(kPageSize + 9, &v, sizeof(v));  // two pages
+  std::string path = ::testing::TempDir() + "/xseq_pagefile_bad.pages";
+  ASSERT_TRUE(f.SaveTo(Env::Default(), path).ok());
+  std::string data;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &data).ok());
+
+  // Flip a byte inside the second page's payload.
+  std::string bad = data;
+  bad[bad.size() - kPageSize / 2] ^= 0x10;
+  ASSERT_TRUE(AtomicWriteFile(Env::Default(), path, bad).ok());
+  Status st = PageFile::LoadFrom(Env::Default(), path).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("page 1"), std::string::npos) << st.ToString();
+
+  // An adversarial page count must be bounded before allocation.
+  std::string huge = data;
+  std::string count;
+  PutFixed32(&count, 0x40000000u);  // claims 4 TiB of pages
+  huge.replace(12, 4, count);
+  ASSERT_TRUE(AtomicWriteFile(Env::Default(), path, huge).ok());
+  st = PageFile::LoadFrom(Env::Default(), path).status();
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_NE(st.message().find("claims"), std::string::npos);
+
+  // Truncation anywhere is rejected.
+  ASSERT_TRUE(
+      AtomicWriteFile(Env::Default(), path, data.substr(0, data.size() / 2))
+          .ok());
+  EXPECT_FALSE(PageFile::LoadFrom(Env::Default(), path).ok());
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
 }
 
 TEST(BufferPool, CountsHitsAndMisses) {

@@ -38,6 +38,16 @@ TEST(Status, AllConstructorsSetMatchingCode) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(Status, IOErrorIsDistinctFromCorruption) {
+  Status io = Status::IOError("disk on fire");
+  EXPECT_EQ(io.code(), StatusCode::kIOError);
+  EXPECT_FALSE(io.IsCorruption());
+  EXPECT_FALSE(Status::Corruption("bad bytes").IsIOError());
+  EXPECT_EQ(io.ToString(), "IOError: disk on fire");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
 }
 
 TEST(Status, CopyIsCheapAndEqualityWorks) {
