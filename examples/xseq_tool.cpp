@@ -287,6 +287,9 @@ int Verify(const FlagSet& flags, int argc, char** argv) {
   std::printf("footer:   %s\n", report.footer_ok ? "ok" : "MISMATCH");
   std::printf("trailing: %llu bytes\n",
               static_cast<unsigned long long>(report.trailing_bytes));
+  std::printf("derived:  %llu bytes (fused link entries + cover forest, "
+              "built on load)\n",
+              static_cast<unsigned long long>(report.index_derived_bytes));
   if (!report.status.ok()) {
     std::printf("FAILED: %s\n", report.status.ToString().c_str());
     return 1;

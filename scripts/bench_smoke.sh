@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmark smoke gate: runs the micro_match counter workloads (fig15
+# identical-siblings, fig16 query lengths, table7 XMark) and fails if the
+# query engine regressed against the checked-in baseline —
+# `link_entries_read` more than --guard (default 10) percent above
+# bench/BENCH_match.baseline.json, or any drift at all in
+# `result_docs`/`terminals` (those must stay bit-identical).
+#
+#   scripts/bench_smoke.sh                  # build + run + guard
+#   scripts/bench_smoke.sh --build-dir=build-opt
+#   scripts/bench_smoke.sh --guard=5        # tighter regression budget
+#
+# Refreshing the baseline after an intentional engine change:
+#   ./build/bench/micro_match --json=bench/BENCH_match.baseline.json
+# (bench/BENCH_match.seed.json is the pre-optimization snapshot and is
+# never regenerated — it documents the starting point.)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+GUARD_PCT=10
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --guard=*) GUARD_PCT="${arg#*=}" ;;
+    *)
+      echo "usage: $0 [--build-dir=DIR] [--guard=PCT]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+BASELINE="bench/BENCH_match.baseline.json"
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_smoke.sh: missing $BASELINE" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_match
+
+OUT="$(mktemp /tmp/BENCH_match.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+"./$BUILD_DIR/bench/micro_match" \
+  --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
+
+echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE)"

@@ -234,10 +234,10 @@ StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
 }
 
 StatusOr<QueryResult> CollectionIndex::Query(std::string_view xpath,
-                                             const ExecOptions& options)
-    const {
+                                             const ExecOptions& options,
+                                             MatchContext* ctx) const {
   QueryResult result;
-  auto docs = executor().Execute(xpath, &result.stats, options);
+  auto docs = executor().Execute(xpath, &result.stats, options, ctx);
   if (!docs.ok()) return docs.status();
   result.docs = std::move(*docs);
   return result;
@@ -258,16 +258,21 @@ std::vector<StatusOr<QueryResult>> CollectionIndex::QueryBatch(
     local = std::make_unique<ThreadPool>(threads);
     pool = local.get();
   }
+  // One context pool for the batch: workers lease scratch per query, so a
+  // batch allocates a handful of contexts total instead of per query.
+  MatchContextPool contexts;
   if (pool == nullptr || pool->width() <= 1 || xpaths.size() <= 1) {
+    MatchContextLease lease(&contexts);
     for (size_t i = 0; i < xpaths.size(); ++i) {
-      out[i] = Query(xpaths[i], per_query);
+      out[i] = Query(xpaths[i], per_query, lease.get());
     }
     return out;
   }
   // Query() is const and touches only the frozen index; every worker writes
   // its own slot.
   pool->ParallelFor(xpaths.size(), [&](size_t i) {
-    out[i] = Query(xpaths[i], per_query);
+    MatchContextLease lease(&contexts);
+    out[i] = Query(xpaths[i], per_query, lease.get());
   });
   return out;
 }

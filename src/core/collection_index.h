@@ -145,8 +145,10 @@ class CollectionBuilder {
 class CollectionIndex {
  public:
   /// Runs an XPath query (see query_pattern.h for the supported subset).
+  /// `ctx`, when given, supplies reusable match scratch (see MatchContext).
   StatusOr<QueryResult> Query(std::string_view xpath,
-                              const ExecOptions& options = {}) const;
+                              const ExecOptions& options = {},
+                              MatchContext* ctx = nullptr) const;
 
   /// Runs many queries concurrently across a thread pool — the serving
   /// building block. `threads`: 0 = default pool, 1 = serial, n > 1 = a

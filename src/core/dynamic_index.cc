@@ -224,8 +224,9 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
     std::vector<ExecStats> part_stats(k);
     std::vector<Status> results(k, Status::OK());
     pool_->ParallelFor(k, [&](size_t i) {
+      MatchContextLease lease(&match_contexts_);
       auto part = segments[i]->executor().ExecutePattern(
-          pattern, &part_stats[i], options);
+          pattern, &part_stats[i], options, lease.get());
       if (part.ok()) {
         parts[i] = std::move(*part);
       } else {
@@ -238,10 +239,12 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
       out.insert(out.end(), parts[i].begin(), parts[i].end());
     }
   } else {
+    // One leased context serves every segment probe of this query.
+    MatchContextLease lease(&match_contexts_);
     for (const auto& segment : segments) {
       ExecStats part_stats;
       auto part = segment->executor().ExecutePattern(pattern, &part_stats,
-                                                     options);
+                                                     options, lease.get());
       if (!part.ok()) return part.status();
       if (stats != nullptr) stats->Add(part_stats);
       out.insert(out.end(), part->begin(), part->end());

@@ -127,6 +127,10 @@ class DynamicIndex {
   std::unique_ptr<ValueEncoder> values_;
   std::unique_ptr<ThreadPool> pool_;
 
+  /// Reusable match scratch shared by all queries (leases are per query /
+  /// per worker; the pool is internally synchronized).
+  mutable MatchContextPool match_contexts_;
+
   mutable std::mutex mu_;
   mutable std::condition_variable seal_cv_;
   /// Sealed segments; a null entry is a slot reserved by an in-flight seal.

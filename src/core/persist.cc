@@ -291,6 +291,27 @@ IndexFileReport InspectEncodedIndex(std::string_view data) {
       record(Status::Corruption(std::string("checksum mismatch in section '") +
                                 kSectionNames[i] + "'"));
     }
+    if (info.checksum_ok && info.name == "index") {
+      // Skim the pod-vector headers (counts only, no allocation) to report
+      // the derived arrays DecodeFrom materializes beyond the stored
+      // payload: fused (serial, end) link entries plus the nesting-forest
+      // cover array, both sized by the stored link-serial count.
+      Decoder vecs(payload);
+      constexpr uint64_t kElemBytes[] = {8, 4, 4, 4, 4, 1};
+      uint64_t counts[6] = {0, 0, 0, 0, 0, 0};
+      bool ok = true;
+      for (size_t v = 0; v < 6 && ok; ++v) {
+        std::string_view skip;
+        ok = vecs.GetFixed64(&counts[v]).ok() &&
+             counts[v] <= vecs.remaining() / kElemBytes[v] &&
+             vecs.GetRaw(counts[v] * kElemBytes[v], &skip).ok();
+      }
+      if (ok) {
+        const uint64_t link_serials = counts[4];
+        report.index_derived_bytes =
+            link_serials * (sizeof(uint64_t) + sizeof(uint32_t));
+      }
+    }
     report.sections.push_back(std::move(info));
   }
   report.trailing_bytes = in.remaining();

@@ -84,6 +84,10 @@ struct IndexFileReport {
   std::vector<IndexSectionInfo> sections;
   bool footer_ok = false;
   uint64_t trailing_bytes = 0;
+  /// In-memory bytes of the derived query-engine arrays (fused link
+  /// entries + nesting-forest cover) that DecodeFrom materializes beyond
+  /// the stored "index" payload; 0 when that section is damaged.
+  uint64_t index_derived_bytes = 0;
   /// OK iff every check above passed; otherwise the first failure,
   /// matching what DecodeCollectionIndex would report.
   Status status;

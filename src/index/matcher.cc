@@ -1,14 +1,13 @@
 #include "src/index/matcher.h"
 
-#include <unordered_map>
-
 #include "src/index/matcher_impl.h"
 
 namespace xseq {
 
 namespace {
 
-/// Accessor over the in-memory FrozenIndex.
+/// Accessor over the in-memory FrozenIndex. Link probes read the fused
+/// (serial, end) pairs, so LinkEnd costs no second lookup through nodes_.
 class InMemoryAccessor {
  public:
   explicit InMemoryAccessor(const FrozenIndex& idx) : idx_(idx) {}
@@ -19,9 +18,12 @@ class InMemoryAccessor {
   uint32_t LinkSize(PathId p) const {
     return static_cast<uint32_t>(idx_.Link(p).size());
   }
-  uint32_t LinkSerial(PathId p, uint32_t i) const { return idx_.Link(p)[i]; }
-  uint32_t LinkEnd(PathId p, uint32_t i) const {
-    return idx_.end(idx_.Link(p)[i]);
+  uint32_t LinkSerial(PathId p, uint32_t i) const {
+    return idx_.Link(p)[i].serial;
+  }
+  uint32_t LinkEnd(PathId p, uint32_t i) const { return idx_.Link(p)[i].end; }
+  uint32_t LinkCover(PathId p, uint32_t i) const {
+    return idx_.LinkCover(p)[i];
   }
   bool HasNested(PathId p) const { return idx_.HasNested(p); }
   std::pair<uint32_t, uint32_t> DocOffsets(uint32_t serial,
@@ -41,34 +43,53 @@ StatusOr<QuerySeq> BuildQuerySeq(const Document& doc,
                                  const std::vector<PathId>& paths,
                                  const Sequencer& sequencer) {
   std::vector<const Node*> order = sequencer.EncodeOrder(doc, paths);
-  std::unordered_map<uint32_t, int32_t> position;  // node index -> position
-  position.reserve(order.size());
+  // Node::index is the node's position in Document::nodes(), so a flat
+  // array maps it to its sequence position without hashing.
+  std::vector<int32_t> position(doc.node_count(), -1);
   QuerySeq q;
   q.paths.reserve(order.size());
   q.parent.reserve(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     const Node* n = order[i];
-    position.emplace(n->index, static_cast<int32_t>(i));
+    position[n->index] = static_cast<int32_t>(i);
     q.paths.push_back(paths[n->index]);
     if (n->parent == nullptr) {
       q.parent.push_back(-1);
     } else {
-      auto it = position.find(n->parent->index);
-      if (it == position.end()) {
+      int32_t parent_pos = position[n->parent->index];
+      if (parent_pos < 0) {
         return Status::Internal(
             "sequencer emitted a node before its parent");
       }
-      q.parent.push_back(it->second);
+      q.parent.push_back(parent_pos);
     }
   }
   return q;
 }
 
+std::unique_ptr<MatchContext> MatchContextPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<MatchContext> ctx = std::move(free_.back());
+      free_.pop_back();
+      return ctx;
+    }
+  }
+  return std::make_unique<MatchContext>();
+}
+
+void MatchContextPool::Release(std::unique_ptr<MatchContext> ctx) {
+  if (ctx == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ctx));
+}
+
 Status MatchSequence(const FrozenIndex& index, const QuerySeq& query,
                      MatchMode mode, std::vector<DocId>* out,
-                     MatchStats* stats) {
+                     MatchStats* stats, MatchContext* ctx) {
   return internal::MatchCore(InMemoryAccessor(index), query, mode, out,
-                             stats);
+                             stats, ctx);
 }
 
 }  // namespace xseq

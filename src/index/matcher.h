@@ -21,6 +21,8 @@
 #define XSEQ_SRC_INDEX_MATCHER_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/index/trie.h"
@@ -48,10 +50,12 @@ StatusOr<QuerySeq> BuildQuerySeq(const Document& doc,
 /// Matching mode (see file comment).
 enum class MatchMode { kNaive, kConstraint };
 
-/// Cost counters of one match run.
+/// Cost counters of one match run. See DESIGN.md "Query engine cost model"
+/// for what each counter measures and how the fast paths are accounted.
 struct MatchStats {
-  uint64_t link_binary_searches = 0;
+  uint64_t link_binary_searches = 0; ///< cold (unhinted) full binary searches
   uint64_t link_entries_read = 0;    ///< path-link entry accesses
+  uint64_t link_gallop_probes = 0;   ///< hinted gallop / windowed probes
   uint64_t candidates = 0;           ///< candidate trie nodes expanded
   uint64_t sibling_checks = 0;       ///< sibling-cover tests performed
   uint64_t sibling_rejections = 0;   ///< candidates killed by the test
@@ -61,6 +65,7 @@ struct MatchStats {
   void Add(const MatchStats& o) {
     link_binary_searches += o.link_binary_searches;
     link_entries_read += o.link_entries_read;
+    link_gallop_probes += o.link_gallop_probes;
     candidates += o.candidates;
     sibling_checks += o.sibling_checks;
     sibling_rejections += o.sibling_rejections;
@@ -69,11 +74,65 @@ struct MatchStats {
   }
 };
 
+/// Reusable per-match scratch space. A match run needs a handful of small
+/// arrays (matched serials, link cursors, terminal ranges); batch workloads
+/// that allocate them per call churn the allocator, so callers running many
+/// matches pass one context and the arrays keep their capacity across
+/// calls. Contents carry no information between calls — every MatchSequence
+/// resets them — so any context can serve any query against any index, but
+/// a context must not be used by two concurrent matches.
+struct MatchContext {
+  /// Link-local entry index of the matched node, per query position.
+  std::vector<uint32_t> matched_link_idx;
+  /// Last link cursor per query position (gallop-search seed).
+  std::vector<uint32_t> link_hint;
+  /// Doc-offset intervals of terminal subtrees.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+};
+
+/// A mutex-guarded free list of MatchContexts for concurrent batch callers.
+/// Acquire/Release cost one lock each — negligible next to a match — and
+/// contexts created once are recycled for the pool's lifetime.
+class MatchContextPool {
+ public:
+  MatchContextPool() = default;
+  MatchContextPool(const MatchContextPool&) = delete;
+  MatchContextPool& operator=(const MatchContextPool&) = delete;
+
+  /// Returns a free context, creating one when the pool is empty.
+  std::unique_ptr<MatchContext> Acquire();
+  /// Returns `ctx` to the free list.
+  void Release(std::unique_ptr<MatchContext> ctx);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<MatchContext>> free_;
+};
+
+/// RAII lease: acquires on construction, releases on destruction.
+class MatchContextLease {
+ public:
+  explicit MatchContextLease(MatchContextPool* pool)
+      : pool_(pool), ctx_(pool->Acquire()) {}
+  ~MatchContextLease() { pool_->Release(std::move(ctx_)); }
+  MatchContextLease(const MatchContextLease&) = delete;
+  MatchContextLease& operator=(const MatchContextLease&) = delete;
+
+  MatchContext* get() const { return ctx_.get(); }
+
+ private:
+  MatchContextPool* pool_;
+  std::unique_ptr<MatchContext> ctx_;
+};
+
 /// Runs subsequence matching of `query` against `index`, appending matching
-/// document ids (sorted, deduplicated) to `out`.
+/// document ids (sorted, deduplicated) to `out`. `ctx`, when given, supplies
+/// reusable scratch space (see MatchContext); results are identical with or
+/// without it.
 Status MatchSequence(const FrozenIndex& index, const QuerySeq& query,
                      MatchMode mode, std::vector<DocId>* out,
-                     MatchStats* stats = nullptr);
+                     MatchStats* stats = nullptr,
+                     MatchContext* ctx = nullptr);
 
 }  // namespace xseq
 

@@ -2,18 +2,38 @@
 //
 // The matcher is parameterized over an Accessor so the in-memory index and
 // the paged (simulated-disk) index run the identical search while counting
-// their own access costs. Link entries are (serial, end) label pairs — the
-// paper's Fig. 8 layout — so one entry access yields the full range. An
-// Accessor provides:
+// their own access costs. Link entries are fused (serial, end) label pairs —
+// the paper's Fig. 8 layout — so LinkSerial and LinkEnd of the same entry
+// touch the same cache line / disk page. An Accessor provides:
 //
-//   uint32_t node_count() const;
-//   uint32_t LinkSize(PathId p) const;
-//   uint32_t LinkSerial(PathId p, uint32_t i) const;  // ascending in i
-//   uint32_t LinkEnd(PathId p, uint32_t i) const;     // n⊣ of that node
-//   bool     HasNested(PathId p) const;
+//   uint32_t node_count() const;                      // O(1)
+//   uint32_t LinkSize(PathId p) const;                // O(1)
+//   uint32_t LinkSerial(PathId p, uint32_t i) const;  // O(1); ascending in i
+//   uint32_t LinkEnd(PathId p, uint32_t i) const;     // O(1); n⊣ of the same
+//                                                     //   fused entry as
+//                                                     //   LinkSerial(p, i)
+//   uint32_t LinkCover(PathId p, uint32_t i) const;   // O(1); link-local
+//                                                     //   index of the
+//                                                     //   tightest enclosing
+//                                                     //   occurrence of p,
+//                                                     //   or kNoLinkCover
+//   bool     HasNested(PathId p) const;               // O(1)
 //   std::pair<uint32_t,uint32_t> DocOffsets(uint32_t serial,
 //                                           uint32_t end) const;
 //   DocId    DocAt(uint32_t offset) const;
+//
+// Cost model (counters in MatchStats):
+//  * A cold link probe — no cursor hint for this query position yet — runs a
+//    full branchless binary search: one link_binary_searches plus one
+//    link_entries_read per probe.
+//  * A warm probe gallops out from the previous cursor position and then
+//    binary-searches the bracketed window; every probe counts as
+//    link_gallop_probes. Hints are per query position and reset every call,
+//    so counters are deterministic and independent of scheduling.
+//  * The sibling-cover test keeps a per-frame cursor into the parent's link
+//    (advanced monotonically; advances count as link_gallop_probes) and
+//    resolves TightestContaining by walking the precomputed nesting forest —
+//    one link_entries_read per cover step, almost always exactly one.
 
 #ifndef XSEQ_SRC_INDEX_MATCHER_IMPL_H_
 #define XSEQ_SRC_INDEX_MATCHER_IMPL_H_
@@ -27,86 +47,174 @@
 namespace xseq {
 namespace internal {
 
-/// First link index whose entry serial is > `after`, by binary search.
+/// "No previous cursor" marker for per-position link hints.
+inline constexpr uint32_t kNoCursorHint = 0xFFFFFFFFu;
+
+/// Branchless binary search: first index in [lo, lo+count) whose entry
+/// serial is > `after` (lo+count when none). The compare folds into
+/// conditional moves, so the loop has one unpredictable branch less than
+/// the textbook form on hot links.
 template <typename Accessor>
-uint32_t LinkUpperBound(const Accessor& acc, PathId path, int64_t after,
-                        MatchStats* stats) {
-  uint32_t lo = 0;
-  uint32_t hi = acc.LinkSize(path);
-  ++stats->link_binary_searches;
-  while (lo < hi) {
-    uint32_t mid = lo + (hi - lo) / 2;
-    ++stats->link_entries_read;
-    if (static_cast<int64_t>(acc.LinkSerial(path, mid)) <= after) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
+uint32_t WindowSearch(const Accessor& acc, PathId path, int64_t after,
+                      uint32_t lo, uint32_t count, uint64_t* probes) {
+  while (count > 0) {
+    uint32_t half = count >> 1;
+    uint32_t mid = lo + half;
+    ++*probes;
+    bool le = static_cast<int64_t>(acc.LinkSerial(path, mid)) <= after;
+    lo = le ? mid + 1 : lo;
+    count = le ? count - half - 1 : half;
   }
   return lo;
 }
 
-/// The tightest occurrence of `path` whose range contains `serial`
-/// (precondition: at least one exists). Entries before `serial` in the link
-/// are either ancestors (end >= serial) or disjoint (end < serial); the
-/// first ancestor found scanning backwards has the largest serial and is
-/// therefore the tightest.
+/// First link index whose entry serial is > `after`. With a hint (the
+/// cursor position of the previous search at this query position) the
+/// search gallops out bidirectionally from the hint — successive targets
+/// are usually close, but move *backwards* when nested occurrences unwind,
+/// so one-directional galloping would be wrong — and binary-searches the
+/// bracketed window. Without a hint it falls back to a full binary search.
 template <typename Accessor>
-uint32_t TightestContaining(const Accessor& acc, PathId path,
-                            uint32_t serial, MatchStats* stats) {
-  uint32_t idx = LinkUpperBound(acc, path, serial, stats);
-  while (idx > 0) {
-    --idx;
-    ++stats->link_entries_read;
-    if (acc.LinkEnd(path, idx) >= serial) return acc.LinkSerial(path, idx);
+uint32_t LinkUpperBound(const Accessor& acc, PathId path, int64_t after,
+                        uint32_t hint, MatchStats* stats) {
+  const uint32_t n = acc.LinkSize(path);
+  if (n == 0) return 0;
+  if (hint == kNoCursorHint) {
+    ++stats->link_binary_searches;
+    return WindowSearch(acc, path, after, 0, n,
+                        &stats->link_entries_read);
   }
-  return 0xFFFFFFFFu;  // unreachable when the precondition holds
+  const uint32_t pos = hint < n ? hint : n - 1;
+  ++stats->link_gallop_probes;
+  uint32_t lo, hi;
+  if (static_cast<int64_t>(acc.LinkSerial(path, pos)) <= after) {
+    // Answer is right of pos: probe pos+1, pos+2, pos+4, ...
+    lo = pos + 1;
+    hi = n;
+    uint64_t step = 1;
+    while (static_cast<uint64_t>(pos) + step < n) {
+      uint32_t probe = pos + static_cast<uint32_t>(step);
+      ++stats->link_gallop_probes;
+      if (static_cast<int64_t>(acc.LinkSerial(path, probe)) <= after) {
+        lo = probe + 1;
+        step <<= 1;
+      } else {
+        hi = probe;
+        break;
+      }
+    }
+  } else {
+    // Answer is at or left of pos: probe pos-1, pos-2, pos-4, ...
+    lo = 0;
+    hi = pos;
+    uint64_t step = 1;
+    while (step <= pos) {
+      uint32_t probe = pos - static_cast<uint32_t>(step);
+      ++stats->link_gallop_probes;
+      if (static_cast<int64_t>(acc.LinkSerial(path, probe)) > after) {
+        hi = probe;
+        step <<= 1;
+      } else {
+        lo = probe + 1;
+        break;
+      }
+    }
+  }
+  return WindowSearch(acc, path, after, lo, hi - lo,
+                      &stats->link_gallop_probes);
 }
 
-/// Recursive chain search. `ranges` collects doc-offset intervals of
-/// terminal subtrees.
+/// Recursive chain search. Scratch lives in `ctx`; `ctx->ranges` collects
+/// doc-offset intervals of terminal subtrees.
 template <typename Accessor>
 void SearchRec(const Accessor& acc, const QuerySeq& q, MatchMode mode,
-               size_t i, int64_t v_serial, int64_t v_end,
-               std::vector<uint32_t>* matched,
-               std::vector<std::pair<uint32_t, uint32_t>>* ranges,
+               size_t i, int64_t v_serial, int64_t v_end, MatchContext* ctx,
                MatchStats* stats) {
   if (i == q.size()) {
     ++stats->terminals;
-    ranges->push_back(acc.DocOffsets(static_cast<uint32_t>(v_serial),
-                                     static_cast<uint32_t>(v_end)));
+    ctx->ranges.push_back(acc.DocOffsets(static_cast<uint32_t>(v_serial),
+                                         static_cast<uint32_t>(v_end)));
     return;
   }
   PathId p = q.paths[i];
   uint32_t link_size = acc.LinkSize(p);
-  uint32_t idx = LinkUpperBound(acc, p, v_serial, stats);
+  uint32_t idx = LinkUpperBound(acc, p, v_serial, ctx->link_hint[i], stats);
+  ctx->link_hint[i] = idx;
+
+  // Sibling-cover test state (Definition 4). The test is needed only when
+  // the query parent's path has nested occurrences (Theorem 3). Candidates
+  // r grow monotonically within this frame, so `sib_cur` — the last entry
+  // of the parent's link with serial <= r — only moves forward; it starts
+  // at the matched parent itself and its advances are amortized O(1) per
+  // candidate. TightestContaining(r) is then sib_cur or one of its nesting-
+  // forest ancestors: walk cover pointers until the range covers r.
+  const int32_t parent_pos = q.parent[i];
+  const bool need_cover = mode == MatchMode::kConstraint &&
+                          parent_pos >= 0 &&
+                          acc.HasNested(q.paths[parent_pos]);
+  const PathId parent_path =
+      parent_pos >= 0 ? q.paths[parent_pos] : kInvalidPath;
+  const uint32_t parent_idx =
+      parent_pos >= 0
+          ? ctx->matched_link_idx[static_cast<size_t>(parent_pos)]
+          : 0;
+  uint32_t sib_cur = parent_idx;
+  uint32_t sib_size = 0;
+  int64_t sib_next = 0;
+  bool sib_init = false, sib_have_next = false;
+
   for (; idx < link_size; ++idx) {
     ++stats->link_entries_read;
     uint32_t r = acc.LinkSerial(p, idx);
     if (static_cast<int64_t>(r) > v_end) break;
     ++stats->candidates;
-    if (mode == MatchMode::kConstraint && q.parent[i] >= 0) {
-      PathId parent_path = q.paths[static_cast<size_t>(q.parent[i])];
-      if (acc.HasNested(parent_path)) {
-        ++stats->sibling_checks;
-        uint32_t tight = TightestContaining(acc, parent_path, r, stats);
-        if (tight != (*matched)[static_cast<size_t>(q.parent[i])]) {
-          ++stats->sibling_rejections;
-          continue;  // sibling-covered: wrong identical sibling
+    if (need_cover) {
+      ++stats->sibling_checks;
+      if (!sib_init) {
+        sib_init = true;
+        sib_size = acc.LinkSize(parent_path);
+        if (sib_cur + 1 < sib_size) {
+          ++stats->link_gallop_probes;
+          sib_next = acc.LinkSerial(parent_path, sib_cur + 1);
+          sib_have_next = true;
         }
       }
+      while (sib_have_next && sib_next <= static_cast<int64_t>(r)) {
+        ++sib_cur;
+        if (sib_cur + 1 < sib_size) {
+          ++stats->link_gallop_probes;
+          sib_next = acc.LinkSerial(parent_path, sib_cur + 1);
+        } else {
+          sib_have_next = false;
+        }
+      }
+      // sib_cur is the last parent-link entry with serial <= r; every
+      // occurrence containing r encloses it (laminarity), so the tightest
+      // is the first cover-chain ancestor-or-self whose range reaches r.
+      uint32_t tight = sib_cur;
+      ++stats->link_entries_read;
+      while (acc.LinkEnd(parent_path, tight) < r) {
+        tight = acc.LinkCover(parent_path, tight);
+        if (tight == kNoLinkCover) break;  // corrupt index; reject below
+        ++stats->link_entries_read;
+      }
+      if (tight != parent_idx) {
+        ++stats->sibling_rejections;
+        continue;  // sibling-covered: wrong identical sibling
+      }
     }
-    (*matched)[i] = r;
-    SearchRec(acc, q, mode, i + 1, r, acc.LinkEnd(p, idx), matched, ranges,
-              stats);
+    ctx->matched_link_idx[i] = idx;
+    SearchRec(acc, q, mode, i + 1, r, acc.LinkEnd(p, idx), ctx, stats);
   }
+  ctx->link_hint[i] = idx;
 }
 
 /// Full match: search, then merge the terminal doc-offset intervals and
 /// materialize sorted, deduplicated document ids.
 template <typename Accessor>
 Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
-                 std::vector<DocId>* out, MatchStats* stats) {
+                 std::vector<DocId>* out, MatchStats* stats,
+                 MatchContext* ctx) {
   if (q.paths.empty()) {
     return Status::InvalidArgument("empty query sequence");
   }
@@ -122,16 +230,20 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
 
   MatchStats local;
   MatchStats* st = stats != nullptr ? stats : &local;
-  std::vector<uint32_t> matched(q.size());
-  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  MatchContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  // assign() keeps the capacity a reused context accumulated.
+  ctx->matched_link_idx.assign(q.size(), 0);
+  ctx->link_hint.assign(q.size(), kNoCursorHint);
+  ctx->ranges.clear();
   if (acc.node_count() > 0) {
     SearchRec(acc, q, mode, 0, /*v_serial=*/-1,
-              /*v_end=*/static_cast<int64_t>(acc.node_count()) - 1, &matched,
-              &ranges, st);
+              /*v_end=*/static_cast<int64_t>(acc.node_count()) - 1, ctx,
+              st);
   }
 
   // Doc lists are disjoint per offset, so merging intervals deduplicates.
-  std::sort(ranges.begin(), ranges.end());
+  std::sort(ctx->ranges.begin(), ctx->ranges.end());
   size_t before = out->size();
   uint32_t cur_lo = 0, cur_hi = 0;
   bool open = false;
@@ -140,7 +252,7 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
       out->push_back(acc.DocAt(off));
     }
   };
-  for (const auto& [lo, hi] : ranges) {
+  for (const auto& [lo, hi] : ctx->ranges) {
     if (lo >= hi) continue;
     if (!open) {
       cur_lo = lo;

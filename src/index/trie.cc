@@ -9,7 +9,30 @@ uint64_t FrozenIndex::MemoryBytes() const {
          node_docs_off_.size() * sizeof(uint32_t) +
          docs_.size() * sizeof(DocId) +
          link_off_.size() * sizeof(uint32_t) +
-         link_serials_.size() * sizeof(uint32_t) + nested_.size();
+         link_entries_.size() * sizeof(LinkEntry) +
+         link_cover_.size() * sizeof(uint32_t) + nested_.size();
+}
+
+void FrozenIndex::BuildLinkCover() {
+  link_cover_.assign(link_entries_.size(), kNoLinkCover);
+  std::vector<uint32_t> stack;  // link-local indices of open ranges
+  for (PathId p = 0; p + 1 < link_off_.size(); ++p) {
+    // A path without nested occurrences has no enclosing entries at all,
+    // so its cover slots keep the sentinel.
+    if (!HasNested(p)) continue;
+    stack.clear();
+    const uint32_t base = link_off_[p];
+    const uint32_t size = link_off_[p + 1] - base;
+    for (uint32_t i = 0; i < size; ++i) {
+      const LinkEntry& e = link_entries_[base + i];
+      while (!stack.empty() &&
+             link_entries_[base + stack.back()].end < e.serial) {
+        stack.pop_back();
+      }
+      link_cover_[base + i] = stack.empty() ? kNoLinkCover : stack.back();
+      stack.push_back(i);
+    }
+  }
 }
 
 Status FrozenIndex::Validate() const {
@@ -40,32 +63,55 @@ Status FrozenIndex::Validate() const {
   if (!node_docs_off_.empty() && node_docs_off_.back() != docs_.size()) {
     return Status::Corruption("doc offsets do not cover the doc array");
   }
-  // Links: ascending serials, correct paths, full partition, exact nested
-  // flags.
-  if (link_serials_.size() != nodes_.size()) {
+  // Links: ascending serials, fused ends matching the nodes, correct
+  // paths, full partition, exact nested flags, exact cover forest.
+  if (link_entries_.size() != nodes_.size()) {
     return Status::Corruption("link array size mismatch");
   }
+  if (link_cover_.size() != link_entries_.size()) {
+    return Status::Corruption("link cover array size mismatch");
+  }
   size_t paths = distinct_paths();
+  std::vector<uint32_t> cover_stack;
   for (PathId p = 0; p < paths; ++p) {
     if (link_off_[p] > link_off_[p + 1] ||
-        link_off_[p + 1] > link_serials_.size()) {
+        link_off_[p + 1] > link_entries_.size()) {
       return Status::Corruption("link offsets invalid for path " +
                                 std::to_string(p));
     }
     bool contained = false, seen = false;
     uint32_t prev = 0, max_end = 0;
-    for (uint32_t i = link_off_[p]; i < link_off_[p + 1]; ++i) {
-      uint32_t s = link_serials_[i];
+    cover_stack.clear();
+    const uint32_t base = link_off_[p];
+    for (uint32_t i = base; i < link_off_[p + 1]; ++i) {
+      const LinkEntry& e = link_entries_[i];
+      uint32_t s = e.serial;
       if (s >= n || nodes_[s].path != p) {
         return Status::Corruption("link entry points at a foreign node");
+      }
+      if (e.end != nodes_[s].end) {
+        return Status::Corruption("fused link end disagrees with node " +
+                                  std::to_string(s));
       }
       if (seen && s <= prev) {
         return Status::Corruption("link not strictly ascending");
       }
       if (seen && s <= max_end) contained = true;
-      max_end = seen ? std::max(max_end, nodes_[s].end) : nodes_[s].end;
+      max_end = seen ? std::max(max_end, e.end) : e.end;
       prev = s;
       seen = true;
+      // The cover entry must name the tightest still-open occurrence.
+      while (!cover_stack.empty() &&
+             link_entries_[base + cover_stack.back()].end < s) {
+        cover_stack.pop_back();
+      }
+      uint32_t expect =
+          cover_stack.empty() ? kNoLinkCover : cover_stack.back();
+      if (link_cover_[i] != expect) {
+        return Status::Corruption("link cover wrong for path " +
+                                  std::to_string(p));
+      }
+      cover_stack.push_back(i - base);
     }
     bool flagged = p < nested_.size() && nested_[p] != 0;
     if (flagged != contained) {
@@ -81,25 +127,52 @@ void FrozenIndex::EncodeTo(std::string* dst) const {
   PutPodVector(dst, node_docs_off_);
   PutPodVector(dst, docs_);
   PutPodVector(dst, link_off_);
-  PutPodVector(dst, link_serials_);
+  // The file format (v2) stores plain serial lists; the fused pairs and the
+  // cover forest are derived views rebuilt by DecodeFrom, so images written
+  // before the fused layout still load and new images stay byte-identical.
+  std::vector<uint32_t> serials(link_entries_.size());
+  for (size_t i = 0; i < link_entries_.size(); ++i) {
+    serials[i] = link_entries_[i].serial;
+  }
+  PutPodVector(dst, serials);
   PutPodVector(dst, nested_);
 }
 
 StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in) {
   FrozenIndex out;
+  std::vector<uint32_t> serials;
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nodes_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.node_docs_off_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.docs_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_off_));
-  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_serials_));
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&serials));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nested_));
   if (out.node_docs_off_.size() != out.nodes_.size() + 1 &&
       !(out.nodes_.empty() && out.node_docs_off_.empty())) {
     return Status::Corruption("index arrays are inconsistent");
   }
-  if (out.link_serials_.size() != out.nodes_.size()) {
+  if (serials.size() != out.nodes_.size()) {
     return Status::Corruption("link array size mismatch");
   }
+  // Bounds must hold before the derived arrays are built (Validate runs
+  // later and assumes in-bounds access).
+  for (size_t i = 0; i + 1 < out.link_off_.size(); ++i) {
+    if (out.link_off_[i] > out.link_off_[i + 1]) {
+      return Status::Corruption("link offsets not monotone");
+    }
+  }
+  if (!out.link_off_.empty() && out.link_off_.back() > serials.size()) {
+    return Status::Corruption("link offsets exceed the link array");
+  }
+  out.link_entries_.resize(serials.size());
+  for (size_t i = 0; i < serials.size(); ++i) {
+    if (serials[i] >= out.nodes_.size()) {
+      return Status::Corruption("link entry serial out of range");
+    }
+    out.link_entries_[i] =
+        LinkEntry{serials[i], out.nodes_[serials[i]].end};
+  }
+  out.BuildLinkCover();
   return out;
 }
 
@@ -423,7 +496,7 @@ FrozenIndex TrieBuilder::Freeze() && {
   for (size_t i = 1; i < out.link_off_.size(); ++i) {
     out.link_off_[i] += out.link_off_[i - 1];
   }
-  out.link_serials_.resize(out.nodes_.size());
+  out.link_entries_.resize(out.nodes_.size());
   out.nested_.assign(static_cast<size_t>(max_path) + 1, 0);
   {
     std::vector<uint32_t> cursor(out.link_off_.begin(),
@@ -435,13 +508,15 @@ FrozenIndex TrieBuilder::Freeze() && {
     for (uint32_t serial = 0;
          serial < static_cast<uint32_t>(out.nodes_.size()); ++serial) {
       PathId p = out.nodes_[serial].path;
-      out.link_serials_[cursor[p]++] = serial;
+      out.link_entries_[cursor[p]++] =
+          FrozenIndex::LinkEntry{serial, out.nodes_[serial].end};
       if (seen[p] && serial <= max_end[p]) out.nested_[p] = 1;
       max_end[p] = std::max(seen[p] ? max_end[p] : 0u,
                             out.nodes_[serial].end);
       seen[p] = 1;
     }
   }
+  out.BuildLinkCover();
 
   pool_.clear();
   child_index_.clear();

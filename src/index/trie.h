@@ -30,6 +30,10 @@
 
 namespace xseq {
 
+/// Sentinel in link cover arrays: the entry has no enclosing occurrence of
+/// its own path (it is a root of the link's nesting forest).
+inline constexpr uint32_t kNoLinkCover = 0xFFFFFFFFu;
+
 /// Immutable flattened index tree. Node serials are pre-order positions;
 /// nodes() is indexed by serial.
 class FrozenIndex {
@@ -41,14 +45,34 @@ class FrozenIndex {
     uint32_t end;
   };
 
+  /// One horizontal-link entry: the (n⊢, n⊣) label pair of Fig. 8, fused
+  /// so a link probe costs a single cache access instead of an indirection
+  /// through nodes_. Derived from the serial list at Freeze()/DecodeFrom
+  /// time; the on-disk format still stores plain serials.
+  struct LinkEntry {
+    uint32_t serial;
+    uint32_t end;
+  };
+
   size_t node_count() const { return nodes_.size(); }
   PathId path(uint32_t serial) const { return nodes_[serial].path; }
   uint32_t end(uint32_t serial) const { return nodes_[serial].end; }
 
-  /// Horizontal link of `path`: serials in ascending order.
-  std::span<const uint32_t> Link(PathId path) const {
+  /// Horizontal link of `path`: (serial, end) pairs, serials ascending.
+  std::span<const LinkEntry> Link(PathId path) const {
     if (path + 1 >= link_off_.size()) return {};
-    return std::span<const uint32_t>(link_serials_)
+    return std::span<const LinkEntry>(link_entries_)
+        .subspan(link_off_[path], link_off_[path + 1] - link_off_[path]);
+  }
+
+  /// The link's static nesting forest: element i is the link-local index of
+  /// the tightest occurrence of `path` strictly enclosing entry i, or
+  /// kNoLinkCover when none encloses it. Lets the sibling-cover test
+  /// resolve TightestContaining by following at most a few parent pointers
+  /// instead of binary-searching and scanning the link.
+  std::span<const uint32_t> LinkCover(PathId path) const {
+    if (path + 1 >= link_off_.size()) return {};
+    return std::span<const uint32_t>(link_cover_)
         .subspan(link_off_[path], link_off_[path + 1] - link_off_[path]);
   }
 
@@ -96,11 +120,16 @@ class FrozenIndex {
  private:
   friend class TrieBuilder;
 
+  /// Rebuilds the per-link nesting forest (link_cover_) from link_entries_
+  /// in one linear stack pass per path.
+  void BuildLinkCover();
+
   std::vector<NodeRec> nodes_;
   std::vector<uint32_t> node_docs_off_;  // size node_count()+1
   std::vector<DocId> docs_;              // grouped by owning node, serial order
   std::vector<uint32_t> link_off_;       // size max_path+2
-  std::vector<uint32_t> link_serials_;
+  std::vector<LinkEntry> link_entries_;  // derived: fused (serial, end) pairs
+  std::vector<uint32_t> link_cover_;     // derived: nesting forest, per entry
   std::vector<uint8_t> nested_;          // per path
 };
 

@@ -57,7 +57,7 @@ StatusOr<std::vector<QuerySeq>> QueryExecutor::Compile(
 
 StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     const QueryPattern& pattern, ExecStats* stats,
-    const ExecOptions& options) const {
+    const ExecOptions& options, MatchContext* ctx) const {
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
 
@@ -93,9 +93,11 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
       out.insert(out.end(), parts[i].begin(), parts[i].end());
     }
   } else {
+    // The caller's context (or none) is reused across every compiled
+    // sequence of this query.
     for (const QuerySeq& qs : *compiled) {
       XSEQ_RETURN_IF_ERROR(
-          MatchSequence(*index_, qs, options.mode, &out, &st->match));
+          MatchSequence(*index_, qs, options.mode, &out, &st->match, ctx));
     }
   }
   std::sort(out.begin(), out.end());
@@ -106,11 +108,11 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
 }
 
 StatusOr<std::vector<DocId>> QueryExecutor::Execute(
-    std::string_view xpath, ExecStats* stats,
-    const ExecOptions& options) const {
+    std::string_view xpath, ExecStats* stats, const ExecOptions& options,
+    MatchContext* ctx) const {
   auto pattern = ParseXPath(xpath);
   if (!pattern.ok()) return pattern.status();
-  return ExecutePattern(*pattern, stats, options);
+  return ExecutePattern(*pattern, stats, options, ctx);
 }
 
 }  // namespace xseq

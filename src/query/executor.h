@@ -74,14 +74,17 @@ class QueryExecutor {
         sequencer_(sequencer) {}
 
   /// Parses and runs `xpath`; returns sorted, deduplicated document ids.
+  /// `ctx`, when given, supplies reusable match scratch (see MatchContext);
+  /// it is reused across the query's compiled sequences and across calls.
   StatusOr<std::vector<DocId>> Execute(std::string_view xpath,
                                        ExecStats* stats = nullptr,
-                                       const ExecOptions& options = {}) const;
+                                       const ExecOptions& options = {},
+                                       MatchContext* ctx = nullptr) const;
 
   /// Runs an already-parsed pattern.
   StatusOr<std::vector<DocId>> ExecutePattern(
       const QueryPattern& pattern, ExecStats* stats = nullptr,
-      const ExecOptions& options = {}) const;
+      const ExecOptions& options = {}, MatchContext* ctx = nullptr) const;
 
   /// Compiles `pattern` into the deduplicated query sequences that would be
   /// matched (exposed for tests, baselines and benchmarks).

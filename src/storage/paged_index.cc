@@ -21,14 +21,14 @@ PagedIndex PagedIndex::Build(const FrozenIndex& index) {
   out.link_off_.assign(paths + 1, 0);
   out.nested_.assign(paths, 0);
 
-  // Link region: per path, (serial, end) pairs in link order.
+  // Link region: per path, fused (serial, end) pairs in link order.
   out.link_base_ = 0;
   uint64_t entry_cursor = 0;
   for (PathId p = 0; p < paths; ++p) {
     out.link_off_[p] = static_cast<uint32_t>(entry_cursor);
     out.nested_[p] = index.HasNested(p) ? 1 : 0;
-    for (uint32_t serial : index.Link(p)) {
-      uint32_t pair[2] = {serial, index.end(serial)};
+    for (const FrozenIndex::LinkEntry& e : index.Link(p)) {
+      uint32_t pair[2] = {e.serial, e.end};
       out.file_.WriteAt(entry_cursor * kLinkEntryBytes, pair, sizeof(pair));
       ++entry_cursor;
     }
@@ -36,8 +36,24 @@ PagedIndex PagedIndex::Build(const FrozenIndex& index) {
   out.link_off_[paths] = static_cast<uint32_t>(entry_cursor);
 
   uint64_t link_bytes = entry_cursor * kLinkEntryBytes;
-  out.doc_off_base_ =
+  out.cover_base_ =
       static_cast<uint32_t>((link_bytes + kPageSize - 1) / kPageSize);
+
+  // Cover region: the nesting forest, one word per link entry, in the same
+  // entry order as the link region.
+  uint64_t cover_cursor = 0;
+  for (PathId p = 0; p < paths; ++p) {
+    for (uint32_t cover : index.LinkCover(p)) {
+      out.file_.WriteAt(static_cast<uint64_t>(out.cover_base_) * kPageSize +
+                            cover_cursor * kWordBytes,
+                        &cover, sizeof(cover));
+      ++cover_cursor;
+    }
+  }
+  uint64_t cover_bytes = cover_cursor * kWordBytes;
+  out.doc_off_base_ =
+      out.cover_base_ +
+      static_cast<uint32_t>((cover_bytes + kPageSize - 1) / kPageSize);
 
   // Doc-offset region: node_docs_off[serial], plus the final sentinel.
   uint64_t doc_off_bytes =
@@ -76,12 +92,14 @@ class PagedAccessor {
   PagedAccessor(const PagedIndex& idx, const PageFile& file,
                 const std::vector<uint32_t>& link_off,
                 const std::vector<uint8_t>& nested, uint32_t nodes,
-                uint32_t doc_off_base, uint32_t doc_base, BufferPool* pool)
+                uint32_t cover_base, uint32_t doc_off_base,
+                uint32_t doc_base, BufferPool* pool)
       : idx_(idx),
         file_(file),
         link_off_(link_off),
         nested_(nested),
         nodes_(nodes),
+        cover_base_(cover_base),
         doc_off_base_(doc_off_base),
         doc_base_(doc_base),
         pool_(pool) {}
@@ -99,6 +117,11 @@ class PagedAccessor {
 
   uint32_t LinkEnd(PathId p, uint32_t i) const {
     return ReadWord(EntryByte(p, i) + 4);
+  }
+
+  uint32_t LinkCover(PathId p, uint32_t i) const {
+    return ReadWord(static_cast<uint64_t>(cover_base_) * kPageSize +
+                    (static_cast<uint64_t>(link_off_[p]) + i) * kWordBytes);
   }
 
   bool HasNested(PathId p) const {
@@ -137,6 +160,7 @@ class PagedAccessor {
   const std::vector<uint32_t>& link_off_;
   const std::vector<uint8_t>& nested_;
   uint32_t nodes_;
+  uint32_t cover_base_;
   uint32_t doc_off_base_;
   uint32_t doc_base_;
   BufferPool* pool_;
@@ -146,10 +170,10 @@ class PagedAccessor {
 
 Status PagedIndex::Match(const QuerySeq& query, MatchMode mode,
                          BufferPool* pool, std::vector<DocId>* out,
-                         MatchStats* stats) const {
+                         MatchStats* stats, MatchContext* ctx) const {
   PagedAccessor acc(*this, file_, link_off_, nested_, node_count_,
-                    doc_off_base_, doc_base_, pool);
-  return internal::MatchCore(acc, query, mode, out, stats);
+                    cover_base_, doc_off_base_, doc_base_, pool);
+  return internal::MatchCore(acc, query, mode, out, stats, ctx);
 }
 
 }  // namespace xseq

@@ -4,6 +4,10 @@
 //   * link region  — per path, the (serial, end) label pairs of its
 //     horizontal link, contiguous (Fig. 8's linked lists, laid out flat for
 //     binary search);
+//   * cover region — per link entry, the link-local index of its tightest
+//     enclosing occurrence (the nesting forest; kNoLinkCover when none),
+//     giving the paged sibling-cover test the same O(1) resolution as the
+//     in-memory index;
 //   * doc-offset region — per serial, the start offset of its doc list;
 //   * doc region   — document ids grouped by node in serial order.
 //
@@ -33,17 +37,21 @@ class PagedIndex {
   /// Runs Algorithm 1 against the paged representation, fetching pages
   /// through `pool`. Results and match statistics are identical to the
   /// in-memory matcher; I/O cost is observable via the pool's counters.
+  /// `ctx`, when given, supplies reusable scratch (see MatchContext).
   Status Match(const QuerySeq& query, MatchMode mode, BufferPool* pool,
-               std::vector<DocId>* out, MatchStats* stats = nullptr) const;
+               std::vector<DocId>* out, MatchStats* stats = nullptr,
+               MatchContext* ctx = nullptr) const;
 
   const PageFile& file() const { return file_; }
   uint32_t node_count() const { return node_count_; }
 
-  /// Pages in each region (link / doc-offset / doc) and in total.
-  uint32_t link_pages() const { return doc_off_base_ - link_base_; }
+  /// Pages in each region (link / cover / doc-offset / doc) and in total.
+  uint32_t link_pages() const { return cover_base_ - link_base_; }
+  uint32_t cover_pages() const { return doc_off_base_ - cover_base_; }
   uint32_t total_pages() const { return file_.page_count(); }
   /// First page of the doc-offset region (pass to
-  /// BufferPool::SetRegionBoundary to split I/O accounting).
+  /// BufferPool::SetRegionBoundary to split I/O accounting; the link and
+  /// cover regions both count as index-side).
   uint32_t first_data_page() const { return doc_off_base_; }
 
  private:
@@ -56,6 +64,7 @@ class PagedIndex {
   std::vector<uint8_t> nested_;
   // Region base page ids.
   uint32_t link_base_ = 0;
+  uint32_t cover_base_ = 0;
   uint32_t doc_off_base_ = 0;
   uint32_t doc_base_ = 0;
 };

@@ -59,9 +59,10 @@ TEST_P(IndexInvariants, LinksPartitionTheNodes) {
     auto link = fi.Link(p);
     total += link.size();
     for (size_t i = 0; i < link.size(); ++i) {
-      ASSERT_EQ(fi.path(link[i]), p);
+      ASSERT_EQ(fi.path(link[i].serial), p);
+      ASSERT_EQ(fi.end(link[i].serial), link[i].end);
       if (i > 0) {
-        ASSERT_LT(link[i - 1], link[i]);
+        ASSERT_LT(link[i - 1].serial, link[i].serial);
       }
     }
   }
@@ -76,9 +77,9 @@ TEST_P(IndexInvariants, NestedFlagExactlyWhenContainmentExists) {
     bool contained = false;
     uint32_t max_end = 0;
     bool seen = false;
-    for (uint32_t s : link) {
-      if (seen && s <= max_end) contained = true;
-      max_end = seen ? std::max(max_end, fi.end(s)) : fi.end(s);
+    for (const FrozenIndex::LinkEntry& e : link) {
+      if (seen && e.serial <= max_end) contained = true;
+      max_end = seen ? std::max(max_end, e.end) : e.end;
       seen = true;
     }
     EXPECT_EQ(fi.HasNested(p), contained) << p;

@@ -121,10 +121,11 @@ TEST_F(MatcherTest, PathLinksAscendingAndComplete) {
     auto link = index_.Link(p);
     total += link.size();
     for (size_t i = 1; i < link.size(); ++i) {
-      EXPECT_LT(link[i - 1], link[i]);
+      EXPECT_LT(link[i - 1].serial, link[i].serial);
     }
-    for (uint32_t serial : link) {
-      EXPECT_EQ(index_.path(serial), p);
+    for (const FrozenIndex::LinkEntry& e : link) {
+      EXPECT_EQ(index_.path(e.serial), p);
+      EXPECT_EQ(index_.end(e.serial), e.end);  // fused pair is consistent
     }
   }
   EXPECT_EQ(total, index_.node_count());
