@@ -1,0 +1,239 @@
+// Instrumentation overhead: the fig15 identical-siblings query mix executed
+// end to end (compile + match) under three observability configurations —
+// metrics disabled, metrics enabled, and metrics + per-query tracing.
+//
+// Two modes:
+//   * default        — google-benchmark micros for the primitive costs
+//     (counter add, histogram record, the disabled-site guard).
+//   * --json=<path>  — the overhead workload. Each rep runs every config
+//     once, interleaved, and each config's score is the minimum wall time
+//     over --reps (default 9) reps: on a shared host the minimum is the
+//     least-noisy estimator of the true cost. Writes BENCH_obs.json and
+//     exits 1 when the metrics-enabled (tracing off) run is more than
+//     --max_overhead_pct (default 2) slower than the disabled run.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/collection_index.h"
+#include "src/gen/querygen.h"
+#include "src/gen/synthetic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace xseq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive-cost microbenchmarks.
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) {
+    c.Increment();
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  uint64_t v = 0;
+  for (auto _ : state) {
+    h.Record(v++ & 0xFFF);
+    benchmark::DoNotOptimize(&h);
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_DisabledSiteGuard(benchmark::State& state) {
+  // The whole per-site cost when metrics are off: one relaxed load + branch.
+  obs::ScopedMetricsEnabled off(false);
+  for (auto _ : state) {
+    bool enabled = obs::MetricsEnabled();
+    benchmark::DoNotOptimize(enabled);
+  }
+}
+BENCHMARK(BM_DisabledSiteGuard);
+
+// ---------------------------------------------------------------------------
+// --json overhead workload.
+
+struct Workload {
+  std::unique_ptr<CollectionIndex> idx;
+  std::vector<QueryPattern> patterns;
+};
+
+/// The fig15 identical-siblings mix from micro_match, kept at the pattern
+/// level so each measured query pays the full instrumented path (compile,
+/// instantiate, ordering expansion, match).
+Workload MakeFig15Workload(DocId docs) {
+  Workload w;
+  SyntheticParams params;
+  params.identical_percent = 80;
+  params.value_percent = 25;
+  IndexOptions opts;
+  CollectionBuilder builder(opts);
+  SyntheticDataset gen(params, builder.names(), builder.values());
+  w.idx = std::make_unique<CollectionIndex>(bench::BuildStreaming(
+      &builder, [&gen](DocId d) { return gen.Generate(d); }, docs));
+  Rng rng(params.seed, /*stream=*/29);
+  for (int q = 0; q < 48; ++q) {
+    Document sample = gen.Generate(rng.Uniform(docs));
+    QueryPattern pattern = SampleQueryPattern(sample, w.idx->names(), 5,
+                                              &rng, /*value_bias=*/0.4);
+    auto compiled = w.idx->executor().Compile(pattern);
+    if (compiled.ok() && !compiled->empty()) {
+      w.patterns.push_back(std::move(pattern));
+    }
+  }
+  return w;
+}
+
+/// One pass over every query; returns total result docs (a checksum that
+/// also keeps the work from being optimized away).
+uint64_t RunQueries(const Workload& w, const ExecOptions& exec) {
+  uint64_t total = 0;
+  for (const QueryPattern& p : w.patterns) {
+    auto r = w.idx->executor().ExecutePattern(p, /*stats=*/nullptr, exec);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    total += r->size();
+  }
+  return total;
+}
+
+struct ConfigResult {
+  std::string name;
+  double min_ms = 1e300;
+  double sum_ms = 0.0;
+  uint64_t checksum = 0;
+};
+
+int RunJsonMode(const FlagSet& flags) {
+  const DocId docs = static_cast<DocId>(flags.GetInt("docs", 4000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 9));
+  const double max_overhead_pct = flags.GetDouble("max_overhead_pct", 2.0);
+
+  Workload w = MakeFig15Workload(docs);
+  std::fprintf(stderr, "fig15 workload: %u docs, %zu queries, %d reps\n",
+               static_cast<unsigned>(docs), w.patterns.size(), reps);
+
+  obs::Tracer tracer;
+  ConfigResult off{"metrics_off"};
+  ConfigResult on{"metrics_on"};
+  ConfigResult tracing{"tracing_on"};
+
+  auto measure = [&w](ConfigResult* cfg, const ExecOptions& exec,
+                      bool metrics) {
+    obs::ScopedMetricsEnabled scoped(metrics);
+    Timer timer;
+    uint64_t sum = RunQueries(w, exec);
+    double ms = timer.ElapsedMillis();
+    cfg->min_ms = std::min(cfg->min_ms, ms);
+    cfg->sum_ms += ms;
+    if (cfg->checksum == 0) {
+      cfg->checksum = sum;
+    } else if (cfg->checksum != sum) {
+      std::fprintf(stderr, "nondeterministic results in %s\n",
+                   cfg->name.c_str());
+      std::exit(1);
+    }
+  };
+
+  // Warmup: fault in the index pages and the metric registrations.
+  measure(&on, ExecOptions{}, /*metrics=*/true);
+  on = ConfigResult{"metrics_on"};
+
+  for (int rep = 0; rep < reps; ++rep) {
+    measure(&off, ExecOptions{}, /*metrics=*/false);
+    measure(&on, ExecOptions{}, /*metrics=*/true);
+    ExecOptions traced;
+    traced.tracer = &tracer;
+    measure(&tracing, traced, /*metrics=*/true);
+  }
+
+  if (off.checksum != on.checksum || off.checksum != tracing.checksum) {
+    std::fprintf(stderr, "result drift across configs\n");
+    return 1;
+  }
+
+  const double overhead_pct =
+      off.min_ms <= 0.0 ? 0.0 : (on.min_ms - off.min_ms) / off.min_ms * 100.0;
+  const double tracing_pct =
+      off.min_ms <= 0.0
+          ? 0.0
+          : (tracing.min_ms - off.min_ms) / off.min_ms * 100.0;
+  const bool pass = overhead_pct < max_overhead_pct;
+
+  char buf[1024];
+  std::string json = "{\"bench\":\"micro_obs\",\"workload\":"
+                     "\"fig15_identical_siblings\",";
+  std::snprintf(buf, sizeof(buf),
+                "\"docs\":%u,\"queries\":%zu,\"reps\":%d,\"configs\":[\n",
+                static_cast<unsigned>(docs), w.patterns.size(), reps);
+  json += buf;
+  const ConfigResult* cfgs[3] = {&off, &on, &tracing};
+  for (int i = 0; i < 3; ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"min_wall_ms\":%.3f,"
+                  "\"mean_wall_ms\":%.3f,\"result_docs\":%llu}%s\n",
+                  cfgs[i]->name.c_str(), cfgs[i]->min_ms,
+                  cfgs[i]->sum_ms / reps,
+                  static_cast<unsigned long long>(cfgs[i]->checksum),
+                  i + 1 < 3 ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"metrics_overhead_pct\":%.3f,"
+                "\"tracing_overhead_pct\":%.3f,"
+                "\"max_overhead_pct\":%.1f,\"pass\":%s}\n",
+                overhead_pct, tracing_pct, max_overhead_pct,
+                pass ? "true" : "false");
+  json += buf;
+
+  std::string path = flags.GetString("json", "BENCH_obs.json");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::fprintf(stderr,
+               "wrote %s (metrics overhead %.2f%%, tracing %.2f%%, "
+               "limit %.1f%%)\n",
+               path.c_str(), overhead_pct, tracing_pct, max_overhead_pct);
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on overhead %.2f%% exceeds %.1f%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xseq
+
+int main(int argc, char** argv) {
+  xseq::FlagSet flags(argc, argv);
+  if (flags.Has("json")) {
+    return xseq::RunJsonMode(flags);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,8 +3,9 @@
 //
 //   xseq_tool build --out=my.idx --xml=a.xml --xml=b.xml
 //   xseq_tool build --out=my.idx --gen=xmark --n=50000
-//   xseq_tool stats --index=my.idx
+//   xseq_tool stats --index=my.idx [--q=XPATH ...] [--json]
 //   xseq_tool query --index=my.idx --q="/site//person/*/age[text='32']"
+//   xseq_tool trace --index=my.idx --q=XPATH [--out=trace.json]
 //   xseq_tool verify my.idx
 
 #include <cstdio>
@@ -16,6 +17,8 @@
 
 #include "src/core/collection_index.h"
 #include "src/core/persist.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/query/explain.h"
 #include "src/gen/dblp.h"
 #include "src/gen/synthetic.h"
@@ -36,9 +39,17 @@ int Usage() {
       " --gen=xmark|dblp|synthetic --n=N)\n"
       "              [--sequencer=cs|df|bf] [--values=exact|hashed|chars]"
       " [--threads=N]\n"
-      "  xseq_tool stats --index=FILE\n"
+      "  xseq_tool stats --index=FILE [--q=XPATH ...] [--repeat=N]"
+      " [--threads=N] [--json]\n"
+      "              # runs the queries (if any), then dumps index size"
+      " stats and the\n"
+      "              # process metrics registry (latencies, matcher"
+      " counters, I/O, pool)\n"
       "  xseq_tool query --index=FILE --q=XPATH [--verbose] [--explain]"
       " [--threads=N]\n"
+      "  xseq_tool trace --index=FILE --q=XPATH [--out=FILE]\n"
+      "              # runs the query traced, prints the span tree, writes"
+      " Chrome JSON\n"
       "  xseq_tool verify FILE   # per-section integrity report; exit 1 on"
       " any failure\n"
       "\n"
@@ -47,15 +58,21 @@ int Usage() {
   return 2;
 }
 
-std::vector<std::string> CollectXmlArgs(int argc, char** argv) {
-  // FlagSet keeps only the last --xml=...; gather all of them here.
-  std::vector<std::string> files;
+std::vector<std::string> CollectRepeatedArgs(int argc, char** argv,
+                                             const char* prefix) {
+  // FlagSet keeps only the last occurrence of a flag; gather all of them.
+  std::vector<std::string> values;
+  const size_t len = std::strlen(prefix);
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--xml=", 6) == 0) {
-      files.emplace_back(argv[i] + 6);
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      values.emplace_back(argv[i] + len);
     }
   }
-  return files;
+  return values;
+}
+
+std::vector<std::string> CollectXmlArgs(int argc, char** argv) {
+  return CollectRepeatedArgs(argc, argv, "--xml=");
 }
 
 int Build(const FlagSet& flags, int argc, char** argv) {
@@ -188,13 +205,55 @@ int Build(const FlagSet& flags, int argc, char** argv) {
   return 0;
 }
 
-int Stats(const FlagSet& flags) {
+int Stats(const FlagSet& flags, int argc, char** argv) {
   auto index = LoadCollectionIndex(flags.GetString("index", ""));
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
   }
+
+  // Optional query workload: every --q=XPATH is executed (--repeat times)
+  // before the dump, so the registry shows real latencies and counters.
+  // Default 2 threads so the thread-pool metrics are exercised even on a
+  // single-core host.
+  std::vector<std::string> queries = CollectRepeatedArgs(argc, argv, "--q=");
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  const int threads = static_cast<int>(flags.GetInt("threads", 2));
+  if (!queries.empty() && repeat > 0) {
+    // One batch of #q x repeat executions: a multi-entry batch spreads
+    // across the pool, so the pool counters fill even for a single --q.
+    std::vector<std::string> batch;
+    batch.reserve(queries.size() * static_cast<size_t>(repeat));
+    for (int rep = 0; rep < repeat; ++rep) {
+      batch.insert(batch.end(), queries.begin(), queries.end());
+    }
+    auto results = index->QueryBatch(batch, ExecOptions{}, threads);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        std::fprintf(stderr, "query %s: %s\n", batch[i].c_str(),
+                     results[i].status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
   auto s = index->Stats();
+  if (flags.GetBool("json", false)) {
+    std::ostringstream out;
+    out << "{\"index\":{"
+        << "\"documents\":" << s.documents
+        << ",\"trie_nodes\":" << s.trie_nodes
+        << ",\"distinct_paths\":" << s.distinct_paths
+        << ",\"sequence_elements\":" << s.sequence_elements
+        << ",\"avg_sequence_length\":" << s.avg_sequence_length
+        << ",\"memory_bytes\":" << s.memory_bytes
+        << ",\"sequencer\":\""
+        << SequencerKindName(index->options().sequencer) << "\"}"
+        << ",\"metrics\":" << obs::MetricsRegistry::Default()->JsonDump()
+        << "}\n";
+    std::fputs(out.str().c_str(), stdout);
+    return 0;
+  }
   std::printf("documents:          %llu\n",
               static_cast<unsigned long long>(s.documents));
   std::printf("index nodes:        %llu\n",
@@ -208,6 +267,45 @@ int Stats(const FlagSet& flags) {
               static_cast<unsigned long long>(s.memory_bytes));
   std::printf("sequencer:          %s\n",
               SequencerKindName(index->options().sequencer));
+  std::string dump = obs::MetricsRegistry::Default()->TextDump();
+  if (!dump.empty()) {
+    std::printf("\nprocess metrics:\n%s", dump.c_str());
+  }
+  return 0;
+}
+
+int TraceQuery(const FlagSet& flags) {
+  auto index = LoadCollectionIndex(flags.GetString("index", ""));
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::string q = flags.GetString("q", "");
+  if (q.empty()) return Usage();
+
+  obs::Tracer tracer;
+  ExecOptions exec;
+  exec.threads = flags.GetInt("threads", 1);
+  exec.tracer = &tracer;
+  auto r = index->Query(q, exec);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  obs::Trace trace = tracer.Latest();
+  std::printf("%zu documents\n\n%s", r->docs.size(),
+              obs::FormatTraceTree(trace).c_str());
+
+  const std::string out = flags.GetString("out", "trace.json");
+  std::string json = obs::TraceToChromeJson(trace);
+  Status st = AtomicWriteFile(Env::Default(), out, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu bytes); open in chrome://tracing or "
+              "ui.perfetto.dev\n",
+              out.c_str(), json.size());
   return 0;
 }
 
@@ -314,8 +412,9 @@ int main(int argc, char** argv) {
   xseq::FlagSet flags(argc, argv);
   std::string cmd = argv[1];
   if (cmd == "build") return Build(flags, argc, argv);
-  if (cmd == "stats") return Stats(flags);
+  if (cmd == "stats") return Stats(flags, argc, argv);
   if (cmd == "query") return Query(flags);
+  if (cmd == "trace") return TraceQuery(flags);
   if (cmd == "verify") return Verify(flags, argc, argv);
   return Usage();
 }

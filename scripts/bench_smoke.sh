@@ -44,8 +44,18 @@ fi
 cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_match
 
 OUT="$(mktemp /tmp/BENCH_match.XXXXXX.json)"
-trap 'rm -f "$OUT"' EXIT
+OBS_OUT="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
+trap 'rm -f "$OUT" "$OBS_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
+
+# Observability overhead gate: metrics enabled (tracing off) must stay
+# within OBS_GUARD_PCT (default 2) percent of the metrics-off wall clock on
+# the fig15 workload — the same run that produced bench/BENCH_obs.json.
+# Full-size corpus: with fewer docs each pass is a few ms and host noise
+# swamps the budget.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_obs
+"./$BUILD_DIR/bench/micro_obs" \
+  --json="$OBS_OUT" --max_overhead_pct="${OBS_GUARD_PCT:-2}"
 
 echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE)"

@@ -35,4 +35,7 @@ if [[ " $MODES " == *" address "* ]]; then
     --gtest_filter='CorruptionSweep.*:FaultSweep.*:Format.*'
 fi
 
+echo "=== bench smoke (counter guards, plain build) ==="
+scripts/bench_smoke.sh
+
 echo "check.sh: all modes passed"

@@ -1,5 +1,7 @@
 #include "src/core/collection_index.h"
 
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
 #include "src/xml/value_chain.h"
 
 namespace xseq {
@@ -178,6 +180,7 @@ Status CollectionBuilder::Index(Document&& doc) {
 }
 
 StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
+  Timer finish_timer;
   if (!indexing_) {
     XSEQ_RETURN_IF_ERROR(BeginIndexing());
   }
@@ -229,6 +232,25 @@ StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
   out.total_seq_elements_ = total_seq_elements_;
   if (options_.keep_documents) {
     out.documents_ = std::move(retained_);
+  }
+  if (obs::MetricsEnabled()) {
+    struct Set {
+      obs::Counter* finishes;
+      obs::Counter* documents;
+      obs::Counter* seq_elements;
+      obs::Histogram* finish_us;
+    };
+    static const Set s = [] {
+      obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+      return Set{r->GetCounter("xseq.build.finishes"),
+                 r->GetCounter("xseq.build.documents"),
+                 r->GetCounter("xseq.build.seq_elements"),
+                 r->GetHistogram("xseq.build.finish_us")};
+    }();
+    s.finishes->Increment();
+    s.documents->Add(out.documents_count_);
+    s.seq_elements->Add(out.total_seq_elements_);
+    s.finish_us->Record(static_cast<uint64_t>(finish_timer.ElapsedMicros()));
   }
   return out;
 }

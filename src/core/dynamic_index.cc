@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
 #include "src/xml/value_chain.h"
 
 namespace xseq {
+
+namespace {
+
+/// Registry handles for the LSM-side metrics, resolved once. Gauges mirror
+/// the live buffer depth and in-flight background seals.
+struct DynMetricSet {
+  obs::Counter* adds;
+  obs::Counter* seals;
+  obs::Counter* seal_failures;
+  obs::Counter* compactions;
+  obs::Histogram* seal_us;
+  obs::Histogram* compact_us;
+  obs::Gauge* pending_seals;
+  obs::Gauge* buffered_docs;
+};
+
+const DynMetricSet& DynMetrics() {
+  static const DynMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return DynMetricSet{r->GetCounter("xseq.dynamic.adds"),
+                        r->GetCounter("xseq.dynamic.seals"),
+                        r->GetCounter("xseq.dynamic.seal_failures"),
+                        r->GetCounter("xseq.dynamic.compactions"),
+                        r->GetHistogram("xseq.dynamic.seal_us"),
+                        r->GetHistogram("xseq.dynamic.compact_us"),
+                        r->GetGauge("xseq.dynamic.pending_seals"),
+                        r->GetGauge("xseq.dynamic.buffered_docs")};
+  }();
+  return s;
+}
+
+}  // namespace
 
 DynamicIndex::DynamicIndex(DynamicOptions options)
     : options_(options),
@@ -31,6 +65,11 @@ Status DynamicIndex::Add(Document&& doc) {
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
   buffer_.push_back(std::move(doc));
   ++total_docs_;
+  if (obs::MetricsEnabled()) {
+    const DynMetricSet& m = DynMetrics();
+    m.adds->Increment();
+    m.buffered_docs->Set(buffer_.size());
+  }
   if (buffer_.size() >= options_.flush_threshold) {
     return SealBufferLocked();
   }
@@ -45,14 +84,27 @@ Status DynamicIndex::Flush() {
 
 Status DynamicIndex::SealBufferLocked() {
   if (buffer_.empty()) return Status::OK();
+  const bool metrics = obs::MetricsEnabled();
   if (pool_->width() <= 1) {
     // Serial pool: build inline under the lock (the legacy path).
+    Timer seal_timer;
     CollectionBuilder builder(options_.index, *names_, *values_);
     for (Document& doc : buffer_) {
       XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
     }
     buffer_.clear();
     auto segment = std::move(builder).Finish();
+    if (metrics) {
+      const DynMetricSet& m = DynMetrics();
+      m.buffered_docs->Set(0);
+      if (segment.ok()) {
+        m.seals->Increment();
+        m.seal_us->Record(
+            static_cast<uint64_t>(seal_timer.ElapsedMicros()));
+      } else {
+        m.seal_failures->Increment();
+      }
+    }
     if (!segment.ok()) return segment.status();
     segments_.push_back(
         std::make_shared<const CollectionIndex>(std::move(*segment)));
@@ -70,9 +122,15 @@ Status DynamicIndex::SealBufferLocked() {
   segments_.push_back(nullptr);
   sealing_.push_back(batch);
   ++pending_seals_;
+  if (metrics) {
+    const DynMetricSet& m = DynMetrics();
+    m.buffered_docs->Set(0);
+    m.pending_seals->Set(pending_seals_);
+  }
   auto builder = std::make_shared<CollectionBuilder>(options_.index, *names_,
                                                      *values_);
   pool_->Submit([this, batch, builder] {
+    Timer seal_timer;
     Status st;
     for (const Document& doc : batch->docs) {
       st = builder->Add(CloneDocument(doc));
@@ -100,6 +158,17 @@ Status DynamicIndex::SealBufferLocked() {
         if (seal_error_.ok()) seal_error_ = st;
       }
       --pending_seals_;
+      if (obs::MetricsEnabled()) {
+        const DynMetricSet& m = DynMetrics();
+        m.pending_seals->Set(pending_seals_);
+        if (built != nullptr) {
+          m.seals->Increment();
+          m.seal_us->Record(
+              static_cast<uint64_t>(seal_timer.ElapsedMicros()));
+        } else {
+          m.seal_failures->Increment();
+        }
+      }
       // Notify under the lock: a drained waiter (e.g. the destructor) may
       // destroy the condition variable the moment it re-acquires mu_.
       seal_cv_.notify_all();
@@ -120,6 +189,7 @@ Status DynamicIndex::TakeSealErrorLocked() {
 }
 
 Status DynamicIndex::Compact() {
+  Timer compact_timer;
   std::unique_lock<std::mutex> lock(mu_);
   WaitForSealsLocked(&lock);
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
@@ -147,6 +217,13 @@ Status DynamicIndex::Compact() {
   sealing_.clear();
   segments_.push_back(
       std::make_shared<const CollectionIndex>(std::move(*merged)));
+  if (obs::MetricsEnabled()) {
+    const DynMetricSet& m = DynMetrics();
+    m.compactions->Increment();
+    m.compact_us->Record(
+        static_cast<uint64_t>(compact_timer.ElapsedMicros()));
+    m.buffered_docs->Set(0);
+  }
   return Status::OK();
 }
 
@@ -198,24 +275,52 @@ Status DynamicIndex::ScanDocs(const std::vector<Document>& docs,
 StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
     const xseq::QueryPattern& pattern, const ExecOptions& options,
     ExecStats* stats, bool parallel_segments) const {
+  // Tracing: a dynamic query owns the trace so the per-segment probes (and
+  // the unsealed-data scans) appear as siblings under one root. The options
+  // copy handed to segment executors carries the builder, never the tracer,
+  // so the nested executors attach instead of committing traces of their
+  // own.
+  obs::TraceBuilder owned_trace;
+  ExecOptions opts = options;
+  obs::Tracer* commit_to = nullptr;
+  if (opts.trace == nullptr && opts.tracer != nullptr) {
+    opts.trace_parent = owned_trace.StartTrace("dynamic_query");
+    opts.trace = &owned_trace;
+    commit_to = opts.tracer;
+    opts.tracer = nullptr;
+  }
+  const uint32_t root_span = opts.trace_parent;
+  struct CommitOnExit {
+    obs::TraceBuilder* builder;
+    obs::Tracer* tracer;
+    ~CommitOnExit() {
+      if (tracer != nullptr) builder->Commit(tracer);
+    }
+  } commit{&owned_trace, commit_to};
+
   std::vector<DocId> out;
   std::vector<std::shared_ptr<const CollectionIndex>> segments;
   std::vector<std::shared_ptr<const SealBatch>> batches;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    segments.reserve(segments_.size());
-    for (const auto& segment : segments_) {
-      if (segment != nullptr) segments.push_back(segment);
+    obs::SpanScope scan_span(opts.trace, "scan_unsealed", root_span);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      segments.reserve(segments_.size());
+      for (const auto& segment : segments_) {
+        if (segment != nullptr) segments.push_back(segment);
+      }
+      batches = sealing_;
+      // The live buffer mutates under Add(), so it is scanned while the lock
+      // is held. Everything snapshotted above is immutable; a batch that
+      // lands as a segment mid-query was excluded from `segments`, so no
+      // document is counted twice.
+      XSEQ_RETURN_IF_ERROR(ScanDocs(buffer_, pattern, opts, &out));
     }
-    batches = sealing_;
-    // The live buffer mutates under Add(), so it is scanned while the lock
-    // is held. Everything snapshotted above is immutable; a batch that
-    // lands as a segment mid-query was excluded from `segments`, so no
-    // document is counted twice.
-    XSEQ_RETURN_IF_ERROR(ScanDocs(buffer_, pattern, options, &out));
-  }
-  for (const auto& batch : batches) {
-    XSEQ_RETURN_IF_ERROR(ScanDocs(batch->docs, pattern, options, &out));
+    for (const auto& batch : batches) {
+      XSEQ_RETURN_IF_ERROR(ScanDocs(batch->docs, pattern, opts, &out));
+    }
+    scan_span.Annotate("sealing_batches", batches.size());
+    scan_span.Annotate("docs", out.size());
   }
 
   if (parallel_segments && pool_->width() > 1 && segments.size() > 1) {
@@ -225,9 +330,13 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
     std::vector<Status> results(k, Status::OK());
     pool_->ParallelFor(k, [&](size_t i) {
       MatchContextLease lease(&match_contexts_);
+      obs::SpanScope seg_span(opts.trace, "segment_probe", root_span);
+      ExecOptions seg_opts = opts;
+      seg_opts.trace_parent = seg_span.id();
       auto part = segments[i]->executor().ExecutePattern(
-          pattern, &part_stats[i], options, lease.get());
+          pattern, &part_stats[i], seg_opts, lease.get());
       if (part.ok()) {
+        seg_span.Annotate("docs", part->size());
         parts[i] = std::move(*part);
       } else {
         results[i] = part.status();
@@ -243,9 +352,13 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
     MatchContextLease lease(&match_contexts_);
     for (const auto& segment : segments) {
       ExecStats part_stats;
+      obs::SpanScope seg_span(opts.trace, "segment_probe", root_span);
+      ExecOptions seg_opts = opts;
+      seg_opts.trace_parent = seg_span.id();
       auto part = segment->executor().ExecutePattern(pattern, &part_stats,
-                                                     options, lease.get());
+                                                     seg_opts, lease.get());
       if (!part.ok()) return part.status();
+      seg_span.Annotate("docs", part->size());
       if (stats != nullptr) stats->Add(part_stats);
       out.insert(out.end(), part->begin(), part->end());
     }
@@ -253,6 +366,10 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
 
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (opts.trace != nullptr) {
+    opts.trace->Annotate(root_span, "segments", segments.size());
+    opts.trace->Annotate(root_span, "result_docs", out.size());
+  }
   return out;
 }
 

@@ -92,4 +92,43 @@ Status MatchSequence(const FrozenIndex& index, const QuerySeq& query,
                              stats, ctx);
 }
 
+namespace internal {
+
+void RecordMatchMetrics(const MatchStats& delta) {
+  struct Set {
+    obs::Counter* calls;
+    obs::Counter* link_binary_searches;
+    obs::Counter* link_entries_read;
+    obs::Counter* link_gallop_probes;
+    obs::Counter* candidates;
+    obs::Counter* sibling_checks;
+    obs::Counter* sibling_rejections;
+    obs::Counter* terminals;
+    obs::Counter* result_docs;
+  };
+  static const Set s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return Set{r->GetCounter("xseq.match.calls"),
+               r->GetCounter("xseq.match.link_binary_searches"),
+               r->GetCounter("xseq.match.link_entries_read"),
+               r->GetCounter("xseq.match.link_gallop_probes"),
+               r->GetCounter("xseq.match.candidates"),
+               r->GetCounter("xseq.match.sibling_checks"),
+               r->GetCounter("xseq.match.sibling_rejections"),
+               r->GetCounter("xseq.match.terminals"),
+               r->GetCounter("xseq.match.result_docs")};
+  }();
+  s.calls->Increment();
+  s.link_binary_searches->Add(delta.link_binary_searches);
+  s.link_entries_read->Add(delta.link_entries_read);
+  s.link_gallop_probes->Add(delta.link_gallop_probes);
+  s.candidates->Add(delta.candidates);
+  s.sibling_checks->Add(delta.sibling_checks);
+  s.sibling_rejections->Add(delta.sibling_rejections);
+  s.terminals->Add(delta.terminals);
+  s.result_docs->Add(delta.result_docs);
+}
+
+}  // namespace internal
+
 }  // namespace xseq

@@ -43,9 +43,16 @@
 #include <vector>
 
 #include "src/index/matcher.h"
+#include "src/obs/metrics.h"
 
 namespace xseq {
 namespace internal {
+
+/// Adds one match call's counter deltas to the process MetricsRegistry
+/// (xseq.match.*). Defined in matcher.cc; called from MatchCore — the one
+/// choke point both the in-memory and the paged accessor run through — only
+/// when obs::MetricsEnabled().
+void RecordMatchMetrics(const MatchStats& delta);
 
 /// "No previous cursor" marker for per-position link hints.
 inline constexpr uint32_t kNoCursorHint = 0xFFFFFFFFu;
@@ -230,6 +237,11 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
 
   MatchStats local;
   MatchStats* st = stats != nullptr ? stats : &local;
+  // `st` may accumulate across calls (batch aggregation), so registry
+  // metrics are fed this call's delta. One relaxed load when disabled.
+  const bool metrics = obs::MetricsEnabled();
+  MatchStats before;
+  if (metrics) before = *st;
   MatchContext local_ctx;
   if (ctx == nullptr) ctx = &local_ctx;
   // assign() keeps the capacity a reused context accumulated.
@@ -244,7 +256,7 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
 
   // Doc lists are disjoint per offset, so merging intervals deduplicates.
   std::sort(ctx->ranges.begin(), ctx->ranges.end());
-  size_t before = out->size();
+  size_t out_before = out->size();
   uint32_t cur_lo = 0, cur_hi = 0;
   bool open = false;
   auto flush = [&]() {
@@ -267,8 +279,20 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
     }
   }
   if (open) flush();
-  std::sort(out->begin() + static_cast<ptrdiff_t>(before), out->end());
-  st->result_docs += out->size() - before;
+  std::sort(out->begin() + static_cast<ptrdiff_t>(out_before), out->end());
+  st->result_docs += out->size() - out_before;
+  if (metrics) {
+    MatchStats delta = *st;
+    delta.link_binary_searches -= before.link_binary_searches;
+    delta.link_entries_read -= before.link_entries_read;
+    delta.link_gallop_probes -= before.link_gallop_probes;
+    delta.candidates -= before.candidates;
+    delta.sibling_checks -= before.sibling_checks;
+    delta.sibling_rejections -= before.sibling_rejections;
+    delta.terminals -= before.terminals;
+    delta.result_docs -= before.result_docs;
+    RecordMatchMetrics(delta);
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,244 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace xseq {
+namespace obs {
+
+namespace {
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendEventJson(std::string* out, const TraceSpan& span, uint64_t pid) {
+  char buf[128];
+  out->append("{\"name\":\"");
+  AppendEscaped(out, span.name);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"ph\":\"X\",\"pid\":%llu,\"tid\":%u,\"ts\":%llu,"
+                "\"dur\":%llu",
+                static_cast<unsigned long long>(pid), span.tid,
+                static_cast<unsigned long long>(span.start_us),
+                static_cast<unsigned long long>(span.dur_us));
+  out->append(buf);
+  out->append(",\"args\":{");
+  bool first = true;
+  for (const auto& [key, value] : span.args) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    AppendEscaped(out, key);
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(value));
+    out->append(buf);
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const Trace& trace) {
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('\n');
+    AppendEventJson(&out, trace.spans[i], trace.id);
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+uint64_t TraceBuilder::NowUs() const {
+  return SteadyNowUs() - trace_.wall_start_us;
+}
+
+uint32_t TraceBuilder::TidSlot() {
+  // Small, per-trace stable thread slots: slot 0 is the thread that started
+  // the trace, helpers get 1, 2, ... in first-span order.
+  uint64_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (size_t i = 0; i < tid_hashes_.size(); ++i) {
+    if (tid_hashes_[i] == h) return static_cast<uint32_t>(i);
+  }
+  tid_hashes_.push_back(h);
+  return static_cast<uint32_t>(tid_hashes_.size() - 1);
+}
+
+uint32_t TraceBuilder::StartTrace(std::string_view root_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = Trace();
+  tid_hashes_.clear();
+  trace_.wall_start_us = SteadyNowUs();
+  active_ = true;
+  TraceSpan root;
+  root.name = std::string(root_name);
+  root.parent = kNoSpan;
+  root.tid = TidSlot();
+  root.start_us = 0;
+  trace_.spans.push_back(std::move(root));
+  return 0;
+}
+
+uint32_t TraceBuilder::BeginSpan(std::string_view name, uint32_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) return kNoSpan;
+  TraceSpan span;
+  span.name = std::string(name);
+  span.parent = parent;
+  span.tid = TidSlot();
+  span.start_us = NowUs();
+  trace_.spans.push_back(std::move(span));
+  return static_cast<uint32_t>(trace_.spans.size() - 1);
+}
+
+void TraceBuilder::EndSpan(uint32_t span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_ || span >= trace_.spans.size()) return;
+  TraceSpan& s = trace_.spans[span];
+  if (s.closed) return;
+  s.dur_us = NowUs() - s.start_us;
+  s.closed = true;
+}
+
+void TraceBuilder::Annotate(uint32_t span, std::string_view key,
+                            uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_ || span >= trace_.spans.size()) return;
+  trace_.spans[span].args.emplace_back(std::string(key), value);
+}
+
+Trace TraceBuilder::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t now = NowUs();
+  for (TraceSpan& s : trace_.spans) {
+    if (!s.closed) {
+      s.dur_us = now - s.start_us;
+      s.closed = true;
+    }
+  }
+  active_ = false;
+  return std::move(trace_);
+}
+
+void TraceBuilder::Commit(Tracer* tracer) {
+  Trace done = Finish();
+  if (tracer != nullptr) tracer->Record(std::move(done));
+}
+
+void Tracer::Record(Trace&& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace.id = next_id_++;
+  ++total_;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Trace> Tracer::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Trace>(ring_.begin(), ring_.end());
+}
+
+Trace Tracer::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? Trace() : ring_.back();
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<Trace> traces = Recent();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Trace& t : traces) {
+    for (const TraceSpan& span : t.spans) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('\n');
+      AppendEventJson(&out, span, t.id);
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+namespace {
+
+void FormatSpanRec(const Trace& trace, uint32_t span, int depth,
+                   std::string* out) {
+  const TraceSpan& s = trace.spans[span];
+  char buf[64];
+  for (int i = 0; i < depth; ++i) out->append("  ");
+  out->append(s.name);
+  std::snprintf(buf, sizeof(buf), "  %llu us",
+                static_cast<unsigned long long>(s.dur_us));
+  out->append(buf);
+  for (const auto& [key, value] : s.args) {
+    out->append("  ");
+    out->append(key);
+    std::snprintf(buf, sizeof(buf), "=%llu",
+                  static_cast<unsigned long long>(value));
+    out->append(buf);
+  }
+  out->push_back('\n');
+  for (uint32_t i = 0; i < trace.spans.size(); ++i) {
+    if (trace.spans[i].parent == span) {
+      FormatSpanRec(trace, i, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatTraceTree(const Trace& trace) {
+  std::string out;
+  for (uint32_t i = 0; i < trace.spans.size(); ++i) {
+    if (trace.spans[i].parent == kNoSpan) {
+      FormatSpanRec(trace, i, 0, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace xseq

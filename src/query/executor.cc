@@ -4,6 +4,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -21,6 +22,60 @@ std::string SeqKey(const QuerySeq& q) {
   return key;
 }
 
+/// Registry handles for the executor-level query metrics, resolved once.
+struct QueryMetricSet {
+  obs::Counter* queries;
+  obs::Counter* errors;
+  obs::Counter* truncated;
+  obs::Histogram* latency_us;
+  obs::Histogram* compile_us;
+  obs::Histogram* match_us;
+  obs::Histogram* result_docs;
+};
+
+const QueryMetricSet& QueryMetrics() {
+  static const QueryMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return QueryMetricSet{r->GetCounter("xseq.query.count"),
+                          r->GetCounter("xseq.query.errors"),
+                          r->GetCounter("xseq.query.truncated"),
+                          r->GetHistogram("xseq.query.latency_us"),
+                          r->GetHistogram("xseq.query.compile_us"),
+                          r->GetHistogram("xseq.query.match_us"),
+                          r->GetHistogram("xseq.query.result_docs")};
+  }();
+  return s;
+}
+
+/// Runs on every exit path of ExecutePattern: commits an owned trace to its
+/// tracer and feeds the query metrics (latency measured here, compile /
+/// match micros supplied as this call's deltas by the caller).
+struct QueryReporter {
+  Timer timer;
+  obs::TraceBuilder* owned_trace = nullptr;
+  obs::Tracer* commit_to = nullptr;
+  bool ok = false;
+  bool truncated = false;
+  uint64_t compile_us = 0;
+  uint64_t match_us = 0;
+  uint64_t result_docs = 0;
+
+  ~QueryReporter() {
+    if (owned_trace != nullptr && commit_to != nullptr) {
+      owned_trace->Commit(commit_to);
+    }
+    if (!obs::MetricsEnabled()) return;
+    const QueryMetricSet& m = QueryMetrics();
+    m.queries->Increment();
+    if (!ok) m.errors->Increment();
+    if (truncated) m.truncated->Increment();
+    m.latency_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    m.compile_us->Record(compile_us);
+    m.match_us->Record(match_us);
+    m.result_docs->Record(result_docs);
+  }
+};
+
 }  // namespace
 
 StatusOr<std::vector<QuerySeq>> QueryExecutor::Compile(
@@ -30,25 +85,43 @@ StatusOr<std::vector<QuerySeq>> QueryExecutor::Compile(
   ExecStats* st = stats != nullptr ? stats : &local;
   Timer timer;
 
-  auto inst = InstantiatePattern(pattern, *dict_, *names_, *values_,
-                                 options.instantiate);
+  obs::SpanScope compile_span(options.trace, "compile",
+                              options.trace_parent);
+  auto inst = [&] {
+    obs::SpanScope inst_span(options.trace, "instantiate",
+                             compile_span.id());
+    auto result = InstantiatePattern(pattern, *dict_, *names_, *values_,
+                                     options.instantiate);
+    if (result.ok()) {
+      inst_span.Annotate("concrete_trees", result->queries.size());
+    }
+    return result;
+  }();
   if (!inst.ok()) return inst.status();
   st->instantiations += inst->queries.size();
   st->truncated = st->truncated || inst->truncated;
 
   std::vector<QuerySeq> out;
   std::unordered_set<std::string> seen;
-  for (const ConcreteQuery& cq : inst->queries) {
-    IsomorphResult iso = ExpandIsomorphisms(cq, options.isomorph);
-    st->orderings += iso.queries.size();
-    st->truncated = st->truncated || iso.truncated;
-    for (const ConcreteQuery& ordered : iso.queries) {
-      auto qs = BuildQuerySeq(ordered.tree, ordered.paths, *sequencer_);
-      if (!qs.ok()) return qs.status();
-      if (seen.insert(SeqKey(*qs)).second) {
-        out.push_back(std::move(*qs));
+  {
+    obs::SpanScope expand_span(options.trace, "expand_orderings",
+                               compile_span.id());
+    size_t orderings = 0;
+    for (const ConcreteQuery& cq : inst->queries) {
+      IsomorphResult iso = ExpandIsomorphisms(cq, options.isomorph);
+      orderings += iso.queries.size();
+      st->orderings += iso.queries.size();
+      st->truncated = st->truncated || iso.truncated;
+      for (const ConcreteQuery& ordered : iso.queries) {
+        auto qs = BuildQuerySeq(ordered.tree, ordered.paths, *sequencer_);
+        if (!qs.ok()) return qs.status();
+        if (seen.insert(SeqKey(*qs)).second) {
+          out.push_back(std::move(*qs));
+        }
       }
     }
+    expand_span.Annotate("orderings", orderings);
+    expand_span.Annotate("deduped_sequences", out.size());
   }
   st->matched_sequences += out.size();
   st->compile_micros += timer.ElapsedMicros();
@@ -61,7 +134,26 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
 
-  auto compiled = Compile(pattern, st, options);
+  // Tracing: attach to the caller's builder (nested execution, e.g. a
+  // DynamicIndex segment probe) or open a fresh trace bound for
+  // options.tracer's ring buffer.
+  obs::TraceBuilder owned_trace;
+  ExecOptions opts = options;
+  QueryReporter report;
+  if (opts.trace == nullptr && opts.tracer != nullptr) {
+    opts.trace_parent = owned_trace.StartTrace("query");
+    opts.trace = &owned_trace;
+    report.owned_trace = &owned_trace;
+    report.commit_to = opts.tracer;
+    opts.tracer = nullptr;
+  }
+  const uint32_t root_span = opts.trace_parent;
+
+  const int64_t compile_before = st->compile_micros;
+  auto compiled = Compile(pattern, st, opts);
+  report.compile_us =
+      static_cast<uint64_t>(st->compile_micros - compile_before);
+  report.truncated = st->truncated;
   if (!compiled.ok()) return compiled.status();
 
   Timer timer;
@@ -69,12 +161,13 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
 
   ThreadPool* pool = nullptr;
   std::unique_ptr<ThreadPool> owned;
-  if (options.threads == 0) {
+  if (opts.threads == 0) {
     pool = DefaultPool();
-  } else if (options.threads > 1) {
-    owned = std::make_unique<ThreadPool>(options.threads);
+  } else if (opts.threads > 1) {
+    owned = std::make_unique<ThreadPool>(opts.threads);
     pool = owned.get();
   }
+  obs::SpanScope match_span(opts.trace, "match", root_span);
   if (pool != nullptr && pool->width() > 1 && compiled->size() > 1) {
     // Each MatchSequence call is read-only over the FrozenIndex; per-slot
     // outputs merge in sequence order, so counters and ids are identical to
@@ -84,26 +177,54 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     std::vector<MatchStats> part_stats(k);
     std::vector<Status> results(k);
     pool->ParallelFor(k, [&](size_t i) {
-      results[i] = MatchSequence(*index_, (*compiled)[i], options.mode,
+      obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
+      results[i] = MatchSequence(*index_, (*compiled)[i], opts.mode,
                                  &parts[i], &part_stats[i]);
+      seq_span.Annotate("positions", (*compiled)[i].size());
+      seq_span.Annotate("entries_read", part_stats[i].link_entries_read);
+      seq_span.Annotate("docs", parts[i].size());
     });
     for (size_t i = 0; i < k; ++i) {
       XSEQ_RETURN_IF_ERROR(results[i]);
       st->match.Add(part_stats[i]);
       out.insert(out.end(), parts[i].begin(), parts[i].end());
     }
+  } else if (opts.trace != nullptr) {
+    // Traced serial path: per-sequence stats go through a local delta so
+    // each span can carry its own counters. Aggregates are identical to
+    // the untraced loop below.
+    for (const QuerySeq& qs : *compiled) {
+      obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
+      MatchStats seq_stats;
+      size_t docs_before = out.size();
+      XSEQ_RETURN_IF_ERROR(
+          MatchSequence(*index_, qs, opts.mode, &out, &seq_stats, ctx));
+      seq_span.Annotate("positions", qs.size());
+      seq_span.Annotate("entries_read", seq_stats.link_entries_read);
+      seq_span.Annotate("docs", out.size() - docs_before);
+      st->match.Add(seq_stats);
+    }
   } else {
     // The caller's context (or none) is reused across every compiled
     // sequence of this query.
     for (const QuerySeq& qs : *compiled) {
       XSEQ_RETURN_IF_ERROR(
-          MatchSequence(*index_, qs, options.mode, &out, &st->match, ctx));
+          MatchSequence(*index_, qs, opts.mode, &out, &st->match, ctx));
     }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  match_span.End();
   st->match_micros += timer.ElapsedMicros();
   st->result_docs = out.size();
+  report.ok = true;
+  report.truncated = st->truncated;
+  report.match_us = static_cast<uint64_t>(timer.ElapsedMicros());
+  report.result_docs = out.size();
+  if (opts.trace != nullptr) {
+    opts.trace->Annotate(root_span, "sequences", compiled->size());
+    opts.trace->Annotate(root_span, "result_docs", out.size());
+  }
   return out;
 }
 

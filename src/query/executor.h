@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/index/matcher.h"
+#include "src/obs/trace.h"
 #include "src/query/instantiate.h"
 #include "src/query/isomorph.h"
 #include "src/query/query_pattern.h"
@@ -33,6 +34,18 @@ struct ExecOptions {
   /// latency-bound on one sequence), 0 = the process default pool, n > 1 =
   /// a dedicated pool for this call. Results are identical to serial.
   int threads = 1;
+  /// Tracing knob: when non-null, every query run with these options
+  /// records a span tree (query -> compile -> instantiate -> per-sequence
+  /// match; DynamicIndex adds per-segment probe spans) into the tracer's
+  /// ring buffer. Null (the default) costs one pointer compare per stage.
+  obs::Tracer* tracer = nullptr;
+  /// Internal tracing plumbing: when a surrounding execution (a
+  /// DynamicIndex query probing its segments) already owns a trace, it
+  /// points `trace` at its builder and `trace_parent` at the span the
+  /// nested call should attach under; `tracer` is then ignored. End users
+  /// set `tracer` only.
+  obs::TraceBuilder* trace = nullptr;
+  uint32_t trace_parent = obs::kNoSpan;
 };
 
 /// Per-query cost breakdown.

@@ -168,12 +168,61 @@ class PagedAccessor {
 
 }  // namespace
 
+namespace {
+
+/// Registry handles for the buffer-pool metrics, resolved once. Fed as
+/// per-Match deltas of the BufferPool's own counters, so callers that
+/// ResetCounters() between queries do not disturb the registry totals.
+struct PagedMetricSet {
+  obs::Counter* matches;
+  obs::Counter* fetches;
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* link_misses;
+  obs::Counter* data_misses;
+};
+
+const PagedMetricSet& PagedMetrics() {
+  static const PagedMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return PagedMetricSet{r->GetCounter("xseq.paged.matches"),
+                          r->GetCounter("xseq.paged.fetches"),
+                          r->GetCounter("xseq.paged.hits"),
+                          r->GetCounter("xseq.paged.misses"),
+                          r->GetCounter("xseq.paged.link_misses"),
+                          r->GetCounter("xseq.paged.data_misses")};
+  }();
+  return s;
+}
+
+}  // namespace
+
 Status PagedIndex::Match(const QuerySeq& query, MatchMode mode,
                          BufferPool* pool, std::vector<DocId>* out,
                          MatchStats* stats, MatchContext* ctx) const {
+  const bool metrics = obs::MetricsEnabled();
+  uint64_t fetches = 0, hits = 0, misses = 0, link_misses = 0,
+           data_misses = 0;
+  if (metrics) {
+    fetches = pool->fetches();
+    hits = pool->hits();
+    misses = pool->misses();
+    link_misses = pool->link_misses();
+    data_misses = pool->data_misses();
+  }
   PagedAccessor acc(*this, file_, link_off_, nested_, node_count_,
                     cover_base_, doc_off_base_, doc_base_, pool);
-  return internal::MatchCore(acc, query, mode, out, stats, ctx);
+  Status st = internal::MatchCore(acc, query, mode, out, stats, ctx);
+  if (metrics) {
+    const PagedMetricSet& m = PagedMetrics();
+    m.matches->Increment();
+    m.fetches->Add(pool->fetches() - fetches);
+    m.hits->Add(pool->hits() - hits);
+    m.misses->Add(pool->misses() - misses);
+    m.link_misses->Add(pool->link_misses() - link_misses);
+    m.data_misses->Add(pool->data_misses() - data_misses);
+  }
+  return st;
 }
 
 }  // namespace xseq

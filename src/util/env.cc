@@ -10,6 +10,9 @@
 #include <cstring>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
+
 namespace xseq {
 
 namespace {
@@ -18,6 +21,35 @@ Status PosixError(const std::string& context, int err) {
   std::string msg = context + ": " + std::strerror(err);
   if (err == ENOENT) return Status::NotFound(std::move(msg));
   return Status::IOError(std::move(msg));
+}
+
+/// Registry handles for the I/O metrics of the default (posix) Env,
+/// resolved once. FaultInjectionEnv delegates here, plus its own
+/// injected-fault counter below.
+struct EnvMetricSet {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* fsyncs;
+  obs::Counter* read_bytes;
+  obs::Counter* write_bytes;
+  obs::Histogram* read_us;
+  obs::Histogram* write_us;
+  obs::Histogram* fsync_us;
+};
+
+const EnvMetricSet& EnvMetrics() {
+  static const EnvMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return EnvMetricSet{r->GetCounter("xseq.env.reads"),
+                        r->GetCounter("xseq.env.writes"),
+                        r->GetCounter("xseq.env.fsyncs"),
+                        r->GetCounter("xseq.env.read_bytes"),
+                        r->GetCounter("xseq.env.write_bytes"),
+                        r->GetHistogram("xseq.env.read_us"),
+                        r->GetHistogram("xseq.env.write_us"),
+                        r->GetHistogram("xseq.env.fsync_us")};
+  }();
+  return s;
 }
 
 class PosixWritableFile final : public WritableFile {
@@ -30,6 +62,8 @@ class PosixWritableFile final : public WritableFile {
   }
 
   Status Append(std::string_view data) override {
+    const bool metrics = obs::MetricsEnabled();
+    Timer t;
     const char* p = data.data();
     size_t left = data.size();
     while (left > 0) {
@@ -41,11 +75,24 @@ class PosixWritableFile final : public WritableFile {
       p += n;
       left -= static_cast<size_t>(n);
     }
+    if (metrics) {
+      const EnvMetricSet& m = EnvMetrics();
+      m.writes->Increment();
+      m.write_bytes->Add(data.size());
+      m.write_us->Record(static_cast<uint64_t>(t.ElapsedMicros()));
+    }
     return Status::OK();
   }
 
   Status Sync() override {
+    const bool metrics = obs::MetricsEnabled();
+    Timer t;
     if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
+    if (metrics) {
+      const EnvMetricSet& m = EnvMetrics();
+      m.fsyncs->Increment();
+      m.fsync_us->Record(static_cast<uint64_t>(t.ElapsedMicros()));
+    }
     return Status::OK();
   }
 
@@ -70,6 +117,8 @@ class PosixRandomAccessFile final : public RandomAccessFile {
   ~PosixRandomAccessFile() override { ::close(fd_); }
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    const bool metrics = obs::MetricsEnabled();
+    Timer t;
     out->clear();
     out->resize(n);
     size_t got = 0;
@@ -85,6 +134,12 @@ class PosixRandomAccessFile final : public RandomAccessFile {
       got += static_cast<size_t>(r);
     }
     out->resize(got);
+    if (metrics) {
+      const EnvMetricSet& m = EnvMetrics();
+      m.reads->Increment();
+      m.read_bytes->Add(got);
+      m.read_us->Record(static_cast<uint64_t>(t.ElapsedMicros()));
+    }
     return Status::OK();
   }
 
@@ -219,6 +274,12 @@ uint64_t SplitMix64(uint64_t x) {
 }
 
 Status Injected(const std::string& what) {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const faults =
+        obs::MetricsRegistry::Default()->GetCounter(
+            "xseq.env.injected_faults");
+    faults->Increment();
+  }
   return Status::IOError("injected fault: " + what);
 }
 

@@ -29,7 +29,32 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/util/timer.h"
+
 namespace xseq {
+
+namespace internal {
+
+/// Registry handles for the pool metrics (shared by every ThreadPool in the
+/// process, the DefaultPool included), resolved once.
+struct PoolMetricSet {
+  obs::Counter* tasks;
+  obs::Histogram* task_us;
+  obs::Gauge* queue_depth;
+};
+
+inline const PoolMetricSet& PoolMetrics() {
+  static const PoolMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return PoolMetricSet{r->GetCounter("xseq.pool.tasks"),
+                         r->GetHistogram("xseq.pool.task_us"),
+                         r->GetGauge("xseq.pool.queue_depth")};
+  }();
+  return s;
+}
+
+}  // namespace internal
 
 /// Resolves a requested thread count to an effective pool width (>= 1):
 /// `requested > 0` is taken as-is; 0 means "auto" — the XSEQ_THREADS
@@ -68,13 +93,26 @@ class ThreadPool {
   /// serial. Fire-and-forget: completion is the caller's bookkeeping.
   void Submit(std::function<void()> fn) {
     if (width_ <= 1) {
-      fn();
+      // Inline execution still counts as one pool task, so serial
+      // configurations (one-core hosts) surface the same counters.
+      if (obs::MetricsEnabled()) {
+        Timer t;
+        fn();
+        const internal::PoolMetricSet& m = internal::PoolMetrics();
+        m.tasks->Increment();
+        m.task_us->Record(static_cast<uint64_t>(t.ElapsedMicros()));
+      } else {
+        fn();
+      }
       return;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       EnsureStartedLocked();
       queue_.push_back(std::move(fn));
+      if (obs::MetricsEnabled()) {
+        internal::PoolMetrics().queue_depth->Set(queue_.size());
+      }
     }
     cv_.notify_one();
   }
@@ -117,6 +155,9 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       EnsureStartedLocked();
       for (size_t h = 0; h < helpers; ++h) queue_.push_back(run);
+      if (obs::MetricsEnabled()) {
+        internal::PoolMetrics().queue_depth->Set(queue_.size());
+      }
     }
     cv_.notify_all();
     run();
@@ -143,8 +184,19 @@ class ThreadPool {
         if (queue_.empty()) return;  // stop_ set and nothing left to drain
         task = std::move(queue_.front());
         queue_.pop_front();
+        if (obs::MetricsEnabled()) {
+          internal::PoolMetrics().queue_depth->Set(queue_.size());
+        }
       }
-      task();
+      if (obs::MetricsEnabled()) {
+        Timer t;
+        task();
+        const internal::PoolMetricSet& m = internal::PoolMetrics();
+        m.tasks->Increment();
+        m.task_us->Record(static_cast<uint64_t>(t.ElapsedMicros()));
+      } else {
+        task();
+      }
     }
   }
 
