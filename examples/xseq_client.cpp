@@ -1,0 +1,117 @@
+// xseq_client: command-line client for an xseq_serve daemon.
+//
+//   xseq_client ping     --port=N [--host=ADDR]
+//   xseq_client query    --port=N --q=XPATH [--deadline_ms=N] [--verbose]
+//   xseq_client stats    --port=N          # server metrics registry JSON
+//   xseq_client shutdown --port=N          # graceful remote drain
+//
+// Exit status: 0 on success; 1 on any error, including remote statuses
+// such as Overloaded (shed) and DeadlineExceeded, which are printed in
+// their wire-decoded form.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/server/client.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace xseq;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  xseq_client ping     --port=N [--host=ADDR]\n"
+      "  xseq_client query    --port=N --q=XPATH [--deadline_ms=N]"
+      " [--verbose]\n"
+      "  xseq_client stats    --port=N [--host=ADDR]\n"
+      "  xseq_client shutdown --port=N [--host=ADDR]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  FlagSet flags(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", -1));
+  if (port < 0) return Usage();
+
+  auto client = XseqClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    Timer timer;
+    Status st = client->Ping();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong (%.2f ms)\n", timer.ElapsedSeconds() * 1e3);
+    return 0;
+  }
+
+  if (cmd == "query") {
+    const std::string xpath = flags.GetString("q", "");
+    if (xpath.empty()) return Usage();
+    const uint64_t deadline_micros =
+        static_cast<uint64_t>(flags.GetInt("deadline_ms", 0)) * 1000;
+    Timer timer;
+    auto result = client->Query(xpath, deadline_micros);
+    const double ms = timer.ElapsedSeconds() * 1e3;
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu document(s) in %.2f ms\n", result->docs.size(), ms);
+    if (flags.GetBool("verbose", false)) {
+      for (DocId d : result->docs) {
+        std::printf("  doc %llu\n", static_cast<unsigned long long>(d));
+      }
+      const WireQueryStats& s = result->stats;
+      std::printf(
+          "  candidates=%llu matched=%llu entries_read=%llu"
+          " compile_us=%llu match_us=%llu\n",
+          static_cast<unsigned long long>(s.candidates),
+          static_cast<unsigned long long>(s.matched_sequences),
+          static_cast<unsigned long long>(s.link_entries_read),
+          static_cast<unsigned long long>(s.compile_micros),
+          static_cast<unsigned long long>(s.match_micros));
+    }
+    return 0;
+  }
+
+  if (cmd == "stats") {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+
+  if (cmd == "shutdown") {
+    Status st = client->Shutdown();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,265 @@
+// xseq_serve: the query-serving daemon. Loads (or generates) a document
+// collection, wraps it in a QueryService for admission control, and speaks
+// the length-prefixed wire protocol over TCP until told to stop.
+//
+//   xseq_serve --index=FILE                       # one saved index
+//   xseq_serve --sharded=PREFIX                   # saved sharded collection
+//   xseq_serve --gen=xmark|dblp|synthetic --n=N [--shards=S] [--dynamic]
+//   xseq_serve --gen=... --n=N --shards=S --save=PREFIX   # build + save, no serve
+//
+// Common flags:
+//   --host=ADDR        bind address (default 127.0.0.1)
+//   --port=N           TCP port; 0 = ephemeral (default)
+//   --port_file=PATH   write the bound port there (scripts poll this file;
+//                      written via rename so readers never see a partial)
+//   --workers=N        query worker threads (default 2)
+//   --queue=N          admission queue bound; full => kOverloaded (default 64)
+//   --deadline_ms=N    default per-request deadline; 0 = none
+//   --threads=N        shard scatter-gather parallelism (0 = default pool)
+//
+// Shutdown: SIGTERM/SIGINT, or a client's shutdown op. Either way the
+// server drains gracefully — in-flight requests finish and get their
+// responses — and the process prints "drained N" before exiting 0.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/persist.h"
+#include "src/gen/dblp.h"
+#include "src/gen/synthetic.h"
+#include "src/gen/xmark.h"
+#include "src/server/server.h"
+#include "src/server/sharded_collection.h"
+#include "src/util/flags.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace xseq;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xseq_serve (--index=FILE | --sharded=PREFIX |"
+      " --gen=xmark|dblp|synthetic --n=N [--shards=S] [--dynamic]"
+      " [--save=PREFIX])\n"
+      "                  [--host=ADDR] [--port=N] [--port_file=PATH]\n"
+      "                  [--workers=N] [--queue=N] [--deadline_ms=N]"
+      " [--threads=N]\n");
+  return 2;
+}
+
+// The signal handler may only do async-signal-safe work: it writes one
+// byte into a pipe, and a watcher thread turns that into RequestStop().
+int g_signal_pipe[2] = {-1, -1};
+
+void OnStopSignal(int) {
+  char byte = 's';
+  // A full pipe means a stop is already pending; dropping the byte is fine.
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Writes `port` to `path` atomically (temp + rename), so a script polling
+/// the file never reads a partially written number.
+bool WritePortFile(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << port << "\n";
+    if (!out.flush()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// Builds a generated sharded collection: one generator per shard, bound
+/// to that shard's vocabulary tables, documents routed by id.
+StatusOr<ShardedCollection> BuildGenerated(const FlagSet& flags,
+                                           const std::string& gen_name) {
+  ShardedOptions opts;
+  opts.shards = static_cast<int>(flags.GetInt("shards", 1));
+  opts.dynamic = flags.GetBool("dynamic", false);
+  opts.threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (opts.shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+  const DocId n = static_cast<DocId>(flags.GetInt("n", 20000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  ShardedCollection collection(opts);
+  std::vector<std::function<Document(DocId)>> make(
+      static_cast<size_t>(opts.shards));
+  std::vector<std::unique_ptr<XMarkGenerator>> xmark;
+  std::vector<std::unique_ptr<DblpGenerator>> dblp;
+  std::vector<std::unique_ptr<SyntheticDataset>> synth;
+  for (size_t s = 0; s < collection.shard_count(); ++s) {
+    NameTable* names = collection.names(s);
+    ValueEncoder* values = collection.values(s);
+    if (gen_name == "xmark") {
+      XMarkParams p;
+      p.seed = seed;
+      xmark.push_back(std::make_unique<XMarkGenerator>(p, names, values));
+      XMarkGenerator* g = xmark.back().get();
+      make[s] = [g](DocId d) { return g->Generate(d); };
+    } else if (gen_name == "dblp") {
+      DblpParams p;
+      p.seed = seed;
+      dblp.push_back(std::make_unique<DblpGenerator>(p, names, values));
+      DblpGenerator* g = dblp.back().get();
+      make[s] = [g](DocId d) { return g->Generate(d); };
+    } else if (gen_name == "synthetic") {
+      SyntheticParams p;
+      p.seed = seed;
+      synth.push_back(std::make_unique<SyntheticDataset>(p, names, values));
+      SyntheticDataset* g = synth.back().get();
+      make[s] = [g](DocId d) { return g->Generate(d); };
+    } else {
+      return Status::InvalidArgument("unknown --gen: " + gen_name);
+    }
+  }
+  for (DocId d = 0; d < n; ++d) {
+    XSEQ_RETURN_IF_ERROR(collection.Add(make[collection.ShardOf(d)](d)));
+  }
+  XSEQ_RETURN_IF_ERROR(collection.Seal());
+  return collection;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(argc, argv);
+
+  // Resolve the backend.
+  QueryService::Backend backend;
+  std::string described;
+  std::shared_ptr<CollectionIndex> single;
+  std::shared_ptr<ShardedCollection> sharded;
+  Timer load_timer;
+  if (flags.Has("index")) {
+    auto idx = LoadCollectionIndex(flags.GetString("index", ""));
+    if (!idx.ok()) {
+      std::fprintf(stderr, "load: %s\n", idx.status().ToString().c_str());
+      return 1;
+    }
+    single = std::make_shared<CollectionIndex>(std::move(*idx));
+    described = std::to_string(single->Stats().documents) +
+                " documents (single index)";
+    backend = [single](std::string_view xpath, const ExecOptions& opts) {
+      return single->Query(xpath, opts);
+    };
+  } else if (flags.Has("sharded")) {
+    auto col = ShardedCollection::Load(
+        flags.GetString("sharded", ""),
+        static_cast<int>(flags.GetInt("threads", 0)));
+    if (!col.ok()) {
+      std::fprintf(stderr, "load: %s\n", col.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::make_shared<ShardedCollection>(std::move(*col));
+  } else if (flags.Has("gen")) {
+    auto col = BuildGenerated(flags, flags.GetString("gen", ""));
+    if (!col.ok()) {
+      std::fprintf(stderr, "build: %s\n", col.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::make_shared<ShardedCollection>(std::move(*col));
+    if (flags.Has("save")) {
+      // Build-and-save mode: write the sharded images (one per shard plus
+      // the manifest) and exit without serving. The result is what
+      // --sharded=PREFIX loads.
+      const std::string prefix = flags.GetString("save", "");
+      Status save = sharded->Save(prefix);
+      if (!save.ok()) {
+        std::fprintf(stderr, "save: %s\n", save.ToString().c_str());
+        return 1;
+      }
+      std::printf("xseq_serve: saved %llu documents in %zu shard(s) -> %s\n",
+                  static_cast<unsigned long long>(sharded->total_documents()),
+                  sharded->shard_count(), prefix.c_str());
+      return 0;
+    }
+  } else {
+    return Usage();
+  }
+  if (sharded != nullptr) {
+    described = std::to_string(sharded->total_documents()) + " documents in " +
+                std::to_string(sharded->shard_count()) + " shard(s)";
+    backend = [sharded](std::string_view xpath, const ExecOptions& opts) {
+      return sharded->Query(xpath, opts);
+    };
+  }
+
+  ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.service.workers = static_cast<int>(flags.GetInt("workers", 2));
+  options.service.max_queue =
+      static_cast<size_t>(flags.GetInt("queue", 64));
+  options.service.default_deadline_micros =
+      static_cast<uint64_t>(flags.GetInt("deadline_ms", 0)) * 1000;
+
+  XseqServer server(std::move(backend), options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Stop path 1: SIGTERM/SIGINT -> pipe -> watcher -> RequestStop().
+  // Stop path 2: a client's shutdown op calls RequestStop() directly.
+  if (pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = OnStopSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  std::thread watcher([&server] {
+    char byte;
+    while (read(g_signal_pipe[0], &byte, 1) < 0) {
+      // EINTR: the signal itself may interrupt the read; retry.
+    }
+    server.RequestStop();
+  });
+
+  std::printf("xseq_serve: %s, loaded in %.2f s\n", described.c_str(),
+              load_timer.ElapsedSeconds());
+  std::printf("xseq_serve: listening on %s:%d (workers=%d queue=%zu)\n",
+              options.host.c_str(), server.port(), options.service.workers,
+              options.service.max_queue);
+  std::fflush(stdout);
+  std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+    std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+    server.Stop();
+    return 1;
+  }
+
+  server.WaitForStopRequest();
+  std::printf("xseq_serve: stop requested, draining\n");
+  std::fflush(stdout);
+  size_t inflight = server.Stop();
+
+  // Wake the watcher if the stop came from the wire rather than a signal
+  // (the byte is simply left unread when a signal already delivered one).
+  char byte = 'q';
+  (void)!write(g_signal_pipe[1], &byte, 1);
+  watcher.join();
+  close(g_signal_pipe[0]);
+  close(g_signal_pipe[1]);
+
+  std::printf("xseq_serve: drained %zu in-flight request(s), served %llu"
+              " connection(s)\n",
+              inflight,
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -45,7 +45,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_match
 
 OUT="$(mktemp /tmp/BENCH_match.XXXXXX.json)"
 OBS_OUT="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
-trap 'rm -f "$OUT" "$OBS_OUT"' EXIT
+SERVE_OUT="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
+trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
 
@@ -58,4 +59,24 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_obs
 "./$BUILD_DIR/bench/micro_obs" \
   --json="$OBS_OUT" --max_overhead_pct="${OBS_GUARD_PCT:-2}"
 
-echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE)"
+# Serving-layer harness: a small closed-loop run over loopback TCP must
+# produce a BENCH_serve.json with every schema field the dashboards read.
+# Latency numbers are host-dependent, so only the schema (and a non-zero
+# throughput) is gated here.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_serve
+"./$BUILD_DIR/bench/micro_serve" \
+  --n=1500 --clients=2 --ops=15 --out="$SERVE_OUT"
+for key in throughput_qps p50_us p99_us shed shed_rate; do
+  grep -q "\"$key\":" "$SERVE_OUT" || {
+    echo "bench_smoke.sh: BENCH_serve.json is missing \"$key\"" >&2
+    cat "$SERVE_OUT" >&2
+    exit 1
+  }
+done
+grep -q '"throughput_qps":0\.0' "$SERVE_OUT" && {
+  echo "bench_smoke.sh: serve harness reported zero throughput" >&2
+  exit 1
+}
+
+echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE," \
+  "serve schema complete)"

@@ -35,6 +35,9 @@ if [[ " $MODES " == *" address "* ]]; then
     --gtest_filter='CorruptionSweep.*:FaultSweep.*:Format.*'
 fi
 
+echo "=== serve smoke (daemon + client over loopback TCP) ==="
+scripts/serve_smoke.sh
+
 echo "=== bench smoke (counter guards, plain build) ==="
 scripts/bench_smoke.sh
 

@@ -22,7 +22,10 @@ constexpr size_t kHeaderBytes = sizeof(kMagic) + 1;  // magic + version byte
 constexpr size_t kFooterBytes = 8;
 
 /// Re-labels a section decode failure with the section that produced it,
-/// preserving the status code.
+/// preserving the status code. The default arm is deliberate: any code a
+/// section decoder can produce other than the two kept below (including
+/// ones added later) means the stored bytes failed validation, which is
+/// kCorruption by definition.
 Status AnnotateSection(const char* section, const Status& st) {
   std::string msg = "section '";
   msg += section;

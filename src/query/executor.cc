@@ -12,6 +12,10 @@ namespace xseq {
 
 namespace {
 
+Status DeadlineError() {
+  return Status::DeadlineExceeded("query deadline exceeded");
+}
+
 std::string SeqKey(const QuerySeq& q) {
   std::string key;
   key.reserve(q.paths.size() * 8);
@@ -149,6 +153,8 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   }
   const uint32_t root_span = opts.trace_parent;
 
+  if (opts.DeadlineExpired()) return DeadlineError();
+
   const int64_t compile_before = st->compile_micros;
   auto compiled = Compile(pattern, st, opts);
   report.compile_us =
@@ -177,6 +183,10 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     std::vector<MatchStats> part_stats(k);
     std::vector<Status> results(k);
     pool->ParallelFor(k, [&](size_t i) {
+      if (opts.DeadlineExpired()) {
+        results[i] = DeadlineError();
+        return;
+      }
       obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
       results[i] = MatchSequence(*index_, (*compiled)[i], opts.mode,
                                  &parts[i], &part_stats[i]);
@@ -194,6 +204,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     // each span can carry its own counters. Aggregates are identical to
     // the untraced loop below.
     for (const QuerySeq& qs : *compiled) {
+      if (opts.DeadlineExpired()) return DeadlineError();
       obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
       MatchStats seq_stats;
       size_t docs_before = out.size();
@@ -208,6 +219,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     // The caller's context (or none) is reused across every compiled
     // sequence of this query.
     for (const QuerySeq& qs : *compiled) {
+      if (opts.DeadlineExpired()) return DeadlineError();
       XSEQ_RETURN_IF_ERROR(
           MatchSequence(*index_, qs, opts.mode, &out, &st->match, ctx));
     }

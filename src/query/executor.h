@@ -12,6 +12,7 @@
 #ifndef XSEQ_SRC_QUERY_EXECUTOR_H_
 #define XSEQ_SRC_QUERY_EXECUTOR_H_
 
+#include <chrono>
 #include <string_view>
 #include <vector>
 
@@ -22,6 +23,14 @@
 #include "src/query/query_pattern.h"
 
 namespace xseq {
+
+/// Steady-clock "now" in microseconds, the time base for
+/// ExecOptions::deadline_micros (absolute, not a duration).
+inline int64_t DeadlineNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Executor knobs.
 struct ExecOptions {
@@ -46,6 +55,17 @@ struct ExecOptions {
   /// set `tracer` only.
   obs::TraceBuilder* trace = nullptr;
   uint32_t trace_parent = obs::kNoSpan;
+  /// Absolute deadline in DeadlineNowMicros() units; 0 = no deadline. The
+  /// executor checks it between pipeline stages and between matched
+  /// sequences (not inside one MatchSequence call) and fails the query
+  /// with kDeadlineExceeded once passed. Propagates into nested executions
+  /// (DynamicIndex segment probes) because it rides in the options.
+  int64_t deadline_micros = 0;
+
+  /// True once the deadline, if any, has passed.
+  bool DeadlineExpired() const {
+    return deadline_micros > 0 && DeadlineNowMicros() >= deadline_micros;
+  }
 };
 
 /// Per-query cost breakdown.

@@ -1,0 +1,87 @@
+#include "src/server/client.h"
+
+#include <utility>
+
+namespace xseq {
+
+StatusOr<XseqClient> XseqClient::Connect(const std::string& host, int port,
+                                         SocketEnv* env) {
+  if (env == nullptr) env = SocketEnv::Default();
+  auto conn = env->Connect(host, port);
+  if (!conn.ok()) return conn.status();
+  return XseqClient(std::move(*conn));
+}
+
+StatusOr<WireResponse> XseqClient::RoundTrip(WireRequest req) {
+  if (conn_ == nullptr) {
+    return Status::FailedPrecondition("client is closed");
+  }
+  req.id = next_id_++;
+  std::string body;
+  EncodeRequestBody(req, &body);
+  XSEQ_RETURN_IF_ERROR(WriteFrame(conn_.get(), body));
+  std::string resp_body;
+  XSEQ_RETURN_IF_ERROR(ReadFrame(conn_.get(), &resp_body));
+  WireResponse resp;
+  XSEQ_RETURN_IF_ERROR(DecodeResponseBody(resp_body, &resp));
+  // A server that cannot attribute a failure to a request (corrupt frame)
+  // answers with id 0; accept that error, reject mismatched successes.
+  if (resp.id != req.id && !(resp.id == 0 && !resp.status.ok())) {
+    return Status::Internal("response id " + std::to_string(resp.id) +
+                            " does not match request " +
+                            std::to_string(req.id));
+  }
+  if (resp.status.ok() && resp.op != req.op) {
+    return Status::Internal("response op does not match request");
+  }
+  return resp;
+}
+
+StatusOr<RemoteQueryResult> XseqClient::Query(
+    std::string_view xpath, uint64_t deadline_budget_micros) {
+  WireRequest req;
+  req.op = WireOp::kQuery;
+  req.xpath.assign(xpath.data(), xpath.size());
+  req.deadline_micros = deadline_budget_micros;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  RemoteQueryResult out;
+  out.docs = std::move(resp->docs);
+  out.stats = resp->stats;
+  return out;
+}
+
+StatusOr<std::string> XseqClient::Stats() {
+  WireRequest req;
+  req.op = WireOp::kStats;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return std::move(resp->payload);
+}
+
+Status XseqClient::Ping() {
+  WireRequest req;
+  req.op = WireOp::kPing;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Status XseqClient::Shutdown() {
+  WireRequest req;
+  req.op = WireOp::kShutdown;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+void XseqClient::Close() {
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+}
+
+}  // namespace xseq

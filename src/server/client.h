@@ -1,0 +1,70 @@
+// XseqClient: a small blocking client for the xseq wire protocol — one
+// connection, one request in flight, strict request/response. Used by the
+// xseq_client CLI, the serve benchmark's load generator, and tests.
+//
+// Not thread-safe: one thread per client (open several clients for
+// concurrency; connections are cheap). Request ids are assigned
+// monotonically and every response is validated against the id and op of
+// the request it answers.
+
+#ifndef XSEQ_SRC_SERVER_CLIENT_H_
+#define XSEQ_SRC_SERVER_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/server/socket.h"
+
+namespace xseq {
+
+/// One remote query answer.
+struct RemoteQueryResult {
+  std::vector<DocId> docs;   ///< sorted, deduplicated (server contract)
+  WireQueryStats stats;
+};
+
+class XseqClient {
+ public:
+  /// Connects to an xseq_serve daemon. `env` nullptr = real TCP.
+  static StatusOr<XseqClient> Connect(const std::string& host, int port,
+                                      SocketEnv* env = nullptr);
+
+  XseqClient(XseqClient&&) = default;
+  XseqClient& operator=(XseqClient&&) = default;
+
+  /// Runs `xpath` remotely. `deadline_budget_micros` (0 = server default)
+  /// bounds the server-side time from admission. A shed request surfaces
+  /// as kOverloaded, an expired one as kDeadlineExceeded — exactly the
+  /// status the server produced, rebuilt from the wire.
+  StatusOr<RemoteQueryResult> Query(std::string_view xpath,
+                                    uint64_t deadline_budget_micros = 0);
+
+  /// The serving process's MetricsRegistry JSON dump.
+  StatusOr<std::string> Stats();
+
+  /// Round-trip liveness check.
+  Status Ping();
+
+  /// Asks the daemon to drain and exit. The ack is the last frame this
+  /// connection will carry.
+  Status Shutdown();
+
+  void Close();
+
+ private:
+  explicit XseqClient(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Sends `req` and reads its response, validating id/op echo.
+  StatusOr<WireResponse> RoundTrip(WireRequest req);
+
+  std::unique_ptr<Connection> conn_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_CLIENT_H_

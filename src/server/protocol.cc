@@ -1,0 +1,286 @@
+#include "src/server/protocol.h"
+
+#include <limits>
+
+#include "src/util/coding.h"
+#include "src/util/hash.h"
+
+namespace xseq {
+
+namespace {
+
+void PutByte(std::string* dst, uint8_t b) {
+  dst->push_back(static_cast<char>(b));
+}
+
+Status GetByte(Decoder* in, uint8_t* b) {
+  std::string_view raw;
+  XSEQ_RETURN_IF_ERROR(in->GetRaw(1, &raw));
+  *b = static_cast<uint8_t>(raw[0]);
+  return Status::OK();
+}
+
+/// Common prefix of every body: version, op, request id.
+Status DecodePrefix(Decoder* in, uint8_t* op, uint64_t* id) {
+  uint8_t version = 0;
+  XSEQ_RETURN_IF_ERROR(GetByte(in, &version));
+  if (version != kWireVersion) {
+    if (version > kWireVersion) {
+      return Status::Unimplemented("wire protocol version " +
+                                   std::to_string(version) +
+                                   " is newer than this build");
+    }
+    return Status::Corruption("bad wire protocol version");
+  }
+  XSEQ_RETURN_IF_ERROR(GetByte(in, op));
+  if (!IsValidWireOp(*op)) {
+    return Status::Corruption("unknown wire op " + std::to_string(*op));
+  }
+  return in->GetFixed64(id);
+}
+
+Status CheckDrained(const Decoder& in) {
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes after wire message");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsValidWireOp(uint8_t op) {
+  switch (static_cast<WireOp>(op)) {
+    case WireOp::kQuery:
+    case WireOp::kStats:
+    case WireOp::kPing:
+    case WireOp::kShutdown:
+      return true;
+  }
+  return false;
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint8_t wire) {
+  // Explicit round-trip table: adding a StatusCode without teaching the
+  // wire about it trips the -Werror=switch build, not a silent kInternal.
+  StatusCode code = static_cast<StatusCode>(wire);
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kCorruption:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kOverloaded:
+      return code;
+  }
+  return StatusCode::kInternal;
+}
+
+WireQueryStats WireQueryStats::FromExecStats(const ExecStats& st) {
+  WireQueryStats out;
+  out.result_docs = st.result_docs;
+  out.instantiations = st.instantiations;
+  out.orderings = st.orderings;
+  out.matched_sequences = st.matched_sequences;
+  out.link_entries_read = st.match.link_entries_read;
+  out.link_binary_searches = st.match.link_binary_searches;
+  out.link_gallop_probes = st.match.link_gallop_probes;
+  out.candidates = st.match.candidates;
+  out.terminals = st.match.terminals;
+  out.compile_micros = static_cast<uint64_t>(st.compile_micros);
+  out.match_micros = static_cast<uint64_t>(st.match_micros);
+  return out;
+}
+
+namespace {
+
+void EncodeStats(const WireQueryStats& s, std::string* out) {
+  PutFixed64(out, s.result_docs);
+  PutFixed64(out, s.instantiations);
+  PutFixed64(out, s.orderings);
+  PutFixed64(out, s.matched_sequences);
+  PutFixed64(out, s.link_entries_read);
+  PutFixed64(out, s.link_binary_searches);
+  PutFixed64(out, s.link_gallop_probes);
+  PutFixed64(out, s.candidates);
+  PutFixed64(out, s.terminals);
+  PutFixed64(out, s.compile_micros);
+  PutFixed64(out, s.match_micros);
+}
+
+Status DecodeStats(Decoder* in, WireQueryStats* s) {
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->result_docs));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->instantiations));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->orderings));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->matched_sequences));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->link_entries_read));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->link_binary_searches));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->link_gallop_probes));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->candidates));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->terminals));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->compile_micros));
+  return in->GetFixed64(&s->match_micros);
+}
+
+}  // namespace
+
+void EncodeRequestBody(const WireRequest& req, std::string* out) {
+  PutByte(out, kWireVersion);
+  PutByte(out, static_cast<uint8_t>(req.op));
+  PutFixed64(out, req.id);
+  if (req.op == WireOp::kQuery) {
+    PutString(out, req.xpath);
+    PutFixed64(out, req.deadline_micros);
+  }
+}
+
+Status DecodeRequestBody(std::string_view body, WireRequest* out) {
+  Decoder in(body);
+  uint8_t op = 0;
+  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &op, &out->id));
+  out->op = static_cast<WireOp>(op);
+  out->xpath.clear();
+  out->deadline_micros = 0;
+  if (out->op == WireOp::kQuery) {
+    XSEQ_RETURN_IF_ERROR(in.GetString(&out->xpath));
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->deadline_micros));
+  }
+  return CheckDrained(in);
+}
+
+void EncodeResponseBody(const WireResponse& resp, std::string* out) {
+  PutByte(out, kWireVersion);
+  PutByte(out, static_cast<uint8_t>(resp.op));
+  PutFixed64(out, resp.id);
+  PutByte(out, StatusCodeToWire(resp.status.code()));
+  PutString(out, resp.status.message());
+  if (!resp.status.ok()) return;
+  if (resp.op == WireOp::kQuery) {
+    PutFixed64(out, resp.docs.size());
+    for (DocId d : resp.docs) PutFixed64(out, d);
+    EncodeStats(resp.stats, out);
+  } else if (resp.op == WireOp::kStats) {
+    PutString(out, resp.payload);
+  }
+}
+
+Status DecodeResponseBody(std::string_view body, WireResponse* out) {
+  Decoder in(body);
+  uint8_t op = 0;
+  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &op, &out->id));
+  out->op = static_cast<WireOp>(op);
+  uint8_t code = 0;
+  std::string message;
+  XSEQ_RETURN_IF_ERROR(GetByte(&in, &code));
+  XSEQ_RETURN_IF_ERROR(in.GetString(&message));
+  StatusCode status_code = StatusCodeFromWire(code);
+  out->docs.clear();
+  out->stats = WireQueryStats();
+  out->payload.clear();
+  if (status_code != StatusCode::kOk) {
+    // Rebuild the remote error through the public factories so the code
+    // predicate helpers (IsOverloaded, ...) work on this side too.
+    switch (status_code) {
+      case StatusCode::kOk:
+        break;
+      case StatusCode::kInvalidArgument:
+        out->status = Status::InvalidArgument(std::move(message));
+        break;
+      case StatusCode::kNotFound:
+        out->status = Status::NotFound(std::move(message));
+        break;
+      case StatusCode::kCorruption:
+        out->status = Status::Corruption(std::move(message));
+        break;
+      case StatusCode::kOutOfRange:
+        out->status = Status::OutOfRange(std::move(message));
+        break;
+      case StatusCode::kFailedPrecondition:
+        out->status = Status::FailedPrecondition(std::move(message));
+        break;
+      case StatusCode::kUnimplemented:
+        out->status = Status::Unimplemented(std::move(message));
+        break;
+      case StatusCode::kResourceExhausted:
+        out->status = Status::ResourceExhausted(std::move(message));
+        break;
+      case StatusCode::kInternal:
+        out->status = Status::Internal(std::move(message));
+        break;
+      case StatusCode::kIOError:
+        out->status = Status::IOError(std::move(message));
+        break;
+      case StatusCode::kDeadlineExceeded:
+        out->status = Status::DeadlineExceeded(std::move(message));
+        break;
+      case StatusCode::kOverloaded:
+        out->status = Status::Overloaded(std::move(message));
+        break;
+    }
+    return CheckDrained(in);
+  }
+  out->status = Status::OK();
+  if (out->op == WireOp::kQuery) {
+    uint64_t count = 0;
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&count));
+    // Each doc id occupies 8 body bytes; bound before allocating.
+    if (count > in.remaining() / 8) {
+      return Status::Corruption("doc count exceeds frame size");
+    }
+    out->docs.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t d = 0;
+      XSEQ_RETURN_IF_ERROR(in.GetFixed64(&d));
+      if (d > std::numeric_limits<DocId>::max()) {
+        return Status::Corruption("doc id out of range");
+      }
+      out->docs.push_back(static_cast<DocId>(d));
+    }
+    XSEQ_RETURN_IF_ERROR(DecodeStats(&in, &out->stats));
+  } else if (out->op == WireOp::kStats) {
+    XSEQ_RETURN_IF_ERROR(in.GetString(&out->payload));
+  }
+  return CheckDrained(in);
+}
+
+Status WriteFrame(Connection* conn, std::string_view body) {
+  if (body.size() > kMaxFrameBody) {
+    return Status::InvalidArgument("frame body exceeds kMaxFrameBody");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+  PutFixed64(&frame, Fnv1a64(body));
+  frame.append(body);
+  return conn->WriteAll(frame);
+}
+
+Status ReadFrame(Connection* conn, std::string* body, bool eof_ok) {
+  std::string header;
+  XSEQ_RETURN_IF_ERROR(ReadFull(conn, kFrameHeaderBytes, &header, eof_ok));
+  Decoder in(header);
+  uint32_t length = 0;
+  uint64_t checksum = 0;
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&length));
+  XSEQ_RETURN_IF_ERROR(in.GetFixed64(&checksum));
+  if (length > kMaxFrameBody) {
+    return Status::Corruption("frame length " + std::to_string(length) +
+                              " exceeds cap");
+  }
+  XSEQ_RETURN_IF_ERROR(ReadFull(conn, length, body));
+  if (Fnv1a64(*body) != checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace xseq

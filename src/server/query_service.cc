@@ -1,0 +1,213 @@
+#include "src/server/query_service.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/timer.h"
+
+namespace xseq {
+
+namespace {
+
+/// Registry handles for the serving metrics, resolved once.
+struct ServeMetricSet {
+  obs::Counter* requests;
+  obs::Counter* ok;
+  obs::Counter* errors;
+  obs::Counter* shed;
+  obs::Counter* deadline_exceeded;
+  obs::Gauge* queue_depth;
+  obs::Gauge* inflight;
+  obs::Histogram* latency_us;
+  obs::Histogram* queue_us;
+};
+
+const ServeMetricSet& ServeMetrics() {
+  static const ServeMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return ServeMetricSet{r->GetCounter("xseq.serve.requests"),
+                          r->GetCounter("xseq.serve.ok"),
+                          r->GetCounter("xseq.serve.errors"),
+                          r->GetCounter("xseq.serve.shed"),
+                          r->GetCounter("xseq.serve.deadline_exceeded"),
+                          r->GetGauge("xseq.serve.queue_depth"),
+                          r->GetGauge("xseq.serve.inflight"),
+                          r->GetHistogram("xseq.serve.latency_us"),
+                          r->GetHistogram("xseq.serve.queue_us")};
+  }();
+  return s;
+}
+
+}  // namespace
+
+/// One admitted request, shared between the submitting thread (which waits
+/// on `cv`) and the worker that executes it.
+struct QueryService::Request {
+  std::string xpath;
+  int64_t deadline_micros = 0;  ///< absolute, 0 = none
+  Timer admitted;               ///< queue-latency clock
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  StatusOr<QueryResult> result{Status::Internal("request not executed")};
+
+  void Complete(StatusOr<QueryResult> r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  StatusOr<QueryResult> Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return std::move(result);
+  }
+};
+
+QueryService::QueryService(Backend backend, ServiceOptions options)
+    : backend_(std::move(backend)), options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_queue == 0) {
+    options_.max_queue = static_cast<size_t>(options_.workers);
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
+                                            uint64_t deadline_budget_micros) {
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) ServeMetrics().requests->Increment();
+
+  uint64_t budget = deadline_budget_micros != 0
+                        ? deadline_budget_micros
+                        : options_.default_deadline_micros;
+  auto request = std::make_shared<Request>();
+  request->xpath.assign(xpath.data(), xpath.size());
+  if (budget != 0) {
+    request->deadline_micros =
+        DeadlineNowMicros() + static_cast<int64_t>(budget);
+  } else {
+    request->deadline_micros = options_.exec.deadline_micros;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("query service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      if (metrics) ServeMetrics().shed->Increment();
+      return Status::Overloaded(
+          "request queue full (" + std::to_string(options_.max_queue) +
+          " pending); retry with backoff");
+    }
+    queue_.push_back(request);
+    if (metrics) {
+      ServeMetrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+  }
+  work_cv_.notify_one();
+
+  auto result = request->Wait();
+  if (metrics) {
+    const ServeMetricSet& m = ServeMetrics();
+    m.latency_us->Record(
+        static_cast<uint64_t>(request->admitted.ElapsedMicros()));
+    if (result.ok()) {
+      m.ok->Increment();
+    } else if (result.status().IsDeadlineExceeded()) {
+      m.deadline_exceeded->Increment();
+    } else {
+      m.errors->Increment();
+    }
+  }
+  return result;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Request> request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ set and fully drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+      if (obs::MetricsEnabled()) {
+        ServeMetrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+        ServeMetrics().inflight->Set(static_cast<int64_t>(inflight_));
+      }
+    }
+
+    const uint64_t queued_us =
+        static_cast<uint64_t>(request->admitted.ElapsedMicros());
+    if (obs::MetricsEnabled()) {
+      ServeMetrics().queue_us->Record(queued_us);
+    }
+
+    ExecOptions opts = options_.exec;
+    opts.deadline_micros = request->deadline_micros;
+    StatusOr<QueryResult> result = Status::Internal("request not executed");
+    if (opts.DeadlineExpired()) {
+      // The time budget burned away in the queue: don't start work the
+      // caller has already given up on.
+      result = Status::DeadlineExceeded("deadline expired while queued (" +
+                                        std::to_string(queued_us) + "us)");
+    } else if (opts.tracer != nullptr) {
+      // Service-level trace: a "serve" root with the queue wait
+      // annotated; the query's own spans attach underneath.
+      obs::TraceBuilder trace;
+      uint32_t root = trace.StartTrace("serve");
+      trace.Annotate(root, "queue_us", queued_us);
+      obs::Tracer* tracer = opts.tracer;
+      opts.trace = &trace;
+      opts.trace_parent = root;
+      opts.tracer = nullptr;
+      result = backend_(request->xpath, opts);
+      trace.EndSpan(root);
+      trace.Commit(tracer);
+    } else {
+      result = backend_(request->xpath, opts);
+    }
+
+    // Settle the accounting before waking the caller, so `pending()` never
+    // counts a request whose Execute() has already returned.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      if (obs::MetricsEnabled()) {
+        ServeMetrics().inflight->Set(static_cast<int64_t>(inflight_));
+      }
+    }
+    request->Complete(std::move(result));
+  }
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+size_t QueryService::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + inflight_;
+}
+
+}  // namespace xseq

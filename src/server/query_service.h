@@ -1,0 +1,103 @@
+// QueryService: the in-process front door of the serving layer.
+//
+// Wraps any queryable backend behind managed concurrency:
+//
+//  * a fixed set of worker threads executes queries,
+//  * a *bounded* admission queue sits in front of them — when it is full
+//    the request is rejected immediately with kOverloaded (load shedding)
+//    instead of queuing unboundedly; a shed request costs the caller one
+//    mutex acquisition, never a wait,
+//  * every request carries a deadline (its own, or the service default).
+//    A request whose deadline passes while it still sits in the queue is
+//    failed with kDeadlineExceeded without touching the backend; once
+//    running, the deadline rides into ExecOptions::deadline_micros so the
+//    executor abandons the query mid-flight,
+//  * Shutdown() drains: admission stops (kFailedPrecondition), queued and
+//    in-flight requests complete normally, then the workers exit. The
+//    destructor performs the same drain.
+//
+// Instrumentation: xseq.serve.requests/ok/errors/shed/deadline_exceeded
+// counters, xseq.serve.queue_depth and .inflight gauges (with maxima), and
+// xseq.serve.latency_us / queue_us histograms. With ExecOptions::tracer
+// set, each request records a "serve" span tree (queue -> execute) with
+// the query's own spans attached beneath.
+
+#ifndef XSEQ_SRC_SERVER_QUERY_SERVICE_H_
+#define XSEQ_SRC_SERVER_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/query/executor.h"
+
+namespace xseq {
+
+/// Admission-control and execution knobs.
+struct ServiceOptions {
+  int workers = 2;           ///< executor threads (>= 1)
+  size_t max_queue = 64;     ///< admitted-but-not-running cap; 0 = workers
+  /// Deadline budget applied to requests that do not carry one, in
+  /// microseconds from admission; 0 = none.
+  uint64_t default_deadline_micros = 0;
+  ExecOptions exec;          ///< base options every request starts from
+};
+
+/// An in-process query server over an arbitrary backend.
+class QueryService {
+ public:
+  /// The backend contract: run one XPath query under the given options.
+  /// Must be safe for concurrent calls (CollectionIndex, DynamicIndex and
+  /// ShardedCollection all are).
+  using Backend =
+      std::function<StatusOr<QueryResult>(std::string_view, const ExecOptions&)>;
+
+  QueryService(Backend backend, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits, queues, and executes `xpath`, blocking the caller until the
+  /// result is ready. `deadline_budget_micros` (0 = service default)
+  /// bounds the total time from admission, queueing included. Returns
+  /// kOverloaded when the queue is full and kFailedPrecondition after
+  /// Shutdown() began.
+  StatusOr<QueryResult> Execute(std::string_view xpath,
+                                uint64_t deadline_budget_micros = 0);
+
+  /// Stops admission and waits until every already-admitted request has
+  /// completed and all workers exited. Idempotent.
+  void Shutdown();
+
+  /// Queue + in-flight right now (approximate; for tests and ops).
+  size_t pending() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request;
+
+  void WorkerLoop();
+
+  Backend backend_;
+  ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for queue items
+  std::deque<std::shared_ptr<Request>> queue_;
+  size_t inflight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,255 @@
+#include "src/server/server.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace xseq {
+
+namespace {
+
+/// Registry handles for the daemon metrics, resolved once.
+struct ServerMetricSet {
+  obs::Counter* connections;
+  obs::Counter* frames;
+  obs::Counter* frame_errors;
+  obs::Gauge* active_connections;
+};
+
+const ServerMetricSet& ServerMetrics() {
+  static const ServerMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return ServerMetricSet{r->GetCounter("xseq.server.connections"),
+                           r->GetCounter("xseq.server.frames"),
+                           r->GetCounter("xseq.server.frame_errors"),
+                           r->GetGauge("xseq.server.active_connections")};
+  }();
+  return s;
+}
+
+}  // namespace
+
+XseqServer::XseqServer(QueryService::Backend backend, ServerOptions options)
+    : service_(std::move(backend), options.service),
+      options_(std::move(options)),
+      socket_env_(options_.socket_env != nullptr ? options_.socket_env
+                                                 : SocketEnv::Default()) {
+  if (!options_.stats_source) {
+    options_.stats_source = [] {
+      return obs::MetricsRegistry::Default()->JsonDump();
+    };
+  }
+}
+
+XseqServer::~XseqServer() { Stop(); }
+
+Status XseqServer::Start() {
+  auto listener = socket_env_->Listen(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener_ = std::move(*listener);
+    started_ = true;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int XseqServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return listener_ != nullptr ? listener_->port() : -1;
+}
+
+void XseqServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed (stop) or fatal accept error
+    auto handler = std::make_unique<Handler>();
+    handler->conn = std::move(*conn);
+    Handler* raw = handler.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || stop_requested_) {
+      // Raced with shutdown: drop the connection unserved.
+      continue;
+    }
+    ++connections_;
+    if (obs::MetricsEnabled()) {
+      const ServerMetricSet& m = ServerMetrics();
+      m.connections->Increment();
+      m.active_connections->Add(1);
+    }
+    ReapFinishedLocked();
+    handler->thread = std::thread([this, raw] { HandleConnection(raw); });
+    handlers_.push_back(std::move(handler));
+  }
+}
+
+void XseqServer::ReapFinishedLocked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if ((*it)->done) {
+      (*it)->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool XseqServer::Dispatch(const WireRequest& req, WireResponse* resp) {
+  resp->op = req.op;
+  resp->id = req.id;
+  resp->status = Status::OK();
+  switch (req.op) {
+    case WireOp::kPing:
+      return true;
+    case WireOp::kQuery: {
+      auto result = service_.Execute(req.xpath, req.deadline_micros);
+      if (!result.ok()) {
+        resp->status = result.status();
+        return true;
+      }
+      resp->docs = std::move(result->docs);
+      resp->stats = WireQueryStats::FromExecStats(result->stats);
+      return true;
+    }
+    case WireOp::kStats:
+      resp->payload = options_.stats_source();
+      return true;
+    case WireOp::kShutdown:
+      // Respond first (the caller deserves an ack), then stop: the
+      // connection closes after this request.
+      RequestStop();
+      return false;
+  }
+  resp->status = Status::Internal("unreachable: op validated by decoder");
+  return true;
+}
+
+void XseqServer::HandleConnection(Handler* handler) {
+  Connection* conn = handler->conn.get();
+  bool keep_going = true;
+  while (keep_going) {
+    std::string body;
+    Status st = ReadFrame(conn, &body, /*eof_ok=*/true);
+    if (!st.ok()) {
+      // kNotFound = orderly close between frames. Anything else is a torn
+      // or corrupt frame: tell the peer best-effort (it may be gone) and
+      // drop the connection — framing cannot resynchronize.
+      if (!st.IsNotFound()) {
+        if (obs::MetricsEnabled()) ServerMetrics().frame_errors->Increment();
+        WireResponse resp;
+        resp.op = WireOp::kPing;
+        resp.id = 0;
+        resp.status = st;
+        std::string out;
+        EncodeResponseBody(resp, &out);
+        (void)WriteFrame(conn, out);
+      }
+      break;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) break;  // draining: the frame arrived too late
+      ++busy_;
+    }
+    if (obs::MetricsEnabled()) ServerMetrics().frames->Increment();
+
+    WireResponse resp;
+    WireRequest req;
+    Status decoded = DecodeRequestBody(body, &req);
+    if (!decoded.ok()) {
+      if (obs::MetricsEnabled()) ServerMetrics().frame_errors->Increment();
+      resp.op = WireOp::kPing;
+      resp.id = 0;
+      resp.status = decoded;
+      keep_going = false;  // can't trust the stream any further
+    } else {
+      keep_going = Dispatch(req, &resp);
+    }
+    std::string out;
+    EncodeResponseBody(resp, &out);
+    Status wrote = WriteFrame(conn, out);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+      if (busy_ == 0) drain_cv_.notify_all();
+    }
+    if (!wrote.ok()) break;
+  }
+  conn->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  handler->done = true;
+  if (obs::MetricsEnabled()) ServerMetrics().active_connections->Sub(1);
+}
+
+void XseqServer::RequestStop() {
+  std::unique_ptr<Listener>* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_) return;
+    stop_requested_ = true;
+    listener = &listener_;
+  }
+  stop_cv_.notify_all();
+  // Closing the listener unblocks the accept thread; Close is safe to
+  // call while Accept blocks.
+  if (*listener != nullptr) (*listener)->Close();
+}
+
+void XseqServer::WaitForStopRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+size_t XseqServer::Stop() {
+  RequestStop();
+  size_t inflight = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || !started_) {
+      stopped_ = true;
+      return 0;
+    }
+    stopping_ = true;
+    inflight = busy_ + service_.pending();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Phase 1: let handlers finish the request they are serving (response
+  // written included).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return busy_ == 0; });
+  }
+
+  // Phase 2: kick idle handlers off their blocking reads and join
+  // everyone. QueryService workers are still alive here, so a handler
+  // that slipped a request in right before `stopping_` flipped still
+  // completes instead of deadlocking.
+  std::vector<std::unique_ptr<Handler>> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (auto& handler : handlers) handler->conn->Close();
+  for (auto& handler : handlers) {
+    if (handler->thread.joinable()) handler->thread.join();
+  }
+
+  // Phase 3: drain the service queue and stop the workers.
+  service_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  return inflight;
+}
+
+uint64_t XseqServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_;
+}
+
+}  // namespace xseq

@@ -1,0 +1,393 @@
+#include "src/server/sharded_collection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/query/query_pattern.h"
+#include "src/util/coding.h"
+#include "src/util/hash.h"
+#include "src/util/timer.h"
+
+namespace xseq {
+
+namespace {
+
+/// Registry handles for the shard-layer metrics, resolved once.
+struct ShardMetricSet {
+  obs::Counter* queries;
+  obs::Counter* probes;
+  obs::Counter* probe_errors;
+  obs::Histogram* probe_us;
+  obs::Histogram* probe_docs;
+  obs::Gauge* shard_count;
+};
+
+const ShardMetricSet& ShardMetrics() {
+  static const ShardMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return ShardMetricSet{r->GetCounter("xseq.shard.queries"),
+                          r->GetCounter("xseq.shard.probes"),
+                          r->GetCounter("xseq.shard.probe_errors"),
+                          r->GetHistogram("xseq.shard.probe_us"),
+                          r->GetHistogram("xseq.shard.probe_docs"),
+                          r->GetGauge("xseq.shard.count")};
+  }();
+  return s;
+}
+
+constexpr char kManifestMagic[8] = {'X', 'S', 'E', 'Q', 'S', 'H', 'R', 'D'};
+constexpr uint8_t kManifestVersion = 1;
+
+std::string ShardPath(const std::string& prefix, size_t shard) {
+  return prefix + ".shard" + std::to_string(shard);
+}
+
+}  // namespace
+
+size_t ShardOfDoc(DocId id, size_t shards) {
+  if (shards <= 1) return 0;
+  char bytes[sizeof(DocId)];
+  std::memcpy(bytes, &id, sizeof(id));
+  return Fnv1a64(std::string_view(bytes, sizeof(bytes))) % shards;
+}
+
+ShardedCollection::ShardedCollection(ShardedOptions options)
+    : options_(std::move(options)),
+      match_contexts_(std::make_unique<MatchContextPool>()) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+  // Per-shard builds run serial inside their shard: the shard fan-out is
+  // the parallelism, and a width-1 builder keeps shard builds bit-stable
+  // no matter how the scatter pool schedules them.
+  IndexOptions per_shard = options_.index;
+  per_shard.threads = 1;
+  if (options_.dynamic) {
+    DynamicOptions dyn;
+    dyn.index = per_shard;
+    dyn.flush_threshold = options_.flush_threshold;
+    dynamic_shards_.reserve(shard_count());
+    for (size_t s = 0; s < shard_count(); ++s) {
+      dynamic_shards_.push_back(std::make_unique<DynamicIndex>(dyn));
+    }
+  } else {
+    builders_.reserve(shard_count());
+    for (size_t s = 0; s < shard_count(); ++s) {
+      builders_.push_back(std::make_unique<CollectionBuilder>(per_shard));
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    ShardMetrics().shard_count->Set(static_cast<int64_t>(shard_count()));
+  }
+}
+
+ShardedCollection::~ShardedCollection() = default;
+
+NameTable* ShardedCollection::names(size_t shard) {
+  if (options_.dynamic) return dynamic_shards_[shard]->names();
+  return shard < builders_.size() && builders_[shard] != nullptr
+             ? builders_[shard]->names()
+             : nullptr;
+}
+
+ValueEncoder* ShardedCollection::values(size_t shard) {
+  if (options_.dynamic) return dynamic_shards_[shard]->values();
+  return shard < builders_.size() && builders_[shard] != nullptr
+             ? builders_[shard]->values()
+             : nullptr;
+}
+
+Status ShardedCollection::Add(Document&& doc) {
+  size_t shard = ShardOf(doc.id());
+  if (options_.dynamic) {
+    Status st = dynamic_shards_[shard]->Add(std::move(doc));
+    if (st.ok()) ++added_docs_;
+    return st;
+  }
+  if (sealed_) {
+    return Status::FailedPrecondition(
+        "static ShardedCollection is sealed; use the dynamic backend for "
+        "insertion-after-build");
+  }
+  Status st = builders_[shard]->Add(std::move(doc));
+  if (st.ok()) ++added_docs_;
+  return st;
+}
+
+Status ShardedCollection::Seal() {
+  if (options_.dynamic) {
+    for (auto& shard : dynamic_shards_) {
+      XSEQ_RETURN_IF_ERROR(shard->Flush());
+    }
+    return Status::OK();
+  }
+  if (sealed_) return Status::OK();
+  const size_t n = builders_.size();
+  shards_.resize(n);
+  std::vector<Status> results(n);
+  ThreadPool* pool = pool_ != nullptr ? pool_.get()
+                     : options_.threads == 0 ? DefaultPool()
+                                             : nullptr;
+  auto build_one = [&](size_t s) {
+    auto built = std::move(*builders_[s]).Finish();
+    if (!built.ok()) {
+      results[s] = built.status();
+      return;
+    }
+    shards_[s] = std::make_unique<CollectionIndex>(std::move(*built));
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, build_one);
+  } else {
+    for (size_t s = 0; s < n; ++s) build_one(s);
+  }
+  builders_.clear();
+  sealed_ = true;
+  for (const Status& st : results) XSEQ_RETURN_IF_ERROR(st);
+  return Status::OK();
+}
+
+bool ShardedCollection::sealed() const {
+  return options_.dynamic || sealed_;
+}
+
+Status ShardedCollection::QueryShards(std::string_view xpath,
+                                      const ExecOptions& options,
+                                      bool parallel, QueryResult* out) const {
+  if (!sealed()) {
+    return Status::FailedPrecondition("ShardedCollection not sealed");
+  }
+  const bool metrics = obs::MetricsEnabled();
+  if (metrics) ShardMetrics().queries->Increment();
+
+  // Per-shard options: shard fan-out replaces intra-query match
+  // parallelism; everything else (mode, deadline, tracing) rides along.
+  ExecOptions shard_opts = options;
+  shard_opts.threads = 1;
+
+  // The dynamic backend compiles from a pattern so the XPath parse happens
+  // once, not once per shard.
+  QueryPattern pattern;
+  if (options_.dynamic) {
+    auto parsed = ParseXPath(xpath);
+    if (!parsed.ok()) return parsed.status();
+    pattern = std::move(*parsed);
+  }
+
+  const size_t n = shard_count();
+  std::vector<Status> statuses(n);
+  std::vector<std::vector<DocId>> parts(n);
+  std::vector<ExecStats> part_stats(n);
+  auto probe = [&](size_t s) {
+    Timer timer;
+    if (options_.dynamic) {
+      auto r = dynamic_shards_[s]->ExecutePattern(pattern, shard_opts,
+                                                  &part_stats[s]);
+      if (r.ok()) {
+        parts[s] = std::move(*r);
+        // Dynamic probes report docs via the union; mirror the static
+        // shard accounting so merged totals mean the same thing.
+        part_stats[s].result_docs = parts[s].size();
+      } else {
+        statuses[s] = r.status();
+      }
+    } else {
+      MatchContextLease lease(match_contexts_.get());
+      auto r = shards_[s]->Query(xpath, shard_opts, lease.get());
+      if (r.ok()) {
+        parts[s] = std::move(r->docs);
+        part_stats[s] = r->stats;
+      } else {
+        statuses[s] = r.status();
+      }
+    }
+    if (metrics) {
+      const ShardMetricSet& m = ShardMetrics();
+      m.probes->Increment();
+      if (!statuses[s].ok()) m.probe_errors->Increment();
+      m.probe_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+      m.probe_docs->Record(parts[s].size());
+    }
+  };
+
+  ThreadPool* pool = nullptr;
+  if (parallel && n > 1) {
+    pool = pool_ != nullptr ? pool_.get()
+           : options_.threads == 0 ? DefaultPool()
+                                   : nullptr;
+  }
+  if (pool != nullptr && pool->width() > 1) {
+    pool->ParallelFor(n, probe);
+  } else {
+    for (size_t s = 0; s < n; ++s) probe(s);
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    XSEQ_RETURN_IF_ERROR(statuses[s]);
+    out->stats.Add(part_stats[s]);
+    out->docs.insert(out->docs.end(), parts[s].begin(), parts[s].end());
+  }
+  // Shards partition the id space, so this is a disjoint union: sort for
+  // the public "sorted, deduplicated" contract; unique is a no-op guard.
+  std::sort(out->docs.begin(), out->docs.end());
+  out->docs.erase(std::unique(out->docs.begin(), out->docs.end()),
+                  out->docs.end());
+  return Status::OK();
+}
+
+StatusOr<QueryResult> ShardedCollection::Query(
+    std::string_view xpath, const ExecOptions& options) const {
+  QueryResult out;
+  XSEQ_RETURN_IF_ERROR(QueryShards(xpath, options, /*parallel=*/true, &out));
+  return out;
+}
+
+std::vector<StatusOr<QueryResult>> ShardedCollection::QueryBatch(
+    const std::vector<std::string>& xpaths, const ExecOptions& options) const {
+  std::vector<StatusOr<QueryResult>> results(
+      xpaths.size(), StatusOr<QueryResult>(Status::Internal("unset")));
+  ThreadPool* pool = pool_ != nullptr ? pool_.get()
+                     : options_.threads == 0 ? DefaultPool()
+                                             : nullptr;
+  auto run_one = [&](size_t i) {
+    QueryResult one;
+    Status st = QueryShards(xpaths[i], options, /*parallel=*/false, &one);
+    results[i] = st.ok() ? StatusOr<QueryResult>(std::move(one))
+                         : StatusOr<QueryResult>(st);
+  };
+  if (pool != nullptr && pool->width() > 1 && xpaths.size() > 1) {
+    pool->ParallelFor(xpaths.size(), run_one);
+  } else {
+    for (size_t i = 0; i < xpaths.size(); ++i) run_one(i);
+  }
+  return results;
+}
+
+uint64_t ShardedCollection::total_documents() const {
+  if (options_.dynamic) {
+    uint64_t total = 0;
+    for (const auto& shard : dynamic_shards_) {
+      total += shard->total_documents();
+    }
+    return total;
+  }
+  if (sealed_) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard->Stats().documents;
+    return total;
+  }
+  return added_docs_;
+}
+
+CollectionIndex::SizeStats ShardedCollection::MergedStats() const {
+  CollectionIndex::SizeStats merged;
+  if (options_.dynamic || !sealed_) {
+    merged.documents = total_documents();
+    return merged;
+  }
+  for (const auto& shard : shards_) {
+    CollectionIndex::SizeStats s = shard->Stats();
+    merged.documents += s.documents;
+    merged.trie_nodes += s.trie_nodes;
+    merged.distinct_paths += s.distinct_paths;
+    merged.sequence_elements += s.sequence_elements;
+    merged.memory_bytes += s.memory_bytes;
+  }
+  merged.avg_sequence_length =
+      merged.documents == 0
+          ? 0.0
+          : static_cast<double>(merged.sequence_elements) /
+                static_cast<double>(merged.documents);
+  return merged;
+}
+
+Status ShardedCollection::Save(const std::string& prefix,
+                               const PersistOptions& persist) const {
+  if (options_.dynamic) {
+    return Status::Unimplemented(
+        "dynamic ShardedCollection persistence (compact-and-save) is not "
+        "implemented yet");
+  }
+  if (!sealed_) {
+    return Status::FailedPrecondition("Seal() before Save()");
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    XSEQ_RETURN_IF_ERROR(
+        SaveCollectionIndex(*shards_[s], ShardPath(prefix, s), persist));
+  }
+  // The manifest goes last: its presence certifies every shard file above
+  // landed. Torn multi-file saves leave the old manifest (or none).
+  std::string manifest(kManifestMagic, sizeof(kManifestMagic));
+  manifest.push_back(static_cast<char>(kManifestVersion));
+  PutFixed32(&manifest, static_cast<uint32_t>(shards_.size()));
+  PutFixed64(&manifest, total_documents());
+  PutFixed64(&manifest, Fnv1a64(manifest));
+  Env* env = persist.env != nullptr ? persist.env : Env::Default();
+  return AtomicWriteFile(env, prefix, manifest);
+}
+
+StatusOr<ShardedCollection> ShardedCollection::Load(
+    const std::string& prefix, int threads, const PersistOptions& persist) {
+  Env* env = persist.env != nullptr ? persist.env : Env::Default();
+  std::string manifest;
+  XSEQ_RETURN_IF_ERROR(env->ReadFileToString(prefix, &manifest));
+  if (manifest.size() < sizeof(kManifestMagic) + 1 + 4 + 8 + 8 ||
+      std::memcmp(manifest.data(), kManifestMagic, sizeof(kManifestMagic)) !=
+          0) {
+    return Status::Corruption("not a sharded-collection manifest: " + prefix);
+  }
+  if (Fnv1a64(std::string_view(manifest.data(), manifest.size() - 8)) !=
+      [&] {
+        Decoder tail(std::string_view(manifest).substr(manifest.size() - 8));
+        uint64_t sum = 0;
+        (void)tail.GetFixed64(&sum);
+        return sum;
+      }()) {
+    return Status::Corruption("sharded manifest checksum mismatch");
+  }
+  Decoder in(std::string_view(manifest).substr(sizeof(kManifestMagic)));
+  std::string_view version_raw;
+  XSEQ_RETURN_IF_ERROR(in.GetRaw(1, &version_raw));
+  if (static_cast<uint8_t>(version_raw[0]) != kManifestVersion) {
+    return Status::Unimplemented("unsupported sharded manifest version");
+  }
+  uint32_t shard_count = 0;
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&shard_count));
+  if (shard_count == 0 || shard_count > 4096) {
+    return Status::Corruption("implausible shard count in manifest");
+  }
+
+  ShardedOptions options;
+  options.shards = static_cast<int>(shard_count);
+  options.threads = threads;
+  ShardedCollection out(options);
+  out.builders_.clear();
+  out.shards_.resize(shard_count);
+  std::vector<Status> statuses(shard_count);
+  ThreadPool* pool = out.pool_ != nullptr ? out.pool_.get()
+                     : threads == 0       ? DefaultPool()
+                                          : nullptr;
+  auto load_one = [&](size_t s) {
+    auto loaded = LoadCollectionIndex(ShardPath(prefix, s), persist);
+    if (!loaded.ok()) {
+      statuses[s] = loaded.status();
+      return;
+    }
+    out.shards_[s] = std::make_unique<CollectionIndex>(std::move(*loaded));
+  };
+  if (pool != nullptr && pool->width() > 1) {
+    pool->ParallelFor(shard_count, load_one);
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) load_one(s);
+  }
+  for (const Status& st : statuses) XSEQ_RETURN_IF_ERROR(st);
+  out.sealed_ = true;
+  // The loaded shards carry the options they were built with.
+  out.options_.index = out.shards_[0]->options();
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,143 @@
+// ShardedCollection: hash-partition a document collection across N
+// independent index shards and scatter-gather queries over them.
+//
+// Partitioning is by document id: shard(d) = FNV-1a64(d) mod N. Each shard
+// is a fully self-contained index — its own vocabulary tables, path
+// dictionary, sequencing model and trie — built only from the documents
+// routed to it. Result *sets* are nevertheless identical to a single
+// unsharded index over the same corpus: constraint-sequence matching is
+// exact per document (the paper's Theorems 2-3), and a document's membership
+// in the answer depends only on its own tree, never on which other
+// documents share its index. Cost counters (entries read, candidates)
+// legitimately differ per shard — each shard sequences under its own
+// statistics — and are surfaced as the ExecStats sum over shards.
+//
+// Two backends, chosen at construction:
+//  * static  — documents buffer in per-shard CollectionBuilders; Seal()
+//              builds every shard (in parallel across the scatter pool)
+//              and the collection becomes immutable and persistable.
+//  * dynamic — each shard is a DynamicIndex; Add() works forever, Seal()
+//              just flushes buffers into segments.
+//
+// Because every shard owns its vocabulary, a document must be parsed or
+// generated against the tables of the shard that will own it: call
+// ShardOf(id) first, then names(shard)/values(shard), then Add().
+//
+// Persistence (static backend): Save(prefix) writes one index file per
+// shard via the existing atomic save path (`<prefix>.shard<K>`), then a
+// small checksummed manifest at `<prefix>` — written last, so a crash
+// mid-save leaves either the complete old collection or the complete new
+// one discoverable, never a half-set.
+//
+// Thread-safety: Add/Seal are exclusive to one preparing thread; after
+// Seal (or at any time on the dynamic backend) Query/QueryBatch may race
+// freely from many threads.
+
+#ifndef XSEQ_SRC_SERVER_SHARDED_COLLECTION_H_
+#define XSEQ_SRC_SERVER_SHARDED_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/collection_index.h"
+#include "src/core/dynamic_index.h"
+#include "src/core/persist.h"
+#include "src/util/thread_pool.h"
+
+namespace xseq {
+
+/// Sharded-collection knobs.
+struct ShardedOptions {
+  int shards = 1;                 ///< number of hash partitions (>= 1)
+  bool dynamic = false;           ///< DynamicIndex shards instead of static
+  IndexOptions index;             ///< per-shard build options
+  size_t flush_threshold = 1024;  ///< dynamic backend: docs per segment
+  /// Scatter-gather parallelism: shards of one query are probed
+  /// concurrently on this pool. 0 = the process default pool, 1 = serial,
+  /// n > 1 = a dedicated pool.
+  int threads = 0;
+};
+
+/// The shard owning document `id` among `shards` partitions.
+size_t ShardOfDoc(DocId id, size_t shards);
+
+class ShardedCollection {
+ public:
+  explicit ShardedCollection(ShardedOptions options);
+  ~ShardedCollection();
+
+  ShardedCollection(ShardedCollection&&) = default;
+  ShardedCollection& operator=(ShardedCollection&&) = default;
+
+  size_t shard_count() const { return static_cast<size_t>(options_.shards); }
+  size_t ShardOf(DocId id) const { return ShardOfDoc(id, shard_count()); }
+
+  /// Vocabulary tables of one shard; parse/generate a document against the
+  /// tables of ShardOf(its id) before Add(). Null after a static Seal().
+  NameTable* names(size_t shard);
+  ValueEncoder* values(size_t shard);
+
+  /// Routes `doc` to its shard by id. Static backend: only before Seal().
+  Status Add(Document&& doc);
+
+  /// Static: builds every shard index (parallel across the pool) and
+  /// freezes the collection. Dynamic: flushes every shard's buffer.
+  Status Seal();
+
+  /// True once queries are allowed (always, for the dynamic backend).
+  bool sealed() const;
+
+  /// Scatter-gather query: every shard is probed (in parallel on the
+  /// pool), per-shard answers are unioned (shards are disjoint by
+  /// construction) and per-shard ExecStats are summed.
+  StatusOr<QueryResult> Query(std::string_view xpath,
+                              const ExecOptions& options = {}) const;
+
+  /// Runs many queries concurrently across the pool; each query then
+  /// probes its shards serially (the batch already saturates the pool).
+  /// Results are positionally aligned with `xpaths` and identical to
+  /// serial Query() calls.
+  std::vector<StatusOr<QueryResult>> QueryBatch(
+      const std::vector<std::string>& xpaths,
+      const ExecOptions& options = {}) const;
+
+  uint64_t total_documents() const;
+
+  /// Sum of per-shard index sizes (static backend after Seal; zeros
+  /// otherwise except `documents`).
+  CollectionIndex::SizeStats MergedStats() const;
+
+  const ShardedOptions& options() const { return options_; }
+
+  /// Per-shard persistence, static backend only (the dynamic backend is
+  /// kUnimplemented — compact-and-save is a roadmap item). See the file
+  /// comment for the on-disk layout.
+  Status Save(const std::string& prefix,
+              const PersistOptions& persist = {}) const;
+  static StatusOr<ShardedCollection> Load(const std::string& prefix,
+                                          int threads = 0,
+                                          const PersistOptions& persist = {});
+
+ private:
+  Status QueryShards(std::string_view xpath, const ExecOptions& options,
+                     bool parallel, QueryResult* out) const;
+
+  ShardedOptions options_;
+  bool sealed_ = false;
+  /// Static backend: builders before Seal, indexes after.
+  std::vector<std::unique_ptr<CollectionBuilder>> builders_;
+  std::vector<std::unique_ptr<CollectionIndex>> shards_;
+  /// Dynamic backend.
+  std::vector<std::unique_ptr<DynamicIndex>> dynamic_shards_;
+  std::unique_ptr<ThreadPool> pool_;  ///< owned pool when threads > 1
+  /// Reusable match scratch for static-shard probes (indirect so the
+  /// collection stays movable; the pool itself holds a mutex).
+  std::unique_ptr<MatchContextPool> match_contexts_;
+  uint64_t added_docs_ = 0;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_SHARDED_COLLECTION_H_

@@ -1,0 +1,511 @@
+#include "src/server/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <utility>
+
+namespace xseq {
+
+namespace {
+
+Status SockError(const char* op) {
+  std::string msg = op;
+  msg += ": ";
+  msg += std::strerror(errno);
+  return Status::IOError(std::move(msg));
+}
+
+/// A connected TCP stream over one file descriptor.
+///
+/// Close() may be called from a different thread than the one blocked in
+/// Read() — the server's Stop() does exactly that to kick idle handlers
+/// off their reads. So Close() only shutdown()s the socket (which wakes a
+/// blocked recv with EOF) and the descriptor itself stays valid until the
+/// destructor releases it. `fd_` is immutable, so the reader never races
+/// against it changing — and the fd number can't be reused out from under
+/// a concurrent recv().
+class PosixConnection : public Connection {
+ public:
+  explicit PosixConnection(int fd) : fd_(fd) {}
+  ~PosixConnection() override {
+    Close();
+    ::close(fd_);
+  }
+
+  StatusOr<size_t> Read(char* buf, size_t n) override {
+    for (;;) {
+      ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r >= 0) return static_cast<size_t>(r);
+      if (errno == EINTR) continue;
+      return SockError("recv");
+    }
+  }
+
+  Status WriteAll(std::string_view data) override {
+    size_t off = 0;
+    while (off < data.size()) {
+      // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing
+      // the process with SIGPIPE.
+      ssize_t w = ::send(fd_, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return SockError("send");
+      }
+      off += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  void Close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+class PosixListener : public Listener {
+ public:
+  PosixListener(int fd, int port) : fd_(fd), port_(port) {}
+  ~PosixListener() override { Close(); }
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override {
+    for (;;) {
+      int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) {
+        return Status::FailedPrecondition("listener closed");
+      }
+      int conn = ::accept(fd, nullptr, nullptr);
+      if (conn >= 0) {
+        return std::unique_ptr<Connection>(new PosixConnection(conn));
+      }
+      if (errno == EINTR) continue;
+      // Close() from another thread both invalidates fd_ and makes the
+      // blocked accept fail (EBADF/EINVAL); report the orderly shutdown.
+      if (fd_.load(std::memory_order_acquire) < 0) {
+        return Status::FailedPrecondition("listener closed");
+      }
+      return SockError("accept");
+    }
+  }
+
+  int port() const override { return port_; }
+
+  void Close() override {
+    int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      // shutdown() wakes a thread blocked in accept(); close() releases
+      // the descriptor. Both are async-signal-safe.
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+  const int port_;
+};
+
+class PosixSocketEnv : public SocketEnv {
+ public:
+  StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                             int port) override {
+    sockaddr_in addr{};
+    XSEQ_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return SockError("socket");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status st = SockError("bind");
+      ::close(fd);
+      return st;
+    }
+    if (::listen(fd, 128) != 0) {
+      Status st = SockError("listen");
+      ::close(fd);
+      return st;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      Status st = SockError("getsockname");
+      ::close(fd);
+      return st;
+    }
+    return std::unique_ptr<Listener>(
+        new PosixListener(fd, ntohs(bound.sin_port)));
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                int port) override {
+    sockaddr_in addr{};
+    XSEQ_RETURN_IF_ERROR(FillAddr(host, port, &addr));
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return SockError("socket");
+    for (;;) {
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        break;
+      }
+      if (errno == EINTR) continue;
+      Status st = SockError("connect");
+      ::close(fd);
+      return st;
+    }
+    int one = 1;
+    // Request/response round trips: never Nagle-delay a frame.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<Connection>(new PosixConnection(fd));
+  }
+
+ private:
+  static Status FillAddr(const std::string& host, int port,
+                         sockaddr_in* addr) {
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("port out of range");
+    }
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(static_cast<uint16_t>(port));
+    // Numeric IPv4 only (the daemon serves loopback or an explicit
+    // address; name resolution stays out of the dependency set).
+    if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+      return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+SocketEnv* SocketEnv::Default() {
+  static PosixSocketEnv* env = new PosixSocketEnv();
+  return env;
+}
+
+Status ReadFull(Connection* conn, size_t n, std::string* out, bool eof_ok) {
+  out->clear();
+  out->resize(n);
+  size_t off = 0;
+  while (off < n) {
+    auto r = conn->Read(out->data() + off, n - off);
+    if (!r.ok()) return r.status();
+    if (*r == 0) {
+      if (off == 0 && eof_ok) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::IOError("short read: connection closed mid-frame");
+    }
+    off += *r;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+namespace {
+
+class FaultInjectionConnection : public Connection {
+ public:
+  FaultInjectionConnection(FaultInjectionSocketEnv* env,
+                           std::unique_ptr<Connection> base)
+      : env_(env), base_(std::move(base)) {}
+
+  StatusOr<size_t> Read(char* buf, size_t n) override {
+    FaultInjectionSocketEnv::FaultKind kind;
+    if (env_->NextOpShouldFail(&kind)) {
+      switch (kind) {
+        case FaultInjectionSocketEnv::FaultKind::kReadError:
+          return Status::IOError("injected read error");
+        case FaultInjectionSocketEnv::FaultKind::kShortRead:
+          n = n > 1 ? 1 : n;
+          break;
+        default:
+          break;  // write faults scheduled on a read index: no effect
+      }
+    }
+    return base_->Read(buf, n);
+  }
+
+  Status WriteAll(std::string_view data) override {
+    FaultInjectionSocketEnv::FaultKind kind;
+    if (env_->NextOpShouldFail(&kind)) {
+      switch (kind) {
+        case FaultInjectionSocketEnv::FaultKind::kWriteError:
+          return Status::IOError("injected write error");
+        case FaultInjectionSocketEnv::FaultKind::kShortWrite: {
+          // Half the frame reaches the peer, then the "connection" dies:
+          // exactly the torn frame a crashed client produces.
+          Status st = base_->WriteAll(data.substr(0, data.size() / 2));
+          if (!st.ok()) return st;
+          base_->Close();
+          return Status::IOError("injected short write");
+        }
+        default:
+          break;
+      }
+    }
+    return base_->WriteAll(data);
+  }
+
+  void Close() override { base_->Close(); }
+
+ private:
+  FaultInjectionSocketEnv* const env_;
+  std::unique_ptr<Connection> base_;
+};
+
+class FaultInjectionListener : public Listener {
+ public:
+  FaultInjectionListener(FaultInjectionSocketEnv* env,
+                         std::unique_ptr<Listener> base)
+      : env_(env), base_(std::move(base)) {}
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override {
+    auto conn = base_->Accept();
+    if (!conn.ok()) return conn.status();
+    return std::unique_ptr<Connection>(
+        new FaultInjectionConnection(env_, std::move(*conn)));
+  }
+
+  int port() const override { return base_->port(); }
+  void Close() override { base_->Close(); }
+
+ private:
+  FaultInjectionSocketEnv* const env_;
+  std::unique_ptr<Listener> base_;
+};
+
+}  // namespace
+
+void FaultInjectionSocketEnv::FailOperation(uint64_t op_index,
+                                            FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_ops_[op_index] = kind;
+}
+
+void FaultInjectionSocketEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_ops_.clear();
+}
+
+uint64_t FaultInjectionSocketEnv::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_seen_;
+}
+
+bool FaultInjectionSocketEnv::NextOpShouldFail(FaultKind* kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t index = ops_seen_++;
+  auto it = fail_ops_.find(index);
+  if (it == fail_ops_.end()) return false;
+  *kind = it->second;
+  fail_ops_.erase(it);
+  return true;
+}
+
+StatusOr<std::unique_ptr<Listener>> FaultInjectionSocketEnv::Listen(
+    const std::string& host, int port) {
+  auto base = base_->Listen(host, port);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<Listener>(
+      new FaultInjectionListener(this, std::move(*base)));
+}
+
+StatusOr<std::unique_ptr<Connection>> FaultInjectionSocketEnv::Connect(
+    const std::string& host, int port) {
+  auto base = base_->Connect(host, port);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<Connection>(
+      new FaultInjectionConnection(this, std::move(*base)));
+}
+
+// ---------------------------------------------------------------------------
+// In-memory sockets
+
+namespace {
+
+/// One direction of a memory connection: a chunk queue. Chunks are
+/// delivered one per Read (capped at the caller's n), so the receiver
+/// observes the writer's boundaries — the same short reads TCP can
+/// produce.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> chunks;
+  size_t front_off = 0;
+  bool closed = false;
+
+  void Push(std::string_view data) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(data);
+    cv.notify_all();
+  }
+
+  void CloseEnd() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    cv.notify_all();
+  }
+
+  StatusOr<size_t> Pull(char* buf, size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return closed || !chunks.empty(); });
+    if (chunks.empty()) return static_cast<size_t>(0);  // EOF
+    std::string& front = chunks.front();
+    size_t take = std::min(n, front.size() - front_off);
+    std::memcpy(buf, front.data() + front_off, take);
+    front_off += take;
+    if (front_off == front.size()) {
+      chunks.pop_front();
+      front_off = 0;
+    }
+    return take;
+  }
+};
+
+class MemoryConnection : public Connection {
+ public:
+  MemoryConnection(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~MemoryConnection() override { Close(); }
+
+  StatusOr<size_t> Read(char* buf, size_t n) override {
+    return in_->Pull(buf, n);
+  }
+
+  Status WriteAll(std::string_view data) override {
+    {
+      std::lock_guard<std::mutex> lock(out_->mu);
+      if (out_->closed) return Status::IOError("peer closed");
+    }
+    out_->Push(data);
+    return Status::OK();
+  }
+
+  void Close() override {
+    in_->CloseEnd();
+    out_->CloseEnd();
+  }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+struct PendingConn {
+  std::shared_ptr<Pipe> to_server;
+  std::shared_ptr<Pipe> to_client;
+};
+
+struct MemoryPort {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<PendingConn> backlog;
+  bool closed = false;
+};
+
+}  // namespace
+
+struct MemorySocketEnv::Rep {
+  std::mutex mu;
+  int next_port = 1;
+  std::map<int, std::shared_ptr<MemoryPort>> ports;
+};
+
+namespace {
+
+class MemoryListener : public Listener {
+ public:
+  MemoryListener(std::shared_ptr<MemoryPort> port_state, int port)
+      : state_(std::move(port_state)), port_(port) {}
+  ~MemoryListener() override { Close(); }
+
+  StatusOr<std::unique_ptr<Connection>> Accept() override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock,
+                    [&] { return state_->closed || !state_->backlog.empty(); });
+    if (state_->backlog.empty()) {
+      return Status::FailedPrecondition("listener closed");
+    }
+    PendingConn pending = std::move(state_->backlog.front());
+    state_->backlog.pop_front();
+    return std::unique_ptr<Connection>(new MemoryConnection(
+        std::move(pending.to_server), std::move(pending.to_client)));
+  }
+
+  int port() const override { return port_; }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<MemoryPort> state_;
+  const int port_;
+};
+
+}  // namespace
+
+MemorySocketEnv::MemorySocketEnv() : rep_(std::make_shared<Rep>()) {}
+MemorySocketEnv::~MemorySocketEnv() = default;
+
+StatusOr<std::unique_ptr<Listener>> MemorySocketEnv::Listen(
+    const std::string& host, int port) {
+  (void)host;
+  std::lock_guard<std::mutex> lock(rep_->mu);
+  if (port == 0) port = rep_->next_port++;
+  auto [it, inserted] =
+      rep_->ports.emplace(port, std::make_shared<MemoryPort>());
+  if (!inserted && !it->second->closed) {
+    return Status::FailedPrecondition("memory port already bound");
+  }
+  it->second = std::make_shared<MemoryPort>();
+  rep_->next_port = std::max(rep_->next_port, port + 1);
+  return std::unique_ptr<Listener>(new MemoryListener(it->second, port));
+}
+
+StatusOr<std::unique_ptr<Connection>> MemorySocketEnv::Connect(
+    const std::string& host, int port) {
+  (void)host;
+  std::shared_ptr<MemoryPort> state;
+  {
+    std::lock_guard<std::mutex> lock(rep_->mu);
+    auto it = rep_->ports.find(port);
+    if (it == rep_->ports.end()) {
+      return Status::IOError("connection refused (no memory listener)");
+    }
+    state = it->second;
+  }
+  PendingConn pending{std::make_shared<Pipe>(), std::make_shared<Pipe>()};
+  auto conn = std::unique_ptr<Connection>(
+      new MemoryConnection(pending.to_client, pending.to_server));
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->closed) {
+      return Status::IOError("connection refused (listener closed)");
+    }
+    state->backlog.push_back(std::move(pending));
+    state->cv.notify_one();
+  }
+  return conn;
+}
+
+}  // namespace xseq

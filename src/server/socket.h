@@ -1,0 +1,155 @@
+// SocketEnv: the serving layer's window onto the network, in the same
+// spirit as util/env.h for the filesystem.
+//
+// All wire-protocol code reads and writes through Connection, an abstract
+// byte stream, instead of calling recv/send directly. This buys:
+//
+//  * one place where every socket syscall failure becomes a
+//    Status::IOError carrying strerror(errno), with EINTR retried,
+//  * substitutable implementations — PosixSocketEnv (real TCP) for
+//    production and loopback tests, MemorySocketEnv for in-process
+//    protocol tests with no kernel in the loop, and
+//  * FaultInjectionSocketEnv, which deterministically shortens reads,
+//    truncates writes, and fails calls at scheduled operation counts so
+//    the framing layer's torn-frame / short-read handling is provable.
+//
+// Connections are *not* internally synchronized: one thread per direction
+// at most (the blocking client uses a single thread for both).
+
+#ifndef XSEQ_SRC_SERVER_SOCKET_H_
+#define XSEQ_SRC_SERVER_SOCKET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace xseq {
+
+/// A connected, bidirectional byte stream.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Reads up to `n` bytes into `buf`. Returns the count actually read —
+  /// possibly fewer than `n` (short read) — or 0 at orderly peer close.
+  virtual StatusOr<size_t> Read(char* buf, size_t n) = 0;
+
+  /// Writes all of `data`, looping over short writes.
+  virtual Status WriteAll(std::string_view data) = 0;
+
+  /// Closes the stream. Idempotent; also performed by the destructor.
+  virtual void Close() = 0;
+};
+
+/// Reads exactly `n` bytes into `out` (replacing its contents), looping
+/// over short reads. EOF before `n` bytes is kIOError ("short read") —
+/// with `eof_ok`, EOF at the very first byte is kNotFound instead, which
+/// is how a server distinguishes "client hung up between requests" from a
+/// torn frame.
+Status ReadFull(Connection* conn, size_t n, std::string* out,
+                bool eof_ok = false);
+
+/// A passive server socket.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks until a client connects. After Close() (from any thread),
+  /// returns kFailedPrecondition instead of blocking forever.
+  virtual StatusOr<std::unique_ptr<Connection>> Accept() = 0;
+
+  /// The bound port (useful when Listen was given port 0).
+  virtual int port() const = 0;
+
+  /// Unblocks pending and future Accept calls. Safe to call from another
+  /// thread and from a signal handler's delegate thread.
+  virtual void Close() = 0;
+};
+
+/// Network services used by the serving layer.
+class SocketEnv {
+ public:
+  virtual ~SocketEnv() = default;
+
+  /// The process-wide TCP implementation (never null, never deleted).
+  static SocketEnv* Default();
+
+  /// Binds and listens on `host:port` (port 0 = ephemeral).
+  virtual StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                                     int port) = 0;
+
+  /// Connects to `host:port`.
+  virtual StatusOr<std::unique_ptr<Connection>> Connect(
+      const std::string& host, int port) = 0;
+};
+
+/// A SocketEnv that forwards to a base env but misbehaves at scheduled
+/// operation counts, mirroring FaultInjectionEnv for files. Every Read and
+/// WriteAll on a wrapped connection claims one operation index; a
+/// scheduled index fires exactly once:
+///
+///   kShortRead   -> the read returns at most 1 byte (the framing layer
+///                   must loop; a non-looping reader sees a torn frame)
+///   kReadError   -> kIOError without consuming input
+///   kShortWrite  -> only the first half of the bytes reach the peer,
+///                   then kIOError (the peer sees a torn frame)
+///   kWriteError  -> kIOError, nothing written
+///
+/// Deterministic: the same schedule against the same call sequence fails
+/// the same operation. The op counter is shared across all connections
+/// made through this env.
+class FaultInjectionSocketEnv : public SocketEnv {
+ public:
+  enum class FaultKind { kShortRead, kReadError, kShortWrite, kWriteError };
+
+  explicit FaultInjectionSocketEnv(SocketEnv* base) : base_(base) {}
+
+  /// Schedules the socket operation with index `op_index` to misbehave.
+  void FailOperation(uint64_t op_index, FaultKind kind);
+  void ClearFaults();
+  uint64_t ops_seen() const;
+
+  StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                             int port) override;
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                int port) override;
+
+  /// Claims the next op index; true (with the kind) if it must fail.
+  /// Internal — called by the wrapped connections.
+  bool NextOpShouldFail(FaultKind* kind);
+
+ private:
+  SocketEnv* const base_;
+  mutable std::mutex mu_;
+  uint64_t ops_seen_ = 0;
+  std::map<uint64_t, FaultKind> fail_ops_;
+};
+
+/// An in-process SocketEnv: Listen/Connect rendezvous through a named
+/// in-memory "port" space and every Connection is a pair of byte queues.
+/// No kernel, no file descriptors — protocol tests run anywhere, and
+/// reads naturally arrive in the chunks the peer wrote (so framing code
+/// is exercised against short reads even without fault injection).
+class MemorySocketEnv : public SocketEnv {
+ public:
+  MemorySocketEnv();
+  ~MemorySocketEnv() override;
+
+  StatusOr<std::unique_ptr<Listener>> Listen(const std::string& host,
+                                             int port) override;
+  StatusOr<std::unique_ptr<Connection>> Connect(const std::string& host,
+                                                int port) override;
+
+ private:
+  struct Rep;
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_SOCKET_H_

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

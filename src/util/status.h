@@ -29,6 +29,8 @@ enum class StatusCode {
   kInternal,          ///< invariant violation; indicates a bug in xseq
   kIOError,           ///< the environment failed (disk, filesystem); possibly
                       ///< transient and safe to retry, unlike kCorruption
+  kDeadlineExceeded,  ///< the request's time budget ran out mid-flight
+  kOverloaded,        ///< load shed: the serving queue is full; retry later
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -69,6 +71,12 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -99,6 +107,10 @@ class Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code() && a.message() == b.message();
