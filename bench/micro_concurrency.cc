@@ -4,7 +4,7 @@
 // human-readable table.
 //
 //   micro_concurrency [--n=N] [--scale=f] [--queries=Q] [--seed=S]
-//                     [--out=BENCH_concurrency.json]
+//                     [--out=bench/BENCH_concurrency.json]
 //
 // Parallel builds are bit-identical to serial ones, so every config also
 // cross-checks its index node count against the threads=1 baseline.
@@ -24,7 +24,7 @@ int Run(const FlagSet& flags) {
   const DocId n = bench::Scaled(flags, 20000, 100000);
   const int query_rounds = flags.GetInt("queries", 8);
   const std::string out_path =
-      flags.GetString("out", "BENCH_concurrency.json");
+      flags.GetString("out", "bench/BENCH_concurrency.json");
 
   XMarkParams params;
   params.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

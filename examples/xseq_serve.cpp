@@ -16,6 +16,8 @@
 //   --queue=N          admission queue bound; full => kOverloaded (default 64)
 //   --deadline_ms=N    default per-request deadline; 0 = none
 //   --threads=N        shard scatter-gather parallelism (0 = default pool)
+//   --result_cache=0|1 generation-keyed result cache; hits are served on
+//                      the accepting thread without queueing (default 1)
 //
 // Shutdown: SIGTERM/SIGINT, or a client's shutdown op. Either way the
 // server drains gracefully — in-flight requests finish and get their
@@ -36,6 +38,7 @@
 #include "src/gen/dblp.h"
 #include "src/gen/synthetic.h"
 #include "src/gen/xmark.h"
+#include "src/server/result_cache.h"
 #include "src/server/server.h"
 #include "src/server/sharded_collection.h"
 #include "src/util/flags.h"
@@ -53,7 +56,7 @@ int Usage() {
       " [--save=PREFIX])\n"
       "                  [--host=ADDR] [--port=N] [--port_file=PATH]\n"
       "                  [--workers=N] [--queue=N] [--deadline_ms=N]"
-      " [--threads=N]\n");
+      " [--threads=N] [--result_cache=0|1]\n");
   return 2;
 }
 
@@ -201,6 +204,21 @@ int Run(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("queue", 64));
   options.service.default_deadline_micros =
       static_cast<uint64_t>(flags.GetInt("deadline_ms", 0)) * 1000;
+
+  // Result cache: keyed on (query, backend generation), so answers cached
+  // against a dynamic collection are dropped the moment a mutation commits.
+  std::unique_ptr<ResultCache> result_cache;
+  if (flags.GetBool("result_cache", true)) {
+    result_cache = std::make_unique<ResultCache>();
+    options.service.result_cache = result_cache.get();
+    if (single != nullptr) {
+      // A loaded single index is immutable: one generation forever.
+      options.service.generation = [] { return uint64_t{1}; };
+    } else {
+      std::shared_ptr<ShardedCollection> col = sharded;
+      options.service.generation = [col] { return col->generation(); };
+    }
+  }
 
   XseqServer server(std::move(backend), options);
   Status st = server.Start();

@@ -219,6 +219,7 @@ int Stats(const FlagSet& flags, int argc, char** argv) {
   std::vector<std::string> queries = CollectRepeatedArgs(argc, argv, "--q=");
   const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
   const int threads = static_cast<int>(flags.GetInt("threads", 2));
+  ExecStats workload;  // summed over the workload queries, if any
   if (!queries.empty() && repeat > 0) {
     // One batch of #q x repeat executions: a multi-entry batch spreads
     // across the pool, so the pool counters fill even for a single --q.
@@ -234,6 +235,7 @@ int Stats(const FlagSet& flags, int argc, char** argv) {
                      results[i].status().ToString().c_str());
         return 1;
       }
+      workload.Add(results[i]->stats);
     }
   }
 
@@ -249,6 +251,15 @@ int Stats(const FlagSet& flags, int argc, char** argv) {
         << ",\"memory_bytes\":" << s.memory_bytes
         << ",\"sequencer\":\""
         << SequencerKindName(index->options().sequencer) << "\"}"
+        << ",\"workload\":{"
+        << "\"result_docs\":" << workload.result_docs
+        << ",\"instantiations\":" << workload.instantiations
+        << ",\"orderings\":" << workload.orderings
+        << ",\"matched_sequences\":" << workload.matched_sequences
+        << ",\"plan_cache_hits\":" << workload.plan_cache_hits
+        << ",\"result_cache_hits\":" << workload.result_cache_hits
+        << ",\"pruned_instantiations\":" << workload.pruned_instantiations
+        << "}"
         << ",\"metrics\":" << obs::MetricsRegistry::Default()->JsonDump()
         << "}\n";
     std::fputs(out.str().c_str(), stdout);
@@ -267,6 +278,13 @@ int Stats(const FlagSet& flags, int argc, char** argv) {
               static_cast<unsigned long long>(s.memory_bytes));
   std::printf("sequencer:          %s\n",
               SequencerKindName(index->options().sequencer));
+  if (!queries.empty()) {
+    std::printf("workload:           %llu docs, %zu instantiations"
+                " (%zu pruned), %zu plan-cache hits\n",
+                static_cast<unsigned long long>(workload.result_docs),
+                workload.instantiations, workload.pruned_instantiations,
+                workload.plan_cache_hits);
+  }
   std::string dump = obs::MetricsRegistry::Default()->TextDump();
   if (!dump.empty()) {
     std::printf("\nprocess metrics:\n%s", dump.c_str());
@@ -353,6 +371,8 @@ int Query(const FlagSet& flags) {
                 static_cast<unsigned long long>(r->stats.match.candidates),
                 static_cast<unsigned long long>(
                     r->stats.match.sibling_checks));
+    std::printf("plan cache hits: %zu, pruned instantiations: %zu\n",
+                r->stats.plan_cache_hits, r->stats.pruned_instantiations);
   }
   return 0;
 }

@@ -46,7 +46,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_match
 OUT="$(mktemp /tmp/BENCH_match.XXXXXX.json)"
 OBS_OUT="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
 SERVE_OUT="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
-trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT"' EXIT
+PLAN_OUT="$(mktemp /tmp/BENCH_plan.XXXXXX.json)"
+trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
 
@@ -78,5 +79,23 @@ grep -q '"throughput_qps":0\.0' "$SERVE_OUT" && {
   exit 1
 }
 
+# Planner harness: the warm (plan-cache hit) compile path must be at least
+# 5x faster than a cold compile, and the warm phase must actually hit the
+# cache (>= 50% of lookups). micro_plan itself enforces both gates (exits
+# nonzero on violation); the schema of every dashboard field is checked
+# here.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_plan
+"./$BUILD_DIR/bench/micro_plan" \
+  --n=800 --rounds=10 --min_warm_speedup=5 --min_hit_rate=0.5 \
+  --out="$PLAN_OUT"
+for key in cold_compile_us warm_compile_us warm_speedup plan_hit_rate \
+           result_hit_us qps_nocache qps_cache qps_speedup; do
+  grep -q "\"$key\":" "$PLAN_OUT" || {
+    echo "bench_smoke.sh: BENCH_plan.json is missing \"$key\"" >&2
+    cat "$PLAN_OUT" >&2
+    exit 1
+  }
+done
+
 echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE," \
-  "serve schema complete)"
+  "serve schema complete, plan cache gates passed)"

@@ -187,7 +187,7 @@ class CollectionIndex {
 
   QueryExecutor executor() const {
     return QueryExecutor(&index_, dict_.get(), names_.get(), values_.get(),
-                         sequencer_.get());
+                         sequencer_.get(), schema_.get());
   }
 
  private:

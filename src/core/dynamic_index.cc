@@ -65,6 +65,7 @@ Status DynamicIndex::Add(Document&& doc) {
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
   buffer_.push_back(std::move(doc));
   ++total_docs_;
+  ++generation_;
   if (obs::MetricsEnabled()) {
     const DynMetricSet& m = DynMetrics();
     m.adds->Increment();
@@ -79,6 +80,10 @@ Status DynamicIndex::Add(Document&& doc) {
 Status DynamicIndex::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
+  // Sealing re-sequences the batch under the segment's own model, so be
+  // conservative and retire cached results even though the document set is
+  // unchanged.
+  ++generation_;
   return SealBufferLocked();
 }
 
@@ -193,6 +198,7 @@ Status DynamicIndex::Compact() {
   std::unique_lock<std::mutex> lock(mu_);
   WaitForSealsLocked(&lock);
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
+  ++generation_;
   CollectionBuilder builder(options_.index, *names_, *values_);
   for (const auto& segment : segments_) {
     if (segment == nullptr) continue;
@@ -231,7 +237,11 @@ StatusOr<std::vector<DocId>> DynamicIndex::Query(
     std::string_view xpath, const ExecOptions& options) const {
   auto pattern = ParseXPath(xpath);
   if (!pattern.ok()) return pattern.status();
-  return ExecutePattern(*pattern, options);
+  // Key the per-segment plan caches on the query text (each segment index
+  // carries its own plan_cache_id, so entries never cross segments).
+  ExecOptions opts = options;
+  if (opts.plan.cache_key.empty()) opts.plan.cache_key = xpath;
+  return ExecutePattern(*pattern, opts);
 }
 
 StatusOr<std::vector<DocId>> DynamicIndex::ExecutePattern(
@@ -383,8 +393,10 @@ std::vector<StatusOr<std::vector<DocId>>> DynamicIndex::QueryBatch(
   auto run_one = [&](size_t i) -> StatusOr<std::vector<DocId>> {
     auto pattern = ParseXPath(xpaths[i]);
     if (!pattern.ok()) return pattern.status();
+    ExecOptions opts = per_query;
+    if (opts.plan.cache_key.empty()) opts.plan.cache_key = xpaths[i];
     // Inner segment probing is serial: the batch saturates the pool.
-    return ExecutePatternImpl(*pattern, per_query, nullptr,
+    return ExecutePatternImpl(*pattern, opts, nullptr,
                               /*parallel_segments=*/false);
   };
   if (pool_->width() <= 1 || xpaths.size() <= 1) {
@@ -393,6 +405,11 @@ std::vector<StatusOr<std::vector<DocId>>> DynamicIndex::QueryBatch(
   }
   pool_->ParallelFor(xpaths.size(), [&](size_t i) { out[i] = run_one(i); });
   return out;
+}
+
+uint64_t DynamicIndex::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 size_t DynamicIndex::segment_count() const {

@@ -15,8 +15,9 @@
 //  * Compact() rebuilds everything into one segment under the current
 //    global statistics (better sharing, one probe per query).
 //
-// Vocabulary tables (names / values / path dictionary) are shared across
-// segments, so ids remain globally consistent.
+// Name and value tables are shared across segments so those ids remain
+// globally consistent; each segment interns its own path dictionary
+// (PathIds are segment-local, consistent with the segment's own trie).
 //
 // Threading: the index is internally synchronized — Add/Flush/Query/
 // QueryBatch may race freely from many threads. With a pool of width > 1
@@ -92,6 +93,14 @@ class DynamicIndex {
       const std::vector<std::string>& xpaths,
       const ExecOptions& options = {}) const;
 
+  /// Monotone mutation counter for result-cache invalidation: starts at 1
+  /// and is bumped under the index lock by every Add/Flush/Compact. A
+  /// cached answer tagged with generation g is valid exactly while
+  /// generation() == g — mutations commit their state change and the bump
+  /// under the same lock acquisition, so a query that starts and finishes
+  /// at the same generation observed precisely that state.
+  uint64_t generation() const;
+
   /// Sealed segments plus seals in flight (each in-flight batch becomes
   /// exactly one segment).
   size_t segment_count() const;
@@ -141,6 +150,7 @@ class DynamicIndex {
   Status seal_error_;  ///< first background build failure, surfaced later
   std::vector<Document> buffer_;
   uint64_t total_docs_ = 0;
+  uint64_t generation_ = 1;  ///< see generation()
 };
 
 }  // namespace xseq

@@ -1,8 +1,19 @@
 #include "src/index/trie.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace xseq {
+
+namespace {
+
+/// Plan-cache identities start at 1 so 0 stays the "unfrozen" sentinel.
+uint64_t NextPlanCacheId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 uint64_t FrozenIndex::MemoryBytes() const {
   return nodes_.size() * sizeof(NodeRec) +
@@ -173,6 +184,7 @@ StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in) {
         LinkEntry{serials[i], out.nodes_[serials[i]].end};
   }
   out.BuildLinkCover();
+  out.plan_cache_id_ = NextPlanCacheId();
   return out;
 }
 
@@ -517,6 +529,7 @@ FrozenIndex TrieBuilder::Freeze() && {
     }
   }
   out.BuildLinkCover();
+  out.plan_cache_id_ = NextPlanCacheId();
 
   pool_.clear();
   child_index_.clear();

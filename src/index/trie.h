@@ -97,6 +97,14 @@ class FrozenIndex {
 
   DocId doc_at(uint32_t offset) const { return docs_[offset]; }
   uint32_t total_docs() const { return static_cast<uint32_t>(docs_.size()); }
+
+  /// Process-unique identity for compiled-query caching: assigned from a
+  /// monotone counter at Freeze()/DecodeFrom() time, never reused within a
+  /// process, never persisted. Two indexes share an id only if they are the
+  /// same object, so a cache keyed on it can never serve a plan compiled
+  /// against different vocabulary/link state. 0 = default-constructed
+  /// (unfrozen) index; such indexes are never cached against.
+  uint64_t plan_cache_id() const { return plan_cache_id_; }
   size_t distinct_paths() const {
     return link_off_.empty() ? 0 : link_off_.size() - 1;
   }
@@ -131,6 +139,7 @@ class FrozenIndex {
   std::vector<LinkEntry> link_entries_;  // derived: fused (serial, end) pairs
   std::vector<uint32_t> link_cover_;     // derived: nesting forest, per entry
   std::vector<uint8_t> nested_;          // per path
+  uint64_t plan_cache_id_ = 0;           // derived: see plan_cache_id()
 };
 
 /// Mutable trie under construction.

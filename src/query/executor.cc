@@ -1,10 +1,12 @@
 #include "src/query/executor.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
 #include "src/obs/metrics.h"
+#include "src/query/plan_cache.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -26,11 +28,29 @@ std::string SeqKey(const QuerySeq& q) {
   return key;
 }
 
+/// Full cache identity of a compiled query: the caller's key (the query
+/// text) plus every knob that changes compile output. The index identity is
+/// prepended by the cache itself.
+std::string BuildPlanCacheKey(const ExecOptions& o) {
+  std::string key(o.plan.cache_key);
+  key.push_back('\0');
+  auto put = [&key](uint64_t v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(o.instantiate.max_instantiations);
+  put(o.isomorph.max_orderings);
+  put(o.plan.selectivity ? 1 : 0);
+  put(o.plan.max_predicted_cost);
+  put(o.plan.exact_fallback ? 1 : 0);
+  return key;
+}
+
 /// Registry handles for the executor-level query metrics, resolved once.
 struct QueryMetricSet {
   obs::Counter* queries;
   obs::Counter* errors;
   obs::Counter* truncated;
+  obs::Counter* pruned;
   obs::Histogram* latency_us;
   obs::Histogram* compile_us;
   obs::Histogram* match_us;
@@ -43,6 +63,7 @@ const QueryMetricSet& QueryMetrics() {
     return QueryMetricSet{r->GetCounter("xseq.query.count"),
                           r->GetCounter("xseq.query.errors"),
                           r->GetCounter("xseq.query.truncated"),
+                          r->GetCounter("xseq.plan.pruned"),
                           r->GetHistogram("xseq.query.latency_us"),
                           r->GetHistogram("xseq.query.compile_us"),
                           r->GetHistogram("xseq.query.match_us"),
@@ -63,6 +84,7 @@ struct QueryReporter {
   uint64_t compile_us = 0;
   uint64_t match_us = 0;
   uint64_t result_docs = 0;
+  uint64_t pruned = 0;
 
   ~QueryReporter() {
     if (owned_trace != nullptr && commit_to != nullptr) {
@@ -73,6 +95,7 @@ struct QueryReporter {
     m.queries->Increment();
     if (!ok) m.errors->Increment();
     if (truncated) m.truncated->Increment();
+    if (pruned > 0) m.pruned->Add(pruned);
     m.latency_us->Record(static_cast<uint64_t>(timer.ElapsedMicros()));
     m.compile_us->Record(compile_us);
     m.match_us->Record(match_us);
@@ -82,54 +105,97 @@ struct QueryReporter {
 
 }  // namespace
 
+StatusOr<CompiledQuery> QueryExecutor::CompileInternal(
+    const QueryPattern& pattern, const ExecOptions& options) const {
+  CompiledQuery out;
+  QueryPlanner planner(index_, schema_);
+
+  obs::SpanScope compile_span(options.trace, "compile",
+                              options.trace_parent);
+  InstantiateOptions inst_opts = options.instantiate;
+  if (options.plan.selectivity) {
+    // Compose the planner's exact zero-cardinality predicate with any
+    // caller-supplied one.
+    auto caller = inst_opts.viable;
+    inst_opts.viable = [&planner, caller](PathId p) {
+      return planner.Viable(p) && (!caller || caller(p));
+    };
+  }
+  auto inst = [&] {
+    obs::SpanScope inst_span(options.trace, "instantiate",
+                             compile_span.id());
+    auto result =
+        InstantiatePattern(pattern, *dict_, *names_, *values_, inst_opts);
+    if (result.ok()) {
+      inst_span.Annotate("concrete_trees", result->queries.size());
+      if (result->pruned > 0) inst_span.Annotate("pruned", result->pruned);
+    }
+    return result;
+  }();
+  if (!inst.ok()) return inst.status();
+  out.instantiations = inst->queries.size();
+  out.truncated = inst->truncated;
+  out.pruned = inst->pruned;
+
+  std::unordered_set<std::string> seen;
+  {
+    obs::SpanScope expand_span(options.trace, "expand_orderings",
+                               compile_span.id());
+    size_t cost_capped = 0;
+    for (const ConcreteQuery& cq : inst->queries) {
+      IsomorphOptions iso_opts = options.isomorph;
+      if (options.plan.max_predicted_cost > 0) {
+        // Predicted cost of keeping this tree exact: orderings times the
+        // estimated per-ordering match work. With exact_fallback the budget
+        // is advisory; without it the ordering cap is clamped to fit.
+        const uint64_t budget = options.plan.max_predicted_cost;
+        const uint64_t per =
+            std::max<uint64_t>(1, planner.EstimatedMatchCost(cq));
+        const uint64_t orderings =
+            QueryPlanner::PredictedOrderings(cq, budget);
+        if (orderings > budget / per && !options.plan.exact_fallback) {
+          iso_opts.max_orderings =
+              std::min<uint64_t>(iso_opts.max_orderings,
+                                 std::max<uint64_t>(1, budget / per));
+          ++cost_capped;
+        }
+      }
+      IsomorphResult iso = ExpandIsomorphisms(cq, iso_opts);
+      out.orderings += iso.queries.size();
+      out.truncated = out.truncated || iso.truncated;
+      for (const ConcreteQuery& ordered : iso.queries) {
+        auto qs = BuildQuerySeq(ordered.tree, ordered.paths, *sequencer_);
+        if (!qs.ok()) return qs.status();
+        if (seen.insert(SeqKey(*qs)).second) {
+          out.sequences.push_back(std::move(*qs));
+        }
+      }
+    }
+    if (options.plan.selectivity) {
+      out.pruned += planner.OrderBySelectivity(&out.sequences);
+    }
+    expand_span.Annotate("orderings", out.orderings);
+    expand_span.Annotate("deduped_sequences", out.sequences.size());
+    if (cost_capped > 0) expand_span.Annotate("cost_capped", cost_capped);
+  }
+  return out;
+}
+
 StatusOr<std::vector<QuerySeq>> QueryExecutor::Compile(
     const QueryPattern& pattern, ExecStats* stats,
     const ExecOptions& options) const {
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
   Timer timer;
-
-  obs::SpanScope compile_span(options.trace, "compile",
-                              options.trace_parent);
-  auto inst = [&] {
-    obs::SpanScope inst_span(options.trace, "instantiate",
-                             compile_span.id());
-    auto result = InstantiatePattern(pattern, *dict_, *names_, *values_,
-                                     options.instantiate);
-    if (result.ok()) {
-      inst_span.Annotate("concrete_trees", result->queries.size());
-    }
-    return result;
-  }();
-  if (!inst.ok()) return inst.status();
-  st->instantiations += inst->queries.size();
-  st->truncated = st->truncated || inst->truncated;
-
-  std::vector<QuerySeq> out;
-  std::unordered_set<std::string> seen;
-  {
-    obs::SpanScope expand_span(options.trace, "expand_orderings",
-                               compile_span.id());
-    size_t orderings = 0;
-    for (const ConcreteQuery& cq : inst->queries) {
-      IsomorphResult iso = ExpandIsomorphisms(cq, options.isomorph);
-      orderings += iso.queries.size();
-      st->orderings += iso.queries.size();
-      st->truncated = st->truncated || iso.truncated;
-      for (const ConcreteQuery& ordered : iso.queries) {
-        auto qs = BuildQuerySeq(ordered.tree, ordered.paths, *sequencer_);
-        if (!qs.ok()) return qs.status();
-        if (seen.insert(SeqKey(*qs)).second) {
-          out.push_back(std::move(*qs));
-        }
-      }
-    }
-    expand_span.Annotate("orderings", orderings);
-    expand_span.Annotate("deduped_sequences", out.size());
-  }
-  st->matched_sequences += out.size();
+  auto cq = CompileInternal(pattern, options);
+  if (!cq.ok()) return cq.status();
+  st->instantiations += cq->instantiations;
+  st->orderings += cq->orderings;
+  st->pruned_instantiations += cq->pruned;
+  st->truncated = st->truncated || cq->truncated;
+  st->matched_sequences += cq->sequences.size();
   st->compile_micros += timer.ElapsedMicros();
-  return out;
+  return std::move(cq->sequences);
 }
 
 StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
@@ -155,12 +221,58 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
 
   if (opts.DeadlineExpired()) return DeadlineError();
 
+  // Compiled-plan resolution: cache hit -> replay; miss -> full compile,
+  // then publish. Either way `plan` points at an immutable CompiledQuery
+  // kept alive for the whole match phase (plan_holder pins cached entries
+  // even if they are evicted mid-query).
+  Timer compile_timer;
+  PlanCache* cache = opts.plan.cache;
+  if (opts.plan.cache_key.empty() || index_->plan_cache_id() == 0 ||
+      opts.instantiate.viable != nullptr) {
+    // No identity to key on — or a caller predicate the key cannot encode.
+    cache = nullptr;
+  }
+  std::shared_ptr<const CompiledQuery> plan_holder;
+  CompiledQuery owned_plan;
+  const CompiledQuery* plan = nullptr;
+  std::string cache_key;
+  if (cache != nullptr) {
+    cache_key = BuildPlanCacheKey(opts);
+    plan_holder = cache->Lookup(index_->plan_cache_id(), cache_key);
+    if (plan_holder != nullptr) {
+      plan = plan_holder.get();
+      st->plan_cache_hits += 1;
+      obs::SpanScope compile_span(opts.trace, "compile", root_span);
+      compile_span.Annotate("plan_cache_hit", 1);
+      compile_span.Annotate("sequences", plan->sequences.size());
+    }
+  }
+  if (plan == nullptr) {
+    auto cq = CompileInternal(pattern, opts);
+    if (!cq.ok()) return cq.status();
+    if (cache != nullptr) {
+      auto sp = std::make_shared<CompiledQuery>(std::move(*cq));
+      cache->Insert(index_->plan_cache_id(), cache_key, sp);
+      plan_holder = std::move(sp);
+      plan = plan_holder.get();
+    } else {
+      owned_plan = std::move(*cq);
+      plan = &owned_plan;
+    }
+  }
+  // Compile-side counters are a pure function of (index, query, knobs), so
+  // replaying them from a cached plan matches a fresh compile exactly.
   const int64_t compile_before = st->compile_micros;
-  auto compiled = Compile(pattern, st, opts);
+  st->instantiations += plan->instantiations;
+  st->orderings += plan->orderings;
+  st->pruned_instantiations += plan->pruned;
+  st->truncated = st->truncated || plan->truncated;
+  st->matched_sequences += plan->sequences.size();
+  st->compile_micros += compile_timer.ElapsedMicros();
   report.compile_us =
       static_cast<uint64_t>(st->compile_micros - compile_before);
   report.truncated = st->truncated;
-  if (!compiled.ok()) return compiled.status();
+  report.pruned = plan->pruned;
 
   Timer timer;
   std::vector<DocId> out;
@@ -174,11 +286,11 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     pool = owned.get();
   }
   obs::SpanScope match_span(opts.trace, "match", root_span);
-  if (pool != nullptr && pool->width() > 1 && compiled->size() > 1) {
+  if (pool != nullptr && pool->width() > 1 && plan->sequences.size() > 1) {
     // Each MatchSequence call is read-only over the FrozenIndex; per-slot
     // outputs merge in sequence order, so counters and ids are identical to
     // the serial loop below.
-    const size_t k = compiled->size();
+    const size_t k = plan->sequences.size();
     std::vector<std::vector<DocId>> parts(k);
     std::vector<MatchStats> part_stats(k);
     std::vector<Status> results(k);
@@ -188,9 +300,9 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
         return;
       }
       obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
-      results[i] = MatchSequence(*index_, (*compiled)[i], opts.mode,
+      results[i] = MatchSequence(*index_, plan->sequences[i], opts.mode,
                                  &parts[i], &part_stats[i]);
-      seq_span.Annotate("positions", (*compiled)[i].size());
+      seq_span.Annotate("positions", plan->sequences[i].size());
       seq_span.Annotate("entries_read", part_stats[i].link_entries_read);
       seq_span.Annotate("docs", parts[i].size());
     });
@@ -203,7 +315,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     // Traced serial path: per-sequence stats go through a local delta so
     // each span can carry its own counters. Aggregates are identical to
     // the untraced loop below.
-    for (const QuerySeq& qs : *compiled) {
+    for (const QuerySeq& qs : plan->sequences) {
       if (opts.DeadlineExpired()) return DeadlineError();
       obs::SpanScope seq_span(opts.trace, "match_seq", match_span.id());
       MatchStats seq_stats;
@@ -218,7 +330,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   } else {
     // The caller's context (or none) is reused across every compiled
     // sequence of this query.
-    for (const QuerySeq& qs : *compiled) {
+    for (const QuerySeq& qs : plan->sequences) {
       if (opts.DeadlineExpired()) return DeadlineError();
       XSEQ_RETURN_IF_ERROR(
           MatchSequence(*index_, qs, opts.mode, &out, &st->match, ctx));
@@ -234,7 +346,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   report.match_us = static_cast<uint64_t>(timer.ElapsedMicros());
   report.result_docs = out.size();
   if (opts.trace != nullptr) {
-    opts.trace->Annotate(root_span, "sequences", compiled->size());
+    opts.trace->Annotate(root_span, "sequences", plan->sequences.size());
     opts.trace->Annotate(root_span, "result_docs", out.size());
   }
   return out;
@@ -245,7 +357,11 @@ StatusOr<std::vector<DocId>> QueryExecutor::Execute(
     MatchContext* ctx) const {
   auto pattern = ParseXPath(xpath);
   if (!pattern.ok()) return pattern.status();
-  return ExecutePattern(*pattern, stats, options, ctx);
+  // The query text is the natural plan-cache identity; callers that key on
+  // something else (or nothing) keep their own setting.
+  ExecOptions opts = options;
+  if (opts.plan.cache_key.empty()) opts.plan.cache_key = xpath;
+  return ExecutePattern(*pattern, stats, opts, ctx);
 }
 
 }  // namespace xseq

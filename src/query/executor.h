@@ -20,7 +20,9 @@
 #include "src/obs/trace.h"
 #include "src/query/instantiate.h"
 #include "src/query/isomorph.h"
+#include "src/query/planner.h"
 #include "src/query/query_pattern.h"
+#include "src/schema/schema.h"
 
 namespace xseq {
 
@@ -37,6 +39,12 @@ struct ExecOptions {
   MatchMode mode = MatchMode::kConstraint;
   InstantiateOptions instantiate;
   IsomorphOptions isomorph;
+  /// Planner knobs (selectivity pruning, expansion cost cap, plan cache —
+  /// see src/query/planner.h). The compiled-query cache engages only when
+  /// `plan.cache_key` is set; Execute() keys by the query text, so callers
+  /// going through it get caching for free, while direct ExecutePattern
+  /// calls stay uncached unless they opt in.
+  PlanOptions plan;
   /// Match-level parallelism: the deduplicated compiled sequences of one
   /// query are matched concurrently (each MatchSequence call is read-only
   /// over the FrozenIndex). 1 = serial (default: single queries are usually
@@ -78,6 +86,12 @@ struct ExecStats {
   int64_t compile_micros = 0;
   int64_t match_micros = 0;
   size_t result_docs = 0;
+  size_t plan_cache_hits = 0;  ///< compilations served from the plan cache
+  size_t result_cache_hits = 0;///< whole answers served from the result cache
+  /// Zero-cardinality wildcard/'//' candidates and compiled sequences the
+  /// planner cut before (or instead of) matching. Exact pruning: none of
+  /// them could have contributed a result.
+  size_t pruned_instantiations = 0;
 
   /// Accumulates `o` (mirrors MatchStats::Add); used wherever per-segment
   /// or per-batch stats are aggregated.
@@ -90,6 +104,9 @@ struct ExecStats {
     compile_micros += o.compile_micros;
     match_micros += o.match_micros;
     result_docs += o.result_docs;
+    plan_cache_hits += o.plan_cache_hits;
+    result_cache_hits += o.result_cache_hits;
+    pruned_instantiations += o.pruned_instantiations;
   }
 };
 
@@ -97,14 +114,18 @@ struct ExecStats {
 /// must outlive the executor.
 class QueryExecutor {
  public:
+  /// `schema`, when given, supplies the planner's build-time statistics
+  /// (repeatability, weights); planning still works without it using the
+  /// index's exact link cardinalities alone.
   QueryExecutor(const FrozenIndex* index, const PathDict* dict,
                 const NameTable* names, const ValueEncoder* values,
-                const Sequencer* sequencer)
+                const Sequencer* sequencer, const Schema* schema = nullptr)
       : index_(index),
         dict_(dict),
         names_(names),
         values_(values),
-        sequencer_(sequencer) {}
+        sequencer_(sequencer),
+        schema_(schema) {}
 
   /// Parses and runs `xpath`; returns sorted, deduplicated document ids.
   /// `ctx`, when given, supplies reusable match scratch (see MatchContext);
@@ -120,18 +141,27 @@ class QueryExecutor {
       const ExecOptions& options = {}, MatchContext* ctx = nullptr) const;
 
   /// Compiles `pattern` into the deduplicated query sequences that would be
-  /// matched (exposed for tests, baselines and benchmarks).
+  /// matched (exposed for tests, baselines and benchmarks). Applies the
+  /// planner (pruning, cost cap, selectivity ordering) but never the plan
+  /// cache — callers wanting cached compilation go through ExecutePattern
+  /// with `options.plan.cache_key` set.
   StatusOr<std::vector<QuerySeq>> Compile(const QueryPattern& pattern,
                                           ExecStats* stats = nullptr,
                                           const ExecOptions& options = {})
       const;
 
  private:
+  /// The full compile pipeline: instantiate (with pruning) -> cost-capped
+  /// ordering expansion -> sequence build -> dedup -> selectivity order.
+  StatusOr<CompiledQuery> CompileInternal(const QueryPattern& pattern,
+                                          const ExecOptions& options) const;
+
   const FrozenIndex* index_;
   const PathDict* dict_;
   const NameTable* names_;
   const ValueEncoder* values_;
   const Sequencer* sequencer_;
+  const Schema* schema_;
 };
 
 }  // namespace xseq

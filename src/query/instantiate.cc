@@ -156,6 +156,13 @@ StatusOr<InstantiateResult> InstantiatePattern(
     result.queries.push_back(std::move(cq));
   };
 
+  // Pruning predicate wrapper: counts every candidate it rejects.
+  auto viable = [&](PathId p) -> bool {
+    if (!options.viable || options.viable(p)) return true;
+    ++result.pruned;
+    return false;
+  };
+
   // Candidate enumeration per pattern node given the parent's path.
   std::function<bool(size_t)> rec = [&](size_t i) -> bool {
     if (i == n) {
@@ -178,6 +185,7 @@ StatusOr<InstantiateResult> InstantiatePattern(
           for (PathId c = dict.FirstChild(parent_path); c != kInvalidPath;
                c = dict.NextSibling(c)) {
             if (!dict.sym(c).is_name()) continue;
+            if (!viable(c)) continue;
             assignment[i] = c;
             if (!rec(i + 1)) return false;
           }
@@ -185,7 +193,7 @@ StatusOr<InstantiateResult> InstantiatePattern(
         }
         case PatternNode::Test::kName: {
           PathId c = dict.Find(parent_path, Sym::ForName(want_name[i]));
-          if (c == kInvalidPath) return true;  // dead branch
+          if (c == kInvalidPath || !viable(c)) return true;  // dead branch
           assignment[i] = c;
           return rec(i + 1);
         }
@@ -195,7 +203,7 @@ StatusOr<InstantiateResult> InstantiatePattern(
                   ? WalkCharChain(dict, parent_path, pn.value,
                                   /*with_terminator=*/true)
                   : dict.Find(parent_path, Sym::ForValue(want_value[i]));
-          if (c == kInvalidPath) return true;  // dead branch
+          if (c == kInvalidPath || !viable(c)) return true;  // dead branch
           assignment[i] = c;
           return rec(i + 1);
         }
@@ -203,13 +211,13 @@ StatusOr<InstantiateResult> InstantiatePattern(
           if (chain_mode) {
             PathId c = WalkCharChain(dict, parent_path, pn.value,
                                      /*with_terminator=*/false);
-            if (c == kInvalidPath) return true;
+            if (c == kInvalidPath || !viable(c)) return true;
             assignment[i] = c;
             return rec(i + 1);
           }
           for (ValueId v : prefix_values[i]) {
             PathId c = dict.Find(parent_path, Sym::ForValue(v));
-            if (c == kInvalidPath) continue;
+            if (c == kInvalidPath || !viable(c)) continue;
             assignment[i] = c;
             if (!rec(i + 1)) return false;
           }
@@ -233,7 +241,8 @@ StatusOr<InstantiateResult> InstantiatePattern(
            c = dict.NextSibling(c)) {
         stack.push_back(c);
       }
-      if (SymMatches(pn, dict.sym(p), want_name[i], want_value[i])) {
+      if (SymMatches(pn, dict.sym(p), want_name[i], want_value[i]) &&
+          viable(p)) {
         assignment[i] = p;
         if (!rec(i + 1)) return false;
       }

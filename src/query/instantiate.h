@@ -13,6 +13,7 @@
 #ifndef XSEQ_SRC_QUERY_INSTANTIATE_H_
 #define XSEQ_SRC_QUERY_INSTANTIATE_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/query/query_pattern.h"
@@ -33,12 +34,21 @@ struct ConcreteQuery {
 struct InstantiateOptions {
   /// Hard cap on emitted concrete trees; hitting it sets `truncated`.
   size_t max_instantiations = 4096;
+  /// Selectivity pruning predicate (the planner wires this to "does the
+  /// path occur in the target index at all"). A candidate assignment whose
+  /// path fails the predicate is skipped — and the enumeration product
+  /// under it never expands — counted in InstantiateResult::pruned. Must be
+  /// sound: only return false for paths that cannot contribute a match.
+  /// Ancestor paths of a viable path are viable by construction (every
+  /// prefix of an occurring path occurs), so chains stay consistent.
+  std::function<bool(PathId)> viable;
 };
 
 /// Result of instantiation.
 struct InstantiateResult {
   std::vector<ConcreteQuery> queries;
   bool truncated = false;  ///< cap reached; results may be incomplete
+  size_t pruned = 0;       ///< candidate assignments cut by `viable`
 };
 
 /// Enumerates the concrete query trees of `pattern` against `dict`.

@@ -1,0 +1,175 @@
+#include "src/query/plan_cache.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/util/hash.h"
+
+namespace xseq {
+
+namespace {
+
+struct PlanMetricSet {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+  obs::Gauge* bytes;
+};
+
+const PlanMetricSet& PlanMetrics() {
+  static const PlanMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return PlanMetricSet{r->GetCounter("xseq.plan.hits"),
+                         r->GetCounter("xseq.plan.misses"),
+                         r->GetCounter("xseq.plan.insertions"),
+                         r->GetCounter("xseq.plan.evictions"),
+                         r->GetGauge("xseq.plan.entries"),
+                         r->GetGauge("xseq.plan.bytes")};
+  }();
+  return s;
+}
+
+std::string FullKey(uint64_t index_id, std::string_view key) {
+  std::string full;
+  full.reserve(sizeof(index_id) + key.size());
+  full.append(reinterpret_cast<const char*>(&index_id), sizeof(index_id));
+  full.append(key);
+  return full;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheOptions& options) : options_(options) {
+  size_t n = std::max<size_t>(1, options_.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_entry_budget_ = std::max<size_t>(1, options_.max_entries / n);
+  shard_byte_budget_ = std::max<size_t>(1, options_.max_bytes / n);
+}
+
+PlanCache* PlanCache::Default() {
+  static PlanCache* cache = new PlanCache();  // never destroyed
+  return cache;
+}
+
+PlanCache* DefaultPlanCache() { return PlanCache::Default(); }
+
+PlanCache::Shard& PlanCache::ShardFor(std::string_view full_key) {
+  return *shards_[Fnv1a64(full_key) % shards_.size()];
+}
+
+std::shared_ptr<const CompiledQuery> PlanCache::Lookup(uint64_t index_id,
+                                                       std::string_view key) {
+  if (index_id == 0) return nullptr;
+  std::string full = FullKey(index_id, key);
+  Shard& s = ShardFor(full);
+  std::shared_ptr<const CompiledQuery> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(full);
+    if (it == s.index.end()) {
+      ++s.misses;
+    } else {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      out = it->second->plan;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    (out != nullptr ? PlanMetrics().hits : PlanMetrics().misses)->Increment();
+  }
+  return out;
+}
+
+void PlanCache::Insert(uint64_t index_id, std::string_view key,
+                       std::shared_ptr<const CompiledQuery> plan) {
+  if (index_id == 0 || plan == nullptr) return;
+  size_t bytes = plan->MemoryBytes();
+  if (bytes > options_.max_entry_bytes) return;
+  std::string full = FullKey(index_id, key);
+  Shard& s = ShardFor(full);
+  int64_t entry_delta = 0;
+  int64_t byte_delta = 0;
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    size_t entries_before = s.lru.size();
+    size_t bytes_before = s.bytes;
+    auto it = s.index.find(full);
+    if (it != s.index.end()) {
+      s.bytes -= it->second->bytes;
+      s.lru.erase(it->second);
+      s.index.erase(it);
+    }
+    s.lru.push_front(Entry{std::move(full), std::move(plan), bytes});
+    s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+    s.bytes += bytes;
+    ++s.insertions;
+    uint64_t evictions_before = s.evictions;
+    EvictLocked(&s);
+    evicted = s.evictions - evictions_before;
+    entry_delta = static_cast<int64_t>(s.lru.size()) -
+                  static_cast<int64_t>(entries_before);
+    byte_delta =
+        static_cast<int64_t>(s.bytes) - static_cast<int64_t>(bytes_before);
+  }
+  if (obs::MetricsEnabled()) {
+    const PlanMetricSet& m = PlanMetrics();
+    m.insertions->Increment();
+    if (evicted > 0) m.evictions->Add(evicted);
+    m.entries->Add(entry_delta);
+    m.bytes->Add(byte_delta);
+  }
+}
+
+void PlanCache::EvictLocked(Shard* s) {
+  while (!s->lru.empty() && (s->lru.size() > shard_entry_budget_ ||
+                             s->bytes > shard_byte_budget_)) {
+    // Never evict the entry just inserted (front) on byte pressure alone.
+    if (s->lru.size() == 1) break;
+    Entry& victim = s->lru.back();
+    s->bytes -= victim.bytes;
+    s->index.erase(std::string_view(victim.key));
+    s->lru.pop_back();
+    ++s->evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  int64_t entry_delta = 0;
+  int64_t byte_delta = 0;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    entry_delta -= static_cast<int64_t>(s.lru.size());
+    byte_delta -= static_cast<int64_t>(s.bytes);
+    s.index.clear();
+    s.lru.clear();
+    s.bytes = 0;
+  }
+  if (obs::MetricsEnabled() && (entry_delta != 0 || byte_delta != 0)) {
+    PlanMetrics().entries->Add(entry_delta);
+    PlanMetrics().bytes->Add(byte_delta);
+  }
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats out;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+}  // namespace xseq

@@ -1,0 +1,109 @@
+// PlanCache: a sharded, size-bounded LRU cache of compiled queries.
+//
+// parse -> instantiate -> expand -> dedup is pure in (index contents,
+// query text, compile knobs), so its output can be reused across requests.
+// Entries are keyed on (index plan_cache_id, caller key); the id is a
+// process-unique monotone value assigned when an index is frozen or
+// decoded, so a plan can never be replayed against an index with different
+// vocabulary or link state — rebuilding an index yields a fresh id and the
+// old entries simply age out of the LRU. The caller key must encode the
+// query text plus every compile-affecting knob (the executor does this; see
+// BuildPlanCacheKey in executor.cc).
+//
+// Sharding: keys hash onto `shards` independently locked LRU lists, so
+// concurrent queries on different keys rarely contend. Budgets (entries and
+// approximate bytes) are split evenly per shard; one oversized plan
+// (> max_entry_bytes) is never cached at all rather than evicting the
+// world. Values are shared_ptr<const CompiledQuery>, so an entry evicted
+// while a query is still matching against it stays alive for that query.
+//
+// Metrics (xseq.plan.{hits,misses,insertions,evictions} counters and
+// xseq.plan.{entries,bytes} gauges) feed MetricsRegistry::Default() when
+// metrics are enabled.
+
+#ifndef XSEQ_SRC_QUERY_PLAN_CACHE_H_
+#define XSEQ_SRC_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/query/planner.h"
+
+namespace xseq {
+
+struct PlanCacheOptions {
+  size_t shards = 8;
+  size_t max_entries = 4096;       ///< across all shards
+  size_t max_bytes = 64u << 20;    ///< approximate, across all shards
+  size_t max_entry_bytes = 8u << 20;  ///< larger plans are not cached
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(const PlanCacheOptions& options = PlanCacheOptions());
+
+  /// The process-wide cache used by default query execution. Never
+  /// destroyed (like MetricsRegistry::Default), so worker threads may touch
+  /// it during static teardown.
+  static PlanCache* Default();
+
+  /// Returns the cached plan for (index_id, key), refreshing its LRU
+  /// position, or null. index_id 0 (an unfrozen index) never matches.
+  std::shared_ptr<const CompiledQuery> Lookup(uint64_t index_id,
+                                              std::string_view key);
+
+  /// Stores `plan` under (index_id, key), evicting least-recently-used
+  /// entries past the shard budget. Replaces an existing entry for the same
+  /// key. No-op for index_id 0 or plans over max_entry_bytes.
+  void Insert(uint64_t index_id, std::string_view key,
+              std::shared_ptr<const CompiledQuery> plan);
+
+  /// Drops every entry (tests and explicit invalidation).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;  // full key: 8-byte index id prefix + caller key
+    std::shared_ptr<const CompiledQuery> plan;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views point into Entry::key, which is stable (list nodes never move).
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::string_view full_key);
+  void EvictLocked(Shard* s);
+
+  PlanCacheOptions options_;
+  size_t shard_entry_budget_;
+  size_t shard_byte_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_PLAN_CACHE_H_

@@ -1,0 +1,117 @@
+#include "src/query/planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace xseq {
+
+namespace {
+
+/// a * b, saturating at `cap`.
+uint64_t SatMul(uint64_t a, uint64_t b, uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  if (a > cap / b) return cap;
+  uint64_t p = a * b;
+  return p > cap ? cap : p;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? UINT64_MAX : s;
+}
+
+/// Multiplies `acc` by the number of orderings of `n`'s identical-path
+/// sibling groups and recurses, saturating at `cap` (mirrors the grouping
+/// rule of ExpandIsomorphisms: only groups of >= 2 equal paths permute).
+void OrderingsRec(const Node* n, const std::vector<PathId>& paths,
+                  uint64_t cap, uint64_t* acc) {
+  std::map<PathId, uint64_t> group_size;
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    ++group_size[paths[c->index]];
+  }
+  for (const auto& [p, k] : group_size) {
+    (void)p;
+    for (uint64_t f = 2; f <= k; ++f) {
+      *acc = SatMul(*acc, f, cap);
+      if (*acc >= cap) return;
+    }
+  }
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    OrderingsRec(c, paths, cap, acc);
+    if (*acc >= cap) return;
+  }
+}
+
+}  // namespace
+
+size_t CompiledQuery::MemoryBytes() const {
+  size_t bytes = sizeof(CompiledQuery);
+  for (const QuerySeq& q : sequences) {
+    bytes += sizeof(QuerySeq) + q.paths.size() * sizeof(PathId) +
+             q.parent.size() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+uint64_t QueryPlanner::PredictedOrderings(const ConcreteQuery& query,
+                                          uint64_t cap) {
+  if (query.tree.root() == nullptr || cap == 0) return 0;
+  uint64_t acc = 1;
+  OrderingsRec(query.tree.root(), query.paths, cap, &acc);
+  return acc;
+}
+
+uint64_t QueryPlanner::EstimatedMatchCost(const ConcreteQuery& query) const {
+  uint64_t cost = 0;
+  for (PathId p : query.paths) {
+    uint64_t c = Cardinality(p);
+    if (schema_ != nullptr && schema_->MayRepeat(p)) {
+      c = SatAdd(c, c);  // sibling-cover checks roughly double the work
+    }
+    cost = SatAdd(cost, c);
+  }
+  return cost;
+}
+
+QueryPlanner::SeqSelectivity QueryPlanner::Selectivity(
+    const QuerySeq& seq) const {
+  SeqSelectivity out;
+  out.min_cardinality = UINT64_MAX;
+  for (size_t i = 0; i < seq.paths.size(); ++i) {
+    uint64_t c = Cardinality(seq.paths[i]);
+    if (c < out.min_cardinality) {
+      out.min_cardinality = c;
+      out.anchor = i;
+    }
+  }
+  if (out.min_cardinality == UINT64_MAX) out.min_cardinality = 0;  // empty seq
+  return out;
+}
+
+size_t QueryPlanner::OrderBySelectivity(std::vector<QuerySeq>* seqs) const {
+  std::vector<std::pair<uint64_t, size_t>> keyed;  // (min card, orig index)
+  keyed.reserve(seqs->size());
+  size_t dropped = 0;
+  for (size_t i = 0; i < seqs->size(); ++i) {
+    uint64_t c = Selectivity((*seqs)[i]).min_cardinality;
+    if (c == 0 && !(*seqs)[i].paths.empty()) {
+      ++dropped;
+      continue;  // a zero-occurrence position can never be matched
+    }
+    keyed.emplace_back(c, i);
+  }
+  // Stable on the original index so equal-selectivity sequences keep their
+  // compile order (determinism under replay).
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<QuerySeq> out;
+  out.reserve(keyed.size());
+  for (const auto& [c, i] : keyed) {
+    (void)c;
+    out.push_back(std::move((*seqs)[i]));
+  }
+  *seqs = std::move(out);
+  return dropped;
+}
+
+}  // namespace xseq

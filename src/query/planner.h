@@ -1,0 +1,135 @@
+// Query planner: selectivity-aware compilation of query patterns.
+//
+// The schema layer computes occurrence statistics at build time — counts
+// behind p(C|parent) / p(C|root), repeatability, weights w(C) — but until
+// this layer they were consulted only when *sequencing data*. The planner
+// reuses them (plus the index's own horizontal links, whose lengths are the
+// exact per-path occurrence cardinalities: |Link(C)| = count(C), the
+// empirical numerator of p(C|root)) at *query* time:
+//
+//   * instantiation pruning: a '//' or '*' resolution whose path has zero
+//     occurrences in the target index cannot contribute a match, so the
+//     candidate is dropped before the ordering expansion fans out. Exact —
+//     an empty link means zero terminals, so results are bit-identical.
+//   * expansion cost capping: the number of orderings a concrete tree
+//     expands into is the product of factorials of its identical-sibling
+//     group sizes; multiplied by the tree's estimated match cost (sum of
+//     link cardinalities, doubled for paths the schema marks repeatable,
+//     since those need sibling-cover checks) this predicts the work of
+//     keeping the tree exact. Trees over budget either fall back to exact
+//     expansion anyway (exact_fallback, the default) or get their ordering
+//     cap clamped (approximate: sets `truncated`).
+//   * selectivity ordering: each compiled sequence's most selective
+//     position (minimum link cardinality — the anchor Algorithm 1 must
+//     satisfy no matter where it starts) is computed; sequences whose
+//     anchor has zero occurrences are skipped outright, the rest are
+//     matched most-selective-first so short-circuiting work (deadlines,
+//     shared match contexts) sees cheap sequences early. The result union
+//     is sorted and deduplicated, so ordering is unobservable in output.
+//
+// CompiledQuery is the unit the plan cache (src/query/plan_cache.h) stores.
+
+#ifndef XSEQ_SRC_QUERY_PLANNER_H_
+#define XSEQ_SRC_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/index/matcher.h"
+#include "src/index/trie.h"
+#include "src/query/instantiate.h"
+#include "src/schema/schema.h"
+
+namespace xseq {
+
+class PlanCache;
+
+/// The process-wide compiled-query cache (see src/query/plan_cache.h);
+/// declared here so PlanOptions can default to it without the full type.
+PlanCache* DefaultPlanCache();
+
+/// Planner knobs, carried inside ExecOptions.
+struct PlanOptions {
+  /// Master switch for the exact selectivity optimizations (instantiation
+  /// pruning + zero-anchor skipping + most-selective-first ordering).
+  /// These never change results; off reproduces the pre-planner pipeline.
+  bool selectivity = true;
+  /// Predicted-cost budget for isomorphism expansion of one concrete tree:
+  /// orderings × estimated match cost. 0 disables the cap.
+  uint64_t max_predicted_cost = 1u << 20;
+  /// When a tree exceeds max_predicted_cost: true (default) expands it
+  /// fully anyway — the cap becomes advisory and results stay bit-identical;
+  /// false clamps the tree's ordering cap to fit the budget and sets
+  /// `truncated` (results may miss permuted-sibling matches).
+  bool exact_fallback = true;
+  /// Compiled-query cache; null disables plan caching. Only consulted when
+  /// `cache_key` is set (Execute() keys by query text; pattern-level entry
+  /// points opt in by supplying a key whose text identifies the query).
+  PlanCache* cache = DefaultPlanCache();
+  /// Cache identity of the query within one index/options context. Must
+  /// outlive the Execute/ExecutePattern call that carries it.
+  std::string_view cache_key{};
+};
+
+/// A planned, deduplicated, selectivity-ordered compilation of one query
+/// against one index — everything match-time needs, plus the compile-side
+/// counters so a cache hit replays identical ExecStats.
+struct CompiledQuery {
+  std::vector<QuerySeq> sequences;
+  size_t instantiations = 0;  ///< concrete trees after wildcard resolution
+  size_t orderings = 0;       ///< trees after isomorphism expansion
+  size_t pruned = 0;          ///< zero-cardinality candidates/sequences cut
+  bool truncated = false;     ///< an enumeration cap was hit
+
+  /// Approximate heap footprint, used for cache byte accounting.
+  size_t MemoryBytes() const;
+};
+
+/// Stateless planning helpers over one index (and optionally its schema).
+/// Both referenced objects must outlive the planner.
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(const FrozenIndex* index,
+                        const Schema* schema = nullptr)
+      : index_(index), schema_(schema) {}
+
+  /// Exact occurrence count of `path` in the index (its link length).
+  uint64_t Cardinality(PathId path) const { return index_->Link(path).size(); }
+
+  /// True when `path` occurs at all — the instantiation pruning predicate.
+  bool Viable(PathId path) const { return !index_->Link(path).empty(); }
+
+  /// Number of orderings ExpandIsomorphisms would emit for `query`:
+  /// the product of factorials of its identical-path sibling group sizes,
+  /// saturated at `cap` (so callers can compare against a budget without
+  /// overflow).
+  static uint64_t PredictedOrderings(const ConcreteQuery& query, uint64_t cap);
+
+  /// Estimated link entries Algorithm 1 touches matching one ordering of
+  /// `query`: the sum of its paths' cardinalities, doubled for paths the
+  /// schema marks repeatable (nested occurrences trigger the sibling-cover
+  /// machinery). Saturating.
+  uint64_t EstimatedMatchCost(const ConcreteQuery& query) const;
+
+  /// Per-sequence selectivity: the minimum link cardinality over its
+  /// positions and the position attaining it (the anchor).
+  struct SeqSelectivity {
+    uint64_t min_cardinality = 0;
+    size_t anchor = 0;
+  };
+  SeqSelectivity Selectivity(const QuerySeq& seq) const;
+
+  /// Drops sequences whose anchor cardinality is zero (they cannot match)
+  /// and stably orders the rest most-selective-first. Returns the number
+  /// dropped.
+  size_t OrderBySelectivity(std::vector<QuerySeq>* seqs) const;
+
+ private:
+  const FrozenIndex* index_;
+  const Schema* schema_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_QUERY_PLANNER_H_

@@ -98,6 +98,9 @@ WireQueryStats WireQueryStats::FromExecStats(const ExecStats& st) {
   out.terminals = st.match.terminals;
   out.compile_micros = static_cast<uint64_t>(st.compile_micros);
   out.match_micros = static_cast<uint64_t>(st.match_micros);
+  out.plan_cache_hits = st.plan_cache_hits;
+  out.result_cache_hits = st.result_cache_hits;
+  out.pruned_instantiations = st.pruned_instantiations;
   return out;
 }
 
@@ -115,6 +118,9 @@ void EncodeStats(const WireQueryStats& s, std::string* out) {
   PutFixed64(out, s.terminals);
   PutFixed64(out, s.compile_micros);
   PutFixed64(out, s.match_micros);
+  PutFixed64(out, s.plan_cache_hits);
+  PutFixed64(out, s.result_cache_hits);
+  PutFixed64(out, s.pruned_instantiations);
 }
 
 Status DecodeStats(Decoder* in, WireQueryStats* s) {
@@ -128,7 +134,10 @@ Status DecodeStats(Decoder* in, WireQueryStats* s) {
   XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->candidates));
   XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->terminals));
   XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->compile_micros));
-  return in->GetFixed64(&s->match_micros);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->match_micros));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->plan_cache_hits));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s->result_cache_hits));
+  return in->GetFixed64(&s->pruned_instantiations);
 }
 
 }  // namespace

@@ -25,7 +25,7 @@
 //
 // Response payloads (after a u8 status code + string error message; the
 // payload is present only when the status is OK):
-//   query:    u64 doc count, u64 per doc id, then WireQueryStats (11
+//   query:    u64 doc count, u64 per doc id, then WireQueryStats (14
 //             fixed64 fields, see EncodeTo)
 //   stats:    string (MetricsRegistry::JsonDump of the serving process)
 //   ping / shutdown: empty
@@ -49,7 +49,11 @@
 
 namespace xseq {
 
-inline constexpr uint8_t kWireVersion = 1;
+// Version history:
+//   1 — initial protocol (11-field WireQueryStats)
+//   2 — WireQueryStats gained plan_cache_hits / result_cache_hits /
+//       pruned_instantiations (14 fixed64 fields)
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Frame header size (length + checksum) and the body-size cap.
 inline constexpr size_t kFrameHeaderBytes = 12;
@@ -92,6 +96,9 @@ struct WireQueryStats {
   uint64_t terminals = 0;
   uint64_t compile_micros = 0;
   uint64_t match_micros = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t pruned_instantiations = 0;
 
   static WireQueryStats FromExecStats(const ExecStats& st);
 };

@@ -47,6 +47,8 @@ struct QueryService::Request {
   std::string xpath;
   int64_t deadline_micros = 0;  ///< absolute, 0 = none
   Timer admitted;               ///< queue-latency clock
+  bool cache_eligible = false;  ///< store the answer if generation held
+  uint64_t cache_generation = 0;///< generation observed at admission
 
   std::mutex mu;
   std::condition_variable cv;
@@ -88,11 +90,35 @@ StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
   const bool metrics = obs::MetricsEnabled();
   if (metrics) ServeMetrics().requests->Increment();
 
+  // Result cache: a hit is served on the caller's thread — no admission,
+  // no queueing, no worker. Lookups use the generation of *this moment*,
+  // so a mutation that committed before this request can never be masked
+  // by a stale entry.
+  const bool result_caching =
+      options_.result_cache != nullptr && options_.generation != nullptr;
+  uint64_t admission_generation = 0;
+  if (result_caching) {
+    Timer hit_timer;
+    admission_generation = options_.generation();
+    if (auto hit = options_.result_cache->Lookup(admission_generation, xpath)) {
+      QueryResult out = *hit;
+      out.stats.result_cache_hits += 1;
+      if (metrics) {
+        const ServeMetricSet& m = ServeMetrics();
+        m.ok->Increment();
+        m.latency_us->Record(static_cast<uint64_t>(hit_timer.ElapsedMicros()));
+      }
+      return out;
+    }
+  }
+
   uint64_t budget = deadline_budget_micros != 0
                         ? deadline_budget_micros
                         : options_.default_deadline_micros;
   auto request = std::make_shared<Request>();
   request->xpath.assign(xpath.data(), xpath.size());
+  request->cache_eligible = result_caching;
+  request->cache_generation = admission_generation;
   if (budget != 0) {
     request->deadline_micros =
         DeadlineNowMicros() + static_cast<int64_t>(budget);
@@ -179,6 +205,15 @@ void QueryService::WorkerLoop() {
       trace.Commit(tracer);
     } else {
       result = backend_(request->xpath, opts);
+    }
+
+    if (request->cache_eligible && result.ok() &&
+        options_.generation() == request->cache_generation) {
+      // No mutation committed since admission (generations are monotone),
+      // so this answer is exactly the answer at cache_generation. If one
+      // did, discard rather than cache a possibly mixed-state answer.
+      options_.result_cache->Insert(request->cache_generation,
+                                    request->xpath, *result);
     }
 
     // Settle the accounting before waking the caller, so `pending()` never

@@ -37,6 +37,7 @@
 
 #include "src/core/collection_index.h"
 #include "src/query/executor.h"
+#include "src/server/result_cache.h"
 
 namespace xseq {
 
@@ -48,6 +49,15 @@ struct ServiceOptions {
   /// microseconds from admission; 0 = none.
   uint64_t default_deadline_micros = 0;
   ExecOptions exec;          ///< base options every request starts from
+  /// Whole-answer cache, consulted *before* admission: a hit skips the
+  /// queue and the workers entirely. Requires `generation` (entries are
+  /// keyed on it; see src/server/result_cache.h for the invalidation
+  /// protocol). Null disables result caching. Not owned.
+  ResultCache* result_cache = nullptr;
+  /// Current collection generation (DynamicIndex::generation,
+  /// ShardedCollection::generation, or a constant for frozen backends).
+  /// Must be monotone and bump with every result-affecting mutation.
+  std::function<uint64_t()> generation;
 };
 
 /// An in-process query server over an arbitrary backend.

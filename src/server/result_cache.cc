@@ -1,0 +1,173 @@
+#include "src/server/result_cache.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+#include "src/util/hash.h"
+
+namespace xseq {
+
+namespace {
+
+struct ResultMetricSet {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Gauge* entries;
+  obs::Gauge* bytes;
+};
+
+const ResultMetricSet& ResultMetrics() {
+  static const ResultMetricSet s = [] {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    return ResultMetricSet{r->GetCounter("xseq.result_cache.hits"),
+                           r->GetCounter("xseq.result_cache.misses"),
+                           r->GetCounter("xseq.result_cache.insertions"),
+                           r->GetCounter("xseq.result_cache.evictions"),
+                           r->GetGauge("xseq.result_cache.entries"),
+                           r->GetGauge("xseq.result_cache.bytes")};
+  }();
+  return s;
+}
+
+std::string FullKey(uint64_t generation, std::string_view query) {
+  std::string full;
+  full.reserve(sizeof(generation) + query.size());
+  full.append(reinterpret_cast<const char*>(&generation), sizeof(generation));
+  full.append(query);
+  return full;
+}
+
+size_t ResultBytes(const QueryResult& r) {
+  return sizeof(QueryResult) + r.docs.size() * sizeof(DocId);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : options_(options) {
+  size_t n = std::max<size_t>(1, options_.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_entry_budget_ = std::max<size_t>(1, options_.max_entries / n);
+  shard_byte_budget_ = std::max<size_t>(1, options_.max_bytes / n);
+}
+
+ResultCache::Shard& ResultCache::ShardFor(std::string_view full_key) {
+  return *shards_[Fnv1a64(full_key) % shards_.size()];
+}
+
+std::shared_ptr<const QueryResult> ResultCache::Lookup(uint64_t generation,
+                                                       std::string_view query) {
+  std::string full = FullKey(generation, query);
+  Shard& s = ShardFor(full);
+  std::shared_ptr<const QueryResult> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.index.find(full);
+    if (it == s.index.end()) {
+      ++s.misses;
+    } else {
+      ++s.hits;
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      out = it->second->result;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    (out != nullptr ? ResultMetrics().hits : ResultMetrics().misses)
+        ->Increment();
+  }
+  return out;
+}
+
+void ResultCache::Insert(uint64_t generation, std::string_view query,
+                         QueryResult result) {
+  size_t bytes = ResultBytes(result);
+  if (bytes > options_.max_entry_bytes) return;
+  std::string full = FullKey(generation, query);
+  Shard& s = ShardFor(full);
+  int64_t entry_delta = 0;
+  int64_t byte_delta = 0;
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    size_t entries_before = s.lru.size();
+    size_t bytes_before = s.bytes;
+    auto it = s.index.find(full);
+    if (it != s.index.end()) {
+      s.bytes -= it->second->bytes;
+      s.lru.erase(it->second);
+      s.index.erase(it);
+    }
+    s.lru.push_front(Entry{
+        std::move(full),
+        std::make_shared<const QueryResult>(std::move(result)), bytes});
+    s.index.emplace(std::string_view(s.lru.front().key), s.lru.begin());
+    s.bytes += bytes;
+    ++s.insertions;
+    uint64_t evictions_before = s.evictions;
+    EvictLocked(&s);
+    evicted = s.evictions - evictions_before;
+    entry_delta = static_cast<int64_t>(s.lru.size()) -
+                  static_cast<int64_t>(entries_before);
+    byte_delta =
+        static_cast<int64_t>(s.bytes) - static_cast<int64_t>(bytes_before);
+  }
+  if (obs::MetricsEnabled()) {
+    const ResultMetricSet& m = ResultMetrics();
+    m.insertions->Increment();
+    if (evicted > 0) m.evictions->Add(evicted);
+    m.entries->Add(entry_delta);
+    m.bytes->Add(byte_delta);
+  }
+}
+
+void ResultCache::EvictLocked(Shard* s) {
+  while (!s->lru.empty() && (s->lru.size() > shard_entry_budget_ ||
+                             s->bytes > shard_byte_budget_)) {
+    if (s->lru.size() == 1) break;  // keep the entry just inserted
+    Entry& victim = s->lru.back();
+    s->bytes -= victim.bytes;
+    s->index.erase(std::string_view(victim.key));
+    s->lru.pop_back();
+    ++s->evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  int64_t entry_delta = 0;
+  int64_t byte_delta = 0;
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    entry_delta -= static_cast<int64_t>(s.lru.size());
+    byte_delta -= static_cast<int64_t>(s.bytes);
+    s.index.clear();
+    s.lru.clear();
+    s.bytes = 0;
+  }
+  if (obs::MetricsEnabled() && (entry_delta != 0 || byte_delta != 0)) {
+    ResultMetrics().entries->Add(entry_delta);
+    ResultMetrics().bytes->Add(byte_delta);
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  Stats out;
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.entries += s.lru.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+}  // namespace xseq

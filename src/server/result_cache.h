@@ -1,0 +1,104 @@
+// ResultCache: a generation-keyed LRU cache of whole query answers.
+//
+// A cached answer is correct only for the exact collection state it was
+// computed against, so entries are keyed on (collection generation, query
+// text). Mutating backends expose a monotone generation counter
+// (DynamicIndex::generation, ShardedCollection::generation) bumped with
+// every result-affecting mutation; lookups use the *current* generation,
+// so the moment a mutation commits, every older entry is unreachable and
+// simply ages out of the LRU — there is no explicit invalidation broadcast
+// to race with.
+//
+// The insert protocol (see QueryService) closes the execute/mutate race:
+// the service records the generation g0 *before* executing and stores the
+// answer only if the generation still equals g0 afterwards. Generations
+// are monotone, so equality means no mutation committed while the query
+// ran and the answer is exactly the g0 answer; if a mutation interleaved,
+// the answer is discarded rather than cached under a generation it might
+// not represent.
+//
+// Structure mirrors PlanCache: hash-sharded, independently locked LRU
+// lists with per-shard entry/byte budgets; oversized answers are not
+// cached. Metrics: xseq.result_cache.{hits,misses,insertions,evictions}
+// counters and xseq.result_cache.{entries,bytes} gauges.
+
+#ifndef XSEQ_SRC_SERVER_RESULT_CACHE_H_
+#define XSEQ_SRC_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/collection_index.h"
+
+namespace xseq {
+
+struct ResultCacheOptions {
+  size_t shards = 8;
+  size_t max_entries = 4096;          ///< across all shards
+  size_t max_bytes = 32u << 20;       ///< approximate, across all shards
+  size_t max_entry_bytes = 4u << 20;  ///< larger answers are not cached
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options = ResultCacheOptions());
+
+  /// Returns the cached answer for (generation, query), refreshing its LRU
+  /// position, or null.
+  std::shared_ptr<const QueryResult> Lookup(uint64_t generation,
+                                            std::string_view query);
+
+  /// Stores `result` under (generation, query), evicting past the shard
+  /// budget. Replaces an existing entry for the same key.
+  void Insert(uint64_t generation, std::string_view query,
+              QueryResult result);
+
+  /// Drops every entry.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;  // 8-byte generation prefix + query text
+    std::shared_ptr<const QueryResult> result;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views point into Entry::key, which is stable (list nodes never move).
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::string_view full_key);
+  void EvictLocked(Shard* s);
+
+  ResultCacheOptions options_;
+  size_t shard_entry_budget_;
+  size_t shard_byte_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_RESULT_CACHE_H_

@@ -165,8 +165,11 @@ Status ShardedCollection::QueryShards(std::string_view xpath,
 
   // Per-shard options: shard fan-out replaces intra-query match
   // parallelism; everything else (mode, deadline, tracing) rides along.
+  // The query text keys the per-shard plan caches (static shards set it
+  // inside Query(); dynamic probes skip the parse, so set it here).
   ExecOptions shard_opts = options;
   shard_opts.threads = 1;
+  if (shard_opts.plan.cache_key.empty()) shard_opts.plan.cache_key = xpath;
 
   // The dynamic backend compiles from a pattern so the XPath parse happens
   // once, not once per shard.
@@ -280,6 +283,15 @@ uint64_t ShardedCollection::total_documents() const {
     return total;
   }
   return added_docs_;
+}
+
+uint64_t ShardedCollection::generation() const {
+  if (options_.dynamic) {
+    uint64_t total = 0;
+    for (const auto& shard : dynamic_shards_) total += shard->generation();
+    return total;
+  }
+  return sealed_ ? 1 : 0;
 }
 
 CollectionIndex::SizeStats ShardedCollection::MergedStats() const {

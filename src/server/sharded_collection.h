@@ -105,6 +105,14 @@ class ShardedCollection {
 
   uint64_t total_documents() const;
 
+  /// Monotone mutation counter for result-cache invalidation. Dynamic
+  /// backend: the sum of the shards' DynamicIndex generations (sums of
+  /// per-shard monotone counters are monotone, and equality of two reads
+  /// implies equality per shard). Static backend: 0 while accepting
+  /// documents, 1 once sealed (queries only run sealed, so cached answers
+  /// never outlive a state change).
+  uint64_t generation() const;
+
   /// Sum of per-shard index sizes (static backend after Seal; zeros
   /// otherwise except `documents`).
   CollectionIndex::SizeStats MergedStats() const;

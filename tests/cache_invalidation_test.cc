@@ -1,0 +1,149 @@
+// Result-cache invalidation under mutation: a QueryService with a
+// ResultCache over a DynamicIndex, interleaving adds/flushes/compactions
+// with repeated cached queries. After EVERY mutation the served answer is
+// compared against a direct, uncached query of the same backend (the
+// oracle) — a stale cached answer is a correctness bug, not a performance
+// bug. Between mutations, repeats must actually hit the cache.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dynamic_index.h"
+#include "src/server/query_service.h"
+#include "src/server/result_cache.h"
+#include "src/server/sharded_collection.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+using testing::MakeDoc;
+
+TEST(CacheInvalidation, MutationsAreNeverMaskedByCachedAnswers) {
+  DynamicOptions dopts;
+  dopts.flush_threshold = 3;
+  dopts.index.threads = 1;  // inline seals: every mutation commits before
+                            // Add() returns, so the oracle sees it too
+  auto dyn = std::make_shared<DynamicIndex>(dopts);
+
+  ResultCache cache;
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.result_cache = &cache;
+  sopts.generation = [dyn] { return dyn->generation(); };
+  QueryService service(
+      [dyn](std::string_view xpath, const ExecOptions& opts) {
+        auto r = dyn->Query(xpath, opts);
+        if (!r.ok()) return StatusOr<QueryResult>(r.status());
+        QueryResult out;
+        out.docs = std::move(*r);
+        return StatusOr<QueryResult>(std::move(out));
+      },
+      sopts);
+
+  const std::vector<std::string> queries = {
+      "/P/R/L[.='x']", "//L", "/P/R/L[.='y']"};
+  auto check_all = [&](const char* when) {
+    for (const std::string& q : queries) {
+      auto served = service.Execute(q);
+      ASSERT_TRUE(served.ok()) << when << " " << q;
+      auto oracle = dyn->Query(q);
+      ASSERT_TRUE(oracle.ok()) << when << " " << q;
+      EXPECT_EQ(served->docs, *oracle) << when << " " << q;
+    }
+  };
+
+  uint64_t hits_before_mutations = 0;
+  check_all("empty");
+  for (DocId d = 0; d < 20; ++d) {
+    const char* spec = (d % 2 == 0) ? "P(R(L('x')))" : "P(R(L('y')))";
+    ASSERT_TRUE(
+        dyn->Add(MakeDoc(spec, dyn->names(), dyn->values(), d)).ok());
+    // Oracle after EVERY mutation: the add bumped the generation, so the
+    // serving path must recompute, never replay the pre-add answer.
+    check_all("after add");
+    // A repeat without an intervening mutation must be served from cache
+    // and still match the oracle.
+    check_all("repeat");
+    if (d % 5 == 4) {
+      ASSERT_TRUE(dyn->Flush().ok());
+      check_all("after flush");
+    }
+  }
+  hits_before_mutations = cache.GetStats().hits;
+  EXPECT_GT(hits_before_mutations, 0u)
+      << "repeats between mutations never hit the cache";
+
+  ASSERT_TRUE(dyn->Compact().ok());
+  check_all("after compact");
+
+  // Steady state: no more mutations, so every repeat after the first is a
+  // hit and the hit carries the result_cache_hits marker.
+  for (int i = 0; i < 3; ++i) check_all("steady");
+  auto marked = service.Execute(queries[0]);
+  ASSERT_TRUE(marked.ok());
+  EXPECT_EQ(marked->stats.result_cache_hits, 1u);
+  EXPECT_GT(cache.GetStats().hits, hits_before_mutations);
+}
+
+TEST(CacheInvalidation, DynamicGenerationBumpsOnEveryMutation) {
+  DynamicOptions opts;
+  opts.flush_threshold = 100;
+  opts.index.threads = 1;
+  DynamicIndex dyn(opts);
+  uint64_t g = dyn.generation();
+  ASSERT_TRUE(
+      dyn.Add(MakeDoc("P(R)", dyn.names(), dyn.values(), 0)).ok());
+  EXPECT_GT(dyn.generation(), g);
+  g = dyn.generation();
+  ASSERT_TRUE(dyn.Flush().ok());
+  EXPECT_GT(dyn.generation(), g);
+  g = dyn.generation();
+  ASSERT_TRUE(dyn.Compact().ok());
+  EXPECT_GT(dyn.generation(), g);
+  g = dyn.generation();
+  // An empty flush re-sequences nothing: bumping anyway is allowed
+  // (conservative), but the counter must never go backwards.
+  ASSERT_TRUE(dyn.Flush().ok());
+  EXPECT_GE(dyn.generation(), g);
+}
+
+TEST(CacheInvalidation, ShardedGenerationCoversEveryShard) {
+  ShardedOptions opts;
+  opts.shards = 3;
+  opts.dynamic = true;
+  opts.threads = 1;
+  ShardedCollection col(opts);
+  uint64_t g = col.generation();
+  for (DocId d = 0; d < 9; ++d) {
+    size_t shard = col.ShardOf(d);
+    Document doc = MakeDoc("P(R(L('v')))", col.names(shard),
+                           col.values(shard), d);
+    ASSERT_TRUE(col.Add(std::move(doc)).ok());
+    EXPECT_GT(col.generation(), g) << "doc " << d << " shard " << shard;
+    g = col.generation();
+  }
+  ASSERT_TRUE(col.Seal().ok());
+  EXPECT_GE(col.generation(), g);
+
+  // Static backend: 0 while open, 1 once sealed.
+  ShardedOptions sopts;
+  sopts.shards = 2;
+  ShardedCollection stat(sopts);
+  EXPECT_EQ(stat.generation(), 0u);
+  for (DocId d = 0; d < 4; ++d) {
+    size_t shard = stat.ShardOf(d);
+    ASSERT_TRUE(stat.Add(MakeDoc("P(R)", stat.names(shard),
+                                 stat.values(shard), d))
+                    .ok());
+  }
+  EXPECT_EQ(stat.generation(), 0u);
+  ASSERT_TRUE(stat.Seal().ok());
+  EXPECT_EQ(stat.generation(), 1u);
+}
+
+}  // namespace
+}  // namespace xseq

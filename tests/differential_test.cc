@@ -19,6 +19,7 @@
 #include "src/gen/synthetic.h"
 #include "src/gen/xmark.h"
 #include "src/query/oracle.h"
+#include "src/query/plan_cache.h"
 #include "src/storage/paged_index.h"
 
 namespace xseq {
@@ -118,6 +119,7 @@ void RunDifferential(const CollectionIndex& idx,
   PagedIndex paged = PagedIndex::Build(idx.index());
   BufferPool pool(&paged.file(), 256);
   MatchContext ctx;  // reused everywhere, including across modes/accessors
+  PlanCache plan_cache;  // dedicated, so hit/miss behavior is deterministic
   Rng rng(seed, 17);
   int nonempty = 0;
 
@@ -126,7 +128,12 @@ void RunDifferential(const CollectionIndex& idx,
     size_t len = 2 + rng.Uniform(6);
     QueryPattern pattern = SampleQueryPattern(sample, idx.names(), len,
                                               &rng, /*value_bias=*/0.3);
-    auto compiled = idx.executor().Compile(pattern);
+    // The reference set is compiled with the planner off: no pruning, no
+    // selectivity reordering, no cache. Everything below must equal what
+    // matching this raw set produces.
+    ExecOptions raw;
+    raw.plan.selectivity = false;
+    auto compiled = idx.executor().Compile(pattern, nullptr, raw);
     ASSERT_TRUE(compiled.ok()) << pattern.source;
 
     for (MatchMode mode : {MatchMode::kNaive, MatchMode::kConstraint}) {
@@ -155,6 +162,34 @@ void RunDifferential(const CollectionIndex& idx,
 
       EXPECT_EQ(mem_out, ref_out) << what;
       EXPECT_EQ(paged_out, ref_out) << what;
+
+      // Planned execution — zero-cardinality pruning, cost-capped
+      // expansion, selectivity ordering and the compiled-query cache —
+      // must be bit-identical to the unplanned reference answer, cold
+      // (cache miss) and warm (cache hit) alike, with identical compile
+      // counters replayed on the hit.
+      ExecOptions planned;
+      planned.mode = mode;
+      planned.plan.cache = &plan_cache;
+      planned.plan.cache_key = pattern.source;
+      ExecStats cold_stats, warm_stats;
+      auto cold = idx.executor().ExecutePattern(pattern, &cold_stats,
+                                                planned, &ctx);
+      ASSERT_TRUE(cold.ok()) << what;
+      auto warm = idx.executor().ExecutePattern(pattern, &warm_stats,
+                                                planned, &ctx);
+      ASSERT_TRUE(warm.ok()) << what;
+      EXPECT_EQ(*cold, ref_out) << what;
+      EXPECT_EQ(*warm, ref_out) << what;
+      EXPECT_EQ(warm_stats.plan_cache_hits, 1u) << what;
+      EXPECT_EQ(warm_stats.instantiations, cold_stats.instantiations)
+          << what;
+      EXPECT_EQ(warm_stats.orderings, cold_stats.orderings) << what;
+      EXPECT_EQ(warm_stats.matched_sequences, cold_stats.matched_sequences)
+          << what;
+      EXPECT_EQ(warm_stats.pruned_instantiations,
+                cold_stats.pruned_instantiations)
+          << what;
       // The two accessors run the identical algorithm: every counter must
       // agree, not just the results.
       ExpectStatsEqual(mem_stats, paged_stats, what);

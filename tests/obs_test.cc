@@ -534,6 +534,9 @@ TEST(ExecStatsAdd, SumsEveryFieldAndOrsTruncated) {
   a.compile_micros = 5;
   a.match_micros = 6;
   a.result_docs = 7;
+  a.plan_cache_hits = 8;
+  a.result_cache_hits = 9;
+  a.pruned_instantiations = 100;
   ExecStats b;
   b.instantiations = 10;
   b.orderings = 20;
@@ -543,6 +546,9 @@ TEST(ExecStatsAdd, SumsEveryFieldAndOrsTruncated) {
   b.compile_micros = 50;
   b.match_micros = 60;
   b.result_docs = 70;
+  b.plan_cache_hits = 80;
+  b.result_cache_hits = 90;
+  b.pruned_instantiations = 1000;
   a.Add(b);
   EXPECT_EQ(a.instantiations, 11u);
   EXPECT_EQ(a.orderings, 22u);
@@ -552,6 +558,9 @@ TEST(ExecStatsAdd, SumsEveryFieldAndOrsTruncated) {
   EXPECT_EQ(a.compile_micros, 55);
   EXPECT_EQ(a.match_micros, 66);
   EXPECT_EQ(a.result_docs, 77u);
+  EXPECT_EQ(a.plan_cache_hits, 88u);
+  EXPECT_EQ(a.result_cache_hits, 99u);
+  EXPECT_EQ(a.pruned_instantiations, 1100u);
 
   // truncated stays true when the increment is clean, and an all-false
   // pair stays false.

@@ -467,6 +467,9 @@ TEST(ProtocolTest, ResponseRoundTripSuccessAndErrors) {
   resp.stats.result_docs = 4;
   resp.stats.candidates = 17;
   resp.stats.match_micros = 99;
+  resp.stats.plan_cache_hits = 3;
+  resp.stats.result_cache_hits = 2;
+  resp.stats.pruned_instantiations = 11;
   std::string body;
   EncodeResponseBody(resp, &body);
   WireResponse out;
@@ -475,6 +478,9 @@ TEST(ProtocolTest, ResponseRoundTripSuccessAndErrors) {
   EXPECT_EQ(out.stats.result_docs, 4u);
   EXPECT_EQ(out.stats.candidates, 17u);
   EXPECT_EQ(out.stats.match_micros, 99u);
+  EXPECT_EQ(out.stats.plan_cache_hits, 3u);
+  EXPECT_EQ(out.stats.result_cache_hits, 2u);
+  EXPECT_EQ(out.stats.pruned_instantiations, 11u);
 
   // Error responses rebuild the remote status — code and message — for
   // every failure code the serving layer emits.
