@@ -1,0 +1,254 @@
+// Hot-swap latency harness: measures what a generation swap costs the
+// queries that are in flight while it happens. An in-process
+// TopologyManager serves reader threads directly (no sockets, no result
+// cache — the swap itself is the only variable). Two phases over the same
+// reader workload:
+//
+//   1. steady — readers run with no reloads; baseline p50/p99.
+//   2. swap   — the same readers while a background thread reloads
+//      alternating generation images continuously.
+//
+// The RCU swap promises: no request is ever dropped (dropped == 0 is
+// asserted in-binary, not just reported) and tail latency across a swap
+// stays within a small factor of steady state (the ratio is emitted and
+// gated by scripts/bench_smoke.sh at <= 2x by default).
+//
+//   micro_swap [--n=N] [--scale=f] [--shards=S] [--readers=R] [--ops=K]
+//              [--dir=TMPDIR] [--out=BENCH_swap.json]
+//
+// Emits BENCH_swap.json: {..., "steady_p99_us", "swap_p99_us",
+// "p99_ratio", "swaps", "requests", "dropped", "qps"} — schema-checked by
+// scripts/bench_smoke.sh.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gen/xmark.h"
+#include "src/server/sharded_collection.h"
+#include "src/server/topology.h"
+
+namespace xseq {
+namespace {
+
+const char* kShapes[4] = {
+    "/site//item[location='United States']/mail/date[text='07/05/2000']",
+    "/site//person/*/age[text='32']",
+    "//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
+    "/site//person/name",
+};
+
+/// Builds one generation image on disk: `n` XMark records from `seed`.
+bool SaveGeneration(const std::string& prefix, DocId n, int shards,
+                    uint64_t seed) {
+  ShardedOptions sopts;
+  sopts.shards = shards;
+  ShardedCollection col(sopts);
+  XMarkParams params;
+  params.seed = seed;
+  std::vector<std::unique_ptr<XMarkGenerator>> gens;
+  for (size_t s = 0; s < col.shard_count(); ++s) {
+    gens.push_back(std::make_unique<XMarkGenerator>(params, col.names(s),
+                                                    col.values(s)));
+  }
+  for (DocId d = 0; d < n; ++d) {
+    Status st = col.Add(gens[col.ShardOf(d)]->Generate(d));
+    if (!st.ok()) {
+      std::fprintf(stderr, "add: %s\n", st.ToString().c_str());
+      return false;
+    }
+  }
+  Status st = col.Seal();
+  if (!st.ok()) {
+    std::fprintf(stderr, "seal: %s\n", st.ToString().c_str());
+    return false;
+  }
+  st = col.Save(prefix);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save %s: %s\n", prefix.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+struct Tally {
+  std::vector<uint64_t> latencies_us;
+  uint64_t ok = 0;
+  uint64_t dropped = 0;  ///< failed queries; the swap contract says zero
+};
+
+/// `readers` threads, `ops` queries each, against the live topology.
+Tally OfferLoad(const TopologyManager& topo, int readers, int ops) {
+  std::vector<Tally> tallies(static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&tallies, &topo, r, ops] {
+      Tally& tally = tallies[static_cast<size_t>(r)];
+      tally.latencies_us.reserve(static_cast<size_t>(ops));
+      for (int i = 0; i < ops; ++i) {
+        Timer timer;
+        auto result = topo.Query(kShapes[(i + r) % 4]);
+        const uint64_t us =
+            static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6);
+        if (result.ok()) {
+          ++tally.ok;
+          tally.latencies_us.push_back(us);
+        } else {
+          ++tally.dropped;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Tally merged;
+  for (Tally& t : tallies) {
+    merged.ok += t.ok;
+    merged.dropped += t.dropped;
+    merged.latencies_us.insert(merged.latencies_us.end(),
+                               t.latencies_us.begin(), t.latencies_us.end());
+  }
+  return merged;
+}
+
+uint64_t Percentile(std::vector<uint64_t>* v, double p) {
+  if (v->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  std::nth_element(v->begin(), v->begin() + static_cast<long>(idx), v->end());
+  return (*v)[idx];
+}
+
+int Run(const FlagSet& flags) {
+  const DocId n = static_cast<DocId>(
+      flags.GetInt("n", static_cast<int64_t>(bench::Scaled(flags, 3000, 30000))));
+  const int shards = static_cast<int>(flags.GetInt("shards", 4));
+  const int readers = static_cast<int>(flags.GetInt("readers", 4));
+  const int ops = static_cast<int>(flags.GetInt("ops", 400));
+  const std::string dir = flags.GetString("dir", "/tmp");
+  const std::string out_path = flags.GetString("out", "BENCH_swap.json");
+
+  bench::Header("generation hot-swap: " + std::to_string(n) +
+                " XMark records x 2 generations, " + std::to_string(shards) +
+                " shards, " + std::to_string(readers) + " readers x " +
+                std::to_string(ops) + " ops");
+
+  const std::string prefix_a = dir + "/xseq_bench_swap_a";
+  const std::string prefix_b = dir + "/xseq_bench_swap_b";
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (!SaveGeneration(prefix_a, n, shards, seed) ||
+      !SaveGeneration(prefix_b, n, shards, seed + 1)) {
+    return 1;
+  }
+
+  TopologyManager topo;
+  {
+    auto gen = topo.Reload(prefix_a);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "initial load: %s\n",
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Phase 1: steady state, no swaps.
+  Tally steady = OfferLoad(topo, readers, ops);
+  const uint64_t steady_p50 = Percentile(&steady.latencies_us, 0.50);
+  const uint64_t steady_p99 = Percentile(&steady.latencies_us, 0.99);
+  std::printf("%-8s p50 %6llu us   p99 %6llu us   dropped %llu\n",
+              "steady:", static_cast<unsigned long long>(steady_p50),
+              static_cast<unsigned long long>(steady_p99),
+              static_cast<unsigned long long>(steady.dropped));
+
+  // Phase 2: the same load while generations swap continuously.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> swaps{0};
+  std::atomic<uint64_t> swap_failures{0};
+  std::thread swapper([&] {
+    int next = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto gen = topo.Reload(next % 2 == 0 ? prefix_a : prefix_b);
+      if (gen.ok()) {
+        ++swaps;
+      } else {
+        ++swap_failures;
+      }
+      ++next;
+    }
+  });
+  Timer wall;
+  Tally swap = OfferLoad(topo, readers, ops);
+  const double elapsed = wall.ElapsedSeconds();
+  stop.store(true);
+  swapper.join();
+
+  const uint64_t swap_p50 = Percentile(&swap.latencies_us, 0.50);
+  const uint64_t swap_p99 = Percentile(&swap.latencies_us, 0.99);
+  const double qps =
+      elapsed > 0 ? static_cast<double>(swap.ok) / elapsed : 0.0;
+  const double ratio =
+      steady_p99 > 0 ? static_cast<double>(swap_p99) /
+                           static_cast<double>(steady_p99)
+                     : 0.0;
+  std::printf("%-8s p50 %6llu us   p99 %6llu us   dropped %llu   "
+              "%llu swaps (%.0f qps)\n",
+              "swap:", static_cast<unsigned long long>(swap_p50),
+              static_cast<unsigned long long>(swap_p99),
+              static_cast<unsigned long long>(swap.dropped),
+              static_cast<unsigned long long>(swaps.load()), qps);
+  bench::Note("p99 across swaps = " + std::to_string(ratio) + "x steady");
+
+  const uint64_t dropped = steady.dropped + swap.dropped;
+  const uint64_t requests = steady.ok + swap.ok + dropped;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\":\"swap\",\"n\":%llu,\"shards\":%d,\"readers\":%d,"
+      "\"ops_per_reader\":%d,\"steady_p50_us\":%llu,\"steady_p99_us\":%llu,"
+      "\"swap_p50_us\":%llu,\"swap_p99_us\":%llu,\"p99_ratio\":%.3f,"
+      "\"swaps\":%llu,\"swap_failures\":%llu,\"requests\":%llu,"
+      "\"dropped\":%llu,\"qps\":%.1f}\n",
+      static_cast<unsigned long long>(n), shards, readers, ops,
+      static_cast<unsigned long long>(steady_p50),
+      static_cast<unsigned long long>(steady_p99),
+      static_cast<unsigned long long>(swap_p50),
+      static_cast<unsigned long long>(swap_p99), ratio,
+      static_cast<unsigned long long>(swaps.load()),
+      static_cast<unsigned long long>(swap_failures.load()),
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(dropped), qps);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The contract, enforced where it cannot be ignored: an RCU swap never
+  // drops a request, and every swap attempt over two valid images lands.
+  if (dropped != 0) {
+    std::fprintf(stderr, "FAIL: %llu requests dropped across swaps\n",
+                 static_cast<unsigned long long>(dropped));
+    return 1;
+  }
+  if (swap_failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu reloads of a valid image failed\n",
+                 static_cast<unsigned long long>(swap_failures.load()));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xseq
+
+int main(int argc, char** argv) {
+  xseq::FlagSet flags(argc, argv);
+  return xseq::Run(flags);
+}

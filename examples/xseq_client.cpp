@@ -3,6 +3,7 @@
 //   xseq_client ping     --port=N [--host=ADDR]
 //   xseq_client query    --port=N --q=XPATH [--deadline_ms=N] [--verbose]
 //   xseq_client stats    --port=N          # server metrics registry JSON
+//   xseq_client reload   --port=N [--path=PREFIX]  # hot-swap generation
 //   xseq_client shutdown --port=N          # graceful remote drain
 //
 // Exit status: 0 on success; 1 on any error, including remote statuses
@@ -29,6 +30,7 @@ int Usage() {
       "  xseq_client query    --port=N --q=XPATH [--deadline_ms=N]"
       " [--verbose]\n"
       "  xseq_client stats    --port=N [--host=ADDR]\n"
+      "  xseq_client reload   --port=N [--host=ADDR] [--path=PREFIX]\n"
       "  xseq_client shutdown --port=N [--host=ADDR]\n");
   return 2;
 }
@@ -96,6 +98,20 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+
+  if (cmd == "reload") {
+    // Empty --path asks the daemon to re-read whatever prefix it serves.
+    Timer timer;
+    auto generation = client->Reload(flags.GetString("path", ""));
+    if (!generation.ok()) {
+      std::fprintf(stderr, "%s\n", generation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded, generation %llu (%.2f ms)\n",
+                static_cast<unsigned long long>(*generation),
+                timer.ElapsedSeconds() * 1e3);
     return 0;
   }
 

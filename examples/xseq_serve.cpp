@@ -18,6 +18,18 @@
 //   --threads=N        shard scatter-gather parallelism (0 = default pool)
 //   --result_cache=0|1 generation-keyed result cache; hits are served on
 //                      the accepting thread without queueing (default 1)
+//   --canary=XPATH     (repeatable) validation query a candidate image must
+//                      answer without error before a hot-swap goes live
+//
+// Hot swap: for --sharded/--gen backends the collection lives behind a
+// TopologyManager. `xseq_client reload [--path=PREFIX]` — or SIGHUP, which
+// re-reads the current prefix — validates, loads and canaries a new image
+// next to the live one, then swaps atomically; in-flight queries finish on
+// the old generation, and any validation failure rolls back to it.
+//
+// The port file carries "PORT\nPID\n". On startup the daemon refuses to
+// reuse a port file naming a still-live process, so two daemons never
+// fight over one rendezvous file.
 //
 // Shutdown: SIGTERM/SIGINT, or a client's shutdown op. Either way the
 // server drains gracefully — in-flight requests finish and get their
@@ -26,6 +38,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +54,7 @@
 #include "src/server/result_cache.h"
 #include "src/server/server.h"
 #include "src/server/sharded_collection.h"
+#include "src/server/topology.h"
 #include "src/util/flags.h"
 #include "src/util/timer.h"
 
@@ -56,7 +70,7 @@ int Usage() {
       " [--save=PREFIX])\n"
       "                  [--host=ADDR] [--port=N] [--port_file=PATH]\n"
       "                  [--workers=N] [--queue=N] [--deadline_ms=N]"
-      " [--threads=N] [--result_cache=0|1]\n");
+      " [--threads=N] [--result_cache=0|1] [--canary=XPATH ...]\n");
   return 2;
 }
 
@@ -70,17 +84,39 @@ void OnStopSignal(int) {
   (void)!write(g_signal_pipe[1], &byte, 1);
 }
 
-/// Writes `port` to `path` atomically (temp + rename), so a script polling
-/// the file never reads a partially written number.
+void OnReloadSignal(int) {
+  char byte = 'h';
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Writes "PORT\nPID\n" to `path` atomically (temp + rename), so a script
+/// polling the file never reads a partially written number. The pid line
+/// lets the next daemon tell a stale file from a live one.
 bool WritePortFile(const std::string& path, int port) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp);
     if (!out) return false;
-    out << port << "\n";
+    out << port << "\n" << getpid() << "\n";
     if (!out.flush()) return false;
   }
   return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+/// True when `path` exists and its pid line names a process that is still
+/// alive — meaning another daemon owns this rendezvous file. A missing
+/// file, a pid-less file (older format) or a dead pid are all fine to
+/// overwrite.
+bool PortFileNamesLiveProcess(const std::string& path, pid_t* live_pid) {
+  std::ifstream in(path);
+  if (!in) return false;
+  long port = 0, pid = 0;
+  if (!(in >> port >> pid) || pid <= 0) return false;
+  if (kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM) {
+    *live_pid = static_cast<pid_t>(pid);
+    return true;
+  }
+  return false;
 }
 
 /// Builds a generated sharded collection: one generator per shard, bound
@@ -136,11 +172,40 @@ StatusOr<ShardedCollection> BuildGenerated(const FlagSet& flags,
 int Run(int argc, char** argv) {
   FlagSet flags(argc, argv);
 
+  // A port file naming a live daemon means this instance would fight it
+  // for the rendezvous; refuse before doing any expensive loading.
+  const std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty()) {
+    pid_t live = 0;
+    if (PortFileNamesLiveProcess(port_file, &live)) {
+      std::fprintf(stderr,
+                   "refusing to start: %s names live process %ld (stop it or"
+                   " remove the file)\n",
+                   port_file.c_str(), static_cast<long>(live));
+      return 1;
+    }
+  }
+
+  // Canary queries guard every hot-swap: a candidate image must answer
+  // each without error before it goes live.
+  TopologyOptions topo_options;
+  topo_options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    constexpr std::string_view kCanaryPrefix = "--canary=";
+    if (arg.substr(0, kCanaryPrefix.size()) == kCanaryPrefix) {
+      CanaryQuery canary;
+      canary.xpath = std::string(arg.substr(kCanaryPrefix.size()));
+      topo_options.canaries.push_back(std::move(canary));
+    }
+  }
+
   // Resolve the backend.
   QueryService::Backend backend;
   std::string described;
   std::shared_ptr<CollectionIndex> single;
   std::shared_ptr<ShardedCollection> sharded;
+  std::shared_ptr<TopologyManager> topo;
   Timer load_timer;
   if (flags.Has("index")) {
     auto idx = LoadCollectionIndex(flags.GetString("index", ""));
@@ -155,14 +220,15 @@ int Run(int argc, char** argv) {
       return single->Query(xpath, opts);
     };
   } else if (flags.Has("sharded")) {
-    auto col = ShardedCollection::Load(
-        flags.GetString("sharded", ""),
-        static_cast<int>(flags.GetInt("threads", 0)));
-    if (!col.ok()) {
-      std::fprintf(stderr, "load: %s\n", col.status().ToString().c_str());
+    // The initial load goes through the same validate→load→canary pipeline
+    // as every later hot-swap, so a daemon never starts on an image a
+    // reload would reject.
+    topo = std::make_shared<TopologyManager>(topo_options);
+    auto gen = topo->Reload(flags.GetString("sharded", ""));
+    if (!gen.ok()) {
+      std::fprintf(stderr, "load: %s\n", gen.status().ToString().c_str());
       return 1;
     }
-    sharded = std::make_shared<ShardedCollection>(std::move(*col));
   } else if (flags.Has("gen")) {
     auto col = BuildGenerated(flags, flags.GetString("gen", ""));
     if (!col.ok()) {
@@ -185,14 +251,19 @@ int Run(int argc, char** argv) {
                   sharded->shard_count(), prefix.c_str());
       return 0;
     }
+    topo = std::make_shared<TopologyManager>(topo_options);
+    topo->Install(sharded);
   } else {
     return Usage();
   }
-  if (sharded != nullptr) {
-    described = std::to_string(sharded->total_documents()) + " documents in " +
-                std::to_string(sharded->shard_count()) + " shard(s)";
-    backend = [sharded](std::string_view xpath, const ExecOptions& opts) {
-      return sharded->Query(xpath, opts);
+  if (topo != nullptr) {
+    std::shared_ptr<const ShardedCollection> live = topo->Current();
+    described = std::to_string(live->total_documents()) + " documents in " +
+                std::to_string(live->shard_count()) + " shard(s)";
+    // Each query grabs the live generation once; a swap mid-query cannot
+    // pull the image out from under it.
+    backend = [topo](std::string_view xpath, const ExecOptions& opts) {
+      return topo->Query(xpath, opts);
     };
   }
 
@@ -215,9 +286,15 @@ int Run(int argc, char** argv) {
       // A loaded single index is immutable: one generation forever.
       options.service.generation = [] { return uint64_t{1}; };
     } else {
-      std::shared_ptr<ShardedCollection> col = sharded;
-      options.service.generation = [col] { return col->generation(); };
+      // The topology generation folds the swap epoch in, so a hot-swap
+      // retires every cached answer even when the images look alike.
+      options.service.generation = [topo] { return topo->generation(); };
     }
+  }
+  if (topo != nullptr) {
+    options.reload_handler = [topo](const std::string& path) {
+      return topo->Reload(path.empty() ? topo->prefix() : path);
+    };
   }
 
   XseqServer server(std::move(backend), options);
@@ -229,6 +306,7 @@ int Run(int argc, char** argv) {
 
   // Stop path 1: SIGTERM/SIGINT -> pipe -> watcher -> RequestStop().
   // Stop path 2: a client's shutdown op calls RequestStop() directly.
+  // Reload path: SIGHUP -> pipe ('h') -> watcher re-reads the live prefix.
   if (pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "pipe failed\n");
     return 1;
@@ -237,12 +315,38 @@ int Run(int argc, char** argv) {
   sa.sa_handler = OnStopSignal;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
-  std::thread watcher([&server] {
-    char byte;
-    while (read(g_signal_pipe[0], &byte, 1) < 0) {
-      // EINTR: the signal itself may interrupt the read; retry.
+  struct sigaction hup = {};
+  hup.sa_handler = OnReloadSignal;
+  sigaction(SIGHUP, &hup, nullptr);
+  std::thread watcher([&server, topo] {
+    for (;;) {
+      char byte = 0;
+      ssize_t n = read(g_signal_pipe[0], &byte, 1);
+      if (n < 0) continue;  // EINTR: the signal itself interrupts the read
+      if (n == 0) return;   // pipe closed: shutting down
+      if (byte == 'h') {
+        if (topo == nullptr) {
+          std::fprintf(stderr,
+                       "xseq_serve: SIGHUP ignored (single-index backend has"
+                       " no reloadable topology)\n");
+          continue;
+        }
+        auto generation = topo->Reload(topo->prefix());
+        if (generation.ok()) {
+          std::printf("xseq_serve: reloaded %s, generation %llu\n",
+                      topo->prefix().c_str(),
+                      static_cast<unsigned long long>(*generation));
+        } else {
+          std::fprintf(stderr, "xseq_serve: reload failed (still serving"
+                               " the old generation): %s\n",
+                       generation.status().ToString().c_str());
+        }
+        std::fflush(stdout);
+        continue;
+      }
+      server.RequestStop();
+      return;
     }
-    server.RequestStop();
   });
 
   std::printf("xseq_serve: %s, loaded in %.2f s\n", described.c_str(),
@@ -251,7 +355,6 @@ int Run(int argc, char** argv) {
               options.host.c_str(), server.port(), options.service.workers,
               options.service.max_queue);
   std::fflush(stdout);
-  std::string port_file = flags.GetString("port_file", "");
   if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
     std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
     server.Stop();

@@ -47,7 +47,8 @@ OUT="$(mktemp /tmp/BENCH_match.XXXXXX.json)"
 OBS_OUT="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
 SERVE_OUT="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
 PLAN_OUT="$(mktemp /tmp/BENCH_plan.XXXXXX.json)"
-trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT"' EXIT
+SWAP_OUT="$(mktemp /tmp/BENCH_swap.XXXXXX.json)"
+trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT" "$SWAP_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
 
@@ -97,5 +98,36 @@ for key in cold_compile_us warm_compile_us warm_speedup plan_hit_rate \
   }
 done
 
+# Hot-swap harness: queries racing continuous generation reloads. The
+# binary itself asserts dropped == 0 and that every reload of a valid
+# image landed; here the schema is checked and the p99-across-swaps gate
+# applied — within SWAP_GUARD_X (default 2) x steady-state p99. Latency
+# ratios on a noisy shared host can wobble, so the factor is
+# env-overridable, but the dropped-requests gate is absolute.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_swap
+"./$BUILD_DIR/bench/micro_swap" \
+  --n=1000 --readers=3 --ops=300 --out="$SWAP_OUT"
+for key in steady_p99_us swap_p99_us p99_ratio swaps requests dropped qps; do
+  grep -q "\"$key\":" "$SWAP_OUT" || {
+    echo "bench_smoke.sh: BENCH_swap.json is missing \"$key\"" >&2
+    cat "$SWAP_OUT" >&2
+    exit 1
+  }
+done
+grep -q '"dropped":0[,}]' "$SWAP_OUT" || {
+  echo "bench_smoke.sh: hot swap dropped requests" >&2
+  cat "$SWAP_OUT" >&2
+  exit 1
+}
+RATIO="$(sed -n 's/.*"p99_ratio":\([0-9.]*\).*/\1/p' "$SWAP_OUT")"
+SWAP_GUARD_X="${SWAP_GUARD_X:-2}"
+awk -v r="$RATIO" -v g="$SWAP_GUARD_X" 'BEGIN { exit !(r <= g) }' || {
+  echo "bench_smoke.sh: p99 across swaps is ${RATIO}x steady state" \
+    "(budget ${SWAP_GUARD_X}x)" >&2
+  cat "$SWAP_OUT" >&2
+  exit 1
+}
+
 echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE," \
-  "serve schema complete, plan cache gates passed)"
+  "serve schema complete, plan cache gates passed," \
+  "swap p99 ${RATIO}x steady / 0 dropped)"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Serving-layer smoke gate: start the xseq_serve daemon on a loopback
 # ephemeral port, drive it with the real client binary (ping, a query
-# whose answer size is known, the metrics dump), then SIGTERM it and
-# assert the graceful-drain message appeared and the exit status is 0.
-# This is the end-to-end path CI exercises outside of ctest: real
-# processes, real TCP, real signals.
+# whose answer size is known, the metrics dump), hot-swap the serving
+# generation under live query load (xseq_client reload + SIGHUP), check
+# that a second daemon refuses to start over the live port file and that
+# a reload of a bogus image leaves the old generation serving, then
+# SIGTERM it and assert the graceful-drain message appeared and the exit
+# status is 0. This is the end-to-end path CI exercises outside of ctest:
+# real processes, real TCP, real signals, real on-disk images.
 #
 #   scripts/serve_smoke.sh [--build-dir=DIR]
 
@@ -34,14 +37,23 @@ CLIENT="./$BUILD_DIR/examples/example_xseq_client"
 
 PORT_FILE="$(mktemp -u /tmp/xseq_serve_port.XXXXXX)"
 LOG="$(mktemp /tmp/xseq_serve_log.XXXXXX)"
+IMG_DIR="$(mktemp -d /tmp/xseq_serve_img.XXXXXX)"
 SERVE_PID=""
 cleanup() {
   [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
   rm -f "$PORT_FILE" "$LOG"
+  rm -rf "$IMG_DIR"
 }
 trap cleanup EXIT
 
-"$SERVE" --gen=xmark --n=2000 --shards=3 --workers=2 \
+# Two on-disk generation images for the hot-swap leg: same schema,
+# different sizes, so a swap is observable but both answer the workload.
+"$SERVE" --gen=xmark --n=2000 --shards=3 --save="$IMG_DIR/gen_a" >/dev/null
+"$SERVE" --gen=xmark --n=1500 --seed=7 --shards=3 --save="$IMG_DIR/gen_b" \
+  >/dev/null
+
+"$SERVE" --sharded="$IMG_DIR/gen_a" --workers=2 \
+  --canary='/site//person/name' \
   --port_file="$PORT_FILE" >"$LOG" 2>&1 &
 SERVE_PID=$!
 
@@ -55,8 +67,29 @@ for _ in $(seq 1 150); do
   sleep 0.1
 done
 [[ -s "$PORT_FILE" ]] || { echo "serve_smoke.sh: no port file" >&2; exit 1; }
-PORT="$(cat "$PORT_FILE")"
-echo "serve_smoke.sh: daemon up on port $PORT"
+# Line 1 is the port; line 2 is the daemon's pid (for liveness checks).
+PORT="$(head -n1 "$PORT_FILE")"
+FILE_PID="$(sed -n 2p "$PORT_FILE")"
+[[ "$FILE_PID" == "$SERVE_PID" ]] || {
+  echo "serve_smoke.sh: port file pid $FILE_PID != daemon pid $SERVE_PID" >&2
+  exit 1
+}
+echo "serve_smoke.sh: daemon up on port $PORT (pid $FILE_PID)"
+
+# A second daemon pointed at the same port file must refuse to start while
+# the first is alive — double-start protection.
+if "$SERVE" --sharded="$IMG_DIR/gen_b" --port_file="$PORT_FILE" \
+    >/tmp/xseq_second_daemon.log 2>&1; then
+  echo "serve_smoke.sh: second daemon started over a live port file" >&2
+  exit 1
+fi
+grep -q 'refusing to start' /tmp/xseq_second_daemon.log || {
+  echo "serve_smoke.sh: double-start refusal message missing" >&2
+  cat /tmp/xseq_second_daemon.log >&2
+  exit 1
+}
+rm -f /tmp/xseq_second_daemon.log
+echo "serve_smoke.sh: double-start over live port file refused"
 
 "$CLIENT" ping --port="$PORT"
 QUERY_OUT="$("$CLIENT" query --port="$PORT" --q='/site//person/name')"
@@ -82,6 +115,62 @@ echo "$STATS" | grep -q '"xseq.serve.requests":0' \
 }
 "$CLIENT" ping --port="$PORT"
 
+# --- Hot swap under live load -----------------------------------------------
+# Queries hammer the daemon while the serving generation is swapped to
+# image B and back; every one of them must succeed — the RCU swap promises
+# zero dropped or failed requests.
+LOAD_LOG="$(mktemp /tmp/xseq_swap_load.XXXXXX)"
+(
+  for _ in $(seq 1 40); do
+    "$CLIENT" query --port="$PORT" --q='/site//person/name' \
+      >>"$LOAD_LOG" 2>&1 || { echo "LOAD_FAILED" >>"$LOAD_LOG"; exit 1; }
+  done
+) &
+LOAD_PID=$!
+"$CLIENT" reload --port="$PORT" --path="$IMG_DIR/gen_b" \
+  | grep -q 'reloaded, generation' \
+  || { echo "serve_smoke.sh: reload to gen_b failed" >&2; exit 1; }
+# Empty path re-reads the image the daemon currently serves (gen_b).
+"$CLIENT" reload --port="$PORT" | grep -q 'reloaded, generation' \
+  || { echo "serve_smoke.sh: re-read reload failed" >&2; exit 1; }
+wait "$LOAD_PID" || {
+  echo "serve_smoke.sh: a query failed during the hot swap" >&2
+  tail -5 "$LOAD_LOG" >&2
+  exit 1
+}
+grep -q 'LOAD_FAILED' "$LOAD_LOG" && {
+  echo "serve_smoke.sh: a query failed during the hot swap" >&2
+  exit 1
+}
+rm -f "$LOAD_LOG"
+echo "serve_smoke.sh: hot swap under load ok (gen_a -> gen_b -> re-read)"
+
+# A reload of a nonexistent image must fail the RPC, leave the daemon
+# serving the old generation, and keep the connection usable.
+"$CLIENT" reload --port="$PORT" --path="$IMG_DIR/nonexistent" && {
+  echo "serve_smoke.sh: reload of a bogus image unexpectedly succeeded" >&2
+  exit 1
+}
+"$CLIENT" ping --port="$PORT"
+"$CLIENT" query --port="$PORT" --q='/site//person/name' \
+  | grep -q 'document(s)' \
+  || { echo "serve_smoke.sh: daemon unhealthy after failed reload" >&2; exit 1; }
+echo "serve_smoke.sh: failed reload rolled back cleanly"
+
+# SIGHUP re-reads the current image — the operator's no-client path.
+kill -HUP "$SERVE_PID"
+for _ in $(seq 1 50); do
+  grep -q 'reloaded' "$LOG" && break
+  sleep 0.1
+done
+grep -q 'reloaded' "$LOG" || {
+  echo "serve_smoke.sh: no reload message after SIGHUP" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+"$CLIENT" ping --port="$PORT"
+echo "serve_smoke.sh: SIGHUP reload ok"
+
 kill -TERM "$SERVE_PID"
 RC=0
 wait "$SERVE_PID" || RC=$?
@@ -97,4 +186,5 @@ grep -q 'drained' "$LOG" || {
   exit 1
 }
 
-echo "serve_smoke.sh: ok (ping/query/stats round-trip + graceful SIGTERM drain)"
+echo "serve_smoke.sh: ok (ping/query/stats + double-start refusal +" \
+  "hot swap under load + failed-reload rollback + SIGHUP + SIGTERM drain)"

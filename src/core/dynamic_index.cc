@@ -233,6 +233,27 @@ Status DynamicIndex::Compact() {
   return Status::OK();
 }
 
+Status DynamicIndex::SaveCompacted(const std::string& path,
+                                   const PersistOptions& persist) {
+  XSEQ_RETURN_IF_ERROR(Compact());
+  // Compact() leaves exactly one sealed segment (even for an empty index).
+  // Snapshot the shared_ptr under the lock and write outside it, so
+  // queries and further mutations proceed while the file lands; the
+  // snapshot is immutable, so a concurrent Add simply isn't in this image.
+  std::shared_ptr<const CollectionIndex> merged;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    WaitForSealsLocked(&lock);
+    if (!segments_.empty() && segments_.front() != nullptr) {
+      merged = segments_.front();
+    }
+  }
+  if (merged == nullptr) {
+    return Status::Internal("compaction left no segment to save");
+  }
+  return SaveCollectionIndex(*merged, path, persist);
+}
+
 StatusOr<std::vector<DocId>> DynamicIndex::Query(
     std::string_view xpath, const ExecOptions& options) const {
   auto pattern = ParseXPath(xpath);

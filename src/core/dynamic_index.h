@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/core/collection_index.h"
+#include "src/core/persist.h"
 #include "src/query/oracle.h"
 #include "src/util/thread_pool.h"
 
@@ -74,6 +75,16 @@ class DynamicIndex {
   /// current global statistics. Drains pending seals first; the rebuild
   /// sequences documents across the pool.
   Status Compact();
+
+  /// Persists the index as a *static* image: compacts everything into one
+  /// segment under the current global statistics, then writes it through
+  /// the crash-safe single-index save path. The file is exactly what
+  /// LoadCollectionIndex reads back — the dynamic history (segments,
+  /// buffer) is not preserved, only the answer set. Compaction bumps the
+  /// generation, so cached results are invalidated as a side effect.
+  /// Queries may race freely with this call.
+  Status SaveCompacted(const std::string& path,
+                       const PersistOptions& persist = {});
 
   /// Runs an XPath query across segments and buffer; sorted unique ids.
   StatusOr<std::vector<DocId>> Query(std::string_view xpath,

@@ -82,6 +82,18 @@ class FrozenIndex {
     return path < nested_.size() && nested_[path] != 0;
   }
 
+  /// Document ids attached exactly at node `serial` (the documents whose
+  /// constraint sequence ends there). Together with the pre-order node walk
+  /// this recovers every indexed document's sequence: the chain of path()
+  /// labels from the root to `serial` *is* the sequence (the trie stores
+  /// sequences; Theorem 1 then rebuilds the tree). Used by the offline
+  /// reshard path.
+  std::span<const DocId> DocsAtNode(uint32_t serial) const {
+    uint32_t lo = node_docs_off_[serial];
+    uint32_t hi = node_docs_off_[serial + 1];
+    return std::span<const DocId>(docs_).subspan(lo, hi - lo);
+  }
+
   /// Document ids attached in the subtree of `serial` (contiguous because
   /// doc lists are laid out in serial order).
   std::span<const DocId> DocsInSubtree(uint32_t serial) const {

@@ -69,6 +69,20 @@ Status XseqClient::Ping() {
   return resp->status;
 }
 
+StatusOr<uint64_t> XseqClient::Reload(std::string_view path) {
+  WireRequest req;
+  req.op = WireOp::kReload;
+  req.reload_path.assign(path.data(), path.size());
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return resp->generation;
+}
+
+StatusOr<WireResponse> XseqClient::Call(WireRequest req) {
+  return RoundTrip(std::move(req));
+}
+
 Status XseqClient::Shutdown() {
   WireRequest req;
   req.op = WireOp::kShutdown;

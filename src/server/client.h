@@ -52,6 +52,20 @@ class XseqClient {
   /// connection will carry.
   Status Shutdown();
 
+  /// Asks the daemon to hot-swap to the sharded image at `path` (empty =
+  /// re-load whatever prefix it is currently serving). Returns the
+  /// generation now being served. A rejected image (corruption, canary
+  /// failure) surfaces as the server's error while the old generation
+  /// keeps serving.
+  StatusOr<uint64_t> Reload(std::string_view path = "");
+
+  /// Raw request/response round trip, validating the id/op echo. The
+  /// transport/protocol outcome is the StatusOr; the remote call's own
+  /// outcome is the response's `status` field. FailoverClient needs the
+  /// two kept apart (a dead socket is retryable, a remote parse error is
+  /// not); the typed wrappers above flatten them for everyone else.
+  StatusOr<WireResponse> Call(WireRequest req);
+
   void Close();
 
  private:

@@ -1,0 +1,260 @@
+#include "src/server/failover_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/env.h"
+
+namespace xseq {
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               FailoverOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      budget_tokens_(options_.retry_budget_burst) {
+  endpoints_.reserve(endpoints.size());
+  for (Endpoint& e : endpoints) {
+    EndpointState state;
+    state.endpoint = std::move(e);
+    endpoints_.push_back(std::move(state));
+  }
+  if (!options_.clock_micros) {
+    options_.clock_micros = [] { return Env::Default()->NowMicros(); };
+  }
+  if (!options_.sleeper) {
+    options_.sleeper = [](uint64_t micros) {
+      Env::Default()->SleepForMicroseconds(micros);
+    };
+  }
+}
+
+uint64_t FailoverClient::Now() const { return options_.clock_micros(); }
+
+void FailoverClient::Sleep(uint64_t micros) {
+  if (micros > 0) options_.sleeper(micros);
+}
+
+int FailoverClient::PickEndpoint() {
+  const uint64_t now = Now();
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    EndpointState& ep = endpoints_[i];
+    if (ep.state == BreakerState::kClosed) return static_cast<int>(i);
+    if (now >= ep.open_until_micros) {
+      // Cooldown over: let exactly this request through as the probe. An
+      // earlier-preference endpoint probes before a healthy later one —
+      // that is how a recovered primary gets re-admitted while replicas
+      // are still serving fine.
+      ep.state = BreakerState::kHalfOpen;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void FailoverClient::OnTransportFailure(EndpointState* ep) {
+  ++ep->failures;
+  ++ep->consecutive_failures;
+  // The connection is suspect along with the endpoint; reconnect next time.
+  ep->client.reset();
+  const bool probe_failed = ep->state == BreakerState::kHalfOpen;
+  if (probe_failed ||
+      ep->consecutive_failures >= options_.breaker_threshold) {
+    ep->state = BreakerState::kOpen;
+    ep->open_until_micros = Now() + options_.breaker_cooldown_micros;
+    ep->consecutive_failures = 0;
+    ++ep->opens;
+  }
+}
+
+void FailoverClient::OnSuccess(EndpointState* ep) {
+  ++ep->successes;
+  ep->consecutive_failures = 0;
+  ep->state = BreakerState::kClosed;
+}
+
+uint64_t FailoverClient::BackoffMicros(int attempt) {
+  uint64_t base = options_.backoff_initial_micros;
+  for (int i = 1; i < attempt && base < options_.backoff_max_micros; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.backoff_max_micros);
+  if (base <= 1) return base;
+  // Uniform in [base/2, base]: staggers a herd of clients retrying the
+  // same outage without ever collapsing the wait to ~0.
+  std::uniform_int_distribution<uint64_t> jitter(base / 2, base);
+  return jitter(rng_);
+}
+
+StatusOr<WireResponse> FailoverClient::CallWithFailover(
+    WireRequest req, uint64_t deadline_budget_micros) {
+  if (endpoints_.empty()) {
+    return Status::InvalidArgument("no endpoints configured");
+  }
+  const uint64_t start = Now();
+  const uint64_t deadline_abs =
+      deadline_budget_micros > 0 ? start + deadline_budget_micros : 0;
+
+  // Each request earns a fraction of a retry; the bucket caps the burst.
+  budget_tokens_ = std::min(options_.retry_budget_burst,
+                            budget_tokens_ + options_.retry_budget_ratio);
+
+  Status last_error = Status::IOError("all endpoints unhealthy");
+  int avoid = -1;  ///< endpoint that shed (kOverloaded) this request
+
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    if (deadline_abs != 0 && Now() >= deadline_abs) {
+      return Status::DeadlineExceeded("request deadline elapsed (last error: " +
+                                      last_error.message() + ")");
+    }
+    if (attempt > 1) {
+      if (budget_tokens_ < 1.0) {
+        ++stats_.budget_denied;
+        return AnnotateStatus(last_error, "retry budget exhausted");
+      }
+      budget_tokens_ -= 1.0;
+      ++stats_.retries;
+      uint64_t backoff = BackoffMicros(attempt - 1);
+      if (deadline_abs != 0) {
+        const uint64_t now = Now();
+        if (now >= deadline_abs) {
+          return Status::DeadlineExceeded(
+              "request deadline elapsed (last error: " + last_error.message() +
+              ")");
+        }
+        backoff = std::min(backoff, deadline_abs - now);
+      }
+      Sleep(backoff);
+    }
+
+    int idx = PickEndpoint();
+    if (idx < 0) {
+      // Everything is Open and cooling. Wait for the soonest cooldown
+      // (deadline permitting) and let the loop re-pick.
+      uint64_t soonest = UINT64_MAX;
+      for (const EndpointState& ep : endpoints_) {
+        soonest = std::min(soonest, ep.open_until_micros);
+      }
+      const uint64_t now = Now();
+      uint64_t wait = soonest > now ? soonest - now : 0;
+      if (deadline_abs != 0 && now + wait >= deadline_abs) {
+        return AnnotateStatus(last_error, "all endpoints unhealthy");
+      }
+      Sleep(wait);
+      idx = PickEndpoint();
+      if (idx < 0) continue;  // clock skew / races: costs one attempt
+    }
+    // Prefer an endpoint that did not just shed this very request, but a
+    // lone healthy (overloaded) endpoint is still better than none.
+    if (idx == avoid) {
+      const int other = [&] {
+        for (size_t i = 0; i < endpoints_.size(); ++i) {
+          if (static_cast<int>(i) != avoid &&
+              endpoints_[i].state == BreakerState::kClosed) {
+            return static_cast<int>(i);
+          }
+        }
+        return -1;
+      }();
+      if (other >= 0) idx = other;
+    }
+
+    EndpointState* ep = &endpoints_[static_cast<size_t>(idx)];
+    ++stats_.attempts;
+    if (idx != 0) ++stats_.failovers;
+
+    if (ep->client == nullptr) {
+      auto connected = XseqClient::Connect(ep->endpoint.host, ep->endpoint.port,
+                                           options_.socket_env);
+      if (!connected.ok()) {
+        last_error = AnnotateStatus(connected.status(),
+                                    ep->endpoint.host + ":" +
+                                        std::to_string(ep->endpoint.port));
+        OnTransportFailure(ep);
+        continue;
+      }
+      ep->client = std::make_unique<XseqClient>(std::move(*connected));
+    }
+
+    WireRequest copy = req;
+    if (deadline_abs != 0) {
+      const uint64_t now = Now();
+      copy.deadline_micros = deadline_abs > now ? deadline_abs - now : 1;
+    }
+    auto resp = ep->client->Call(std::move(copy));
+    if (!resp.ok()) {
+      // Transport failure: the endpoint is suspect. Breaker + failover.
+      last_error = AnnotateStatus(resp.status(),
+                                  ep->endpoint.host + ":" +
+                                      std::to_string(ep->endpoint.port));
+      OnTransportFailure(ep);
+      continue;
+    }
+    if (resp->status.IsOverloaded()) {
+      // The server answered coherently — the box is healthy, its queue is
+      // full. Fail over without a breaker penalty.
+      OnSuccess(ep);
+      last_error = resp->status;
+      avoid = idx;
+      continue;
+    }
+    // Every other remote outcome (success or a request-scoped error) is
+    // definitive: the endpoint did its job.
+    OnSuccess(ep);
+    return resp;
+  }
+  return AnnotateStatus(last_error,
+                        "request failed after " +
+                            std::to_string(options_.max_attempts) +
+                            " attempts");
+}
+
+StatusOr<RemoteQueryResult> FailoverClient::Query(
+    std::string_view xpath, uint64_t deadline_budget_micros) {
+  WireRequest req;
+  req.op = WireOp::kQuery;
+  req.xpath.assign(xpath.data(), xpath.size());
+  req.deadline_micros = deadline_budget_micros;
+  auto resp = CallWithFailover(std::move(req), deadline_budget_micros);
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  RemoteQueryResult result;
+  result.docs = std::move(resp->docs);
+  result.stats = resp->stats;
+  return result;
+}
+
+Status FailoverClient::Ping() {
+  WireRequest req;
+  req.op = WireOp::kPing;
+  auto resp = CallWithFailover(std::move(req), 0);
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+StatusOr<std::string> FailoverClient::Stats() {
+  WireRequest req;
+  req.op = WireOp::kStats;
+  auto resp = CallWithFailover(std::move(req), 0);
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return std::move(resp->payload);
+}
+
+std::vector<FailoverClient::EndpointSnapshot> FailoverClient::Endpoints()
+    const {
+  std::vector<EndpointSnapshot> out;
+  out.reserve(endpoints_.size());
+  for (const EndpointState& ep : endpoints_) {
+    EndpointSnapshot snap;
+    snap.endpoint = ep.endpoint;
+    snap.state = ep.state;
+    snap.consecutive_failures = ep.consecutive_failures;
+    snap.failures = ep.failures;
+    snap.successes = ep.successes;
+    snap.opens = ep.opens;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace xseq

@@ -25,12 +25,14 @@ Status DecodePrefix(Decoder* in, uint8_t* op, uint64_t* id) {
   uint8_t version = 0;
   XSEQ_RETURN_IF_ERROR(GetByte(in, &version));
   if (version != kWireVersion) {
-    if (version > kWireVersion) {
-      return Status::Unimplemented("wire protocol version " +
-                                   std::to_string(version) +
-                                   " is newer than this build");
-    }
-    return Status::Corruption("bad wire protocol version");
+    // Version negotiation: a mismatch in either direction is a clean,
+    // attributable kUnimplemented naming both versions — never kCorruption
+    // (the frame checksum already validated the bytes; an old client did
+    // nothing corrupt) and never a hang.
+    return Status::Unimplemented(
+        "wire protocol version " + std::to_string(version) +
+        " is not supported; this build speaks version " +
+        std::to_string(kWireVersion));
   }
   XSEQ_RETURN_IF_ERROR(GetByte(in, op));
   if (!IsValidWireOp(*op)) {
@@ -54,6 +56,7 @@ bool IsValidWireOp(uint8_t op) {
     case WireOp::kStats:
     case WireOp::kPing:
     case WireOp::kShutdown:
+    case WireOp::kReload:
       return true;
   }
   return false;
@@ -149,6 +152,8 @@ void EncodeRequestBody(const WireRequest& req, std::string* out) {
   if (req.op == WireOp::kQuery) {
     PutString(out, req.xpath);
     PutFixed64(out, req.deadline_micros);
+  } else if (req.op == WireOp::kReload) {
+    PutString(out, req.reload_path);
   }
 }
 
@@ -159,9 +164,12 @@ Status DecodeRequestBody(std::string_view body, WireRequest* out) {
   out->op = static_cast<WireOp>(op);
   out->xpath.clear();
   out->deadline_micros = 0;
+  out->reload_path.clear();
   if (out->op == WireOp::kQuery) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->xpath));
     XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->deadline_micros));
+  } else if (out->op == WireOp::kReload) {
+    XSEQ_RETURN_IF_ERROR(in.GetString(&out->reload_path));
   }
   return CheckDrained(in);
 }
@@ -179,6 +187,8 @@ void EncodeResponseBody(const WireResponse& resp, std::string* out) {
     EncodeStats(resp.stats, out);
   } else if (resp.op == WireOp::kStats) {
     PutString(out, resp.payload);
+  } else if (resp.op == WireOp::kReload) {
+    PutFixed64(out, resp.generation);
   }
 }
 
@@ -195,6 +205,7 @@ Status DecodeResponseBody(std::string_view body, WireResponse* out) {
   out->docs.clear();
   out->stats = WireQueryStats();
   out->payload.clear();
+  out->generation = 0;
   if (status_code != StatusCode::kOk) {
     // Rebuild the remote error through the public factories so the code
     // predicate helpers (IsOverloaded, ...) work on this side too.
@@ -257,6 +268,8 @@ Status DecodeResponseBody(std::string_view body, WireResponse* out) {
     XSEQ_RETURN_IF_ERROR(DecodeStats(&in, &out->stats));
   } else if (out->op == WireOp::kStats) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->payload));
+  } else if (out->op == WireOp::kReload) {
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->generation));
   }
   return CheckDrained(in);
 }

@@ -1,6 +1,6 @@
 // The xseq wire protocol: a length-prefixed, checksummed binary framing
-// with four operations (query, stats, ping, shutdown), spoken over any
-// Connection (src/server/socket.h).
+// with five operations (query, stats, ping, shutdown, reload), spoken over
+// any Connection (src/server/socket.h).
 //
 // Frame layout (all integers little-endian; byte offsets from frame start):
 //
@@ -12,8 +12,10 @@
 //
 // Body layout, shared prefix (offsets within the body):
 //
-//   offset 0   u8   protocol version (kWireVersion); a server rejects
-//                   other versions with kUnimplemented
+//   offset 0   u8   protocol version (kWireVersion); a peer speaking any
+//                   other version — older or newer — gets a clean
+//                   kUnimplemented naming both versions, never a
+//                   corruption error or a hang
 //   offset 1   u8   op (WireOp)
 //   offset 2   u64  request id, echoed verbatim in the response
 //   offset 10  op-specific payload
@@ -21,6 +23,8 @@
 // Request payloads:
 //   query:    string xpath (u64 length + bytes), u64 deadline budget in
 //             microseconds (relative to receipt; 0 = none)
+//   reload:   string image prefix (empty = reload the prefix the server is
+//             currently serving)
 //   stats / ping / shutdown: empty
 //
 // Response payloads (after a u8 status code + string error message; the
@@ -28,6 +32,7 @@
 //   query:    u64 doc count, u64 per doc id, then WireQueryStats (14
 //             fixed64 fields, see EncodeTo)
 //   stats:    string (MetricsRegistry::JsonDump of the serving process)
+//   reload:   u64 generation now being served
 //   ping / shutdown: empty
 //
 // Checksums make torn frames (a peer dying mid-write) indistinguishable
@@ -53,7 +58,10 @@ namespace xseq {
 //   1 — initial protocol (11-field WireQueryStats)
 //   2 — WireQueryStats gained plan_cache_hits / result_cache_hits /
 //       pruned_instantiations (14 fixed64 fields)
-inline constexpr uint8_t kWireVersion = 2;
+//   3 — reload op (generation hot-swap); version mismatches in either
+//       direction now decode to kUnimplemented naming both versions
+//       (older builds reported an old client as kCorruption)
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Frame header size (length + checksum) and the body-size cap.
 inline constexpr size_t kFrameHeaderBytes = 12;
@@ -64,6 +72,7 @@ enum class WireOp : uint8_t {
   kStats = 2,
   kPing = 3,
   kShutdown = 4,
+  kReload = 5,
 };
 
 /// True for a value DecodeRequest/DecodeResponse accepts.
@@ -81,6 +90,7 @@ struct WireRequest {
   uint64_t id = 0;
   std::string xpath;            ///< kQuery only
   uint64_t deadline_micros = 0; ///< kQuery only; relative budget, 0 = none
+  std::string reload_path;      ///< kReload only; empty = current prefix
 };
 
 /// The ExecStats subset a query response carries.
@@ -111,6 +121,7 @@ struct WireResponse {
   std::vector<DocId> docs;      ///< kQuery only
   WireQueryStats stats;         ///< kQuery only
   std::string payload;          ///< kStats only (metrics JSON)
+  uint64_t generation = 0;      ///< kReload only; generation after the swap
 };
 
 /// Serializes a body (no frame header) for the given message.

@@ -120,6 +120,24 @@ bool XseqServer::Dispatch(const WireRequest& req, WireResponse* resp) {
       // connection closes after this request.
       RequestStop();
       return false;
+    case WireOp::kReload: {
+      if (!options_.reload_handler) {
+        resp->status =
+            Status::Unimplemented("this server has no reload handler");
+        return true;
+      }
+      // The swap (or its rejection) happens entirely inside the handler;
+      // in-flight queries keep their generation either way. This handler
+      // thread is pinned for the duration, which is the intended
+      // backpressure: one reload at a time per connection.
+      auto generation = options_.reload_handler(req.reload_path);
+      if (!generation.ok()) {
+        resp->status = generation.status();
+      } else {
+        resp->generation = *generation;
+      }
+      return true;
+    }
   }
   resp->status = Status::Internal("unreachable: op validated by decoder");
   return true;

@@ -47,6 +47,12 @@ struct ServerOptions {
   /// Source of the `stats` op payload; defaults to the process
   /// MetricsRegistry JSON dump.
   std::function<std::string()> stats_source;
+  /// Handles the `reload` op: swap to the image at the given prefix (empty
+  /// = reload the current one) and return the generation now serving.
+  /// Usually TopologyManager::Reload. Null (the default) answers the op
+  /// with kUnimplemented — a server over a fixed backend stays honest
+  /// about it instead of pretending to have swapped.
+  std::function<StatusOr<uint64_t>(const std::string&)> reload_handler;
 };
 
 class XseqServer {

@@ -6,6 +6,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/query/query_pattern.h"
+#include "src/seq/reconstruct.h"
 #include "src/util/coding.h"
 #include "src/util/hash.h"
 #include "src/util/timer.h"
@@ -40,11 +41,60 @@ const ShardMetricSet& ShardMetrics() {
 constexpr char kManifestMagic[8] = {'X', 'S', 'E', 'Q', 'S', 'H', 'R', 'D'};
 constexpr uint8_t kManifestVersion = 1;
 
-std::string ShardPath(const std::string& prefix, size_t shard) {
-  return prefix + ".shard" + std::to_string(shard);
+/// Encodes and atomically writes the manifest. It goes last in every save:
+/// its presence certifies that every shard file landed. Torn multi-file
+/// saves leave the old manifest (or none).
+Status WriteShardedManifest(const std::string& prefix, size_t shard_count,
+                            uint64_t total_docs,
+                            const PersistOptions& persist) {
+  std::string manifest(kManifestMagic, sizeof(kManifestMagic));
+  manifest.push_back(static_cast<char>(kManifestVersion));
+  PutFixed32(&manifest, static_cast<uint32_t>(shard_count));
+  PutFixed64(&manifest, total_docs);
+  PutFixed64(&manifest, Fnv1a64(manifest));
+  Env* env = persist.env != nullptr ? persist.env : Env::Default();
+  return AtomicWriteFile(env, prefix, manifest);
 }
 
 }  // namespace
+
+std::string ShardImagePath(const std::string& prefix, size_t shard) {
+  return prefix + ".shard" + std::to_string(shard);
+}
+
+StatusOr<ShardedManifest> ReadShardedManifest(const std::string& prefix,
+                                              const PersistOptions& persist) {
+  Env* env = persist.env != nullptr ? persist.env : Env::Default();
+  std::string manifest;
+  XSEQ_RETURN_IF_ERROR(env->ReadFileToString(prefix, &manifest));
+  if (manifest.size() < sizeof(kManifestMagic) + 1 + 4 + 8 + 8 ||
+      std::memcmp(manifest.data(), kManifestMagic, sizeof(kManifestMagic)) !=
+          0) {
+    return Status::Corruption("not a sharded-collection manifest: " + prefix);
+  }
+  if (Fnv1a64(std::string_view(manifest.data(), manifest.size() - 8)) !=
+      [&] {
+        Decoder tail(std::string_view(manifest).substr(manifest.size() - 8));
+        uint64_t sum = 0;
+        (void)tail.GetFixed64(&sum);
+        return sum;
+      }()) {
+    return Status::Corruption("sharded manifest checksum mismatch");
+  }
+  Decoder in(std::string_view(manifest).substr(sizeof(kManifestMagic)));
+  std::string_view version_raw;
+  XSEQ_RETURN_IF_ERROR(in.GetRaw(1, &version_raw));
+  if (static_cast<uint8_t>(version_raw[0]) != kManifestVersion) {
+    return Status::Unimplemented("unsupported sharded manifest version");
+  }
+  ShardedManifest out;
+  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&out.shard_count));
+  if (out.shard_count == 0 || out.shard_count > 4096) {
+    return Status::Corruption("implausible shard count in manifest");
+  }
+  XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out.total_documents));
+  return out;
+}
 
 size_t ShardOfDoc(DocId id, size_t shards) {
   if (shards <= 1) return 0;
@@ -319,58 +369,34 @@ CollectionIndex::SizeStats ShardedCollection::MergedStats() const {
 Status ShardedCollection::Save(const std::string& prefix,
                                const PersistOptions& persist) const {
   if (options_.dynamic) {
-    return Status::Unimplemented(
-        "dynamic ShardedCollection persistence (compact-and-save) is not "
-        "implemented yet");
+    // Compact-and-save: each DynamicIndex flattens into one static segment
+    // and writes it through the single-index crash-safe path. The method
+    // stays const — the answer set is untouched — but the compaction is a
+    // physical mutation (and a generation bump); DynamicIndex is
+    // internally synchronized, so concurrent queries are fine.
+    for (size_t s = 0; s < dynamic_shards_.size(); ++s) {
+      XSEQ_RETURN_IF_ERROR(dynamic_shards_[s]->SaveCompacted(
+          ShardImagePath(prefix, s), persist));
+    }
+    return WriteShardedManifest(prefix, dynamic_shards_.size(),
+                                total_documents(), persist);
   }
   if (!sealed_) {
     return Status::FailedPrecondition("Seal() before Save()");
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     XSEQ_RETURN_IF_ERROR(
-        SaveCollectionIndex(*shards_[s], ShardPath(prefix, s), persist));
+        SaveCollectionIndex(*shards_[s], ShardImagePath(prefix, s), persist));
   }
-  // The manifest goes last: its presence certifies every shard file above
-  // landed. Torn multi-file saves leave the old manifest (or none).
-  std::string manifest(kManifestMagic, sizeof(kManifestMagic));
-  manifest.push_back(static_cast<char>(kManifestVersion));
-  PutFixed32(&manifest, static_cast<uint32_t>(shards_.size()));
-  PutFixed64(&manifest, total_documents());
-  PutFixed64(&manifest, Fnv1a64(manifest));
-  Env* env = persist.env != nullptr ? persist.env : Env::Default();
-  return AtomicWriteFile(env, prefix, manifest);
+  return WriteShardedManifest(prefix, shards_.size(), total_documents(),
+                              persist);
 }
 
 StatusOr<ShardedCollection> ShardedCollection::Load(
     const std::string& prefix, int threads, const PersistOptions& persist) {
-  Env* env = persist.env != nullptr ? persist.env : Env::Default();
-  std::string manifest;
-  XSEQ_RETURN_IF_ERROR(env->ReadFileToString(prefix, &manifest));
-  if (manifest.size() < sizeof(kManifestMagic) + 1 + 4 + 8 + 8 ||
-      std::memcmp(manifest.data(), kManifestMagic, sizeof(kManifestMagic)) !=
-          0) {
-    return Status::Corruption("not a sharded-collection manifest: " + prefix);
-  }
-  if (Fnv1a64(std::string_view(manifest.data(), manifest.size() - 8)) !=
-      [&] {
-        Decoder tail(std::string_view(manifest).substr(manifest.size() - 8));
-        uint64_t sum = 0;
-        (void)tail.GetFixed64(&sum);
-        return sum;
-      }()) {
-    return Status::Corruption("sharded manifest checksum mismatch");
-  }
-  Decoder in(std::string_view(manifest).substr(sizeof(kManifestMagic)));
-  std::string_view version_raw;
-  XSEQ_RETURN_IF_ERROR(in.GetRaw(1, &version_raw));
-  if (static_cast<uint8_t>(version_raw[0]) != kManifestVersion) {
-    return Status::Unimplemented("unsupported sharded manifest version");
-  }
-  uint32_t shard_count = 0;
-  XSEQ_RETURN_IF_ERROR(in.GetFixed32(&shard_count));
-  if (shard_count == 0 || shard_count > 4096) {
-    return Status::Corruption("implausible shard count in manifest");
-  }
+  auto manifest = ReadShardedManifest(prefix, persist);
+  if (!manifest.ok()) return manifest.status();
+  const uint32_t shard_count = manifest->shard_count;
 
   ShardedOptions options;
   options.shards = static_cast<int>(shard_count);
@@ -383,7 +409,7 @@ StatusOr<ShardedCollection> ShardedCollection::Load(
                      : threads == 0       ? DefaultPool()
                                           : nullptr;
   auto load_one = [&](size_t s) {
-    auto loaded = LoadCollectionIndex(ShardPath(prefix, s), persist);
+    auto loaded = LoadCollectionIndex(ShardImagePath(prefix, s), persist);
     if (!loaded.ok()) {
       statuses[s] = loaded.status();
       return;
@@ -399,6 +425,105 @@ StatusOr<ShardedCollection> ShardedCollection::Load(
   out.sealed_ = true;
   // The loaded shards carry the options they were built with.
   out.options_.index = out.shards_[0]->options();
+  return out;
+}
+
+namespace {
+
+/// Deep-copies `doc` while re-interning every designator against the
+/// destination shard's vocabulary. Names and exact-mode values translate
+/// by string. Hashed value ids pass through unchanged (the hash is a pure
+/// function of the text, identical across shards), and so do
+/// char-sequence ids: the trie indexed the *expanded* document, so the
+/// reconstructed value nodes already carry character codes (plus the
+/// terminator), which are vocabulary-independent — and, carrying no
+/// retained text, they ride through the destination's ExpandValueChains
+/// untouched.
+Document TranslateDocument(const Document& doc, const CollectionIndex& src,
+                           NameTable* dst_names, ValueEncoder* dst_values) {
+  const bool pass_through = src.values().mode() != ValueMode::kExact;
+  Document out(doc.id());
+  auto translate = [&](const Node* n) -> Node* {
+    if (n->is_value()) {
+      if (pass_through) return out.CreateValue(ValueId(n->sym.id()));
+      const std::string& text = src.values().Lookup(ValueId(n->sym.id()));
+      return out.CreateValue(dst_values->Encode(text), text);
+    }
+    NameId nid = dst_names->Intern(src.names().Lookup(NameId(n->sym.id())));
+    return n->kind == NodeKind::kAttribute ? out.CreateAttribute(nid)
+                                           : out.CreateElement(nid);
+  };
+  const Node* src_root = doc.root();
+  Node* new_root = translate(src_root);
+  out.SetRoot(new_root);
+  std::vector<std::pair<const Node*, Node*>> stack = {{src_root, new_root}};
+  while (!stack.empty()) {
+    auto [src_node, dst_node] = stack.back();
+    stack.pop_back();
+    // Children append in document order as they are walked; the stack only
+    // changes which subtree is expanded next, not sibling order.
+    for (const Node* c = src_node->first_child; c != nullptr;
+         c = c->next_sibling) {
+      Node* translated = translate(c);
+      out.AppendChild(dst_node, translated);
+      stack.emplace_back(c, translated);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ShardedCollection> ReshardCollection(const ShardedCollection& source,
+                                              int new_shards, int threads) {
+  if (source.options().dynamic) {
+    return Status::FailedPrecondition(
+        "reshard requires a static collection (save a dynamic one first)");
+  }
+  if (!source.sealed()) {
+    return Status::FailedPrecondition("Seal() before resharding");
+  }
+  if (new_shards < 1) {
+    return Status::InvalidArgument("new_shards must be >= 1");
+  }
+  ShardedOptions opts;
+  opts.shards = new_shards;
+  opts.threads = threads;
+  opts.index = source.options().index;
+  ShardedCollection out(opts);
+  for (size_t s = 0; s < source.shard_count(); ++s) {
+    const CollectionIndex* shard = source.shard(s);
+    if (shard == nullptr) {
+      return Status::Internal("missing shard in sealed static collection");
+    }
+    const FrozenIndex& idx = shard->index();
+    // Pre-order walk maintaining the root-to-here label chain: a node's
+    // ancestors are exactly the open intervals [serial, end] containing it,
+    // so the chain *is* the document's constraint sequence (Theorem 1
+    // recovers the tree from it).
+    std::vector<uint32_t> ends;
+    std::vector<PathId> chain;
+    for (uint32_t serial = 0; serial < idx.node_count(); ++serial) {
+      while (!ends.empty() && ends.back() < serial) {
+        ends.pop_back();
+        chain.pop_back();
+      }
+      ends.push_back(idx.end(serial));
+      chain.push_back(idx.path(serial));
+      auto docs = idx.DocsAtNode(serial);
+      if (docs.empty()) continue;
+      Sequence seq(chain.begin(), chain.end());
+      for (DocId d : docs) {
+        auto tree = ReconstructTree(seq, shard->dict(), d);
+        if (!tree.ok()) return tree.status();
+        size_t dest = out.ShardOf(d);
+        Document translated =
+            TranslateDocument(*tree, *shard, out.names(dest), out.values(dest));
+        XSEQ_RETURN_IF_ERROR(out.Add(std::move(translated)));
+      }
+    }
+  }
+  XSEQ_RETURN_IF_ERROR(out.Seal());
   return out;
 }
 

@@ -23,11 +23,13 @@
 // generated against the tables of the shard that will own it: call
 // ShardOf(id) first, then names(shard)/values(shard), then Add().
 //
-// Persistence (static backend): Save(prefix) writes one index file per
-// shard via the existing atomic save path (`<prefix>.shard<K>`), then a
-// small checksummed manifest at `<prefix>` — written last, so a crash
-// mid-save leaves either the complete old collection or the complete new
-// one discoverable, never a half-set.
+// Persistence: Save(prefix) writes one index file per shard via the
+// existing atomic save path (`<prefix>.shard<K>`), then a small
+// checksummed manifest at `<prefix>` — written last, so a crash mid-save
+// leaves either the complete old collection or the complete new one
+// discoverable, never a half-set. The dynamic backend saves by compacting
+// each shard into a single static segment first (DynamicIndex::
+// SaveCompacted); what Load() reads back is always a static collection.
 //
 // Thread-safety: Add/Seal are exclusive to one preparing thread; after
 // Seal (or at any time on the dynamic backend) Query/QueryBatch may race
@@ -62,6 +64,22 @@ struct ShardedOptions {
 
 /// The shard owning document `id` among `shards` partitions.
 size_t ShardOfDoc(DocId id, size_t shards);
+
+/// Per-shard image path of a saved sharded collection: "<prefix>.shard<K>".
+/// Shared by Save/Load, the replica-shipping tool and topology validation.
+std::string ShardImagePath(const std::string& prefix, size_t shard);
+
+/// The decoded manifest of a saved sharded collection.
+struct ShardedManifest {
+  uint32_t shard_count = 0;
+  uint64_t total_documents = 0;
+};
+
+/// Reads and validates the manifest at `prefix`: magic, whole-manifest
+/// checksum, version, plausible shard count. This is the cheap first step
+/// of both Load() and offline image validation (replication, hot-swap).
+StatusOr<ShardedManifest> ReadShardedManifest(
+    const std::string& prefix, const PersistOptions& persist = {});
 
 class ShardedCollection {
  public:
@@ -105,6 +123,12 @@ class ShardedCollection {
 
   uint64_t total_documents() const;
 
+  /// One built static shard (after Seal() or Load()); null for the dynamic
+  /// backend or before sealing. The reshard path walks these directly.
+  const CollectionIndex* shard(size_t s) const {
+    return s < shards_.size() ? shards_[s].get() : nullptr;
+  }
+
   /// Monotone mutation counter for result-cache invalidation. Dynamic
   /// backend: the sum of the shards' DynamicIndex generations (sums of
   /// per-shard monotone counters are monotone, and equality of two reads
@@ -119,9 +143,12 @@ class ShardedCollection {
 
   const ShardedOptions& options() const { return options_; }
 
-  /// Per-shard persistence, static backend only (the dynamic backend is
-  /// kUnimplemented — compact-and-save is a roadmap item). See the file
-  /// comment for the on-disk layout.
+  /// Per-shard persistence; see the file comment for the on-disk layout.
+  /// Static backend: requires Seal(). Dynamic backend: compacts every
+  /// shard into one static segment and writes that (logically const — the
+  /// answer set is unchanged — but the compaction bumps the generation,
+  /// retiring cached results; DynamicIndex is internally synchronized, so
+  /// queries may race with the save).
   Status Save(const std::string& prefix,
               const PersistOptions& persist = {}) const;
   static StatusOr<ShardedCollection> Load(const std::string& prefix,
@@ -145,6 +172,22 @@ class ShardedCollection {
   std::unique_ptr<MatchContextPool> match_contexts_;
   uint64_t added_docs_ = 0;
 };
+
+/// Offline N→M reshard of a static, sealed collection. Every indexed
+/// document is recovered from its shard's trie (the root-to-node label
+/// chain is the constraint sequence; Theorem 1 rebuilds the tree),
+/// translated into the destination shard's vocabulary, and re-routed
+/// through the same FNV-1a64 partitioner — so the result is what a fresh
+/// M-shard build over the same corpus would answer, for every query
+/// (Theorems 2–3: membership depends only on the document's own tree).
+/// Value designators translate by string in exact mode and ride through
+/// unchanged otherwise: hashed ids depend only on the text, and
+/// char-sequence tries index the expanded document, so reconstructed
+/// value nodes already carry vocabulary-independent character codes.
+/// Works on loaded images: no retained documents are needed.
+StatusOr<ShardedCollection> ReshardCollection(const ShardedCollection& source,
+                                              int new_shards,
+                                              int threads = 0);
 
 }  // namespace xseq
 

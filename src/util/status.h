@@ -116,6 +116,12 @@ class Status {
     return a.code() == b.code() && a.message() == b.message();
   }
 
+  /// Same code as `st` with `context` prefixed onto the message ("context:
+  /// original message"). OK passes through untouched. The way layered
+  /// operations (per-shard IO, validation pipelines) name the culprit
+  /// without flattening every error into one code.
+  friend Status AnnotateStatus(const Status& st, const std::string& context);
+
  private:
   struct Rep {
     StatusCode code;
@@ -127,6 +133,11 @@ class Status {
 
   std::shared_ptr<Rep> rep_;  // null <=> OK
 };
+
+inline Status AnnotateStatus(const Status& st, const std::string& context) {
+  if (st.ok()) return st;
+  return Status(st.code(), context + ": " + st.message());
+}
 
 /// Either a value of type T or an error Status. Never holds an OK status
 /// without a value.

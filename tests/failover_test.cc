@@ -1,0 +1,240 @@
+// Tests for FailoverClient: replica failover when the primary dies
+// mid-load, circuit-breaker open/half-open/re-admission, the retry token
+// bucket, overload-driven failover without breaker penalty, and deadline
+// semantics. All timing runs on an injected fake clock whose "sleeps"
+// simply advance it, so every scenario is deterministic and instant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/server/failover_client.h"
+#include "src/server/server.h"
+#include "src/server/socket.h"
+#include "tests/test_util.h"
+
+namespace xseq {
+namespace {
+
+using ::xseq::testing::MakeIndex;
+
+std::vector<std::string> Corpus() {
+  std::vector<std::string> specs;
+  for (int i = 0; i < 30; ++i) {
+    specs.push_back(i % 2 == 0 ? "a(b('v1'),c(d('v2')))" : "a(c(b('v1')))");
+  }
+  return specs;
+}
+
+// Fake time: sleeps advance the clock instead of blocking.
+struct FakeTime {
+  std::shared_ptr<std::atomic<uint64_t>> now =
+      std::make_shared<std::atomic<uint64_t>>(1'000'000);
+  void Wire(FailoverOptions* opts) const {
+    auto n = now;
+    opts->clock_micros = [n] { return n->load(); };
+    opts->sleeper = [n](uint64_t micros) { n->fetch_add(micros); };
+  }
+  void Advance(uint64_t micros) { now->fetch_add(micros); }
+};
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<XseqServer> StartServer(const CollectionIndex* idx,
+                                          Status fixed_error = Status::OK()) {
+    ServerOptions options;
+    options.host = "mem";
+    options.socket_env = &env_;
+    auto server = std::make_unique<XseqServer>(
+        [idx, fixed_error](std::string_view xpath, const ExecOptions& opts)
+            -> StatusOr<QueryResult> {
+          if (!fixed_error.ok()) return fixed_error;
+          return idx->Query(xpath, opts);
+        },
+        options);
+    EXPECT_TRUE(server->Start().ok());
+    return server;
+  }
+
+  FailoverOptions Options() {
+    FailoverOptions opts;
+    opts.socket_env = &env_;
+    time_.Wire(&opts);
+    return opts;
+  }
+
+  MemorySocketEnv env_;
+  FakeTime time_;
+};
+
+// The acceptance scenario: kill the primary mid-load; the workload
+// completes through the replica with zero client-visible errors, and once
+// the primary restarts and the cooldown elapses, the breaker re-admits it.
+TEST_F(FailoverTest, PrimaryDeathMidLoadFailsOverThenReAdmits) {
+  CollectionIndex idx = MakeIndex(Corpus());
+  auto primary = StartServer(&idx);
+  auto replica = StartServer(&idx);
+  const int primary_port = primary->port();
+
+  const std::vector<DocId> expect = idx.Query("/a/b")->docs;
+  ASSERT_FALSE(expect.empty());
+
+  FailoverClient client({{"mem", primary_port}, {"mem", replica->port()}},
+                        Options());
+
+  for (int i = 0; i < 100; ++i) {
+    if (i == 10) primary->Stop();  // the primary dies mid-load
+    auto r = client.Query("/a/b");
+    ASSERT_TRUE(r.ok()) << "query " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->docs, expect) << "query " << i;
+  }
+
+  auto snaps = client.Endpoints();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].state, BreakerState::kOpen);
+  EXPECT_GE(snaps[0].opens, 1u);
+  EXPECT_GT(snaps[1].successes, 0u);
+  EXPECT_GT(client.stats().failovers, 0u);
+  EXPECT_EQ(client.stats().budget_denied, 0u);
+
+  // Restart the primary on the same port (MemorySocketEnv frees a closed
+  // listener's port), let the cooldown elapse, and query: the breaker
+  // half-opens, the probe lands on the recovered primary, and it closes.
+  ServerOptions options;
+  options.host = "mem";
+  options.socket_env = &env_;
+  options.port = primary_port;
+  XseqServer restarted(
+      [&idx](std::string_view xpath, const ExecOptions& opts) {
+        return idx.Query(xpath, opts);
+      },
+      options);
+  ASSERT_TRUE(restarted.Start().ok());
+  ASSERT_EQ(restarted.port(), primary_port);
+
+  time_.Advance(Options().breaker_cooldown_micros + 1);
+  const uint64_t primary_successes_before = snaps[0].successes;
+  auto r = client.Query("/a/b");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->docs, expect);
+
+  snaps = client.Endpoints();
+  EXPECT_EQ(snaps[0].state, BreakerState::kClosed);
+  EXPECT_GT(snaps[0].successes, primary_successes_before);
+
+  // And it stays the preferred endpoint from here on.
+  const uint64_t replica_successes = snaps[1].successes;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(client.Query("/a/b").ok());
+  snaps = client.Endpoints();
+  EXPECT_EQ(snaps[1].successes, replica_successes);
+  restarted.Stop();
+  replica->Stop();
+}
+
+TEST_F(FailoverTest, TotalOutageExhaustsBudgetWithoutHanging) {
+  CollectionIndex idx = MakeIndex(Corpus());
+  auto a = StartServer(&idx);
+  auto b = StartServer(&idx);
+  const int port_a = a->port(), port_b = b->port();
+  a->Stop();
+  b->Stop();
+
+  FailoverOptions opts = Options();
+  opts.retry_budget_burst = 2.0;  // tiny bucket: deny fast
+  opts.retry_budget_ratio = 0.0;
+  FailoverClient client({{"mem", port_a}, {"mem", port_b}}, opts);
+
+  const uint64_t before = time_.now->load();
+  Status first = client.Query("/a/b").status();
+  EXPECT_FALSE(first.ok());
+  // Subsequent requests fail on an empty bucket or on open breakers.
+  Status second = client.Query("/a/b").status();
+  EXPECT_FALSE(second.ok());
+  Status third = client.Query("/a/b").status();
+  EXPECT_FALSE(third.ok());
+  EXPECT_GT(client.stats().budget_denied, 0u);
+  const std::string all =
+      first.ToString() + " | " + second.ToString() + " | " + third.ToString();
+  EXPECT_TRUE(all.find("retry budget exhausted") != std::string::npos ||
+              all.find("all endpoints unhealthy") != std::string::npos)
+      << all;
+  // The fake clock advanced (backoffs happened) but nothing blocked for
+  // real, and total simulated waiting stayed bounded.
+  EXPECT_LT(time_.now->load() - before, uint64_t{60'000'000});
+}
+
+TEST_F(FailoverTest, OverloadFailsOverWithoutBreakerPenalty) {
+  CollectionIndex idx = MakeIndex(Corpus());
+  // The primary is healthy but shedding: every request answers kOverloaded
+  // at the service layer. The replica answers normally.
+  auto primary = StartServer(&idx, Status::Overloaded("admission queue full"));
+  auto replica = StartServer(&idx);
+
+  FailoverClient client({{"mem", primary->port()}, {"mem", replica->port()}},
+                        Options());
+  const std::vector<DocId> expect = idx.Query("/a/b")->docs;
+  for (int i = 0; i < 8; ++i) {
+    auto r = client.Query("/a/b");
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->docs, expect);
+  }
+  auto snaps = client.Endpoints();
+  // Shedding is not a transport failure: the primary's breaker never
+  // opened, so capacity returns the moment it stops shedding.
+  EXPECT_EQ(snaps[0].state, BreakerState::kClosed);
+  EXPECT_EQ(snaps[0].opens, 0u);
+  EXPECT_GT(client.stats().failovers, 0u);
+  primary->Stop();
+  replica->Stop();
+}
+
+TEST_F(FailoverTest, RequestScopedErrorsReturnImmediately) {
+  CollectionIndex idx = MakeIndex(Corpus());
+  auto server = StartServer(&idx);
+  FailoverClient client({{"mem", server->port()}}, Options());
+
+  // A malformed query is the caller's problem, not the endpoint's: no
+  // retry, no failover, no breaker movement.
+  auto r = client.Query("][");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(client.stats().retries, 0u);
+  auto snaps = client.Endpoints();
+  EXPECT_EQ(snaps[0].state, BreakerState::kClosed);
+  EXPECT_EQ(snaps[0].failures, 0u);
+  // The same connection still works.
+  EXPECT_TRUE(client.Ping().ok());
+  server->Stop();
+}
+
+TEST_F(FailoverTest, DeadlineBoundsTheWholeRetryLoop) {
+  CollectionIndex idx = MakeIndex(Corpus());
+  auto server = StartServer(&idx);
+  const int port = server->port();
+  server->Stop();  // nobody home: every attempt is a transport failure
+
+  FailoverOptions opts = Options();
+  opts.max_attempts = 50;
+  opts.retry_budget_burst = 100.0;
+  opts.backoff_initial_micros = 10'000;
+  FailoverClient client({{"mem", port}}, opts);
+
+  const uint64_t budget = 100'000;  // 100ms total
+  const uint64_t before = time_.now->load();
+  Status st = client.Query("/a/b", budget).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsDeadlineExceeded() || st.IsIOError()) << st.ToString();
+  // The loop respected the deadline on the fake clock: it never slept
+  // meaningfully past the budget.
+  EXPECT_LE(time_.now->load() - before, budget + opts.backoff_max_micros);
+}
+
+TEST_F(FailoverTest, NoEndpointsIsAnImmediateError) {
+  FailoverClient client({}, Options());
+  EXPECT_TRUE(client.Ping().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace xseq
