@@ -419,9 +419,19 @@ int Verify(const FlagSet& flags, int argc, char** argv) {
   std::printf("footer:   %s\n", report.footer_ok ? "ok" : "MISMATCH");
   std::printf("trailing: %llu bytes\n",
               static_cast<unsigned long long>(report.trailing_bytes));
-  std::printf("derived:  %llu bytes (fused link entries + cover forest, "
-              "built on load)\n",
+  std::printf("derived:  %llu bytes (link block directory, built on load)\n",
               static_cast<unsigned long long>(report.index_derived_bytes));
+  std::printf("links:    %llu bytes packed, %llu bytes logical",
+              static_cast<unsigned long long>(report.index_packed_link_bytes),
+              static_cast<unsigned long long>(
+                  report.index_logical_link_bytes));
+  if (report.index_logical_link_bytes > 0 &&
+      report.index_packed_link_bytes > 0) {
+    std::printf(" (%.1f%% of flat)",
+                100.0 * static_cast<double>(report.index_packed_link_bytes) /
+                    static_cast<double>(report.index_logical_link_bytes));
+  }
+  std::printf("\n");
   if (!report.status.ok()) {
     std::printf("FAILED: %s\n", report.status.ToString().c_str());
     return 1;

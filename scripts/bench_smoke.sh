@@ -48,7 +48,10 @@ OBS_OUT="$(mktemp /tmp/BENCH_obs.XXXXXX.json)"
 SERVE_OUT="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
 PLAN_OUT="$(mktemp /tmp/BENCH_plan.XXXXXX.json)"
 SWAP_OUT="$(mktemp /tmp/BENCH_swap.XXXXXX.json)"
-trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT" "$SWAP_OUT"' EXIT
+COMPRESS_OUT="$(mktemp /tmp/BENCH_compress.XXXXXX.json)"
+PAGED_OUT="$(mktemp /tmp/BENCH_paged.XXXXXX.json)"
+trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT" "$SWAP_OUT" \
+  "$COMPRESS_OUT" "$PAGED_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
 
@@ -128,6 +131,34 @@ awk -v r="$RATIO" -v g="$SWAP_GUARD_X" 'BEGIN { exit !(r <= g) }' || {
   exit 1
 }
 
+# Link-compression gates: the packed link region summed over the
+# fig14/table5 corpora must be at least COMPRESS_SIZE_PCT (default 30)
+# percent smaller than the flat 12-byte-entry layout, and the compressed
+# engine's wall clock (median of per-rep compressed/flat ratio pairs)
+# must stay within COMPRESS_WALL_PCT (default 10) percent of the flat
+# baseline on the fig15/table7 query mixes. micro_compress enforces both
+# and exits nonzero on violation.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_compress
+"./$BUILD_DIR/bench/micro_compress" \
+  --reps=5 \
+  --min_size_reduction_pct="${COMPRESS_SIZE_PCT:-30}" \
+  --max_wall_regression_pct="${COMPRESS_WALL_PCT:-10}" \
+  --out="$COMPRESS_OUT"
+
+# Paged-layout density gate: the compressed link region must hold strictly
+# more entries per page than the old flat pair+cover layout (341.3/page);
+# micro_paged --json enforces the gate and reports the warm pool hit rate.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_paged
+"./$BUILD_DIR/bench/micro_paged" --json="$PAGED_OUT"
+for key in entries_per_page warm_pool_hit_rate; do
+  grep -q "\"$key\":" "$PAGED_OUT" || {
+    echo "bench_smoke.sh: BENCH_paged.json is missing \"$key\"" >&2
+    cat "$PAGED_OUT" >&2
+    exit 1
+  }
+done
+
 echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE," \
   "serve schema complete, plan cache gates passed," \
-  "swap p99 ${RATIO}x steady / 0 dropped)"
+  "swap p99 ${RATIO}x steady / 0 dropped," \
+  "compression size/wall gates passed, paged density gate passed)"

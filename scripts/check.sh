@@ -33,6 +33,13 @@ if [[ " $MODES " == *" address "* ]]; then
   echo "=== [address] corruption + fault sweeps (explicit) ==="
   ./build-address/tests/xseq_tests \
     --gtest_filter='CorruptionSweep.*:FaultSweep.*:Format.*'
+
+  echo "=== [address] v2 fixture image loads via decode-and-recompress ==="
+  # A checked-in pre-compression (format v2) image must keep loading
+  # through the compatibility path; verify re-reads every section and
+  # reports packed vs logical link bytes, all under ASan.
+  ./build-address/examples/example_xseq_tool verify \
+    tests/testdata/fixture_v2.idx
 fi
 
 echo "=== serve smoke (daemon + client over loopback TCP) ==="

@@ -306,10 +306,31 @@ CollectionIndex::SizeStats CollectionIndex::Stats() const {
   s.distinct_paths = dict_->size() - 1;  // exclude ε
   s.sequence_elements = total_seq_elements_;
   s.memory_bytes = index_.MemoryBytes();
+  s.packed_link_bytes = index_.PackedLinkBytes();
+  s.logical_link_bytes = index_.LogicalLinkBytes();
+  s.decode_scratch_bytes =
+      static_cast<uint64_t>(LinkBlockCache::kSlots) *
+      sizeof(LinkBlockScratch);
+  s.link_compression_ratio =
+      s.logical_link_bytes == 0
+          ? 0.0
+          : static_cast<double>(s.packed_link_bytes) /
+                static_cast<double>(s.logical_link_bytes);
   s.avg_sequence_length =
       s.documents == 0 ? 0.0
                        : static_cast<double>(s.sequence_elements) /
                              static_cast<double>(s.documents);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
+    r->GetGauge("xseq.index.packed_link_bytes")
+        ->Set(static_cast<int64_t>(s.packed_link_bytes));
+    r->GetGauge("xseq.index.logical_link_bytes")
+        ->Set(static_cast<int64_t>(s.logical_link_bytes));
+    r->GetGauge("xseq.index.decode_scratch_bytes")
+        ->Set(static_cast<int64_t>(s.decode_scratch_bytes));
+    r->GetGauge("xseq.index.link_compression_ratio_pct")
+        ->Set(static_cast<int64_t>(s.link_compression_ratio * 100.0));
+  }
   return s;
 }
 

@@ -160,13 +160,20 @@ class CollectionIndex {
       const std::vector<std::string>& xpaths,
       const ExecOptions& options = {}, int threads = 0) const;
 
-  /// Size and shape statistics.
+  /// Size and shape statistics. Reading them also refreshes the
+  /// xseq.index.* gauges (packed/logical link bytes, ratio percent,
+  /// decode-scratch bytes) when metrics are enabled.
   struct SizeStats {
     uint64_t documents = 0;
     uint64_t trie_nodes = 0;        ///< the paper's Fig. 14 metric
     uint64_t distinct_paths = 0;
     uint64_t sequence_elements = 0; ///< sum of sequence lengths
-    uint64_t memory_bytes = 0;      ///< flat index footprint
+    uint64_t memory_bytes = 0;      ///< resident index footprint
+    uint64_t packed_link_bytes = 0; ///< block-compressed link region
+    uint64_t logical_link_bytes = 0; ///< same links flat (12 B/entry)
+    uint64_t decode_scratch_bytes = 0; ///< one context's full block cache
+    /// packed / logical; 0 when the index has no links.
+    double link_compression_ratio = 0.0;
     double avg_sequence_length = 0.0;
   };
   SizeStats Stats() const;

@@ -41,37 +41,45 @@ Status AnnotateSection(const char* section, const Status& st) {
   }
 }
 
-/// Validates magic and version. On success, `*body` is the framed-section
-/// region (between the version byte and the footer) and `*footer` the
-/// trailing checksum bytes.
-Status CheckHeaderAndSplit(std::string_view data, std::string_view* body,
+/// Validates magic and version. On success, `*version` is the accepted
+/// format version, `*body` the framed-section region (between the version
+/// byte and the footer), and `*footer` the trailing checksum bytes.
+Status CheckHeaderAndSplit(std::string_view data, uint8_t* version,
+                           std::string_view* body,
                            std::string_view* footer) {
   if (data.size() < kHeaderBytes ||
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not an xseq index file (bad magic)");
   }
-  uint8_t version = static_cast<uint8_t>(data[sizeof(kMagic)]);
-  if (version == kLegacyVersionByte) {
+  uint8_t v = static_cast<uint8_t>(data[sizeof(kMagic)]);
+  if (v == kLegacyVersionByte) {
     return Status::InvalidArgument(
         "legacy unversioned xseq index (magic \"XSEQIDX1\"); this format "
         "predates section framing — rebuild the index with this version");
   }
-  if (version > kIndexFormatVersion) {
+  if (v > kIndexFormatVersion) {
     return Status::Unimplemented(
-        "index format version " + std::to_string(version) +
+        "index format version " + std::to_string(v) +
         " is newer than this build supports (max " +
         std::to_string(kIndexFormatVersion) + ")");
   }
-  if (version != kIndexFormatVersion) {
+  if (v < kMinIndexFormatVersion) {
     return Status::Corruption("unsupported index format version " +
-                              std::to_string(version));
+                              std::to_string(v));
   }
   if (data.size() < kHeaderBytes + kFooterBytes) {
     return Status::Corruption("index file truncated (no footer)");
   }
+  *version = v;
   *body = data.substr(kHeaderBytes, data.size() - kHeaderBytes - kFooterBytes);
   *footer = data.substr(data.size() - kFooterBytes);
   return Status::OK();
+}
+
+/// Link-section layout a format version stores.
+LinkSectionFormat LinkFormatFor(uint8_t version) {
+  return version >= 3 ? LinkSectionFormat::kPackedBlocks
+                      : LinkSectionFormat::kPlainSerials;
 }
 
 /// Reads one section frame. The length is bounded against the remaining
@@ -101,8 +109,16 @@ Status ReadFrame(Decoder* in, const char* section,
 }  // namespace
 
 std::string EncodeCollectionIndex(const CollectionIndex& index) {
+  return EncodeCollectionIndex(index, kIndexFormatVersion);
+}
+
+std::string EncodeCollectionIndex(const CollectionIndex& index,
+                                  uint8_t version) {
+  if (version < kMinIndexFormatVersion || version > kIndexFormatVersion) {
+    version = kIndexFormatVersion;
+  }
   std::string out(kMagic, sizeof(kMagic));
-  out.push_back(static_cast<char>(kIndexFormatVersion));
+  out.push_back(static_cast<char>(version));
 
   auto frame = [&out](const std::string& payload) {
     PutFixed64(&out, payload.size());
@@ -131,7 +147,7 @@ std::string EncodeCollectionIndex(const CollectionIndex& index) {
   index.schema().EncodeTo(&section);
   frame(section);
   section.clear();
-  index.index().EncodeTo(&section);
+  index.index().EncodeTo(&section, LinkFormatFor(version));
   frame(section);
 
   PutFixed64(&out, Fnv1a64(std::string_view(out).substr(kHeaderBytes)));
@@ -139,8 +155,10 @@ std::string EncodeCollectionIndex(const CollectionIndex& index) {
 }
 
 StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data) {
+  uint8_t version = 0;
   std::string_view body, footer_bytes;
-  XSEQ_RETURN_IF_ERROR(CheckHeaderAndSplit(data, &body, &footer_bytes));
+  XSEQ_RETURN_IF_ERROR(
+      CheckHeaderAndSplit(data, &version, &body, &footer_bytes));
 
   // Walk the frames first: a failure is attributed to its section.
   std::string_view sections[kNumSections];
@@ -226,7 +244,7 @@ StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data) {
   }
   {
     Decoder d(sections[5]);
-    auto index = FrozenIndex::DecodeFrom(&d);
+    auto index = FrozenIndex::DecodeFrom(&d, LinkFormatFor(version));
     if (!index.ok()) return AnnotateSection("index", index.status());
     XSEQ_RETURN_IF_ERROR(finish_section("index", &d));
     out.index_ = std::move(*index);
@@ -259,10 +277,12 @@ IndexFileReport InspectEncodedIndex(std::string_view data) {
       std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0) {
     report.magic_ok = true;
     report.version = static_cast<uint8_t>(data[sizeof(kMagic)]);
-    report.version_supported = report.version == kIndexFormatVersion;
+    report.version_supported = report.version >= kMinIndexFormatVersion &&
+                               report.version <= kIndexFormatVersion;
   }
+  uint8_t version = 0;
   std::string_view body, footer_bytes;
-  Status split = CheckHeaderAndSplit(data, &body, &footer_bytes);
+  Status split = CheckHeaderAndSplit(data, &version, &body, &footer_bytes);
   if (!split.ok()) {
     record(std::move(split));
     return report;
@@ -295,24 +315,41 @@ IndexFileReport InspectEncodedIndex(std::string_view data) {
                                 kSectionNames[i] + "'"));
     }
     if (info.checksum_ok && info.name == "index") {
-      // Skim the pod-vector headers (counts only, no allocation) to report
-      // the derived arrays DecodeFrom materializes beyond the stored
-      // payload: fused (serial, end) link entries plus the nesting-forest
-      // cover array, both sized by the stored link-serial count.
+      // Skim the pod-vector headers (counts only, no allocation) to
+      // attribute link-region bytes. v3 payloads store 7 vectors (nodes,
+      // doc offsets, docs, link offsets, block headers, packed words,
+      // nested flags); v2 payloads store 6 (a flat serial list where the
+      // blocks now sit). Links partition the nodes, so the flat baseline
+      // is 12 bytes per node either way.
+      constexpr uint64_t kElemBytesV3[] = {8, 4, 4, 4, 16, 8, 1};
+      constexpr uint64_t kElemBytesV2[] = {8, 4, 4, 4, 4, 1};
+      const uint64_t* elem_bytes = version >= 3 ? kElemBytesV3 : kElemBytesV2;
+      const size_t nvecs = version >= 3 ? 7 : 6;
       Decoder vecs(payload);
-      constexpr uint64_t kElemBytes[] = {8, 4, 4, 4, 4, 1};
-      uint64_t counts[6] = {0, 0, 0, 0, 0, 0};
+      uint64_t counts[7] = {0, 0, 0, 0, 0, 0, 0};
       bool ok = true;
-      for (size_t v = 0; v < 6 && ok; ++v) {
+      for (size_t v = 0; v < nvecs && ok; ++v) {
         std::string_view skip;
         ok = vecs.GetFixed64(&counts[v]).ok() &&
-             counts[v] <= vecs.remaining() / kElemBytes[v] &&
-             vecs.GetRaw(counts[v] * kElemBytes[v], &skip).ok();
+             counts[v] <= vecs.remaining() / elem_bytes[v] &&
+             vecs.GetRaw(counts[v] * elem_bytes[v], &skip).ok();
       }
       if (ok) {
-        const uint64_t link_serials = counts[4];
-        report.index_derived_bytes =
-            link_serials * (sizeof(uint64_t) + sizeof(uint32_t));
+        // 12 = fused (serial, end) pair + cover word per link entry.
+        report.index_logical_link_bytes = counts[0] * 12;
+        if (version >= 3) {
+          report.index_packed_link_bytes = counts[4] * 16 + counts[5] * 8;
+          // DecodeFrom rebuilds only the per-path block directory.
+          report.index_derived_bytes = counts[3] * sizeof(uint32_t);
+        } else {
+          // A v2 load recompresses the flat serial list into blocks; the
+          // packed size is unknowable from the image, so report the whole
+          // block region as derived (at worst it is the packed bound:
+          // one header per <=128 entries plus the payload words).
+          report.index_packed_link_bytes = 0;
+          report.index_derived_bytes = counts[3] * sizeof(uint32_t) +
+                                       ((counts[4] + 127) / 128) * 16;
+        }
       }
     }
     report.sections.push_back(std::move(info));

@@ -36,8 +36,13 @@
 
 namespace xseq {
 
-/// The format version written by this build.
-inline constexpr uint8_t kIndexFormatVersion = 2;
+/// The format version written by this build. Version 3 stores the index's
+/// horizontal links block-compressed (src/index/link_codec.h); version 2
+/// stored them as one flat serial list.
+inline constexpr uint8_t kIndexFormatVersion = 3;
+/// Oldest version this build still loads. Version-2 images are accepted
+/// and their links recompressed into blocks during decode.
+inline constexpr uint8_t kMinIndexFormatVersion = 2;
 
 /// Environment and retry policy for on-disk save/load.
 struct PersistOptions {
@@ -50,8 +55,16 @@ struct PersistOptions {
   uint64_t backoff_micros = 1000;
 };
 
-/// Serializes `index` into a byte buffer.
+/// Serializes `index` into a byte buffer (current format version).
 std::string EncodeCollectionIndex(const CollectionIndex& index);
+
+/// Serializes `index` at a specific format version — kIndexFormatVersion
+/// for the current layout, kMinIndexFormatVersion for a downgrade image
+/// (flat link serials; loadable by older builds). Used by compatibility
+/// fixtures and downgrade tooling. `version` outside the supported range
+/// falls back to the current version.
+std::string EncodeCollectionIndex(const CollectionIndex& index,
+                                  uint8_t version);
 
 /// Reconstructs an index from EncodeCollectionIndex output. Verifies the
 /// magic, version, per-section checksums, and footer; validates
@@ -84,10 +97,19 @@ struct IndexFileReport {
   std::vector<IndexSectionInfo> sections;
   bool footer_ok = false;
   uint64_t trailing_bytes = 0;
-  /// In-memory bytes of the derived query-engine arrays (fused link
-  /// entries + nesting-forest cover) that DecodeFrom materializes beyond
-  /// the stored "index" payload; 0 when that section is damaged.
+  /// In-memory bytes of the derived structures DecodeFrom materializes
+  /// beyond the stored "index" payload (the per-path block directory for
+  /// v3 images; the full recompressed block region for v2 images); 0 when
+  /// that section is damaged.
   uint64_t index_derived_bytes = 0;
+  /// Bytes of the stored packed link region (block headers + payload
+  /// words) in a v3 image; 0 for v2 images, whose links are recompressed
+  /// on load.
+  uint64_t index_packed_link_bytes = 0;
+  /// Bytes the same links would occupy flat (12 per entry: fused
+  /// serial+end pair plus cover word) — the uncompressed baseline the
+  /// packed bytes are measured against.
+  uint64_t index_logical_link_bytes = 0;
   /// OK iff every check above passed; otherwise the first failure,
   /// matching what DecodeCollectionIndex would report.
   Status status;

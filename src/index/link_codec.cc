@@ -1,0 +1,149 @@
+#include "src/index/link_codec.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace xseq {
+
+namespace {
+
+/// Appends values LSB-first into 64-bit words.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint64_t>* out) : out_(out) {}
+
+  void Put(uint32_t value, uint32_t bits) {
+    if (bits == 0) return;
+    cur_ |= static_cast<uint64_t>(value) << used_;
+    used_ += bits;
+    if (used_ >= 64) {
+      out_->push_back(cur_);
+      used_ -= 64;
+      // The spilled high part; when the value fit exactly, nothing spills.
+      cur_ = used_ > 0 ? static_cast<uint64_t>(value) >> (bits - used_) : 0;
+    }
+  }
+
+  void Flush() {
+    if (used_ > 0) {
+      out_->push_back(cur_);
+      cur_ = 0;
+      used_ = 0;
+    }
+  }
+
+ private:
+  std::vector<uint64_t>* out_;
+  uint64_t cur_ = 0;
+  uint32_t used_ = 0;
+};
+
+/// Reads values LSB-first from 64-bit words, starting at bit `start`.
+class BitReader {
+ public:
+  explicit BitReader(const uint64_t* words, uint64_t start = 0)
+      : words_(words), pos_(start) {}
+
+  uint32_t Get(uint32_t bits) {
+    if (bits == 0) return 0;
+    const uint64_t word = pos_ >> 6;
+    const uint32_t off = static_cast<uint32_t>(pos_ & 63);
+    uint64_t v = words_[word] >> off;
+    if (off + bits > 64) v |= words_[word + 1] << (64 - off);
+    pos_ += bits;
+    const uint64_t mask =
+        bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+    return static_cast<uint32_t>(v & mask);
+  }
+
+ private:
+  const uint64_t* words_;
+  uint64_t pos_ = 0;
+};
+
+uint32_t WidthOf(uint32_t max_value) {
+  return static_cast<uint32_t>(std::bit_width(max_value));
+}
+
+}  // namespace
+
+LinkBlockHeader PackLinkBlock(const uint32_t* serials, const uint32_t* ends,
+                              const uint32_t* covers, uint32_t count,
+                              uint32_t local_base,
+                              std::vector<uint64_t>* words) {
+  LinkBlockHeader h{};
+  h.base_serial = serials[0];
+  h.word_off = static_cast<uint32_t>(words->size());
+  h.count_minus_1 = static_cast<uint8_t>(count - 1);
+
+  uint32_t max_delta = 0, max_end_off = 0, max_cover = 0, max_end = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      max_delta = std::max(max_delta, serials[i] - serials[i - 1] - 1);
+    }
+    max_end_off = std::max(max_end_off, ends[i] - serials[i]);
+    max_end = std::max(max_end, ends[i]);
+    if (covers[i] != kNoLinkCover) {
+      max_cover = std::max(max_cover, local_base + i - covers[i]);
+    }
+  }
+  h.max_end = max_end;
+  h.delta_bits = static_cast<uint8_t>(WidthOf(max_delta));
+  h.end_bits = static_cast<uint8_t>(WidthOf(max_end_off));
+  h.cover_bits = static_cast<uint8_t>(WidthOf(max_cover));
+
+  BitWriter w(words);
+  for (uint32_t i = 1; i < count; ++i) {
+    w.Put(serials[i] - serials[i - 1] - 1, h.delta_bits);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    w.Put(ends[i] - serials[i], h.end_bits);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    w.Put(covers[i] == kNoLinkCover ? 0 : local_base + i - covers[i],
+          h.cover_bits);
+  }
+  w.Flush();
+  return h;
+}
+
+void UnpackLinkSerials(const LinkBlockHeader& h, const uint64_t* words,
+                       LinkBlockScratch* out) {
+  const uint32_t count = LinkBlockCount(h);
+  BitReader r(words);
+  uint32_t serial = h.base_serial;
+  out->serials[0] = serial;
+  for (uint32_t i = 1; i < count; ++i) {
+    serial += r.Get(h.delta_bits) + 1;
+    out->serials[i] = serial;
+  }
+}
+
+void UnpackLinkEnds(const LinkBlockHeader& h, const uint64_t* words,
+                    LinkBlockScratch* out) {
+  const uint32_t count = LinkBlockCount(h);
+  BitReader r(words, static_cast<uint64_t>(count - 1) * h.delta_bits);
+  for (uint32_t i = 0; i < count; ++i) {
+    out->ends[i] = out->serials[i] + r.Get(h.end_bits);
+  }
+}
+
+void UnpackLinkCovers(const LinkBlockHeader& h, const uint64_t* words,
+                      uint32_t local_base, LinkBlockScratch* out) {
+  const uint32_t count = LinkBlockCount(h);
+  BitReader r(words, static_cast<uint64_t>(count - 1) * h.delta_bits +
+                         static_cast<uint64_t>(count) * h.end_bits);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t dist = r.Get(h.cover_bits);
+    out->covers[i] = dist == 0 ? kNoLinkCover : local_base + i - dist;
+  }
+}
+
+void UnpackLinkBlock(const LinkBlockHeader& h, const uint64_t* words,
+                     uint32_t local_base, LinkBlockScratch* out) {
+  UnpackLinkSerials(h, words, out);
+  UnpackLinkEnds(h, words, out);
+  UnpackLinkCovers(h, words, local_base, out);
+}
+
+}  // namespace xseq

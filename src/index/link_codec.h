@@ -1,0 +1,130 @@
+// Block codec for horizontal path links.
+//
+// A link is a serial-sorted list of (serial, end, cover) triples. Stored
+// flat that is 12 bytes per entry; almost all of it is redundancy — serials
+// within a link are strictly ascending with tiny gaps, ends hug their
+// serials, and cover pointers reach back only a few entries. The codec
+// chops each link into fixed-size blocks of kLinkBlockSize entries and
+// bit-packs each block with per-block widths:
+//
+//   serial  — stored as (delta to the previous serial) - 1; serials are
+//             strictly ascending so the delta is >= 1, and runs of
+//             identical-sibling leaves (consecutive serials) cost 0 bits.
+//             The first serial of the block lives in the header.
+//   end     — stored as end - serial (the subtree width; >= 0, and 0 for
+//             every leaf).
+//   cover   — stored as the backward distance (index - cover) to the
+//             tightest enclosing occurrence, or 0 for "no cover"
+//             (kNoLinkCover). Links without nesting pack to 0 bits.
+//
+// Each block carries a 16-byte POD header with the base serial (so a
+// cursor can skip a block on the serial alone, without decoding), the
+// block's maximum subtree end (the widest reach of any entry — lets range
+// consumers rule a block out wholesale), the offset of the block's first
+// packed word, and the three bit widths. Values are packed LSB-first into
+// little-endian uint64 words; a block always starts on a word boundary, so
+// blocks decode independently and a paged reader can lift exactly the
+// block's words. Bit widths are chosen minimal per block, so a single
+// outlier widens only its own block.
+
+#ifndef XSEQ_SRC_INDEX_LINK_CODEC_H_
+#define XSEQ_SRC_INDEX_LINK_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xseq {
+
+/// Sentinel in link cover arrays: the entry has no enclosing occurrence of
+/// its own path (it is a root of the link's nesting forest).
+inline constexpr uint32_t kNoLinkCover = 0xFFFFFFFFu;
+
+/// Entries per block. 128 keeps the decoded scratch (3 x 128 x 4 bytes)
+/// inside L1 and a worst-case block (32-bit widths throughout) under half
+/// a page.
+inline constexpr uint32_t kLinkBlockSize = 128;
+
+/// Per-block header. POD, fixed 16 bytes, written to disk verbatim.
+struct LinkBlockHeader {
+  uint32_t base_serial;    ///< serial of the block's first entry
+  uint32_t max_end;        ///< max subtree end over the block's entries
+  uint32_t word_off;       ///< index of the block's first packed word
+  uint8_t count_minus_1;   ///< entries in the block, minus one
+  uint8_t delta_bits;      ///< width of (serial delta - 1); 0 = consecutive
+  uint8_t end_bits;        ///< width of (end - serial); 0 = all leaves
+  uint8_t cover_bits;      ///< width of backward cover distance; 0 = none
+};
+static_assert(sizeof(LinkBlockHeader) == 16,
+              "LinkBlockHeader is written to disk as raw bytes");
+
+/// Decoded form of one block, the per-cursor scratch the matcher reads.
+/// `covers` holds link-local indices (kNoLinkCover when none).
+struct LinkBlockScratch {
+  uint32_t serials[kLinkBlockSize];
+  uint32_t ends[kLinkBlockSize];
+  uint32_t covers[kLinkBlockSize];
+};
+
+/// Stream selectors for partial decodes. The three packed streams decode
+/// independently (ends additionally need the serial stream, since they are
+/// stored serial-relative); search probes read only serials, so decoding
+/// per stream cuts the hot path's unpack work to a third.
+inline constexpr uint32_t kStreamSerials = 1u << 0;
+inline constexpr uint32_t kStreamEnds = 1u << 1;
+inline constexpr uint32_t kStreamCovers = 1u << 2;
+inline constexpr uint32_t kStreamAll =
+    kStreamSerials | kStreamEnds | kStreamCovers;
+
+/// Number of entries in block header `h`.
+inline uint32_t LinkBlockCount(const LinkBlockHeader& h) {
+  return static_cast<uint32_t>(h.count_minus_1) + 1;
+}
+
+/// Packed payload size of block `h` in 64-bit words. A block whose three
+/// streams are all zero-width (single leaf entry, or a run of consecutive
+/// sibling leaves) occupies no words at all — it is header-only.
+inline uint32_t LinkBlockWords(const LinkBlockHeader& h) {
+  const uint64_t c = LinkBlockCount(h);
+  const uint64_t bits = (c - 1) * h.delta_bits + c * h.end_bits +
+                        c * h.cover_bits;
+  return static_cast<uint32_t>((bits + 63) / 64);
+}
+
+/// Hard ceiling of LinkBlockWords over all legal headers (widths <= 32):
+/// paged readers use it to size block staging buffers on the stack.
+inline constexpr uint32_t kMaxLinkBlockWords =
+    ((kLinkBlockSize - 1) * 32 + kLinkBlockSize * 32 + kLinkBlockSize * 32 +
+     63) /
+    64;
+
+/// Packs entries [0, count) of one link — `count` in [1, kLinkBlockSize] —
+/// into a header plus words appended to `*words`. `local_base` is the
+/// link-local index of entry 0 (cover distances are relative to it);
+/// `covers[i]` must be kNoLinkCover or a link-local index < local_base + i.
+/// Serials must be strictly ascending and ends[i] >= serials[i].
+/// The returned header's word_off is the words->size() before the append.
+LinkBlockHeader PackLinkBlock(const uint32_t* serials, const uint32_t* ends,
+                              const uint32_t* covers, uint32_t count,
+                              uint32_t local_base,
+                              std::vector<uint64_t>* words);
+
+/// Decodes the block `h` whose packed payload starts at `words` (the
+/// block's first word, i.e. the caller already applied h.word_off).
+/// `local_base` must be the same value the block was packed with. Fills
+/// the first LinkBlockCount(h) slots of `*out`.
+void UnpackLinkBlock(const LinkBlockHeader& h, const uint64_t* words,
+                     uint32_t local_base, LinkBlockScratch* out);
+
+/// Per-stream decodes (same contract as UnpackLinkBlock, restricted to one
+/// scratch column). UnpackLinkEnds requires out->serials to be decoded
+/// already — ends are stored as offsets from their serials.
+void UnpackLinkSerials(const LinkBlockHeader& h, const uint64_t* words,
+                       LinkBlockScratch* out);
+void UnpackLinkEnds(const LinkBlockHeader& h, const uint64_t* words,
+                    LinkBlockScratch* out);
+void UnpackLinkCovers(const LinkBlockHeader& h, const uint64_t* words,
+                      uint32_t local_base, LinkBlockScratch* out);
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_INDEX_LINK_CODEC_H_

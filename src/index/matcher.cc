@@ -6,35 +6,65 @@ namespace xseq {
 
 namespace {
 
-/// Accessor over the in-memory FrozenIndex. Link probes read the fused
-/// (serial, end) pairs, so LinkEnd costs no second lookup through nodes_.
+/// Accessor over the in-memory FrozenIndex. Entry reads decode the owning
+/// block into the bound LinkBlockCache; block-header reads (the cursor's
+/// skip tier) go straight to the resident header array.
 class InMemoryAccessor {
  public:
-  explicit InMemoryAccessor(const FrozenIndex& idx) : idx_(idx) {}
+  explicit InMemoryAccessor(const FrozenIndex& idx) : idx_(&idx) {}
+
+  void BindCache(LinkBlockCache* cache) { cache_ = cache; }
 
   uint32_t node_count() const {
-    return static_cast<uint32_t>(idx_.node_count());
+    return static_cast<uint32_t>(idx_->node_count());
   }
-  uint32_t LinkSize(PathId p) const {
-    return static_cast<uint32_t>(idx_.Link(p).size());
+  uint32_t LinkSize(PathId p) const { return idx_->LinkSize(p); }
+  uint32_t LinkBlockBaseSerial(PathId p, uint32_t b) const {
+    return idx_->LinkBlock(p, b).base_serial;
   }
   uint32_t LinkSerial(PathId p, uint32_t i) const {
-    return idx_.Link(p)[i].serial;
+    return Block(p, i, kStreamSerials).serials[i & (kLinkBlockSize - 1)];
   }
-  uint32_t LinkEnd(PathId p, uint32_t i) const { return idx_.Link(p)[i].end; }
+  uint32_t LinkEnd(PathId p, uint32_t i) const {
+    return Block(p, i, kStreamEnds).ends[i & (kLinkBlockSize - 1)];
+  }
   uint32_t LinkCover(PathId p, uint32_t i) const {
-    return idx_.LinkCover(p)[i];
+    return Block(p, i, kStreamCovers).covers[i & (kLinkBlockSize - 1)];
   }
-  bool HasNested(PathId p) const { return idx_.HasNested(p); }
+  bool HasNested(PathId p) const { return idx_->HasNested(p); }
   std::pair<uint32_t, uint32_t> DocOffsets(uint32_t serial,
                                            uint32_t end) const {
     (void)end;
-    return idx_.DocOffsetsInSubtree(serial);
+    return idx_->DocOffsetsInSubtree(serial);
   }
-  DocId DocAt(uint32_t offset) const { return idx_.doc_at(offset); }
+  DocId DocAt(uint32_t offset) const { return idx_->doc_at(offset); }
+  LinkColumns LinkBlockColumns(PathId p, uint32_t b,
+                               uint32_t streams) const {
+    const LinkBlockScratch& s = BlockAt(p, b, streams);
+    return {s.serials, s.ends, s.covers};
+  }
+  uint64_t DecodeStamp() const { return cache_->decode_stamp(); }
+  uint64_t CacheIdentity() const { return idx_->plan_cache_id(); }
 
  private:
-  const FrozenIndex& idx_;
+  /// Decodes lazily per stream: search probes touch only the serial
+  /// column, so a scanned-past block never pays for ends or covers.
+  const LinkBlockScratch& Block(PathId p, uint32_t i,
+                                uint32_t streams) const {
+    return BlockAt(p, i / kLinkBlockSize, streams);
+  }
+  const LinkBlockScratch& BlockAt(PathId p, uint32_t b,
+                                  uint32_t streams) const {
+    return cache_->Get(p, b, streams,
+                       [this](PathId path, uint32_t blk, uint32_t missing,
+                              LinkBlockScratch* out) {
+                         return idx_->DecodeLinkBlockStreams(path, blk,
+                                                             missing, out);
+                       });
+  }
+
+  const FrozenIndex* idx_;
+  LinkBlockCache* cache_ = nullptr;
 };
 
 }  // namespace

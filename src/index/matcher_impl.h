@@ -2,21 +2,60 @@
 //
 // The matcher is parameterized over an Accessor so the in-memory index and
 // the paged (simulated-disk) index run the identical search while counting
-// their own access costs. Link entries are fused (serial, end) label pairs —
-// the paper's Fig. 8 layout — so LinkSerial and LinkEnd of the same entry
-// touch the same cache line / disk page. An Accessor provides:
+// their own access costs. Links are block-compressed (link_codec.h): entry
+// reads decode whole blocks into the MatchContext's LinkBlockCache, and the
+// block headers' base serials give the cursor a decode-free skip test. An
+// Accessor is a cheap value type (copied into MatchCore) providing:
 //
+//   void     BindCache(LinkBlockCache* c);            // decode scratch; set
+//                                                     //   by MatchCore before
+//                                                     //   any link read
 //   uint32_t node_count() const;                      // O(1)
 //   uint32_t LinkSize(PathId p) const;                // O(1)
-//   uint32_t LinkSerial(PathId p, uint32_t i) const;  // O(1); ascending in i
-//   uint32_t LinkEnd(PathId p, uint32_t i) const;     // O(1); n⊣ of the same
-//                                                     //   fused entry as
-//                                                     //   LinkSerial(p, i)
-//   uint32_t LinkCover(PathId p, uint32_t i) const;   // O(1); link-local
-//                                                     //   index of the
-//                                                     //   tightest enclosing
+//   uint32_t LinkBlockBaseSerial(PathId p, uint32_t b) const;
+//                                                     // header read only —
+//                                                     //   never decodes;
+//                                                     //   equals
+//                                                     //   LinkSerial(p, b*B)
+//   uint32_t LinkSerial(PathId p, uint32_t i) const;  // ascending in i;
+//                                                     //   decodes i's block
+//                                                     //   through the cache
+//   uint32_t LinkEnd(PathId p, uint32_t i) const;     // n⊣ of the same entry
+//   uint32_t LinkCover(PathId p, uint32_t i) const;   // link-local index of
+//                                                     //   the tightest
+//                                                     //   enclosing
 //                                                     //   occurrence of p,
 //                                                     //   or kNoLinkCover
+//   LinkColumns LinkBlockColumns(PathId p, uint32_t b,
+//                                uint32_t streams) const;
+//                                                     // borrowed pointers to
+//                                                     //   the decoded columns
+//                                                     //   of block b; only
+//                                                     //   the columns in
+//                                                     //   `streams` are
+//                                                     //   meaningful, and a
+//                                                     //   cache-backed view
+//                                                     //   dies on the next
+//                                                     //   decode (watch
+//                                                     //   DecodeStamp)
+//   uint64_t DecodeStamp() const;                     // bumped whenever a
+//                                                     //   borrowed view may
+//                                                     //   have been
+//                                                     //   overwritten; a
+//                                                     //   constant for flat
+//                                                     //   (decode-free)
+//                                                     //   accessors
+//   uint64_t CacheIdentity() const;                   // process-unique id of
+//                                                     //   the index behind
+//                                                     //   this accessor
+//                                                     //   (plan_cache_id
+//                                                     //   space); binds the
+//                                                     //   context's block
+//                                                     //   cache so repeat
+//                                                     //   matches against one
+//                                                     //   index keep decoded
+//                                                     //   blocks; 0 = never
+//                                                     //   retain
 //   bool     HasNested(PathId p) const;               // O(1)
 //   std::pair<uint32_t,uint32_t> DocOffsets(uint32_t serial,
 //                                           uint32_t end) const;
@@ -24,16 +63,28 @@
 //
 // Cost model (counters in MatchStats):
 //  * A cold link probe — no cursor hint for this query position yet — runs a
-//    full branchless binary search: one link_binary_searches plus one
-//    link_entries_read per probe.
-//  * A warm probe gallops out from the previous cursor position and then
-//    binary-searches the bracketed window; every probe counts as
-//    link_gallop_probes. Hints are per query position and reset every call,
-//    so counters are deterministic and independent of scheduling.
+//    branchless binary search over the block headers' base serials and then
+//    within the one candidate block: one link_binary_searches plus one
+//    link_entries_read per probe (header or entry alike).
+//  * A warm probe gallops out over block headers from the hint's block and
+//    binary-searches down to one block, then within it; every probe counts
+//    as link_gallop_probes. Hints are per query position and reset every
+//    call, so counters are deterministic and independent of scheduling.
+//    Either way at most ONE block decodes per upper-bound search.
+//  * The scan loop peeks the next block's header at each block boundary —
+//    the base serial IS that entry's serial — so a tail of blocks past the
+//    candidate range is skipped without decoding. Within a block it reads
+//    through a borrowed LinkColumns view, re-validated by a DecodeStamp
+//    compare, so the steady-state per-entry cost is a plain array load and
+//    the view survives the recursive calls the scan makes between entries
+//    unless a decode actually recycled its cache slot.
 //  * The sibling-cover test keeps a per-frame cursor into the parent's link
 //    (advanced monotonically; advances count as link_gallop_probes) and
 //    resolves TightestContaining by walking the precomputed nesting forest —
-//    one link_entries_read per cover step, almost always exactly one.
+//    one link_entries_read per cover step, almost always exactly one. The
+//    cursor walk reads a borrowed view of the parent block's columns; only
+//    cover-chain hops that leave that block fall back to per-entry
+//    accessor reads.
 
 #ifndef XSEQ_SRC_INDEX_MATCHER_IMPL_H_
 #define XSEQ_SRC_INDEX_MATCHER_IMPL_H_
@@ -57,78 +108,120 @@ void RecordMatchMetrics(const MatchStats& delta);
 /// "No previous cursor" marker for per-position link hints.
 inline constexpr uint32_t kNoCursorHint = 0xFFFFFFFFu;
 
-/// Branchless binary search: first index in [lo, lo+count) whose entry
-/// serial is > `after` (lo+count when none). The compare folds into
-/// conditional moves, so the loop has one unpredictable branch less than
-/// the textbook form on hot links.
-template <typename Accessor>
-uint32_t WindowSearch(const Accessor& acc, PathId path, int64_t after,
-                      uint32_t lo, uint32_t count, uint64_t* probes) {
+/// Branchless binary search over a decoded serial column: first offset in
+/// [0, count) whose serial is > `after` (count when none). The compare
+/// folds into conditional moves, so the loop has one unpredictable branch
+/// less than the textbook form on hot links. Operating on the raw column —
+/// LinkUpperBound's tier 2 is always confined to one block — keeps each
+/// probe a plain array load instead of a block-cache lookup.
+inline uint32_t WindowSearch(const uint32_t* serials, int64_t after,
+                             uint32_t count, uint64_t* probes) {
+  uint32_t lo = 0;
   while (count > 0) {
     uint32_t half = count >> 1;
     uint32_t mid = lo + half;
     ++*probes;
-    bool le = static_cast<int64_t>(acc.LinkSerial(path, mid)) <= after;
+    bool le = static_cast<int64_t>(serials[mid]) <= after;
     lo = le ? mid + 1 : lo;
     count = le ? count - half - 1 : half;
   }
   return lo;
 }
 
-/// First link index whose entry serial is > `after`. With a hint (the
-/// cursor position of the previous search at this query position) the
-/// search gallops out bidirectionally from the hint — successive targets
-/// are usually close, but move *backwards* when nested occurrences unwind,
-/// so one-directional galloping would be wrong — and binary-searches the
-/// bracketed window. Without a hint it falls back to a full binary search.
+/// Branchless binary search over block headers: first block in
+/// [lo, lo+count) whose base serial is > `after` (lo+count when none).
+/// Header reads never decode a block.
 template <typename Accessor>
-uint32_t LinkUpperBound(const Accessor& acc, PathId path, int64_t after,
-                        uint32_t hint, MatchStats* stats) {
-  const uint32_t n = acc.LinkSize(path);
-  if (n == 0) return 0;
+uint32_t BlockWindowSearch(const Accessor& acc, PathId path, int64_t after,
+                           uint32_t lo, uint32_t count, uint64_t* probes) {
+  while (count > 0) {
+    uint32_t half = count >> 1;
+    uint32_t mid = lo + half;
+    ++*probes;
+    bool le =
+        static_cast<int64_t>(acc.LinkBlockBaseSerial(path, mid)) <= after;
+    lo = le ? mid + 1 : lo;
+    count = le ? count - half - 1 : half;
+  }
+  return lo;
+}
+
+/// Result of the header tier of an upper-bound search: the block upper
+/// bound (first block whose base serial is > the target; 0 = even block 0
+/// starts past it) and the probe counter the in-block tier must keep
+/// feeding (cold searches count entries_read, warm ones gallop_probes).
+struct BlockBound {
+  uint32_t ub;
+  uint64_t* probes;
+};
+
+/// Header tier of the two-tier upper-bound search over `path`'s link
+/// (`n` = link size, > 0): finds the one block that can contain the first
+/// entry serial > `after`, from base serials alone — no decoding. With a
+/// hint (the cursor position of the previous search at this query
+/// position) it gallops out bidirectionally from the hint's block —
+/// successive targets are usually close, but move *backwards* when nested
+/// occurrences unwind, so one-directional galloping would be wrong — and
+/// binary-searches the bracketed window. Without a hint it falls back to
+/// a full binary search. The caller (SearchRec) finishes tier 2 with
+/// WindowSearch over the surviving block's decoded serial column, which
+/// seeds the frame's scan view — so an upper-bound search decodes at most
+/// one block regardless of link size.
+template <typename Accessor>
+BlockBound LinkBlockUpperBound(const Accessor& acc, PathId path,
+                               int64_t after, uint32_t n, uint32_t hint,
+                               MatchStats* stats) {
+  const uint32_t nb = (n + kLinkBlockSize - 1) / kLinkBlockSize;
+  // Tier 1: first block whose base serial is > after, in [0, nb].
+  uint32_t ub;
+  uint64_t* probes;
   if (hint == kNoCursorHint) {
     ++stats->link_binary_searches;
-    return WindowSearch(acc, path, after, 0, n,
-                        &stats->link_entries_read);
-  }
-  const uint32_t pos = hint < n ? hint : n - 1;
-  ++stats->link_gallop_probes;
-  uint32_t lo, hi;
-  if (static_cast<int64_t>(acc.LinkSerial(path, pos)) <= after) {
-    // Answer is right of pos: probe pos+1, pos+2, pos+4, ...
-    lo = pos + 1;
-    hi = n;
-    uint64_t step = 1;
-    while (static_cast<uint64_t>(pos) + step < n) {
-      uint32_t probe = pos + static_cast<uint32_t>(step);
-      ++stats->link_gallop_probes;
-      if (static_cast<int64_t>(acc.LinkSerial(path, probe)) <= after) {
-        lo = probe + 1;
-        step <<= 1;
-      } else {
-        hi = probe;
-        break;
-      }
-    }
+    probes = &stats->link_entries_read;
+    ub = BlockWindowSearch(acc, path, after, 0, nb, probes);
   } else {
-    // Answer is at or left of pos: probe pos-1, pos-2, pos-4, ...
-    lo = 0;
-    hi = pos;
-    uint64_t step = 1;
-    while (step <= pos) {
-      uint32_t probe = pos - static_cast<uint32_t>(step);
-      ++stats->link_gallop_probes;
-      if (static_cast<int64_t>(acc.LinkSerial(path, probe)) > after) {
-        hi = probe;
-        step <<= 1;
-      } else {
-        lo = probe + 1;
-        break;
+    probes = &stats->link_gallop_probes;
+    const uint32_t pos = (hint < n ? hint : n - 1) / kLinkBlockSize;
+    ++*probes;
+    uint32_t lo, hi;
+    if (static_cast<int64_t>(acc.LinkBlockBaseSerial(path, pos)) <= after) {
+      // Answer is right of pos: probe pos+1, pos+2, pos+4, ...
+      lo = pos + 1;
+      hi = nb;
+      uint64_t step = 1;
+      while (static_cast<uint64_t>(pos) + step < nb) {
+        uint32_t probe = pos + static_cast<uint32_t>(step);
+        ++*probes;
+        if (static_cast<int64_t>(acc.LinkBlockBaseSerial(path, probe)) <=
+            after) {
+          lo = probe + 1;
+          step <<= 1;
+        } else {
+          hi = probe;
+          break;
+        }
+      }
+    } else {
+      // Answer is at or left of pos: probe pos-1, pos-2, pos-4, ...
+      lo = 0;
+      hi = pos;
+      uint64_t step = 1;
+      while (step <= pos) {
+        uint32_t probe = pos - static_cast<uint32_t>(step);
+        ++*probes;
+        if (static_cast<int64_t>(acc.LinkBlockBaseSerial(path, probe)) >
+            after) {
+          hi = probe;
+          step <<= 1;
+        } else {
+          lo = probe + 1;
+          break;
+        }
       }
     }
+    ub = BlockWindowSearch(acc, path, after, lo, hi - lo, probes);
   }
-  return WindowSearch(acc, path, after, lo, hi - lo,
-                      &stats->link_gallop_probes);
+  return {ub, probes};
 }
 
 /// Recursive chain search. Scratch lives in `ctx`; `ctx->ranges` collects
@@ -145,7 +238,62 @@ void SearchRec(const Accessor& acc, const QuerySeq& q, MatchMode mode,
   }
   PathId p = q.paths[i];
   uint32_t link_size = acc.LinkSize(p);
-  uint32_t idx = LinkUpperBound(acc, p, v_serial, ctx->link_hint[i], stats);
+
+  // Borrowed views of the decoded columns the frame is reading — per
+  // query position, persisted in the context across the many frames a
+  // search spawns at this depth. The scan and the sibling test each touch
+  // one block at a time, so per-entry reads go through these views —
+  // plain array loads — instead of a block-cache lookup per read. A view
+  // dies when a later decode recycles its cache slot; DecodeStamp
+  // compares at the few places that can follow a decode (view fetches,
+  // cover-chain fallbacks, the recursive call) notice exactly that and
+  // re-fetch — a cache hit unless the slot really was stolen. In steady
+  // state — hints keep successive frames in the same blocks, the bound
+  // cache retains them — a frame runs entirely on revalidation compares,
+  // no cache lookups at all. Flat accessors return a constant stamp and
+  // permanent views, so every compare is an always-false predicted
+  // branch.
+  constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
+  LinkBlockView& own = ctx->scan_view[i];
+  LinkBlockView& par = ctx->sib_view[i];
+  // The accessor's decode stamp, mirrored into a register. Within this
+  // frame only view fetches, the cover chain's per-entry fallback reads,
+  // and the recursive call can decode; each reloads the mirror, so every
+  // other staleness check is a register compare instead of a load through
+  // the cache pointer — per candidate, that is the difference between the
+  // compressed and flat hot loops.
+  uint64_t stamp = acc.DecodeStamp();
+  auto own_fetch = [&](uint32_t blk, uint32_t streams) {
+    own.cols = acc.LinkBlockColumns(p, blk, streams);
+    own.blk = blk;
+    own.streams = streams;
+    own.stamp = stamp = acc.DecodeStamp();
+  };
+  // Full revalidation (block + streams + stamp) — frame entry and the
+  // scan's block transitions; within the frame the targeted checks below
+  // suffice.
+  auto own_ensure = [&](uint32_t blk, uint32_t streams) {
+    if (own.blk != blk || (own.streams & streams) != streams ||
+        own.stamp != stamp) {
+      own_fetch(blk, own.blk == blk ? (own.streams | streams) : streams);
+    }
+  };
+
+  // Upper bound for the scan start: header tier, then WindowSearch within
+  // the surviving block — whose decoded serial column becomes the scan
+  // view, so the search and the scan share one block fetch.
+  uint32_t idx = 0;
+  if (link_size > 0) {
+    BlockBound t1 = LinkBlockUpperBound(acc, p, v_serial, link_size,
+                                        ctx->link_hint[i], stats);
+    if (t1.ub > 0) {
+      const uint32_t fb = t1.ub - 1;
+      const uint32_t base = fb * kLinkBlockSize;
+      const uint32_t cnt = std::min(link_size - base, kLinkBlockSize);
+      own_ensure(fb, kStreamSerials);
+      idx = base + WindowSearch(own.cols.serials, v_serial, cnt, t1.probes);
+    }
+  }
   ctx->link_hint[i] = idx;
 
   // Sibling-cover test state (Definition 4). The test is needed only when
@@ -169,10 +317,38 @@ void SearchRec(const Accessor& acc, const QuerySeq& q, MatchMode mode,
   uint32_t sib_size = 0;
   int64_t sib_next = 0;
   bool sib_init = false, sib_have_next = false;
+  auto par_fetch = [&](uint32_t blk) {
+    // The sibling test reads all three parent columns per candidate, so
+    // fetch them together.
+    par.cols = acc.LinkBlockColumns(parent_path, blk, kStreamAll);
+    par.blk = blk;
+    par.streams = kStreamAll;
+    par.stamp = stamp = acc.DecodeStamp();
+  };
+
+  // The scan below revalidates with a block compare alone, which is only
+  // sound while the view is known current. Tier 2 just ensured that —
+  // unless it was skipped (empty link, or the upper bound landed before
+  // block 0), in which case a view inherited from an earlier frame at
+  // this position may be stale: drop it and let the scan re-fetch.
+  if (own.blk != kNoBlock && own.stamp != stamp) {
+    own.blk = kNoBlock;
+  }
 
   for (; idx < link_size; ++idx) {
     ++stats->link_entries_read;
-    uint32_t r = acc.LinkSerial(p, idx);
+    const uint32_t blk = idx / kLinkBlockSize;
+    const uint32_t off = idx & (kLinkBlockSize - 1);
+    uint32_t r;
+    if (off == 0) {
+      // Block boundary: the header's base serial IS this entry's serial,
+      // so a tail of blocks past v_end breaks out without decoding.
+      // (Header reads never decode, so the views survive them.)
+      r = acc.LinkBlockBaseSerial(p, blk);
+      if (static_cast<int64_t>(r) > v_end) break;
+    }
+    if (blk != own.blk) own_fetch(blk, kStreamSerials);
+    r = own.cols.serials[off];
     if (static_cast<int64_t>(r) > v_end) break;
     ++stats->candidates;
     if (need_cover) {
@@ -182,44 +358,82 @@ void SearchRec(const Accessor& acc, const QuerySeq& q, MatchMode mode,
         sib_size = acc.LinkSize(parent_path);
         if (sib_cur + 1 < sib_size) {
           ++stats->link_gallop_probes;
-          sib_next = acc.LinkSerial(parent_path, sib_cur + 1);
+          const uint32_t jb = (sib_cur + 1) / kLinkBlockSize;
+          if (par.blk != jb || par.stamp != stamp) {
+            par_fetch(jb);
+          }
+          sib_next = par.cols.serials[(sib_cur + 1) & (kLinkBlockSize - 1)];
           sib_have_next = true;
         }
+      } else if (par.blk != kNoBlock && stamp != par.stamp) {
+        // Decodes since the previous candidate (its recursion, or a
+        // cover-chain fallback) may have recycled the parent view.
+        par_fetch(par.blk);
       }
+      // Within the gallop only par_fetch itself decodes, and it refreshes
+      // the view in place — so block-crossing is the only check needed.
       while (sib_have_next && sib_next <= static_cast<int64_t>(r)) {
         ++sib_cur;
         if (sib_cur + 1 < sib_size) {
           ++stats->link_gallop_probes;
-          sib_next = acc.LinkSerial(parent_path, sib_cur + 1);
+          const uint32_t j = sib_cur + 1;
+          if (j / kLinkBlockSize != par.blk) par_fetch(j / kLinkBlockSize);
+          sib_next = par.cols.serials[j & (kLinkBlockSize - 1)];
         } else {
           sib_have_next = false;
         }
       }
       // sib_cur is the last parent-link entry with serial <= r; every
       // occurrence containing r encloses it (laminarity), so the tightest
-      // is the first cover-chain ancestor-or-self whose range reaches r.
+      // is the first cover-chain ancestor-or-self whose range covers r.
+      // The chain's first node is usually in the cursor's block; hops
+      // that leave it fall back to per-entry accessor reads, whose
+      // decodes the stamp compare detects.
       uint32_t tight = sib_cur;
       ++stats->link_entries_read;
-      while (acc.LinkEnd(parent_path, tight) < r) {
-        tight = acc.LinkCover(parent_path, tight);
+      for (;;) {
+        uint32_t t_end, t_cover;
+        if (tight / kLinkBlockSize == par.blk && stamp == par.stamp) {
+          t_end = par.cols.ends[tight & (kLinkBlockSize - 1)];
+          t_cover = par.cols.covers[tight & (kLinkBlockSize - 1)];
+        } else {
+          t_end = acc.LinkEnd(parent_path, tight);
+          t_cover = acc.LinkCover(parent_path, tight);
+          stamp = acc.DecodeStamp();  // the fallback reads may decode
+        }
+        if (t_end >= r) break;
+        tight = t_cover;
         if (tight == kNoLinkCover) break;  // corrupt index; reject below
         ++stats->link_entries_read;
       }
       if (tight != parent_idx) {
         ++stats->sibling_rejections;
+        // A cover-chain fallback may have displaced the scan view.
+        if (stamp != own.stamp) own_fetch(blk, own.streams);
         continue;  // sibling-covered: wrong identical sibling
       }
     }
     ctx->matched_link_idx[i] = idx;
-    SearchRec(acc, q, mode, i + 1, r, acc.LinkEnd(p, idx), ctx, stats);
+    // One combined check: the end column may not be decoded yet, and the
+    // sibling test above may have displaced the view.
+    if (!(own.streams & kStreamEnds) || stamp != own.stamp) {
+      own_fetch(blk, own.streams | kStreamEnds);
+    }
+    const uint32_t child_end = own.cols.ends[off];
+    SearchRec(acc, q, mode, i + 1, r, child_end, ctx, stats);
+    // The recursion's decodes may have recycled the scan view's slot.
+    stamp = acc.DecodeStamp();
+    if (stamp != own.stamp) own_fetch(blk, own.streams);
   }
   ctx->link_hint[i] = idx;
 }
 
 /// Full match: search, then merge the terminal doc-offset intervals and
-/// materialize sorted, deduplicated document ids.
+/// materialize sorted, deduplicated document ids. Takes the accessor by
+/// value: it is rebound to the resolved context's block cache, and copying
+/// keeps the caller's accessor untouched.
 template <typename Accessor>
-Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
+Status MatchCore(Accessor acc, const QuerySeq& q, MatchMode mode,
                  std::vector<DocId>* out, MatchStats* stats,
                  MatchContext* ctx) {
   if (q.paths.empty()) {
@@ -248,6 +462,14 @@ Status MatchCore(const Accessor& acc, const QuerySeq& q, MatchMode mode,
   ctx->matched_link_idx.assign(q.size(), 0);
   ctx->link_hint.assign(q.size(), kNoCursorHint);
   ctx->ranges.clear();
+  // Views cache (path, block) pairs of THIS query's positions; they never
+  // outlive the call.
+  ctx->scan_view.assign(q.size(), LinkBlockView{});
+  ctx->sib_view.assign(q.size(), LinkBlockView{});
+  // Rebind, don't reset: a context matching repeatedly against one index
+  // keeps its decoded blocks (see LinkBlockCache::BindIndex).
+  ctx->block_cache.BindIndex(acc.CacheIdentity());
+  acc.BindCache(&ctx->block_cache);
   if (acc.node_count() > 0) {
     SearchRec(acc, q, mode, 0, /*v_serial=*/-1,
               /*v_end=*/static_cast<int64_t>(acc.node_count()) - 1, ctx,

@@ -15,35 +15,115 @@ uint64_t NextPlanCacheId() {
 
 }  // namespace
 
+uint64_t FrozenIndex::NextIndexCacheId() { return NextPlanCacheId(); }
+
 uint64_t FrozenIndex::MemoryBytes() const {
   return nodes_.size() * sizeof(NodeRec) +
          node_docs_off_.size() * sizeof(uint32_t) +
          docs_.size() * sizeof(DocId) +
          link_off_.size() * sizeof(uint32_t) +
-         link_entries_.size() * sizeof(LinkEntry) +
-         link_cover_.size() * sizeof(uint32_t) + nested_.size();
+         link_block_off_.size() * sizeof(uint32_t) + nested_.size() +
+         PackedLinkBytes();
 }
 
-void FrozenIndex::BuildLinkCover() {
-  link_cover_.assign(link_entries_.size(), kNoLinkCover);
-  std::vector<uint32_t> stack;  // link-local indices of open ranges
+uint64_t FrozenIndex::PackedLinkBytes() const {
+  return link_blocks_.size() * sizeof(LinkBlockHeader) +
+         link_words_.size() * sizeof(uint64_t);
+}
+
+uint64_t FrozenIndex::LogicalLinkBytes() const {
+  const uint64_t entries = link_off_.empty() ? 0 : link_off_.back();
+  return entries * (sizeof(LinkEntry) + sizeof(uint32_t));
+}
+
+void FrozenIndex::CompressLinks(const std::vector<LinkEntry>& entries) {
+  link_blocks_.clear();
+  link_words_.clear();
+  link_block_off_.assign(link_off_.size(), 0);
+  if (link_off_.empty()) return;
+
+  std::vector<uint32_t> serials, ends, covers, stack;
   for (PathId p = 0; p + 1 < link_off_.size(); ++p) {
-    // A path without nested occurrences has no enclosing entries at all,
-    // so its cover slots keep the sentinel.
-    if (!HasNested(p)) continue;
-    stack.clear();
+    link_block_off_[p] = static_cast<uint32_t>(link_blocks_.size());
     const uint32_t base = link_off_[p];
     const uint32_t size = link_off_[p + 1] - base;
+    if (size == 0) continue;
+    serials.resize(size);
+    ends.resize(size);
+    covers.resize(size);
+    stack.clear();
+    // One stack pass computes the nesting forest (tightest still-open
+    // occurrence) alongside the column split the packer wants.
     for (uint32_t i = 0; i < size; ++i) {
-      const LinkEntry& e = link_entries_[base + i];
-      while (!stack.empty() &&
-             link_entries_[base + stack.back()].end < e.serial) {
+      const LinkEntry& e = entries[base + i];
+      serials[i] = e.serial;
+      ends[i] = e.end;
+      while (!stack.empty() && ends[stack.back()] < e.serial) {
         stack.pop_back();
       }
-      link_cover_[base + i] = stack.empty() ? kNoLinkCover : stack.back();
+      covers[i] = stack.empty() ? kNoLinkCover : stack.back();
       stack.push_back(i);
     }
+    for (uint32_t off = 0; off < size; off += kLinkBlockSize) {
+      const uint32_t cnt = std::min(size - off, kLinkBlockSize);
+      link_blocks_.push_back(PackLinkBlock(serials.data() + off,
+                                           ends.data() + off,
+                                           covers.data() + off, cnt, off,
+                                           &link_words_));
+    }
   }
+  link_block_off_.back() = static_cast<uint32_t>(link_blocks_.size());
+}
+
+void FrozenIndex::DecodeLinkBlock(PathId path, uint32_t b,
+                                  LinkBlockScratch* out) const {
+  const LinkBlockHeader& h = link_blocks_[link_block_off_[path] + b];
+  UnpackLinkBlock(h, link_words_.data() + h.word_off, b * kLinkBlockSize,
+                  out);
+}
+
+uint32_t FrozenIndex::DecodeLinkBlockStreams(PathId path, uint32_t b,
+                                             uint32_t streams,
+                                             LinkBlockScratch* out) const {
+  if (streams & kStreamEnds) streams |= kStreamSerials;
+  const LinkBlockHeader& h = link_blocks_[link_block_off_[path] + b];
+  const uint64_t* words = link_words_.data() + h.word_off;
+  if (streams & kStreamSerials) UnpackLinkSerials(h, words, out);
+  if (streams & kStreamEnds) UnpackLinkEnds(h, words, out);
+  if (streams & kStreamCovers) {
+    UnpackLinkCovers(h, words, b * kLinkBlockSize, out);
+  }
+  return streams;
+}
+
+std::vector<FrozenIndex::LinkEntry> FrozenIndex::Link(PathId path) const {
+  std::vector<LinkEntry> out;
+  const uint32_t size = LinkSize(path);
+  out.reserve(size);
+  LinkBlockScratch scratch;
+  for (uint32_t b = 0; b * kLinkBlockSize < size; ++b) {
+    DecodeLinkBlock(path, b, &scratch);
+    const uint32_t cnt =
+        std::min(size - b * kLinkBlockSize, kLinkBlockSize);
+    for (uint32_t i = 0; i < cnt; ++i) {
+      out.push_back(LinkEntry{scratch.serials[i], scratch.ends[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> FrozenIndex::LinkCover(PathId path) const {
+  std::vector<uint32_t> out;
+  const uint32_t size = LinkSize(path);
+  out.reserve(size);
+  LinkBlockScratch scratch;
+  for (uint32_t b = 0; b * kLinkBlockSize < size; ++b) {
+    DecodeLinkBlock(path, b, &scratch);
+    const uint32_t cnt =
+        std::min(size - b * kLinkBlockSize, kLinkBlockSize);
+    for (uint32_t i = 0; i < cnt; ++i) out.push_back(scratch.covers[i]);
+  }
+  return out;
 }
 
 Status FrozenIndex::Validate() const {
@@ -75,32 +155,84 @@ Status FrozenIndex::Validate() const {
     return Status::Corruption("doc offsets do not cover the doc array");
   }
   // Links: ascending serials, fused ends matching the nodes, correct
-  // paths, full partition, exact nested flags, exact cover forest.
-  if (link_entries_.size() != nodes_.size()) {
+  // paths, full partition, exact nested flags, exact cover forest, and
+  // block headers (counts, widths, word offsets, max ends) agreeing with
+  // their decoded contents.
+  if (link_off_.empty() ? n != 0 : link_off_.back() != n) {
     return Status::Corruption("link array size mismatch");
   }
-  if (link_cover_.size() != link_entries_.size()) {
-    return Status::Corruption("link cover array size mismatch");
+  if (link_block_off_.size() != link_off_.size()) {
+    return Status::Corruption("link block directory size mismatch");
+  }
+  if (!link_block_off_.empty() &&
+      link_block_off_.back() != link_blocks_.size()) {
+    return Status::Corruption("link block directory does not cover blocks");
+  }
+  uint64_t word_cursor = 0;
+  for (const LinkBlockHeader& h : link_blocks_) {
+    if (LinkBlockCount(h) > kLinkBlockSize) {
+      return Status::Corruption("link block entry count out of range");
+    }
+    if (h.delta_bits > 32 || h.end_bits > 32 || h.cover_bits > 32) {
+      return Status::Corruption("link block bit width out of range");
+    }
+    if (h.word_off != word_cursor) {
+      return Status::Corruption("link block word offset wrong");
+    }
+    word_cursor += LinkBlockWords(h);
+  }
+  if (word_cursor != link_words_.size()) {
+    return Status::Corruption("link words do not cover the word array");
   }
   size_t paths = distinct_paths();
   std::vector<uint32_t> cover_stack;
+  std::vector<uint32_t> s_all, e_all, c_all;
+  LinkBlockScratch scratch;
   for (PathId p = 0; p < paths; ++p) {
-    if (link_off_[p] > link_off_[p + 1] ||
-        link_off_[p + 1] > link_entries_.size()) {
+    if (link_off_[p] > link_off_[p + 1] || link_off_[p + 1] > n) {
       return Status::Corruption("link offsets invalid for path " +
                                 std::to_string(p));
+    }
+    const uint32_t size = link_off_[p + 1] - link_off_[p];
+    const uint32_t blocks = (size + kLinkBlockSize - 1) / kLinkBlockSize;
+    if (link_block_off_[p] > link_block_off_[p + 1] ||
+        link_block_off_[p + 1] - link_block_off_[p] != blocks) {
+      return Status::Corruption("link block count wrong for path " +
+                                std::to_string(p));
+    }
+    s_all.resize(size);
+    e_all.resize(size);
+    c_all.resize(size);
+    for (uint32_t b = 0; b < blocks; ++b) {
+      const LinkBlockHeader& h = LinkBlock(p, b);
+      const uint32_t off = b * kLinkBlockSize;
+      const uint32_t cnt = std::min(size - off, kLinkBlockSize);
+      if (LinkBlockCount(h) != cnt) {
+        return Status::Corruption("link block entry count wrong for path " +
+                                  std::to_string(p));
+      }
+      DecodeLinkBlock(p, b, &scratch);
+      uint32_t block_max_end = 0;
+      for (uint32_t i = 0; i < cnt; ++i) {
+        s_all[off + i] = scratch.serials[i];
+        e_all[off + i] = scratch.ends[i];
+        c_all[off + i] = scratch.covers[i];
+        block_max_end = std::max(block_max_end, scratch.ends[i]);
+      }
+      if (h.max_end != block_max_end) {
+        return Status::Corruption("link block max end wrong for path " +
+                                  std::to_string(p));
+      }
     }
     bool contained = false, seen = false;
     uint32_t prev = 0, max_end = 0;
     cover_stack.clear();
-    const uint32_t base = link_off_[p];
-    for (uint32_t i = base; i < link_off_[p + 1]; ++i) {
-      const LinkEntry& e = link_entries_[i];
-      uint32_t s = e.serial;
+    for (uint32_t i = 0; i < size; ++i) {
+      uint32_t s = s_all[i];
       if (s >= n || nodes_[s].path != p) {
         return Status::Corruption("link entry points at a foreign node");
       }
-      if (e.end != nodes_[s].end) {
+      if (e_all[i] != nodes_[s].end) {
         return Status::Corruption("fused link end disagrees with node " +
                                   std::to_string(s));
       }
@@ -108,21 +240,20 @@ Status FrozenIndex::Validate() const {
         return Status::Corruption("link not strictly ascending");
       }
       if (seen && s <= max_end) contained = true;
-      max_end = seen ? std::max(max_end, e.end) : e.end;
+      max_end = seen ? std::max(max_end, e_all[i]) : e_all[i];
       prev = s;
       seen = true;
       // The cover entry must name the tightest still-open occurrence.
-      while (!cover_stack.empty() &&
-             link_entries_[base + cover_stack.back()].end < s) {
+      while (!cover_stack.empty() && e_all[cover_stack.back()] < s) {
         cover_stack.pop_back();
       }
       uint32_t expect =
           cover_stack.empty() ? kNoLinkCover : cover_stack.back();
-      if (link_cover_[i] != expect) {
+      if (c_all[i] != expect) {
         return Status::Corruption("link cover wrong for path " +
                                   std::to_string(p));
       }
-      cover_stack.push_back(i - base);
+      cover_stack.push_back(i);
     }
     bool flagged = p < nested_.size() && nested_[p] != 0;
     if (flagged != contained) {
@@ -133,38 +264,37 @@ Status FrozenIndex::Validate() const {
   return Status::OK();
 }
 
-void FrozenIndex::EncodeTo(std::string* dst) const {
+void FrozenIndex::EncodeTo(std::string* dst, LinkSectionFormat format) const {
   PutPodVector(dst, nodes_);
   PutPodVector(dst, node_docs_off_);
   PutPodVector(dst, docs_);
   PutPodVector(dst, link_off_);
-  // The file format (v2) stores plain serial lists; the fused pairs and the
-  // cover forest are derived views rebuilt by DecodeFrom, so images written
-  // before the fused layout still load and new images stay byte-identical.
-  std::vector<uint32_t> serials(link_entries_.size());
-  for (size_t i = 0; i < link_entries_.size(); ++i) {
-    serials[i] = link_entries_[i].serial;
+  if (format == LinkSectionFormat::kPlainSerials) {
+    // v2 images store one flat serial list; ends, covers, and blocks are
+    // derived on load. Kept for compatibility fixtures and downgrades.
+    std::vector<uint32_t> serials;
+    serials.reserve(link_off_.empty() ? 0 : link_off_.back());
+    for (PathId p = 0; p + 1 < link_off_.size(); ++p) {
+      for (const LinkEntry& e : Link(p)) serials.push_back(e.serial);
+    }
+    PutPodVector(dst, serials);
+  } else {
+    // v3 images ship the packed blocks verbatim: re-encoding a decoded
+    // image is byte-identical, and loading needs no recompression. The
+    // per-path block directory is derived from link_off_ on load.
+    PutPodVector(dst, link_blocks_);
+    PutPodVector(dst, link_words_);
   }
-  PutPodVector(dst, serials);
   PutPodVector(dst, nested_);
 }
 
-StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in) {
+StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in,
+                                              LinkSectionFormat format) {
   FrozenIndex out;
-  std::vector<uint32_t> serials;
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nodes_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.node_docs_off_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.docs_));
   XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_off_));
-  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&serials));
-  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nested_));
-  if (out.node_docs_off_.size() != out.nodes_.size() + 1 &&
-      !(out.nodes_.empty() && out.node_docs_off_.empty())) {
-    return Status::Corruption("index arrays are inconsistent");
-  }
-  if (serials.size() != out.nodes_.size()) {
-    return Status::Corruption("link array size mismatch");
-  }
   // Bounds must hold before the derived arrays are built (Validate runs
   // later and assumes in-bounds access).
   for (size_t i = 0; i + 1 < out.link_off_.size(); ++i) {
@@ -172,18 +302,68 @@ StatusOr<FrozenIndex> FrozenIndex::DecodeFrom(Decoder* in) {
       return Status::Corruption("link offsets not monotone");
     }
   }
-  if (!out.link_off_.empty() && out.link_off_.back() > serials.size()) {
-    return Status::Corruption("link offsets exceed the link array");
+  if (!out.link_off_.empty() && out.link_off_.back() != out.nodes_.size()) {
+    return Status::Corruption("link array size mismatch");
   }
-  out.link_entries_.resize(serials.size());
-  for (size_t i = 0; i < serials.size(); ++i) {
-    if (serials[i] >= out.nodes_.size()) {
-      return Status::Corruption("link entry serial out of range");
+  if (out.link_off_.empty() && !out.nodes_.empty()) {
+    return Status::Corruption("link array size mismatch");
+  }
+  if (format == LinkSectionFormat::kPlainSerials) {
+    std::vector<uint32_t> serials;
+    XSEQ_RETURN_IF_ERROR(in->GetPodVector(&serials));
+    if (serials.size() != out.nodes_.size()) {
+      return Status::Corruption("link array size mismatch");
     }
-    out.link_entries_[i] =
-        LinkEntry{serials[i], out.nodes_[serials[i]].end};
+    std::vector<LinkEntry> entries(serials.size());
+    for (size_t i = 0; i < serials.size(); ++i) {
+      if (serials[i] >= out.nodes_.size()) {
+        return Status::Corruption("link entry serial out of range");
+      }
+      entries[i] = LinkEntry{serials[i], out.nodes_[serials[i]].end};
+    }
+    out.CompressLinks(entries);
+  } else {
+    XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_blocks_));
+    XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.link_words_));
+    // Rebuild the per-path block directory from link_off_ and verify the
+    // headers are structurally safe (entry counts within the scratch,
+    // widths within the reader, word offsets exactly cumulative) BEFORE
+    // anything decodes a block. Content checks live in Validate().
+    out.link_block_off_.assign(out.link_off_.size(), 0);
+    uint64_t block_cursor = 0;
+    for (size_t p = 0; p + 1 < out.link_off_.size(); ++p) {
+      out.link_block_off_[p] = static_cast<uint32_t>(block_cursor);
+      const uint32_t size = out.link_off_[p + 1] - out.link_off_[p];
+      block_cursor += (size + kLinkBlockSize - 1) / kLinkBlockSize;
+    }
+    if (!out.link_block_off_.empty()) {
+      out.link_block_off_.back() = static_cast<uint32_t>(block_cursor);
+    }
+    if (block_cursor != out.link_blocks_.size()) {
+      return Status::Corruption("link block count disagrees with offsets");
+    }
+    uint64_t word_cursor = 0;
+    for (const LinkBlockHeader& h : out.link_blocks_) {
+      if (LinkBlockCount(h) > kLinkBlockSize) {
+        return Status::Corruption("link block entry count out of range");
+      }
+      if (h.delta_bits > 32 || h.end_bits > 32 || h.cover_bits > 32) {
+        return Status::Corruption("link block bit width out of range");
+      }
+      if (h.word_off != word_cursor) {
+        return Status::Corruption("link block word offset wrong");
+      }
+      word_cursor += LinkBlockWords(h);
+    }
+    if (word_cursor != out.link_words_.size()) {
+      return Status::Corruption("link words do not cover the word array");
+    }
   }
-  out.BuildLinkCover();
+  XSEQ_RETURN_IF_ERROR(in->GetPodVector(&out.nested_));
+  if (out.node_docs_off_.size() != out.nodes_.size() + 1 &&
+      !(out.nodes_.empty() && out.node_docs_off_.empty())) {
+    return Status::Corruption("index arrays are inconsistent");
+  }
   out.plan_cache_id_ = NextPlanCacheId();
   return out;
 }
@@ -508,7 +688,7 @@ FrozenIndex TrieBuilder::Freeze() && {
   for (size_t i = 1; i < out.link_off_.size(); ++i) {
     out.link_off_[i] += out.link_off_[i - 1];
   }
-  out.link_entries_.resize(out.nodes_.size());
+  std::vector<FrozenIndex::LinkEntry> entries(out.nodes_.size());
   out.nested_.assign(static_cast<size_t>(max_path) + 1, 0);
   {
     std::vector<uint32_t> cursor(out.link_off_.begin(),
@@ -520,7 +700,7 @@ FrozenIndex TrieBuilder::Freeze() && {
     for (uint32_t serial = 0;
          serial < static_cast<uint32_t>(out.nodes_.size()); ++serial) {
       PathId p = out.nodes_[serial].path;
-      out.link_entries_[cursor[p]++] =
+      entries[cursor[p]++] =
           FrozenIndex::LinkEntry{serial, out.nodes_[serial].end};
       if (seen[p] && serial <= max_end[p]) out.nested_[p] = 1;
       max_end[p] = std::max(seen[p] ? max_end[p] : 0u,
@@ -528,7 +708,7 @@ FrozenIndex TrieBuilder::Freeze() && {
       seen[p] = 1;
     }
   }
-  out.BuildLinkCover();
+  out.CompressLinks(entries);
   out.plan_cache_id_ = NextPlanCacheId();
 
   pool_.clear();

@@ -12,7 +12,12 @@
 //      labels carrying that path ("horizontal links", binary searchable).
 //
 // TrieBuilder is the mutable construction stage; Freeze() produces the
-// immutable, flat FrozenIndex the matchers and the paged serializer consume.
+// immutable FrozenIndex the matchers and the paged serializer consume.
+// Horizontal links are stored block-compressed (src/index/link_codec.h):
+// delta-encoded serials, serial-relative ends and backward cover distances,
+// bit-packed in blocks of kLinkBlockSize entries behind 16-byte headers.
+// The matcher skips and decodes blocks through a per-cursor scratch cache;
+// cold callers materialize whole links with Link()/LinkCover().
 
 #ifndef XSEQ_SRC_INDEX_TRIE_H_
 #define XSEQ_SRC_INDEX_TRIE_H_
@@ -22,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/index/link_codec.h"
 #include "src/seq/sequence.h"
 #include "src/util/coding.h"
 #include "src/util/status.h"
@@ -30,9 +36,11 @@
 
 namespace xseq {
 
-/// Sentinel in link cover arrays: the entry has no enclosing occurrence of
-/// its own path (it is a root of the link's nesting forest).
-inline constexpr uint32_t kNoLinkCover = 0xFFFFFFFFu;
+/// On-disk layout of the horizontal links inside an encoded index section.
+enum class LinkSectionFormat : uint8_t {
+  kPlainSerials,  ///< v2 images: one flat serial list; ends/covers derived
+  kPackedBlocks,  ///< v3 images: block headers + packed words, verbatim
+};
 
 /// Immutable flattened index tree. Node serials are pre-order positions;
 /// nodes() is indexed by serial.
@@ -45,10 +53,9 @@ class FrozenIndex {
     uint32_t end;
   };
 
-  /// One horizontal-link entry: the (n⊢, n⊣) label pair of Fig. 8, fused
-  /// so a link probe costs a single cache access instead of an indirection
-  /// through nodes_. Derived from the serial list at Freeze()/DecodeFrom
-  /// time; the on-disk format still stores plain serials.
+  /// One horizontal-link entry: the (n⊢, n⊣) label pair of Fig. 8. The
+  /// resident representation is block-compressed; this is the materialized
+  /// form Link() hands to cold callers (serializers, tests, tools).
   struct LinkEntry {
     uint32_t serial;
     uint32_t end;
@@ -58,23 +65,45 @@ class FrozenIndex {
   PathId path(uint32_t serial) const { return nodes_[serial].path; }
   uint32_t end(uint32_t serial) const { return nodes_[serial].end; }
 
-  /// Horizontal link of `path`: (serial, end) pairs, serials ascending.
-  std::span<const LinkEntry> Link(PathId path) const {
-    if (path + 1 >= link_off_.size()) return {};
-    return std::span<const LinkEntry>(link_entries_)
-        .subspan(link_off_[path], link_off_[path + 1] - link_off_[path]);
+  /// Entries in the horizontal link of `path`. O(1).
+  uint32_t LinkSize(PathId path) const {
+    if (path + 1 >= link_off_.size()) return 0;
+    return link_off_[path + 1] - link_off_[path];
   }
 
-  /// The link's static nesting forest: element i is the link-local index of
-  /// the tightest occurrence of `path` strictly enclosing entry i, or
-  /// kNoLinkCover when none encloses it. Lets the sibling-cover test
-  /// resolve TightestContaining by following at most a few parent pointers
-  /// instead of binary-searching and scanning the link.
-  std::span<const uint32_t> LinkCover(PathId path) const {
-    if (path + 1 >= link_off_.size()) return {};
-    return std::span<const uint32_t>(link_cover_)
-        .subspan(link_off_[path], link_off_[path + 1] - link_off_[path]);
+  /// Compressed blocks in the horizontal link of `path`. O(1).
+  uint32_t LinkBlocks(PathId path) const {
+    return (LinkSize(path) + kLinkBlockSize - 1) / kLinkBlockSize;
   }
+
+  /// Header of block `b` of `path`'s link — base serial, max end, widths —
+  /// readable without decoding the block (the cursor's skip test).
+  const LinkBlockHeader& LinkBlock(PathId path, uint32_t b) const {
+    return link_blocks_[link_block_off_[path] + b];
+  }
+
+  /// Decodes block `b` of `path`'s link into `*out` (serials, ends, and
+  /// link-local cover indices). The hot path caches these per cursor
+  /// (LinkBlockCache); cold paths may decode straight to the stack.
+  void DecodeLinkBlock(PathId path, uint32_t b, LinkBlockScratch* out) const;
+
+  /// Decodes only the scratch columns in `streams` (kStream* mask) of
+  /// block `b`. Requesting ends implies serials (ends are stored
+  /// serial-relative). Returns the mask actually decoded — what a
+  /// LinkBlockCache records per slot.
+  uint32_t DecodeLinkBlockStreams(PathId path, uint32_t b, uint32_t streams,
+                                  LinkBlockScratch* out) const;
+
+  /// Materializes the horizontal link of `path`: (serial, end) pairs,
+  /// serials ascending. O(link size) decode — for serializers, reference
+  /// implementations, and tests, not for the match loop.
+  std::vector<LinkEntry> Link(PathId path) const;
+
+  /// Materializes the link's static nesting forest: element i is the
+  /// link-local index of the tightest occurrence of `path` strictly
+  /// enclosing entry i, or kNoLinkCover when none encloses it. O(link
+  /// size); the match loop reads covers from decoded blocks instead.
+  std::vector<uint32_t> LinkCover(PathId path) const;
 
   /// True when `path`'s link contains nested occurrences (identical sibling
   /// nodes, Eq. 5) — the only case where the sibling-cover test is needed.
@@ -117,39 +146,69 @@ class FrozenIndex {
   /// against different vocabulary/link state. 0 = default-constructed
   /// (unfrozen) index; such indexes are never cached against.
   uint64_t plan_cache_id() const { return plan_cache_id_; }
+
+  /// Draws a fresh id from the same never-reused process-wide space as
+  /// plan_cache_id(). For alternative index representations (the paged
+  /// index) whose caches key on index identity.
+  static uint64_t NextIndexCacheId();
   size_t distinct_paths() const {
     return link_off_.empty() ? 0 : link_off_.size() - 1;
   }
 
-  /// Bytes of the flat arrays (the in-memory index footprint).
+  /// The packed link region verbatim (global block order / packed words),
+  /// for serializers that ship the compressed form unchanged.
+  std::span<const LinkBlockHeader> link_blocks() const { return link_blocks_; }
+  std::span<const uint64_t> link_words() const { return link_words_; }
+
+  /// Bytes of the resident arrays (the in-memory index footprint; links
+  /// counted packed).
   uint64_t MemoryBytes() const;
+  /// Bytes of the packed link region proper: block headers + packed
+  /// words. Matches what InspectEncodedIndex reports for the on-disk v3
+  /// link section; the per-path block directory is small bookkeeping
+  /// that exists in both layouts and is counted by MemoryBytes only.
+  uint64_t PackedLinkBytes() const;
+  /// Bytes the links would occupy flat: 12 per entry (fused serial+end
+  /// pair plus cover word) — the pre-compression representation.
+  uint64_t LogicalLinkBytes() const;
 
   /// Deep integrity check of every structural invariant: laminar ranges,
-  /// links partitioning the nodes in ascending order, nested flags
-  /// matching actual containment, and monotone doc offsets. O(index size).
-  /// Used after deserialization and available to callers that load index
-  /// files from untrusted media.
+  /// links partitioning the nodes in ascending order, block headers
+  /// (counts, word offsets, bit widths, base serials, max ends) agreeing
+  /// with their decoded contents, nested flags matching actual containment,
+  /// and monotone doc offsets. O(index size). Used after deserialization
+  /// and available to callers that load index files from untrusted media.
   Status Validate() const;
 
   /// Appends a binary encoding of the index to `dst` (see
-  /// src/core/persist.h for the file format around it).
-  void EncodeTo(std::string* dst) const;
-  /// Decodes an index previously written by EncodeTo.
-  static StatusOr<FrozenIndex> DecodeFrom(Decoder* in);
+  /// src/core/persist.h for the file format around it). kPackedBlocks
+  /// writes the resident block-compressed links verbatim (v3 images);
+  /// kPlainSerials writes the flat serial list (v2 images, for
+  /// compatibility fixtures and downgrade tooling).
+  void EncodeTo(std::string* dst,
+                LinkSectionFormat format =
+                    LinkSectionFormat::kPackedBlocks) const;
+  /// Decodes an index previously written by EncodeTo with `format`.
+  /// kPlainSerials input is recompressed into blocks on load.
+  static StatusOr<FrozenIndex> DecodeFrom(
+      Decoder* in,
+      LinkSectionFormat format = LinkSectionFormat::kPackedBlocks);
 
  private:
   friend class TrieBuilder;
 
-  /// Rebuilds the per-link nesting forest (link_cover_) from link_entries_
-  /// in one linear stack pass per path.
-  void BuildLinkCover();
+  /// Builds the packed link region (block directory, headers, words) from
+  /// flat fused entries partitioned by link_off_; computes each link's
+  /// nesting forest in one stack pass as it packs.
+  void CompressLinks(const std::vector<LinkEntry>& entries);
 
   std::vector<NodeRec> nodes_;
   std::vector<uint32_t> node_docs_off_;  // size node_count()+1
   std::vector<DocId> docs_;              // grouped by owning node, serial order
-  std::vector<uint32_t> link_off_;       // size max_path+2
-  std::vector<LinkEntry> link_entries_;  // derived: fused (serial, end) pairs
-  std::vector<uint32_t> link_cover_;     // derived: nesting forest, per entry
+  std::vector<uint32_t> link_off_;       // entry offsets; size max_path+2
+  std::vector<uint32_t> link_block_off_; // block offsets; size max_path+2
+  std::vector<LinkBlockHeader> link_blocks_;
+  std::vector<uint64_t> link_words_;     // packed block payloads
   std::vector<uint8_t> nested_;          // per path
   uint64_t plan_cache_id_ = 0;           // derived: see plan_cache_id()
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
@@ -276,6 +277,15 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
 
   Timer timer;
   std::vector<DocId> out;
+
+  // Callers that pass no context get a pooled one for the duration of the
+  // call: the serial loops below then reuse one decoded-block cache across
+  // every compiled sequence instead of rebuilding scratch per sequence.
+  std::optional<MatchContextLease> ctx_lease;
+  if (ctx == nullptr) {
+    ctx_lease.emplace(&ctx_pool_);
+    ctx = ctx_lease->get();
+  }
 
   ThreadPool* pool = nullptr;
   std::unique_ptr<ThreadPool> owned;

@@ -162,6 +162,10 @@ class QueryExecutor {
   const ValueEncoder* values_;
   const Sequencer* sequencer_;
   const Schema* schema_;
+  /// Leased to calls that pass no MatchContext, so serial matching stays
+  /// allocation-free across queries (the decoded-block cache in
+  /// particular is too big to rebuild per call).
+  mutable MatchContextPool ctx_pool_;
 };
 
 }  // namespace xseq

@@ -95,10 +95,10 @@ class QueryPlanner {
       : index_(index), schema_(schema) {}
 
   /// Exact occurrence count of `path` in the index (its link length).
-  uint64_t Cardinality(PathId path) const { return index_->Link(path).size(); }
+  uint64_t Cardinality(PathId path) const { return index_->LinkSize(path); }
 
   /// True when `path` occurs at all — the instantiation pruning predicate.
-  bool Viable(PathId path) const { return !index_->Link(path).empty(); }
+  bool Viable(PathId path) const { return index_->LinkSize(path) != 0; }
 
   /// Number of orderings ExpandIsomorphisms would emit for `query`:
   /// the product of factorials of its identical-path sibling group sizes,

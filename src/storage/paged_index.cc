@@ -1,59 +1,70 @@
 #include "src/storage/paged_index.h"
 
+#include <cstring>
+
 #include "src/index/matcher_impl.h"
 
 namespace xseq {
 
 namespace {
 
-/// Bytes per link entry: (serial, end).
-constexpr uint64_t kLinkEntryBytes = 8;
+/// Bytes per block header in the header region.
+constexpr uint64_t kHeaderBytes = sizeof(LinkBlockHeader);
+/// Bytes per packed word in the word region.
+constexpr uint64_t kPackedWordBytes = sizeof(uint64_t);
 /// Bytes per doc-offset entry and per doc id.
 constexpr uint64_t kWordBytes = 4;
+
+static_assert(kPageSize % kHeaderBytes == 0,
+              "block headers must not straddle pages");
+static_assert(kPageSize % kPackedWordBytes == 0,
+              "packed words must not straddle pages");
 
 }  // namespace
 
 PagedIndex PagedIndex::Build(const FrozenIndex& index) {
   PagedIndex out;
   out.node_count_ = static_cast<uint32_t>(index.node_count());
+  out.cache_id_ = FrozenIndex::NextIndexCacheId();
 
   size_t paths = index.distinct_paths();
   out.link_off_.assign(paths + 1, 0);
+  out.link_block_off_.assign(paths + 1, 0);
   out.nested_.assign(paths, 0);
-
-  // Link region: per path, fused (serial, end) pairs in link order.
-  out.link_base_ = 0;
-  uint64_t entry_cursor = 0;
+  uint64_t entry_cursor = 0, block_cursor = 0;
   for (PathId p = 0; p < paths; ++p) {
     out.link_off_[p] = static_cast<uint32_t>(entry_cursor);
+    out.link_block_off_[p] = static_cast<uint32_t>(block_cursor);
     out.nested_[p] = index.HasNested(p) ? 1 : 0;
-    for (const FrozenIndex::LinkEntry& e : index.Link(p)) {
-      uint32_t pair[2] = {e.serial, e.end};
-      out.file_.WriteAt(entry_cursor * kLinkEntryBytes, pair, sizeof(pair));
-      ++entry_cursor;
-    }
+    entry_cursor += index.LinkSize(p);
+    block_cursor += index.LinkBlocks(p);
   }
   out.link_off_[paths] = static_cast<uint32_t>(entry_cursor);
+  out.link_block_off_[paths] = static_cast<uint32_t>(block_cursor);
 
-  uint64_t link_bytes = entry_cursor * kLinkEntryBytes;
-  out.cover_base_ =
-      static_cast<uint32_t>((link_bytes + kPageSize - 1) / kPageSize);
-
-  // Cover region: the nesting forest, one word per link entry, in the same
-  // entry order as the link region.
-  uint64_t cover_cursor = 0;
-  for (PathId p = 0; p < paths; ++p) {
-    for (uint32_t cover : index.LinkCover(p)) {
-      out.file_.WriteAt(static_cast<uint64_t>(out.cover_base_) * kPageSize +
-                            cover_cursor * kWordBytes,
-                        &cover, sizeof(cover));
-      ++cover_cursor;
-    }
+  // Header region: the packed block headers verbatim, in global block
+  // order (concatenated per-path runs).
+  out.link_base_ = 0;
+  std::span<const LinkBlockHeader> blocks = index.link_blocks();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    out.file_.WriteAt(b * kHeaderBytes, &blocks[b], sizeof(blocks[b]));
   }
-  uint64_t cover_bytes = cover_cursor * kWordBytes;
+  uint64_t header_bytes = blocks.size() * kHeaderBytes;
+  out.word_base_ =
+      static_cast<uint32_t>((header_bytes + kPageSize - 1) / kPageSize);
+
+  // Word region: the packed payload words verbatim; headers address them
+  // by their global word_off.
+  std::span<const uint64_t> words = index.link_words();
+  for (size_t w = 0; w < words.size(); ++w) {
+    out.file_.WriteAt(static_cast<uint64_t>(out.word_base_) * kPageSize +
+                          w * kPackedWordBytes,
+                      &words[w], sizeof(words[w]));
+  }
+  uint64_t word_bytes = words.size() * kPackedWordBytes;
   out.doc_off_base_ =
-      out.cover_base_ +
-      static_cast<uint32_t>((cover_bytes + kPageSize - 1) / kPageSize);
+      out.word_base_ +
+      static_cast<uint32_t>((word_bytes + kPageSize - 1) / kPageSize);
 
   // Doc-offset region: node_docs_off[serial], plus the final sentinel.
   uint64_t doc_off_bytes =
@@ -86,23 +97,28 @@ PagedIndex PagedIndex::Build(const FrozenIndex& index) {
 
 namespace {
 
-/// Accessor running Algorithm 1 against pages through a BufferPool.
+/// Accessor running Algorithm 1 against pages through a BufferPool. Block
+/// header reads fetch one page; entry reads decode the owning block —
+/// header plus its packed-word run — into the bound LinkBlockCache, so the
+/// pool sees one short page burst per block instead of one fetch per entry.
 class PagedAccessor {
  public:
-  PagedAccessor(const PagedIndex& idx, const PageFile& file,
-                const std::vector<uint32_t>& link_off,
+  PagedAccessor(const std::vector<uint32_t>& link_off,
+                const std::vector<uint32_t>& link_block_off,
                 const std::vector<uint8_t>& nested, uint32_t nodes,
-                uint32_t cover_base, uint32_t doc_off_base,
-                uint32_t doc_base, BufferPool* pool)
-      : idx_(idx),
-        file_(file),
-        link_off_(link_off),
+                uint32_t word_base, uint32_t doc_off_base,
+                uint32_t doc_base, uint64_t cache_id, BufferPool* pool)
+      : link_off_(link_off),
+        link_block_off_(link_block_off),
         nested_(nested),
         nodes_(nodes),
-        cover_base_(cover_base),
+        word_base_(word_base),
         doc_off_base_(doc_off_base),
         doc_base_(doc_base),
+        cache_id_(cache_id),
         pool_(pool) {}
+
+  void BindCache(LinkBlockCache* cache) { cache_ = cache; }
 
   uint32_t node_count() const { return nodes_; }
 
@@ -111,17 +127,21 @@ class PagedAccessor {
     return link_off_[p + 1] - link_off_[p];
   }
 
+  uint32_t LinkBlockBaseSerial(PathId p, uint32_t b) const {
+    // base_serial is the header's first field.
+    return ReadWord(HeaderByte(p, b));
+  }
+
   uint32_t LinkSerial(PathId p, uint32_t i) const {
-    return ReadWord(EntryByte(p, i));
+    return Block(p, i, kStreamSerials).serials[i & (kLinkBlockSize - 1)];
   }
 
   uint32_t LinkEnd(PathId p, uint32_t i) const {
-    return ReadWord(EntryByte(p, i) + 4);
+    return Block(p, i, kStreamEnds).ends[i & (kLinkBlockSize - 1)];
   }
 
   uint32_t LinkCover(PathId p, uint32_t i) const {
-    return ReadWord(static_cast<uint64_t>(cover_base_) * kPageSize +
-                    (static_cast<uint64_t>(link_off_[p]) + i) * kWordBytes);
+    return Block(p, i, kStreamCovers).covers[i & (kLinkBlockSize - 1)];
   }
 
   bool HasNested(PathId p) const {
@@ -141,9 +161,60 @@ class PagedAccessor {
                     static_cast<uint64_t>(offset) * 4);
   }
 
+  LinkColumns LinkBlockColumns(PathId p, uint32_t b,
+                               uint32_t streams) const {
+    const LinkBlockScratch& s = BlockAt(p, b, streams);
+    return {s.serials, s.ends, s.covers};
+  }
+
+  uint64_t DecodeStamp() const { return cache_->decode_stamp(); }
+
+  uint64_t CacheIdentity() const { return cache_id_; }
+
  private:
-  uint64_t EntryByte(PathId p, uint32_t i) const {
-    return (static_cast<uint64_t>(link_off_[p]) + i) * 8;
+  uint64_t HeaderByte(PathId p, uint32_t b) const {
+    return (static_cast<uint64_t>(link_block_off_[p]) + b) *
+           sizeof(LinkBlockHeader);
+  }
+
+  const LinkBlockScratch& Block(PathId p, uint32_t i,
+                                uint32_t streams) const {
+    return BlockAt(p, i / kLinkBlockSize, streams);
+  }
+
+  const LinkBlockScratch& BlockAt(PathId p, uint32_t b,
+                                  uint32_t streams) const {
+    // Page fetches dominate a paged decode, and the words are already
+    // staged once fetched — decode all three streams unconditionally.
+    return cache_->Get(p, b, streams,
+                       [this](PathId path, uint32_t blk, uint32_t missing,
+                              LinkBlockScratch* out) {
+                         (void)missing;
+                         DecodeBlock(path, blk, out);
+                         return kStreamAll;
+                       });
+  }
+
+  void DecodeBlock(PathId p, uint32_t b, LinkBlockScratch* out) const {
+    // Headers never straddle pages: one fetch lifts the whole header.
+    uint64_t hbyte = HeaderByte(p, b);
+    const Page& hpage =
+        pool_->Fetch(static_cast<uint32_t>(hbyte / kPageSize));
+    LinkBlockHeader h;
+    std::memcpy(&h, hpage.data + hbyte % kPageSize, sizeof(h));
+    // Stage the block's packed words on the stack (a block's words are
+    // contiguous but may cross a page boundary), then decode once.
+    uint64_t words[kMaxLinkBlockWords];
+    const uint32_t nwords = LinkBlockWords(h);
+    uint64_t wbyte = static_cast<uint64_t>(word_base_) * kPageSize +
+                     static_cast<uint64_t>(h.word_off) * kPackedWordBytes;
+    for (uint32_t w = 0; w < nwords; ++w, wbyte += kPackedWordBytes) {
+      const Page& page =
+          pool_->Fetch(static_cast<uint32_t>(wbyte / kPageSize));
+      std::memcpy(&words[w], page.data + wbyte % kPageSize,
+                  sizeof(words[w]));
+    }
+    UnpackLinkBlock(h, words, b * kLinkBlockSize, out);
   }
 
   uint32_t ReadWord(uint64_t byte_off) const {
@@ -155,15 +226,16 @@ class PagedAccessor {
     return v;
   }
 
-  const PagedIndex& idx_;
-  const PageFile& file_;
   const std::vector<uint32_t>& link_off_;
+  const std::vector<uint32_t>& link_block_off_;
   const std::vector<uint8_t>& nested_;
   uint32_t nodes_;
-  uint32_t cover_base_;
+  uint32_t word_base_;
   uint32_t doc_off_base_;
   uint32_t doc_base_;
+  uint64_t cache_id_;
   BufferPool* pool_;
+  LinkBlockCache* cache_ = nullptr;
 };
 
 }  // namespace
@@ -210,8 +282,8 @@ Status PagedIndex::Match(const QuerySeq& query, MatchMode mode,
     link_misses = pool->link_misses();
     data_misses = pool->data_misses();
   }
-  PagedAccessor acc(*this, file_, link_off_, nested_, node_count_,
-                    cover_base_, doc_off_base_, doc_base_, pool);
+  PagedAccessor acc(link_off_, link_block_off_, nested_, node_count_,
+                    word_base_, doc_off_base_, doc_base_, cache_id_, pool);
   Status st = internal::MatchCore(acc, query, mode, out, stats, ctx);
   if (metrics) {
     const PagedMetricSet& m = PagedMetrics();

@@ -1,20 +1,25 @@
 // Disk-resident form of the sequence index.
 //
-// Serializes a FrozenIndex into simulated pages:
-//   * link region  — per path, the (serial, end) label pairs of its
-//     horizontal link, contiguous (Fig. 8's linked lists, laid out flat for
-//     binary search);
-//   * cover region — per link entry, the link-local index of its tightest
-//     enclosing occurrence (the nesting forest; kNoLinkCover when none),
-//     giving the paged sibling-cover test the same O(1) resolution as the
-//     in-memory index;
+// Serializes a FrozenIndex into simulated pages. Links are stored in the
+// same block-compressed form the in-memory index holds (link_codec.h):
+//   * header region — per link block, its 16-byte LinkBlockHeader (base
+//     serial, max end, word offset, bit widths). 16 divides the page size,
+//     so headers never straddle a page; the cursor's block-skip tier costs
+//     at most one page fetch per probe.
+//   * word region   — the packed 64-bit payload words of all blocks, in
+//     global block order. Words never straddle a page; a block's words are
+//     contiguous, so decoding a block touches the minimal run of pages and
+//     the decoded entries (serials, ends, covers) land in the match
+//     context's LinkBlockCache — one decode serves an entire scan window.
 //   * doc-offset region — per serial, the start offset of its doc list;
-//   * doc region   — document ids grouped by node in serial order.
+//   * doc region    — document ids grouped by node in serial order.
 //
-// Small metadata (per-path entry offsets, nested flags, region bases) stays
-// in memory, like the link headers on the left of Fig. 8. Queries run the
-// identical Algorithm 1 through a BufferPool, so the pool's miss counter is
-// the paper's "# disk accesses".
+// Small metadata (per-path entry/block offsets, nested flags, region bases)
+// stays in memory, like the link headers on the left of Fig. 8. Queries run
+// the identical Algorithm 1 through a BufferPool, so the pool's miss
+// counter is the paper's "# disk accesses" — and block compression packs
+// several times more entries into each of those accesses than the old flat
+// 8-byte-pair layout did.
 
 #ifndef XSEQ_SRC_STORAGE_PAGED_INDEX_H_
 #define XSEQ_SRC_STORAGE_PAGED_INDEX_H_
@@ -31,7 +36,8 @@ namespace xseq {
 /// The paged index plus its simulated disk file.
 class PagedIndex {
  public:
-  /// Serializes `index` into pages.
+  /// Serializes `index` into pages, shipping its packed link blocks
+  /// verbatim.
   static PagedIndex Build(const FrozenIndex& index);
 
   /// Runs Algorithm 1 against the paged representation, fetching pages
@@ -45,26 +51,37 @@ class PagedIndex {
   const PageFile& file() const { return file_; }
   uint32_t node_count() const { return node_count_; }
 
-  /// Pages in each region (link / cover / doc-offset / doc) and in total.
-  uint32_t link_pages() const { return cover_base_ - link_base_; }
-  uint32_t cover_pages() const { return doc_off_base_ - cover_base_; }
+  /// Link entries stored (== node count: links partition the nodes).
+  uint64_t link_entries() const {
+    return link_off_.empty() ? 0 : link_off_.back();
+  }
+
+  /// Pages in each region and in total. The "link" region spans the block
+  /// headers and the packed words.
+  uint32_t link_pages() const { return doc_off_base_ - link_base_; }
+  uint32_t header_pages() const { return word_base_ - link_base_; }
+  uint32_t word_pages() const { return doc_off_base_ - word_base_; }
   uint32_t total_pages() const { return file_.page_count(); }
   /// First page of the doc-offset region (pass to
-  /// BufferPool::SetRegionBoundary to split I/O accounting; the link and
-  /// cover regions both count as index-side).
+  /// BufferPool::SetRegionBoundary to split I/O accounting; the header and
+  /// word regions both count as index-side).
   uint32_t first_data_page() const { return doc_off_base_; }
 
  private:
-  friend class PagedAccessor;
-
   PageFile file_;
   uint32_t node_count_ = 0;
-  // Per-path link directory (entry index into the link region) + flags.
-  std::vector<uint32_t> link_off_;  // size max_path+2
+  // Process-unique identity (FrozenIndex::NextIndexCacheId space) so a
+  // MatchContext reused across queries retains decoded blocks for this
+  // index and drops them when rebound to any other.
+  uint64_t cache_id_ = 0;
+  // Per-path link directory (entry / block index into the link region) +
+  // flags.
+  std::vector<uint32_t> link_off_;        // size max_path+2
+  std::vector<uint32_t> link_block_off_;  // size max_path+2
   std::vector<uint8_t> nested_;
   // Region base page ids.
   uint32_t link_base_ = 0;
-  uint32_t cover_base_ = 0;
+  uint32_t word_base_ = 0;
   uint32_t doc_off_base_ = 0;
   uint32_t doc_base_ = 0;
 };

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "src/core/collection_index.h"
 #include "src/gen/querygen.h"
@@ -51,8 +52,28 @@ uint32_t RefTightestContaining(std::span<const FrozenIndex::LinkEntry> link,
   return 0xFFFFFFFFu;
 }
 
-void RefSearch(const FrozenIndex& fi, const QuerySeq& q, MatchMode mode,
-               size_t i, int64_t v_serial, int64_t v_end,
+/// Memoized FrozenIndex::Link: links are block-compressed, so Link()
+/// decodes the whole link per call — the recursive reference matcher would
+/// otherwise re-decode the same link at every level and every cover check.
+class RefLinks {
+ public:
+  explicit RefLinks(const FrozenIndex& fi) : fi_(fi) {}
+
+  std::span<const FrozenIndex::LinkEntry> Get(PathId p) {
+    auto it = cache_.find(p);
+    if (it == cache_.end()) {
+      it = cache_.emplace(p, fi_.Link(p)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  const FrozenIndex& fi_;
+  std::unordered_map<PathId, std::vector<FrozenIndex::LinkEntry>> cache_;
+};
+
+void RefSearch(const FrozenIndex& fi, RefLinks* links, const QuerySeq& q,
+               MatchMode mode, size_t i, int64_t v_serial, int64_t v_end,
                std::vector<uint32_t>* matched, std::vector<DocId>* out) {
   if (i == q.size()) {
     auto [lo, hi] =
@@ -62,7 +83,7 @@ void RefSearch(const FrozenIndex& fi, const QuerySeq& q, MatchMode mode,
     return;
   }
   PathId p = q.paths[i];
-  auto link = fi.Link(p);
+  auto link = links->Get(p);
   for (uint32_t idx = RefUpperBound(link, v_serial); idx < link.size();
        ++idx) {
     uint32_t r = link[idx].serial;
@@ -70,12 +91,13 @@ void RefSearch(const FrozenIndex& fi, const QuerySeq& q, MatchMode mode,
     if (mode == MatchMode::kConstraint && q.parent[i] >= 0) {
       PathId parent_path = q.paths[static_cast<size_t>(q.parent[i])];
       if (fi.HasNested(parent_path)) {
-        uint32_t tight = RefTightestContaining(fi.Link(parent_path), r);
+        uint32_t tight =
+            RefTightestContaining(links->Get(parent_path), r);
         if (tight != (*matched)[static_cast<size_t>(q.parent[i])]) continue;
       }
     }
     (*matched)[i] = r;
-    RefSearch(fi, q, mode, i + 1, r, link[idx].end, matched, out);
+    RefSearch(fi, links, q, mode, i + 1, r, link[idx].end, matched, out);
   }
 }
 
@@ -83,10 +105,11 @@ std::vector<DocId> RefMatch(const FrozenIndex& fi,
                             const std::vector<QuerySeq>& seqs,
                             MatchMode mode) {
   std::vector<DocId> out;
+  RefLinks links(fi);
   for (const QuerySeq& q : seqs) {
     std::vector<uint32_t> matched(q.size());
     if (fi.node_count() > 0) {
-      RefSearch(fi, q, mode, 0, -1,
+      RefSearch(fi, &links, q, mode, 0, -1,
                 static_cast<int64_t>(fi.node_count()) - 1, &matched, &out);
     }
   }
