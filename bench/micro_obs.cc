@@ -1,6 +1,8 @@
 // Instrumentation overhead: the fig15 identical-siblings query mix executed
-// end to end (compile + match) under three observability configurations —
-// metrics disabled, metrics enabled, and metrics + per-query tracing.
+// end to end (compile + match) under four observability configurations —
+// metrics disabled, metrics enabled, metrics + per-query tracing, and
+// metrics + tracing + a tail-sampled structured access log (the full
+// serving-plane observability stack).
 //
 // Two modes:
 //   * default        — google-benchmark micros for the primitive costs
@@ -25,6 +27,7 @@
 #include "src/gen/querygen.h"
 #include "src/gen/synthetic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/request_log.h"
 #include "src/obs/trace.h"
 #include "src/util/flags.h"
 #include "src/util/timer.h"
@@ -64,6 +67,24 @@ void BM_DisabledSiteGuard(benchmark::State& state) {
 }
 BENCHMARK(BM_DisabledSiteGuard);
 
+void BM_RequestLogLineFormat(benchmark::State& state) {
+  // Pure formatting cost of one access-log line (the write is I/O-bound
+  // and measured by the --json workload instead).
+  obs::RequestLogRecord rec;
+  rec.ts_us = 1700000000000000ull;
+  rec.request_id = 7;
+  rec.trace_id = 0xBEEF;
+  rec.query = "/a/b/c[text='v1']";
+  rec.latency_us = 1234;
+  rec.queue_us = 56;
+  rec.docs = 9;
+  for (auto _ : state) {
+    std::string line = obs::RequestLogLine(rec, "sampled");
+    benchmark::DoNotOptimize(line.data());
+  }
+}
+BENCHMARK(BM_RequestLogLineFormat);
+
 // ---------------------------------------------------------------------------
 // --json overhead workload.
 
@@ -100,15 +121,25 @@ Workload MakeFig15Workload(DocId docs) {
 
 /// One pass over every query; returns total result docs (a checksum that
 /// also keeps the work from being optimized away).
-uint64_t RunQueries(const Workload& w, const ExecOptions& exec) {
+uint64_t RunQueries(const Workload& w, const ExecOptions& exec,
+                    obs::RequestLog* log = nullptr) {
   uint64_t total = 0;
   for (const QueryPattern& p : w.patterns) {
+    Timer timer;
     auto r = w.idx->executor().ExecutePattern(p, /*stats=*/nullptr, exec);
     if (!r.ok()) {
       std::fprintf(stderr, "query: %s\n", r.status().ToString().c_str());
       std::exit(1);
     }
     total += r->size();
+    if (log != nullptr) {
+      // What the serving layer pays per request: build the record, run the
+      // sampling policy, and (for the admitted minority) write one line.
+      obs::RequestLogRecord rec;
+      rec.latency_us = static_cast<uint64_t>(timer.ElapsedMicros());
+      rec.docs = r->size();
+      (void)log->Append(rec);
+    }
   }
   return total;
 }
@@ -133,12 +164,28 @@ int RunJsonMode(const FlagSet& flags) {
   ConfigResult off{"metrics_off"};
   ConfigResult on{"metrics_on"};
   ConfigResult tracing{"tracing_on"};
+  ConfigResult logging{"logging_on"};
+
+  // The access-log leg: tail-sampling at the serving default (1 in 100 OK
+  // requests admitted; nothing in this workload sheds or misses a deadline)
+  // so the measured cost is dominated by record build + Classify, as in
+  // production.
+  obs::RequestLogOptions log_opts;
+  log_opts.path = flags.GetString("log_path", "/tmp/xseq_micro_obs.jsonl");
+  log_opts.sample_every = 100;
+  log_opts.slow_micros = 0;
+  auto request_log = obs::RequestLog::Open(log_opts);
+  if (!request_log.ok()) {
+    std::fprintf(stderr, "request log: %s\n",
+                 request_log.status().ToString().c_str());
+    return 1;
+  }
 
   auto measure = [&w](ConfigResult* cfg, const ExecOptions& exec,
-                      bool metrics) {
+                      bool metrics, obs::RequestLog* log = nullptr) {
     obs::ScopedMetricsEnabled scoped(metrics);
     Timer timer;
-    uint64_t sum = RunQueries(w, exec);
+    uint64_t sum = RunQueries(w, exec, log);
     double ms = timer.ElapsedMillis();
     cfg->min_ms = std::min(cfg->min_ms, ms);
     cfg->sum_ms += ms;
@@ -161,9 +208,11 @@ int RunJsonMode(const FlagSet& flags) {
     ExecOptions traced;
     traced.tracer = &tracer;
     measure(&tracing, traced, /*metrics=*/true);
+    measure(&logging, traced, /*metrics=*/true, request_log->get());
   }
 
-  if (off.checksum != on.checksum || off.checksum != tracing.checksum) {
+  if (off.checksum != on.checksum || off.checksum != tracing.checksum ||
+      off.checksum != logging.checksum) {
     std::fprintf(stderr, "result drift across configs\n");
     return 1;
   }
@@ -174,6 +223,10 @@ int RunJsonMode(const FlagSet& flags) {
       off.min_ms <= 0.0
           ? 0.0
           : (tracing.min_ms - off.min_ms) / off.min_ms * 100.0;
+  const double logging_pct =
+      off.min_ms <= 0.0
+          ? 0.0
+          : (logging.min_ms - off.min_ms) / off.min_ms * 100.0;
   const bool pass = overhead_pct < max_overhead_pct;
 
   char buf[1024];
@@ -183,22 +236,23 @@ int RunJsonMode(const FlagSet& flags) {
                 "\"docs\":%u,\"queries\":%zu,\"reps\":%d,\"configs\":[\n",
                 static_cast<unsigned>(docs), w.patterns.size(), reps);
   json += buf;
-  const ConfigResult* cfgs[3] = {&off, &on, &tracing};
-  for (int i = 0; i < 3; ++i) {
+  const ConfigResult* cfgs[4] = {&off, &on, &tracing, &logging};
+  for (int i = 0; i < 4; ++i) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"min_wall_ms\":%.3f,"
                   "\"mean_wall_ms\":%.3f,\"result_docs\":%llu}%s\n",
                   cfgs[i]->name.c_str(), cfgs[i]->min_ms,
                   cfgs[i]->sum_ms / reps,
                   static_cast<unsigned long long>(cfgs[i]->checksum),
-                  i + 1 < 3 ? "," : "");
+                  i + 1 < 4 ? "," : "");
     json += buf;
   }
   std::snprintf(buf, sizeof(buf),
                 "],\"metrics_overhead_pct\":%.3f,"
                 "\"tracing_overhead_pct\":%.3f,"
+                "\"logging_overhead_pct\":%.3f,"
                 "\"max_overhead_pct\":%.1f,\"pass\":%s}\n",
-                overhead_pct, tracing_pct, max_overhead_pct,
+                overhead_pct, tracing_pct, logging_pct, max_overhead_pct,
                 pass ? "true" : "false");
   json += buf;
 
@@ -212,8 +266,9 @@ int RunJsonMode(const FlagSet& flags) {
   out.close();
   std::fprintf(stderr,
                "wrote %s (metrics overhead %.2f%%, tracing %.2f%%, "
-               "limit %.1f%%)\n",
-               path.c_str(), overhead_pct, tracing_pct, max_overhead_pct);
+               "tracing+log %.2f%%, limit %.1f%%)\n",
+               path.c_str(), overhead_pct, tracing_pct, logging_pct,
+               max_overhead_pct);
 
   if (!pass) {
     std::fprintf(stderr,

@@ -2,9 +2,18 @@
 //
 //   xseq_client ping     --port=N [--host=ADDR]
 //   xseq_client query    --port=N --q=XPATH [--deadline_ms=N] [--verbose]
+//                        [--explain] [--trace_out=FILE]
 //   xseq_client stats    --port=N          # server metrics registry JSON
+//   xseq_client metrics  --port=N          # Prometheus text exposition
 //   xseq_client reload   --port=N [--path=PREFIX]  # hot-swap generation
 //   xseq_client shutdown --port=N          # graceful remote drain
+//
+// `query --explain` asks the server for its planner/executor account of
+// the query (instantiations, chosen sequence order, predicted vs. actual
+// cost, cache hits, per-shard fan-out) and prints it after the results.
+// `query --trace_out=FILE` records a client-side trace, stitches the
+// server's spans into it over the wire, and writes the combined tree as
+// Chrome trace JSON (load it in chrome://tracing or ui.perfetto.dev).
 //
 // Exit status: 0 on success; 1 on any error, including remote statuses
 // such as Overloaded (shed) and DeadlineExceeded, which are printed in
@@ -12,8 +21,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/server/client.h"
 #include "src/util/flags.h"
 #include "src/util/timer.h"
@@ -28,8 +39,9 @@ int Usage() {
       "usage:\n"
       "  xseq_client ping     --port=N [--host=ADDR]\n"
       "  xseq_client query    --port=N --q=XPATH [--deadline_ms=N]"
-      " [--verbose]\n"
+      " [--verbose] [--explain] [--trace_out=FILE]\n"
       "  xseq_client stats    --port=N [--host=ADDR]\n"
+      "  xseq_client metrics  --port=N [--host=ADDR]\n"
       "  xseq_client reload   --port=N [--host=ADDR] [--path=PREFIX]\n"
       "  xseq_client shutdown --port=N [--host=ADDR]\n");
   return 2;
@@ -66,8 +78,16 @@ int Run(int argc, char** argv) {
     if (xpath.empty()) return Usage();
     const uint64_t deadline_micros =
         static_cast<uint64_t>(flags.GetInt("deadline_ms", 0)) * 1000;
+    const bool want_explain = flags.GetBool("explain", false);
+    const std::string trace_out = flags.GetString("trace_out", "");
+
+    // With --trace_out, the query records a stitched client+server trace
+    // into this one-slot ring.
+    obs::Tracer tracer(1);
+    if (!trace_out.empty()) client->set_tracer(&tracer);
+
     Timer timer;
-    auto result = client->Query(xpath, deadline_micros);
+    auto result = client->Query(xpath, deadline_micros, want_explain);
     const double ms = timer.ElapsedSeconds() * 1e3;
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -87,6 +107,30 @@ int Run(int argc, char** argv) {
           static_cast<unsigned long long>(s.link_entries_read),
           static_cast<unsigned long long>(s.compile_micros),
           static_cast<unsigned long long>(s.match_micros));
+      std::printf(
+          "  plan_cache_hits=%llu result_cache_hits=%llu"
+          " pruned_instantiations=%llu\n",
+          static_cast<unsigned long long>(s.plan_cache_hits),
+          static_cast<unsigned long long>(s.result_cache_hits),
+          static_cast<unsigned long long>(s.pruned_instantiations));
+    }
+    if (want_explain) {
+      if (result->has_explain) {
+        std::printf("%s", result->explain.ToString().c_str());
+      } else {
+        std::fprintf(stderr,
+                     "(no explain in the response — v3 server?)\n");
+      }
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out || !(out << tracer.ExportChromeJson())) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("trace %llu -> %s\n",
+                  static_cast<unsigned long long>(result->trace_id),
+                  trace_out.c_str());
     }
     return 0;
   }
@@ -98,6 +142,16 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+
+  if (cmd == "metrics") {
+    auto text = client->Metrics();
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", text->c_str());
     return 0;
   }
 

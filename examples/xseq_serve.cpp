@@ -21,6 +21,22 @@
 //   --canary=XPATH     (repeatable) validation query a candidate image must
 //                      answer without error before a hot-swap goes live
 //
+// Observability flags:
+//   --prom_port=N        serve `GET /metrics` (Prometheus text exposition)
+//                        on this plain-HTTP port; 0 = ephemeral, absent =
+//                        no scrape endpoint
+//   --prom_port_file=PATH  write the bound scrape port there (same atomic
+//                        protocol as --port_file)
+//   --access_log=PATH    structured JSON-lines request log; errors, sheds,
+//                        deadline misses and slow queries always logged,
+//                        each record carrying timings and a plan explain
+//   --log_slow_ms=N      latency that classifies a request "slow" (default
+//                        50 ms; 0 = never slow-classify)
+//   --log_sample=N       log 1 of every N ordinary OK requests (default 1 =
+//                        all; 0 = only the always-log classes)
+//   --log_rotate_mb=N    rotate the access log to PATH.1 at this size
+//                        (default 64 MiB)
+//
 // Hot swap: for --sharded/--gen backends the collection lives behind a
 // TopologyManager. `xseq_client reload [--path=PREFIX]` — or SIGHUP, which
 // re-reads the current prefix — validates, loads and canaries a new image
@@ -51,7 +67,9 @@
 #include "src/gen/dblp.h"
 #include "src/gen/synthetic.h"
 #include "src/gen/xmark.h"
+#include "src/obs/request_log.h"
 #include "src/server/result_cache.h"
+#include "src/server/scrape_server.h"
 #include "src/server/server.h"
 #include "src/server/sharded_collection.h"
 #include "src/server/topology.h"
@@ -70,7 +88,10 @@ int Usage() {
       " [--save=PREFIX])\n"
       "                  [--host=ADDR] [--port=N] [--port_file=PATH]\n"
       "                  [--workers=N] [--queue=N] [--deadline_ms=N]"
-      " [--threads=N] [--result_cache=0|1] [--canary=XPATH ...]\n");
+      " [--threads=N] [--result_cache=0|1] [--canary=XPATH ...]\n"
+      "                  [--prom_port=N [--prom_port_file=PATH]]"
+      " [--access_log=PATH [--log_slow_ms=N] [--log_sample=N]"
+      " [--log_rotate_mb=N]]\n");
   return 2;
 }
 
@@ -297,6 +318,43 @@ int Run(int argc, char** argv) {
     };
   }
 
+  // Structured access log (see src/obs/request_log.h for the policy).
+  std::unique_ptr<obs::RequestLog> request_log;
+  if (flags.Has("access_log")) {
+    obs::RequestLogOptions log_opts;
+    log_opts.path = flags.GetString("access_log", "");
+    log_opts.slow_micros =
+        static_cast<uint64_t>(flags.GetInt("log_slow_ms", 50)) * 1000;
+    log_opts.sample_every =
+        static_cast<uint32_t>(flags.GetInt("log_sample", 1));
+    log_opts.rotate_bytes =
+        static_cast<uint64_t>(flags.GetInt("log_rotate_mb", 64)) << 20;
+    auto opened = obs::RequestLog::Open(log_opts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "access log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    request_log = std::move(*opened);
+    options.service.request_log = request_log.get();
+  }
+
+  // Prometheus scrape endpoint, on its own port so monitoring needs no
+  // xseq-protocol client.
+  std::unique_ptr<ScrapeServer> scrape;
+  if (flags.Has("prom_port")) {
+    ScrapeOptions scrape_opts;
+    scrape_opts.host = options.host;
+    scrape_opts.port = static_cast<int>(flags.GetInt("prom_port", 0));
+    scrape = std::make_unique<ScrapeServer>(scrape_opts);
+    Status scrape_st = scrape->Start();
+    if (!scrape_st.ok()) {
+      std::fprintf(stderr, "scrape endpoint: %s\n",
+                   scrape_st.ToString().c_str());
+      return 1;
+    }
+  }
+
   XseqServer server(std::move(backend), options);
   Status st = server.Start();
   if (!st.ok()) {
@@ -354,9 +412,24 @@ int Run(int argc, char** argv) {
   std::printf("xseq_serve: listening on %s:%d (workers=%d queue=%zu)\n",
               options.host.c_str(), server.port(), options.service.workers,
               options.service.max_queue);
+  if (scrape != nullptr) {
+    std::printf("xseq_serve: metrics on http://%s:%d/metrics\n",
+                options.host.c_str(), scrape->port());
+  }
+  if (request_log != nullptr) {
+    std::printf("xseq_serve: access log at %s\n",
+                flags.GetString("access_log", "").c_str());
+  }
   std::fflush(stdout);
   if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
     std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+    server.Stop();
+    return 1;
+  }
+  const std::string prom_port_file = flags.GetString("prom_port_file", "");
+  if (scrape != nullptr && !prom_port_file.empty() &&
+      !WritePortFile(prom_port_file, scrape->port())) {
+    std::fprintf(stderr, "cannot write %s\n", prom_port_file.c_str());
     server.Stop();
     return 1;
   }
@@ -365,6 +438,8 @@ int Run(int argc, char** argv) {
   std::printf("xseq_serve: stop requested, draining\n");
   std::fflush(stdout);
   size_t inflight = server.Stop();
+  if (scrape != nullptr) scrape->Stop();
+  if (request_log != nullptr) (void)request_log->Sync();
 
   // Wake the watcher if the stop came from the wire rather than a signal
   // (the byte is simply left unread when a signal already delivered one).

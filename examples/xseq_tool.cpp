@@ -50,6 +50,9 @@ int Usage() {
       " counters, I/O, pool)\n"
       "  xseq_tool query --index=FILE --q=XPATH [--verbose] [--explain]"
       " [--threads=N]\n"
+      "  xseq_tool explain --index=FILE --q=XPATH [--threads=N] [--json]\n"
+      "              # runs the query with an explain sink and prints the"
+      " planner's account\n"
       "  xseq_tool trace --index=FILE --q=XPATH [--out=FILE]\n"
       "              # runs the query traced, prints the span tree, writes"
       " Chrome JSON\n"
@@ -391,6 +394,36 @@ int Query(const FlagSet& flags) {
   return 0;
 }
 
+int Explain(const FlagSet& flags) {
+  // Runs the query once with an explain sink and prints the structured
+  // account the serving layer would put in its access log: the chosen
+  // sequence order with anchors, predicted vs. actual cost, cache hits.
+  auto index = LoadCollectionIndex(flags.GetString("index", ""));
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::string q = flags.GetString("q", "");
+  if (q.empty()) return Usage();
+  ExecOptions exec;
+  exec.threads = flags.GetInt("threads", 1);
+  QueryExplain explain;
+  exec.explain = &explain;
+  Timer timer;
+  auto r = index->Query(q, exec);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu documents in %.3f ms\n", r->docs.size(),
+              timer.ElapsedMillis());
+  std::printf("%s", explain.ToString().c_str());
+  if (flags.GetBool("json", false)) {
+    std::printf("%s\n", explain.ToJson().c_str());
+  }
+  return 0;
+}
+
 int Verify(const FlagSet& flags, int argc, char** argv) {
   // Accept both `verify FILE` and `verify --index=FILE`.
   std::string path = flags.GetString("index", "");
@@ -546,6 +579,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return Build(flags, argc, argv);
   if (cmd == "stats") return Stats(flags, argc, argv);
   if (cmd == "query") return Query(flags);
+  if (cmd == "explain") return Explain(flags);
   if (cmd == "trace") return TraceQuery(flags);
   if (cmd == "verify") return Verify(flags, argc, argv);
   if (cmd == "replicate") return Replicate(flags);

@@ -59,10 +59,13 @@ trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT" "$SWAP_OUT" \
 # within OBS_GUARD_PCT (default 2) percent of the metrics-off wall clock on
 # the fig15 workload — the same run that produced bench/BENCH_obs.json.
 # Full-size corpus: with fewer docs each pass is a few ms and host noise
-# swamps the budget.
+# swamps the budget. 15 reps (vs the binary's default 9): the score is the
+# minimum over reps, and the extra reps are what keep a busy CI host from
+# tripping the 2% budget on scheduler jitter alone.
 cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_obs
 "./$BUILD_DIR/bench/micro_obs" \
-  --json="$OBS_OUT" --max_overhead_pct="${OBS_GUARD_PCT:-2}"
+  --json="$OBS_OUT" --reps="${OBS_REPS:-15}" \
+  --max_overhead_pct="${OBS_GUARD_PCT:-2}"
 
 # Serving-layer harness: a small closed-loop run over loopback TCP must
 # produce a BENCH_serve.json with every schema field the dashboards read.

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Serving-layer smoke gate: start the xseq_serve daemon on a loopback
-# ephemeral port, drive it with the real client binary (ping, a query
-# whose answer size is known, the metrics dump), hot-swap the serving
-# generation under live query load (xseq_client reload + SIGHUP), check
-# that a second daemon refuses to start over the live port file and that
-# a reload of a bogus image leaves the old generation serving, then
-# SIGTERM it and assert the graceful-drain message appeared and the exit
-# status is 0. This is the end-to-end path CI exercises outside of ctest:
-# real processes, real TCP, real signals, real on-disk images.
+# ephemeral port with the observability plane on (Prometheus scrape port,
+# structured access log), drive it with the real client binary (ping, a
+# query whose answer size is known, a query with --explain, the metrics
+# dump, a raw HTTP scrape of /metrics), hot-swap the serving generation
+# under live query load (xseq_client reload + SIGHUP), check that a second
+# daemon refuses to start over the live port file and that a reload of a
+# bogus image leaves the old generation serving, then SIGTERM it and
+# assert the graceful-drain message appeared, the access log captured the
+# traffic, and the exit status is 0. This is the end-to-end path CI
+# exercises outside of ctest: real processes, real TCP, real HTTP, real
+# signals, real on-disk images.
 #
 #   scripts/serve_smoke.sh [--build-dir=DIR]
 
@@ -36,12 +39,14 @@ SERVE="./$BUILD_DIR/examples/example_xseq_serve"
 CLIENT="./$BUILD_DIR/examples/example_xseq_client"
 
 PORT_FILE="$(mktemp -u /tmp/xseq_serve_port.XXXXXX)"
+PROM_PORT_FILE="$(mktemp -u /tmp/xseq_prom_port.XXXXXX)"
+ACCESS_LOG="$(mktemp -u /tmp/xseq_access_log.XXXXXX)"
 LOG="$(mktemp /tmp/xseq_serve_log.XXXXXX)"
 IMG_DIR="$(mktemp -d /tmp/xseq_serve_img.XXXXXX)"
 SERVE_PID=""
 cleanup() {
   [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
-  rm -f "$PORT_FILE" "$LOG"
+  rm -f "$PORT_FILE" "$PROM_PORT_FILE" "$ACCESS_LOG" "$ACCESS_LOG.1" "$LOG"
   rm -rf "$IMG_DIR"
 }
 trap cleanup EXIT
@@ -54,6 +59,8 @@ trap cleanup EXIT
 
 "$SERVE" --sharded="$IMG_DIR/gen_a" --workers=2 \
   --canary='/site//person/name' \
+  --prom_port=0 --prom_port_file="$PROM_PORT_FILE" \
+  --access_log="$ACCESS_LOG" --log_sample=1 \
   --port_file="$PORT_FILE" >"$LOG" 2>&1 &
 SERVE_PID=$!
 
@@ -107,6 +114,40 @@ echo "$STATS" | grep -q 'xseq.serve.requests' \
   || { echo "serve_smoke.sh: stats dump missing serve counters" >&2; exit 1; }
 echo "$STATS" | grep -q '"xseq.serve.requests":0' \
   && { echo "serve_smoke.sh: serve request counter stuck at zero" >&2; exit 1; }
+
+# --- Observability plane -----------------------------------------------------
+# query --explain returns the planner's account, including the per-shard
+# fan-out of the 3-shard image. Use a query nothing else in this script
+# issues: a repeat would hit the result cache, legitimately skipping
+# execution — and the shard breakdown with it.
+EXPLAIN_OUT="$("$CLIENT" query --port="$PORT" --q='/site//person' \
+  --explain)"
+echo "$EXPLAIN_OUT" | grep -q 'sequence(s)' \
+  || { echo "serve_smoke.sh: --explain missing plan summary" >&2; exit 1; }
+echo "$EXPLAIN_OUT" | grep -q 'shard 2:' \
+  || { echo "serve_smoke.sh: --explain missing shard breakdown" >&2; exit 1; }
+echo "serve_smoke.sh: query --explain ok"
+
+# The metrics op returns the Prometheus text exposition over the wire.
+METRICS_OUT="$("$CLIENT" metrics --port="$PORT")"
+echo "$METRICS_OUT" | grep -q '^xseq_serve_requests ' \
+  || { echo "serve_smoke.sh: metrics op missing serve series" >&2; exit 1; }
+
+# The scrape endpoint serves the same exposition over plain HTTP; assert
+# the serve series are present with non-zero requests. bash's /dev/tcp
+# keeps the script curl-free.
+[[ -s "$PROM_PORT_FILE" ]] \
+  || { echo "serve_smoke.sh: no scrape port file" >&2; exit 1; }
+PROM_PORT="$(head -n1 "$PROM_PORT_FILE")"
+SCRAPE="$(exec 3<>"/dev/tcp/127.0.0.1/$PROM_PORT" \
+  && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3)"
+echo "$SCRAPE" | grep -q '200 OK' \
+  || { echo "serve_smoke.sh: scrape did not return 200" >&2; exit 1; }
+echo "$SCRAPE" | grep -q '# TYPE xseq_serve_requests counter' \
+  || { echo "serve_smoke.sh: scrape missing xseq_serve_* series" >&2; exit 1; }
+echo "$SCRAPE" | grep -Eq '^xseq_serve_requests [1-9]' \
+  || { echo "serve_smoke.sh: scraped request counter stuck at zero" >&2; exit 1; }
+echo "serve_smoke.sh: prometheus scrape on port $PROM_PORT ok"
 
 # An over-the-wire parse error must not kill the daemon.
 "$CLIENT" query --port="$PORT" --q='][' && {
@@ -186,5 +227,18 @@ grep -q 'drained' "$LOG" || {
   exit 1
 }
 
-echo "serve_smoke.sh: ok (ping/query/stats + double-start refusal +" \
-  "hot swap under load + failed-reload rollback + SIGHUP + SIGTERM drain)"
+# The access log captured the served traffic: JSON lines with latencies
+# for the OK queries and an "error" record for the malformed one.
+[[ -s "$ACCESS_LOG" ]] \
+  || { echo "serve_smoke.sh: access log is empty" >&2; exit 1; }
+grep -q '"op":"query"' "$ACCESS_LOG" \
+  || { echo "serve_smoke.sh: access log has no query records" >&2; exit 1; }
+grep -q '"latency_us":' "$ACCESS_LOG" \
+  || { echo "serve_smoke.sh: access log records lack latencies" >&2; exit 1; }
+grep -q '"reason":"error"' "$ACCESS_LOG" \
+  || { echo "serve_smoke.sh: parse-error request missing from log" >&2; exit 1; }
+echo "serve_smoke.sh: access log captured $(wc -l <"$ACCESS_LOG") records"
+
+echo "serve_smoke.sh: ok (ping/query/--explain/stats + metrics op +" \
+  "prometheus scrape + access log + double-start refusal + hot swap" \
+  "under load + failed-reload rollback + SIGHUP + SIGTERM drain)"

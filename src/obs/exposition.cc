@@ -1,0 +1,110 @@
+#include "src/obs/exposition.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace xseq {
+namespace obs {
+
+namespace {
+
+void AppendName(std::string* out, std::string_view prefix,
+                std::string_view name) {
+  out->append(PrometheusName(prefix));
+  // The prefix was sanitized on its own, so a digit-leading metric name
+  // can't produce an illegal series start once appended after it.
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out->push_back(ok ? c : '_');
+  }
+}
+
+void AppendU64Sample(std::string* out, std::string_view prefix,
+                     std::string_view name, std::string_view suffix,
+                     uint64_t value) {
+  AppendName(out, prefix, name);
+  out->append(suffix);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  out->append(buf);
+}
+
+void AppendI64Sample(std::string* out, std::string_view prefix,
+                     std::string_view name, std::string_view suffix,
+                     int64_t value) {
+  AppendName(out, prefix, name);
+  out->append(suffix);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+  out->append(buf);
+}
+
+void AppendType(std::string* out, std::string_view prefix,
+                std::string_view name, std::string_view suffix,
+                std::string_view type) {
+  out->append("# TYPE ");
+  AppendName(out, prefix, name);
+  out->append(suffix);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendQuantile(std::string* out, std::string_view prefix,
+                    std::string_view name, const char* q, double value) {
+  AppendName(out, prefix, name);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{quantile=\"%s\"} %.17g\n", q, value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusDump(const MetricsSnapshot& snap,
+                           std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    AppendType(&out, prefix, name, "", "counter");
+    AppendU64Sample(&out, prefix, name, "", value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    AppendType(&out, prefix, name, "", "gauge");
+    AppendI64Sample(&out, prefix, name, "", value);
+  }
+  for (const auto& [name, value] : snap.gauge_maxes) {
+    AppendType(&out, prefix, name, "_max", "gauge");
+    AppendI64Sample(&out, prefix, name, "_max", value);
+  }
+  for (const MetricsSnapshot::HistogramView& h : snap.histograms) {
+    AppendType(&out, prefix, h.name, "", "summary");
+    AppendQuantile(&out, prefix, h.name, "0.5", h.p50);
+    AppendQuantile(&out, prefix, h.name, "0.9", h.p90);
+    AppendQuantile(&out, prefix, h.name, "0.99", h.p99);
+    AppendU64Sample(&out, prefix, h.name, "_sum", h.sum);
+    AppendU64Sample(&out, prefix, h.name, "_count", h.count);
+    AppendType(&out, prefix, h.name, "_max", "gauge");
+    AppendU64Sample(&out, prefix, h.name, "_max", h.max);
+  }
+  return out;
+}
+
+std::string PrometheusDefaultDump(std::string_view prefix) {
+  return PrometheusDump(MetricsRegistry::Default()->Snapshot(), prefix);
+}
+
+}  // namespace obs
+}  // namespace xseq

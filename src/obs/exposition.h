@@ -1,0 +1,42 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsSnapshot, so the
+// serving plane can be scraped by stock collectors instead of polled with
+// xseq_tool. Dotted registry names ("xseq.server.frames") become legal
+// Prometheus series names ("xseq_server_frames"); an optional prefix maps
+// the whole registry under a binary-specific namespace (xseq_serve_*).
+//
+// Rendering rules:
+//   counter    -> `# TYPE <name> counter` + one sample
+//   gauge      -> `# TYPE <name> gauge` + one sample (the _max companion
+//                 gauge is exported as `<name>_max`)
+//   histogram  -> Prometheus *summary*: quantile-labeled samples for
+//                 p50/p90/p99 plus `_sum`, `_count`, and a `_max` gauge
+//                 (the registry keeps power-of-two buckets, not the
+//                 cumulative buckets a Prometheus histogram type needs).
+
+#ifndef XSEQ_SRC_OBS_EXPOSITION_H_
+#define XSEQ_SRC_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace xseq {
+namespace obs {
+
+/// `name` with every character outside [a-zA-Z0-9_] replaced by '_', and a
+/// leading '_' prepended when the first character would be a digit.
+std::string PrometheusName(std::string_view name);
+
+/// Renders `snap` in the Prometheus text exposition format. `prefix` (e.g.
+/// "xseq_serve_") is sanitized and prepended to every series name.
+std::string PrometheusDump(const MetricsSnapshot& snap,
+                           std::string_view prefix = "");
+
+/// PrometheusDump of MetricsRegistry::Default()->Snapshot().
+std::string PrometheusDefaultDump(std::string_view prefix = "");
+
+}  // namespace obs
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_OBS_EXPOSITION_H_

@@ -1,0 +1,199 @@
+#include "src/obs/request_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+
+namespace xseq {
+namespace obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+struct LogMetricSet {
+  Counter* records;
+  Counter* dropped;
+  Counter* rotations;
+  Counter* errors;
+};
+
+const LogMetricSet& LogMetrics() {
+  static const LogMetricSet s = [] {
+    MetricsRegistry* r = MetricsRegistry::Default();
+    return LogMetricSet{r->GetCounter("xseq.log.records"),
+                        r->GetCounter("xseq.log.dropped"),
+                        r->GetCounter("xseq.log.rotations"),
+                        r->GetCounter("xseq.log.errors")};
+  }();
+  return s;
+}
+
+}  // namespace
+
+std::string RequestLogLine(const RequestLogRecord& rec,
+                           std::string_view reason) {
+  char buf[160];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "\"ts_us\":%" PRIu64 ",\"id\":%" PRIu64 ",",
+                rec.ts_us, rec.request_id);
+  out.append(buf);
+  if (rec.trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), "\"trace_id\":%" PRIu64 ",", rec.trace_id);
+    out.append(buf);
+  }
+  out.append("\"op\":");
+  AppendJsonString(&out, rec.op);
+  out.append(",\"query\":");
+  AppendJsonString(&out, rec.query);
+  out.append(",\"status\":");
+  AppendJsonString(&out, rec.status);
+  out.append(",\"reason\":");
+  AppendJsonString(&out, reason);
+  std::snprintf(buf, sizeof(buf),
+                ",\"ok\":%s,\"shed\":%s,\"deadline_miss\":%s,"
+                "\"result_cache_hit\":%s,\"plan_cache_hit\":%s",
+                rec.ok ? "true" : "false", rec.shed ? "true" : "false",
+                rec.deadline_miss ? "true" : "false",
+                rec.result_cache_hit ? "true" : "false",
+                rec.plan_cache_hit ? "true" : "false");
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"latency_us\":%" PRIu64 ",\"queue_us\":%" PRIu64
+                ",\"docs\":%" PRIu64,
+                rec.latency_us, rec.queue_us, rec.docs);
+  out.append(buf);
+  if (!rec.explain_json.empty()) {
+    out.append(",\"explain\":");
+    out.append(rec.explain_json);  // already a JSON object
+  }
+  out.push_back('}');
+  return out;
+}
+
+StatusOr<std::unique_ptr<RequestLog>> RequestLog::Open(
+    const RequestLogOptions& options) {
+  RequestLogOptions opts = options;
+  if (opts.env == nullptr) opts.env = Env::Default();
+  std::unique_ptr<RequestLog> log(new RequestLog(opts));
+  auto file = opts.env->NewWritableFile(opts.path);
+  if (!file.ok()) return file.status();
+  log->file_ = std::move(*file);
+  return log;
+}
+
+const char* RequestLog::Classify(const RequestLogRecord& rec) const {
+  if (rec.shed) return "shed";
+  if (rec.deadline_miss) return "deadline";
+  if (!rec.ok) return "error";
+  if (opts_.slow_micros > 0 && rec.latency_us >= opts_.slow_micros) {
+    return "slow";
+  }
+  return opts_.sample_every > 0 ? "sampled" : "";
+}
+
+Status RequestLog::RotateLocked() {
+  Status st = file_->Close();
+  file_.reset();
+  if (st.ok()) {
+    st = opts_.env->RenameFile(opts_.path, opts_.path + ".1");
+  }
+  auto file = opts_.env->NewWritableFile(opts_.path);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  bytes_ = 0;
+  ++rotations_;
+  if (MetricsEnabled()) LogMetrics().rotations->Increment();
+  return st;
+}
+
+Status RequestLog::Append(const RequestLogRecord& rec) {
+  const std::string_view reason = Classify(rec);
+  if (reason.empty()) {  // sample_every == 0: drop every OK-and-fast record
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_;
+    if (MetricsEnabled()) LogMetrics().dropped->Increment();
+    return Status::OK();
+  }
+  if (reason == "sampled") {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok_seen_++ % opts_.sample_every != 0) {
+      ++dropped_;
+      if (MetricsEnabled()) LogMetrics().dropped->Increment();
+      return Status::OK();
+    }
+  }
+  std::string line = RequestLogLine(rec, reason);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("request log is closed");
+  }
+  Status st = file_->Append(line);
+  if (!st.ok()) {
+    if (MetricsEnabled()) LogMetrics().errors->Increment();
+    return st;
+  }
+  bytes_ += line.size();
+  ++written_;
+  if (MetricsEnabled()) LogMetrics().records->Increment();
+  if (opts_.rotate_bytes > 0 && bytes_ >= opts_.rotate_bytes) {
+    st = RotateLocked();
+    if (!st.ok() && MetricsEnabled()) LogMetrics().errors->Increment();
+  }
+  return st;
+}
+
+Status RequestLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("request log is closed");
+  }
+  return file_->Sync();
+}
+
+uint64_t RequestLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t RequestLog::records_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+uint64_t RequestLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace obs
+}  // namespace xseq

@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -69,14 +71,35 @@ void AppendEventJson(std::string* out, const TraceSpan& span, uint64_t pid) {
   out->append("}}");
 }
 
+// Chrome "pid" groups a trace's lanes together; the distributed trace id
+// (shared across processes) is the natural group key when present, falling
+// back to the ring-assigned local id.
+uint64_t ChromePid(const Trace& trace) {
+  return trace.trace_id != 0 ? trace.trace_id : trace.id;
+}
+
 }  // namespace
+
+uint64_t GenerateTraceId() {
+  // Nonzero, 48-bit, unique within a process and very likely across the
+  // processes of one request's lifetime: a steady-clock read mixed with a
+  // process-wide counter through a 64-bit FNV-style scramble.
+  static std::atomic<uint64_t> counter{1};
+  uint64_t x = SteadyNowUs() * 0x100000001B3ull;
+  x ^= counter.fetch_add(1, std::memory_order_relaxed) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  x &= 0xFFFFFFFFFFFFull;  // 48 bits: exact in JSON doubles
+  return x == 0 ? 1 : x;
+}
 
 std::string TraceToChromeJson(const Trace& trace) {
   std::string out = "{\"traceEvents\":[";
   for (size_t i = 0; i < trace.spans.size(); ++i) {
     if (i > 0) out.push_back(',');
     out.push_back('\n');
-    AppendEventJson(&out, trace.spans[i], trace.id);
+    AppendEventJson(&out, trace.spans[i], ChromePid(trace));
   }
   out.append("\n]}\n");
   return out;
@@ -110,6 +133,53 @@ uint32_t TraceBuilder::StartTrace(std::string_view root_name) {
   root.start_us = 0;
   trace_.spans.push_back(std::move(root));
   return 0;
+}
+
+uint32_t TraceBuilder::StartTrace(std::string_view root_name,
+                                  const TraceContext& ctx) {
+  uint32_t root = StartTrace(root_name);
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.trace_id = ctx.valid() ? ctx.trace_id : GenerateTraceId();
+  trace_.parent_span = ctx.valid() ? ctx.parent_span : kNoSpan;
+  return root;
+}
+
+TraceContext TraceBuilder::ContextFor(uint32_t span) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_ || trace_.trace_id == 0) return TraceContext{};
+  return TraceContext{trace_.trace_id, span, true};
+}
+
+uint32_t TraceBuilder::Graft(const Trace& remote, uint32_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_ || remote.spans.empty()) return kNoSpan;
+  const uint32_t index_base = static_cast<uint32_t>(trace_.spans.size());
+  const uint32_t tid_base = static_cast<uint32_t>(tid_hashes_.size());
+  // Reserve fresh thread lanes for the remote spans so later local threads
+  // don't land on them. Sentinel hashes: astronomically unlikely to collide
+  // with a real std::thread::id hash, and a collision only shares a lane.
+  uint32_t remote_tids = 0;
+  for (const TraceSpan& s : remote.spans) {
+    remote_tids = std::max(remote_tids, s.tid + 1);
+  }
+  for (uint32_t i = 0; i < remote_tids; ++i) {
+    tid_hashes_.push_back(0xC2B2AE3D27D4EB4Full ^
+                          (static_cast<uint64_t>(tid_base + i) << 32));
+  }
+  // Shift remote timestamps so the remote tree ends "now" — the response
+  // just landed, so only the return-path network latency is misattributed.
+  const uint64_t now = NowUs();
+  const uint64_t remote_total = remote.spans[0].dur_us;
+  const uint64_t offset = now > remote_total ? now - remote_total : 0;
+  for (const TraceSpan& s : remote.spans) {
+    TraceSpan copy = s;
+    copy.parent = s.parent == kNoSpan ? parent : s.parent + index_base;
+    copy.tid = s.tid + tid_base;
+    copy.start_us = s.start_us + offset;
+    copy.closed = true;
+    trace_.spans.push_back(std::move(copy));
+  }
+  return index_base;
 }
 
 uint32_t TraceBuilder::BeginSpan(std::string_view name, uint32_t parent) {
@@ -195,7 +265,7 @@ std::string Tracer::ExportChromeJson() const {
       if (!first) out.push_back(',');
       first = false;
       out.push_back('\n');
-      AppendEventJson(&out, span, t.id);
+      AppendEventJson(&out, span, ChromePid(t));
     }
   }
   out.append("\n]}\n");

@@ -33,6 +33,24 @@ namespace obs {
 /// Root / "no parent" marker for span parent links.
 inline constexpr uint32_t kNoSpan = 0xFFFFFFFFu;
 
+/// Distributed trace identity, propagated across process boundaries (wire
+/// protocol v4 carries one per query frame). `trace_id` is a nonzero
+/// 48-bit id shared by every span of one end-to-end request; `parent_span`
+/// is the span id *in the sender's trace* the receiver should treat as its
+/// logical parent; `sampled` asks the receiver to record (and return) its
+/// side of the trace. A zero trace_id means "no context".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// A fresh nonzero 48-bit trace id (masked so it survives a round-trip
+/// through JSON doubles and Chrome "pid" fields). Thread-safe.
+uint64_t GenerateTraceId();
+
 /// One timed node of a trace tree. Timestamps are microseconds relative to
 /// the trace's start.
 struct TraceSpan {
@@ -49,6 +67,10 @@ struct TraceSpan {
 /// A finished span tree.
 struct Trace {
   uint64_t id = 0;            ///< assigned by the Tracer at commit
+  uint64_t trace_id = 0;      ///< distributed id (0 = purely local trace)
+  /// Span id in the *remote sender's* trace under which this tree logically
+  /// hangs; kNoSpan when this process started the request.
+  uint64_t parent_span = kNoSpan;
   uint64_t wall_start_us = 0; ///< steady-clock micros at StartTrace
   std::vector<TraceSpan> spans;
 };
@@ -70,6 +92,23 @@ class TraceBuilder {
 
   /// Opens the root span and starts the clock. Returns the root span id.
   uint32_t StartTrace(std::string_view root_name);
+
+  /// As StartTrace, but adopts (or mints) a distributed identity: the
+  /// trace's id becomes `ctx.trace_id` when the context is valid, otherwise
+  /// a fresh GenerateTraceId(); `ctx.parent_span` is remembered so exports
+  /// can stitch this tree under the sender's span.
+  uint32_t StartTrace(std::string_view root_name, const TraceContext& ctx);
+
+  /// A context other processes can attach under: this trace's id plus
+  /// `span` as the parent. Invalid (zero) context when not active.
+  TraceContext ContextFor(uint32_t span) const;
+
+  /// Splices a remote subtree (a trace returned by a peer) under local span
+  /// `parent`: remote spans are appended with parents re-pointed, thread
+  /// slots moved to fresh lanes, and timestamps shifted so the remote root
+  /// ends "now" (the moment the response landed). Returns the local id of
+  /// the grafted root, or kNoSpan if inactive or `remote` is empty.
+  uint32_t Graft(const Trace& remote, uint32_t parent);
 
   /// Opens a child span of `parent` (kNoSpan only for the root). Returns
   /// the new span id.

@@ -161,6 +161,17 @@ StatusOr<CompiledQuery> QueryExecutor::CompileInternal(
           ++cost_capped;
         }
       }
+      {
+        // Predicted match work for the explain record: orderings × estimated
+        // per-ordering entries, unsaturated by the budget above.
+        const uint64_t per = planner.EstimatedMatchCost(cq);
+        const uint64_t n = QueryPlanner::PredictedOrderings(cq, UINT64_MAX);
+        const uint64_t tree_cost =
+            (per != 0 && n > UINT64_MAX / per) ? UINT64_MAX : n * per;
+        out.predicted_cost = out.predicted_cost + tree_cost < out.predicted_cost
+                                 ? UINT64_MAX
+                                 : out.predicted_cost + tree_cost;
+      }
       IsomorphResult iso = ExpandIsomorphisms(cq, iso_opts);
       out.orderings += iso.queries.size();
       out.truncated = out.truncated || iso.truncated;
@@ -236,6 +247,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   std::shared_ptr<const CompiledQuery> plan_holder;
   CompiledQuery owned_plan;
   const CompiledQuery* plan = nullptr;
+  bool plan_cache_hit = false;
   std::string cache_key;
   if (cache != nullptr) {
     cache_key = BuildPlanCacheKey(opts);
@@ -243,6 +255,7 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     if (plan_holder != nullptr) {
       plan = plan_holder.get();
       st->plan_cache_hits += 1;
+      plan_cache_hit = true;
       obs::SpanScope compile_span(opts.trace, "compile", root_span);
       compile_span.Annotate("plan_cache_hit", 1);
       compile_span.Annotate("sequences", plan->sequences.size());
@@ -274,6 +287,31 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
       static_cast<uint64_t>(st->compile_micros - compile_before);
   report.truncated = st->truncated;
   report.pruned = plan->pruned;
+
+  const uint64_t entries_before = st->match.link_entries_read;
+  if (opts.explain != nullptr) {
+    QueryExplain& ex = *opts.explain;
+    ex.instantiations += plan->instantiations;
+    ex.orderings += plan->orderings;
+    ex.pruned += plan->pruned;
+    ex.sequences += plan->sequences.size();
+    ex.plan_cache_hit = ex.plan_cache_hit || plan_cache_hit;
+    ex.truncated = ex.truncated || plan->truncated;
+    ex.predicted_cost =
+        ex.predicted_cost + plan->predicted_cost < ex.predicted_cost
+            ? UINT64_MAX
+            : ex.predicted_cost + plan->predicted_cost;
+    ex.compile_micros += st->compile_micros - compile_before;
+    QueryPlanner planner(index_, schema_);
+    for (const QuerySeq& qs : plan->sequences) {
+      QueryPlanner::SeqSelectivity sel = planner.Selectivity(qs);
+      QueryExplain::SeqEntry entry;
+      entry.positions = static_cast<uint32_t>(qs.size());
+      entry.anchor_cardinality = sel.min_cardinality;
+      entry.anchor = static_cast<uint32_t>(sel.anchor);
+      ex.seq.push_back(entry);
+    }
+  }
 
   Timer timer;
   std::vector<DocId> out;
@@ -358,6 +396,11 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
   if (opts.trace != nullptr) {
     opts.trace->Annotate(root_span, "sequences", plan->sequences.size());
     opts.trace->Annotate(root_span, "result_docs", out.size());
+  }
+  if (opts.explain != nullptr) {
+    opts.explain->match_micros += static_cast<int64_t>(report.match_us);
+    opts.explain->actual_cost += st->match.link_entries_read - entries_before;
+    opts.explain->result_docs += out.size();
   }
   return out;
 }

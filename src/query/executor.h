@@ -63,6 +63,13 @@ struct ExecOptions {
   /// set `tracer` only.
   obs::TraceBuilder* trace = nullptr;
   uint32_t trace_parent = obs::kNoSpan;
+  /// Explain sink: when non-null, ExecutePattern *accumulates* a structured
+  /// account of the plan it ran (instantiations, chosen sequence order with
+  /// anchors, predicted vs. actual cost, cache hits) into it. Accumulation
+  /// (not assignment) lets one explain aggregate the nested executions of a
+  /// DynamicIndex query or a scatter-gather fan-out. Costs a few planner
+  /// probes per sequence when set; nothing when null.
+  QueryExplain* explain = nullptr;
   /// Absolute deadline in DeadlineNowMicros() units; 0 = no deadline. The
   /// executor checks it between pipeline stages and between matched
   /// sequences (not inside one MatchSequence call) and fails the query

@@ -1,6 +1,8 @@
 #include "src/query/planner.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <map>
 
 namespace xseq {
@@ -51,6 +53,110 @@ size_t CompiledQuery::MemoryBytes() const {
              q.parent.size() * sizeof(int32_t);
   }
   return bytes;
+}
+
+void QueryExplain::Add(const QueryExplain& o) {
+  instantiations += o.instantiations;
+  orderings += o.orderings;
+  pruned += o.pruned;
+  sequences += o.sequences;
+  plan_cache_hit = plan_cache_hit || o.plan_cache_hit;
+  result_cache_hit = result_cache_hit || o.result_cache_hit;
+  truncated = truncated || o.truncated;
+  predicted_cost = SatAdd(predicted_cost, o.predicted_cost);
+  actual_cost = SatAdd(actual_cost, o.actual_cost);
+  compile_micros += o.compile_micros;
+  match_micros += o.match_micros;
+  result_docs += o.result_docs;
+  seq.insert(seq.end(), o.seq.begin(), o.seq.end());
+  shards.insert(shards.end(), o.shards.begin(), o.shards.end());
+}
+
+std::string QueryExplain::ToJson() const {
+  char buf[192];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"instantiations\":%zu,\"orderings\":%zu,\"pruned\":%zu,"
+                "\"sequences\":%zu,",
+                instantiations, orderings, pruned, sequences);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "\"plan_cache_hit\":%s,\"result_cache_hit\":%s,"
+                "\"truncated\":%s,",
+                plan_cache_hit ? "true" : "false",
+                result_cache_hit ? "true" : "false",
+                truncated ? "true" : "false");
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "\"predicted_cost\":%" PRIu64 ",\"actual_cost\":%" PRIu64
+                ",\"compile_us\":%" PRId64 ",\"match_us\":%" PRId64
+                ",\"result_docs\":%zu,",
+                predicted_cost, actual_cost, compile_micros, match_micros,
+                result_docs);
+  out.append(buf);
+  out.append("\"seq\":[");
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    std::snprintf(buf, sizeof(buf),
+                  "{\"positions\":%u,\"anchor\":%u,\"anchor_cardinality\":%"
+                  PRIu64 ",\"shard\":%d}",
+                  seq[i].positions, seq[i].anchor, seq[i].anchor_cardinality,
+                  seq[i].shard);
+    out.append(buf);
+  }
+  out.append("],\"shards\":[");
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    std::snprintf(buf, sizeof(buf),
+                  "{\"shard\":%d,\"docs\":%" PRIu64 ",\"entries_read\":%"
+                  PRIu64 ",\"micros\":%" PRId64 "}",
+                  shards[i].shard, shards[i].docs, shards[i].entries_read,
+                  shards[i].micros);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string QueryExplain::ToString() const {
+  char buf[192];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "plan: %zu instantiation(s), %zu ordering(s), %zu pruned, "
+                "%zu sequence(s)%s%s%s\n",
+                instantiations, orderings, pruned, sequences,
+                plan_cache_hit ? " [plan cache hit]" : "",
+                result_cache_hit ? " [result cache hit]" : "",
+                truncated ? " [truncated]" : "");
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "cost: predicted %" PRIu64 " entries, actual %" PRIu64
+                " read; compile %" PRId64 " us, match %" PRId64
+                " us, %zu doc(s)\n",
+                predicted_cost, actual_cost, compile_micros, match_micros,
+                result_docs);
+  out.append(buf);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "  seq %zu: %u position(s), anchor @%u (cardinality %"
+                  PRIu64 ")",
+                  i, seq[i].positions, seq[i].anchor,
+                  seq[i].anchor_cardinality);
+    out.append(buf);
+    if (seq[i].shard >= 0) {
+      std::snprintf(buf, sizeof(buf), ", shard %d", seq[i].shard);
+      out.append(buf);
+    }
+    out.push_back('\n');
+  }
+  for (const ShardBreakdown& s : shards) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shard %d: %" PRIu64 " doc(s), %" PRIu64
+                  " entries read, %" PRId64 " us\n",
+                  s.shard, s.docs, s.entries_read, s.micros);
+    out.append(buf);
+  }
+  return out;
 }
 
 uint64_t QueryPlanner::PredictedOrderings(const ConcreteQuery& query,

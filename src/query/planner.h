@@ -33,6 +33,7 @@
 #define XSEQ_SRC_QUERY_PLANNER_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -81,9 +82,62 @@ struct CompiledQuery {
   size_t orderings = 0;       ///< trees after isomorphism expansion
   size_t pruned = 0;          ///< zero-cardinality candidates/sequences cut
   bool truncated = false;     ///< an enumeration cap was hit
+  /// Planner-predicted match work (sum over concrete trees of orderings ×
+  /// estimated per-ordering entries, saturating) — the number the cost cap
+  /// compared against its budget. Stored so a plan-cache hit replays the
+  /// same explain output as a fresh compile.
+  uint64_t predicted_cost = 0;
 
   /// Approximate heap footprint, used for cache byte accounting.
   size_t MemoryBytes() const;
+};
+
+/// A structured account of what the planner and executor did for one query
+/// — the "explain" record surfaced by `xseq_client query --explain`,
+/// `xseq_tool explain`, and the serving-plane access log. Counters
+/// accumulate (Add), so one explain can aggregate shard probes or dynamic
+/// segments; the per-sequence and per-shard vectors concatenate.
+struct QueryExplain {
+  size_t instantiations = 0;   ///< concrete trees after wildcard resolution
+  size_t orderings = 0;        ///< trees after isomorphism expansion
+  size_t pruned = 0;           ///< planner-cut candidates and sequences
+  size_t sequences = 0;        ///< deduplicated sequences actually matched
+  bool plan_cache_hit = false; ///< compilation served from the plan cache
+  bool result_cache_hit = false;  ///< whole answer served from result cache
+  bool truncated = false;
+  uint64_t predicted_cost = 0; ///< planner estimate (link entries)
+  uint64_t actual_cost = 0;    ///< link entries actually read matching
+  int64_t compile_micros = 0;
+  int64_t match_micros = 0;
+  size_t result_docs = 0;
+
+  /// One matched sequence, in the selectivity order the planner chose.
+  struct SeqEntry {
+    uint32_t positions = 0;           ///< sequence length
+    uint64_t anchor_cardinality = 0;  ///< min link cardinality
+    uint32_t anchor = 0;              ///< position attaining the minimum
+    int32_t shard = -1;               ///< owning shard, -1 = unsharded
+  };
+  std::vector<SeqEntry> seq;
+
+  /// Scatter-gather fan-out: one row per probed shard.
+  struct ShardBreakdown {
+    int32_t shard = 0;
+    uint64_t docs = 0;
+    uint64_t entries_read = 0;
+    int64_t micros = 0;
+  };
+  std::vector<ShardBreakdown> shards;
+
+  /// Merges `o` into this explain (counters add, flags OR, rows append).
+  void Add(const QueryExplain& o);
+
+  /// One-line-per-field JSON object (no trailing newline), embeddable in
+  /// the access log and stable for tests.
+  std::string ToJson() const;
+
+  /// Human-readable rendering for the CLIs.
+  std::string ToString() const;
 };
 
 /// Stateless planning helpers over one index (and optionally its schema).

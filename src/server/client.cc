@@ -4,19 +4,32 @@
 
 namespace xseq {
 
+namespace {
+
+/// True when a remote error is the server refusing our protocol version —
+/// the one error that triggers the downgrade path. Matched on the message
+/// because the wire carries no structured error detail; the text is part
+/// of DecodePrefix's contract ("wire protocol version N is not
+/// supported...").
+bool IsVersionMismatch(const Status& st) {
+  return st.IsUnimplemented() &&
+         st.message().find("wire protocol version") != std::string::npos;
+}
+
+}  // namespace
+
 StatusOr<XseqClient> XseqClient::Connect(const std::string& host, int port,
                                          SocketEnv* env) {
   if (env == nullptr) env = SocketEnv::Default();
   auto conn = env->Connect(host, port);
   if (!conn.ok()) return conn.status();
-  return XseqClient(std::move(*conn));
+  return XseqClient(std::move(*conn), host, port, env);
 }
 
-StatusOr<WireResponse> XseqClient::RoundTrip(WireRequest req) {
+StatusOr<WireResponse> XseqClient::RoundTripOnce(const WireRequest& req) {
   if (conn_ == nullptr) {
     return Status::FailedPrecondition("client is closed");
   }
-  req.id = next_id_++;
   std::string body;
   EncodeRequestBody(req, &body);
   XSEQ_RETURN_IF_ERROR(WriteFrame(conn_.get(), body));
@@ -37,24 +50,92 @@ StatusOr<WireResponse> XseqClient::RoundTrip(WireRequest req) {
   return resp;
 }
 
-StatusOr<RemoteQueryResult> XseqClient::Query(
-    std::string_view xpath, uint64_t deadline_budget_micros) {
+StatusOr<WireResponse> XseqClient::RoundTrip(WireRequest req) {
+  req.id = next_id_++;
+  req.version = wire_version_;
+  auto resp = RoundTripOnce(req);
+  if (resp.ok() && IsVersionMismatch(resp->status) &&
+      wire_version_ > kMinWireVersion) {
+    // The peer is an older build. It closed the connection along with the
+    // error (framing cannot resynchronize after a rejected body), so
+    // reconnect, drop to the floor version, and replay the request once.
+    // The downgrade sticks for this client's lifetime.
+    wire_version_ = kMinWireVersion;
+    conn_.reset();
+    auto conn = env_->Connect(host_, port_);
+    if (!conn.ok()) {
+      return AnnotateStatus(conn.status(),
+                            "reconnect after version downgrade");
+    }
+    conn_ = std::move(*conn);
+    req.id = next_id_++;
+    req.version = wire_version_;
+    return RoundTripOnce(req);
+  }
+  return resp;
+}
+
+StatusOr<RemoteQueryResult> XseqClient::Query(std::string_view xpath,
+                                              uint64_t deadline_budget_micros,
+                                              bool want_explain) {
   WireRequest req;
   req.op = WireOp::kQuery;
   req.xpath.assign(xpath.data(), xpath.size());
   req.deadline_micros = deadline_budget_micros;
+  req.want_explain = want_explain;
+
+  // With a tracer, every query records a client-side trace and propagates
+  // its context so the server's spans come back stitchable (v4 only — a
+  // downgraded connection cannot carry the context).
+  obs::TraceBuilder tb;
+  uint32_t rpc = obs::kNoSpan;
+  if (tracer_ != nullptr && wire_version_ >= 4) {
+    const uint32_t root = tb.StartTrace("client_query", obs::TraceContext{});
+    rpc = tb.BeginSpan("rpc", root);
+    req.trace = tb.ContextFor(rpc);
+    req.trace.sampled = true;
+  }
+
   auto resp = RoundTrip(std::move(req));
+  RemoteQueryResult out;
+  if (tb.active()) {
+    tb.EndSpan(rpc);
+    if (resp.ok() && resp->has_trace) tb.Graft(resp->trace, rpc);
+    if (resp.ok() && resp->status.ok()) {
+      tb.Annotate(rpc, "docs", resp->docs.size());
+    }
+    out.trace_id = tb.ContextFor(rpc).trace_id;
+    tb.Commit(tracer_);
+  }
   if (!resp.ok()) return resp.status();
   XSEQ_RETURN_IF_ERROR(resp->status);
-  RemoteQueryResult out;
   out.docs = std::move(resp->docs);
   out.stats = resp->stats;
+  if (resp->has_explain) {
+    out.has_explain = true;
+    out.explain = std::move(resp->explain);
+  }
   return out;
 }
 
 StatusOr<std::string> XseqClient::Stats() {
   WireRequest req;
   req.op = WireOp::kStats;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return std::move(resp->payload);
+}
+
+StatusOr<std::string> XseqClient::Metrics() {
+  if (wire_version_ < 4) {
+    return Status::Unimplemented(
+        "the metrics op needs wire protocol version 4; this connection "
+        "downgraded to version " +
+        std::to_string(wire_version_));
+  }
+  WireRequest req;
+  req.op = WireOp::kMetrics;
   auto resp = RoundTrip(std::move(req));
   if (!resp.ok()) return resp.status();
   XSEQ_RETURN_IF_ERROR(resp->status);

@@ -2,6 +2,22 @@
 // connection, one request in flight, strict request/response. Used by the
 // xseq_client CLI, the serve benchmark's load generator, and tests.
 //
+// Version negotiation: the client opens every connection speaking
+// kWireVersion. A server that answers kUnimplemented naming the wire
+// protocol version is an older build — the client downgrades to
+// kMinWireVersion, reconnects (the server closed the connection along
+// with the error), and replays the request once. The downgrade sticks for
+// the client's lifetime, so a session against an old daemon pays the
+// round trip exactly once. v4-only features (trace propagation, explain,
+// the metrics op) silently drop away on a downgraded connection.
+//
+// Tracing: give the client a tracer (set_tracer) and every Query()
+// records a client-side trace — a "client_query" root and an "rpc" span
+// covering the wire round trip — propagates the rpc span's context to the
+// server, and grafts the server's own span tree (returned in the v4
+// response) under the rpc span: one stitched trace per query, committed
+// to the tracer's ring.
+//
 // Not thread-safe: one thread per client (open several clients for
 // concurrency; connections are cheap). Request ids are assigned
 // monotonically and every response is validated against the id and op of
@@ -15,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/server/protocol.h"
 #include "src/server/socket.h"
 
@@ -24,6 +41,13 @@ namespace xseq {
 struct RemoteQueryResult {
   std::vector<DocId> docs;   ///< sorted, deduplicated (server contract)
   WireQueryStats stats;
+  /// Planner/executor account of the query (Query(..., want_explain=true)
+  /// against a v4 server; absent on a v3 connection).
+  bool has_explain = false;
+  QueryExplain explain;
+  /// Trace id of the stitched client+server trace recorded for this query
+  /// (0 when the client has no tracer).
+  uint64_t trace_id = 0;
 };
 
 class XseqClient {
@@ -38,12 +62,19 @@ class XseqClient {
   /// Runs `xpath` remotely. `deadline_budget_micros` (0 = server default)
   /// bounds the server-side time from admission. A shed request surfaces
   /// as kOverloaded, an expired one as kDeadlineExceeded — exactly the
-  /// status the server produced, rebuilt from the wire.
+  /// status the server produced, rebuilt from the wire. `want_explain`
+  /// asks a v4 server for the planner's account (RemoteQueryResult::
+  /// explain); a v3 connection ignores it.
   StatusOr<RemoteQueryResult> Query(std::string_view xpath,
-                                    uint64_t deadline_budget_micros = 0);
+                                    uint64_t deadline_budget_micros = 0,
+                                    bool want_explain = false);
 
   /// The serving process's MetricsRegistry JSON dump.
   StatusOr<std::string> Stats();
+
+  /// The serving process's Prometheus text exposition (v4 servers only; a
+  /// downgraded v3 connection returns kUnimplemented locally).
+  StatusOr<std::string> Metrics();
 
   /// Round-trip liveness check.
   Status Ping();
@@ -64,19 +95,41 @@ class XseqClient {
   /// outcome is the response's `status` field. FailoverClient needs the
   /// two kept apart (a dead socket is retryable, a remote parse error is
   /// not); the typed wrappers above flatten them for everyone else.
+  /// Stamps the connection's negotiated version into the request.
   StatusOr<WireResponse> Call(WireRequest req);
+
+  /// Sink for client-side query traces (nullptr = tracing off). Not owned;
+  /// must outlive the client.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// The protocol version this connection speaks (kWireVersion until a
+  /// downgrade, kMinWireVersion after).
+  uint8_t wire_version() const { return wire_version_; }
 
   void Close();
 
  private:
-  explicit XseqClient(std::unique_ptr<Connection> conn)
-      : conn_(std::move(conn)) {}
+  XseqClient(std::unique_ptr<Connection> conn, std::string host, int port,
+             SocketEnv* env)
+      : conn_(std::move(conn)),
+        host_(std::move(host)),
+        port_(port),
+        env_(env) {}
 
-  /// Sends `req` and reads its response, validating id/op echo.
+  /// Sends `req` and reads its response, validating id/op echo. Handles
+  /// the one-shot version downgrade (reconnect + replay).
   StatusOr<WireResponse> RoundTrip(WireRequest req);
 
+  /// One wire round trip at the current negotiated version.
+  StatusOr<WireResponse> RoundTripOnce(const WireRequest& req);
+
   std::unique_ptr<Connection> conn_;
+  std::string host_;
+  int port_ = 0;
+  SocketEnv* env_ = nullptr;  ///< not owned; the env Connect() used
   uint64_t next_id_ = 1;
+  uint8_t wire_version_ = kWireVersion;
+  obs::Tracer* tracer_ = nullptr;  ///< not owned
 };
 
 }  // namespace xseq

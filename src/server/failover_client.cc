@@ -86,7 +86,8 @@ uint64_t FailoverClient::BackoffMicros(int attempt) {
 }
 
 StatusOr<WireResponse> FailoverClient::CallWithFailover(
-    WireRequest req, uint64_t deadline_budget_micros) {
+    WireRequest req, uint64_t deadline_budget_micros, obs::TraceBuilder* tb,
+    uint32_t root_span) {
   if (endpoints_.empty()) {
     return Status::InvalidArgument("no endpoints configured");
   }
@@ -162,6 +163,30 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
     ++stats_.attempts;
     if (idx != 0) ++stats_.failovers;
 
+    // One span per wire round trip. Every outcome below closes it with
+    // annotations that tell the failover story: which endpoint, whether it
+    // was a Half-Open probe, how the attempt ended, and whether it tripped
+    // the breaker.
+    const uint32_t att =
+        tb != nullptr ? tb->BeginSpan("attempt", root_span) : obs::kNoSpan;
+    if (tb != nullptr) {
+      tb->Annotate(att, "endpoint", static_cast<uint64_t>(idx));
+      tb->Annotate(att, "attempt", static_cast<uint64_t>(attempt));
+      if (ep->state == BreakerState::kHalfOpen) {
+        tb->Annotate(att, "half_open_probe", 1);
+      }
+    }
+    const auto finish_attempt = [&](const char* failure_key) {
+      if (tb == nullptr) return;
+      if (failure_key != nullptr) {
+        tb->Annotate(att, failure_key, 1);
+        if (ep->state == BreakerState::kOpen) {
+          tb->Annotate(att, "breaker_opened", 1);
+        }
+      }
+      tb->EndSpan(att);
+    };
+
     if (ep->client == nullptr) {
       auto connected = XseqClient::Connect(ep->endpoint.host, ep->endpoint.port,
                                            options_.socket_env);
@@ -170,6 +195,7 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
                                     ep->endpoint.host + ":" +
                                         std::to_string(ep->endpoint.port));
         OnTransportFailure(ep);
+        finish_attempt("connect_error");
         continue;
       }
       ep->client = std::make_unique<XseqClient>(std::move(*connected));
@@ -180,6 +206,10 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
       const uint64_t now = Now();
       copy.deadline_micros = deadline_abs > now ? deadline_abs - now : 1;
     }
+    if (tb != nullptr) {
+      copy.trace = tb->ContextFor(att);
+      copy.trace.sampled = true;
+    }
     auto resp = ep->client->Call(std::move(copy));
     if (!resp.ok()) {
       // Transport failure: the endpoint is suspect. Breaker + failover.
@@ -187,6 +217,7 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
                                   ep->endpoint.host + ":" +
                                       std::to_string(ep->endpoint.port));
       OnTransportFailure(ep);
+      finish_attempt("transport_error");
       continue;
     }
     if (resp->status.IsOverloaded()) {
@@ -195,11 +226,14 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
       OnSuccess(ep);
       last_error = resp->status;
       avoid = idx;
+      finish_attempt("shed");
       continue;
     }
     // Every other remote outcome (success or a request-scoped error) is
     // definitive: the endpoint did its job.
     OnSuccess(ep);
+    if (tb != nullptr && resp->has_trace) tb->Graft(resp->trace, att);
+    finish_attempt(nullptr);
     return resp;
   }
   return AnnotateStatus(last_error,
@@ -209,17 +243,40 @@ StatusOr<WireResponse> FailoverClient::CallWithFailover(
 }
 
 StatusOr<RemoteQueryResult> FailoverClient::Query(
-    std::string_view xpath, uint64_t deadline_budget_micros) {
+    std::string_view xpath, uint64_t deadline_budget_micros,
+    bool want_explain) {
   WireRequest req;
   req.op = WireOp::kQuery;
   req.xpath.assign(xpath.data(), xpath.size());
   req.deadline_micros = deadline_budget_micros;
-  auto resp = CallWithFailover(std::move(req), deadline_budget_micros);
+  req.want_explain = want_explain;
+
+  obs::TraceBuilder tb;
+  uint32_t root = obs::kNoSpan;
+  uint64_t trace_id = 0;
+  if (options_.tracer != nullptr) {
+    root = tb.StartTrace("client_query", obs::TraceContext{});
+    trace_id = tb.ContextFor(root).trace_id;
+  }
+  auto resp = CallWithFailover(std::move(req), deadline_budget_micros,
+                               options_.tracer != nullptr ? &tb : nullptr,
+                               root);
+  if (tb.active()) {
+    if (resp.ok() && resp->status.ok()) {
+      tb.Annotate(root, "docs", resp->docs.size());
+    }
+    tb.Commit(options_.tracer);
+  }
   if (!resp.ok()) return resp.status();
   XSEQ_RETURN_IF_ERROR(resp->status);
   RemoteQueryResult result;
   result.docs = std::move(resp->docs);
   result.stats = resp->stats;
+  result.trace_id = trace_id;
+  if (resp->has_explain) {
+    result.has_explain = true;
+    result.explain = std::move(resp->explain);
+  }
   return result;
 }
 

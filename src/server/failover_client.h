@@ -48,6 +48,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/server/client.h"
 
 namespace xseq {
@@ -82,6 +83,14 @@ struct FailoverOptions {
   /// Jitter RNG seed (deterministic for tests).
   uint64_t seed = 42;
 
+  /// Sink for per-request traces (nullptr = tracing off). With a tracer,
+  /// every Query records a "client_query" root with one "attempt" span per
+  /// wire round trip (annotated with the endpoint index, shed / transport
+  /// failures, and breaker trips), propagates the attempt span's context
+  /// to the server, and grafts the server's returned span tree beneath it:
+  /// one stitched trace across the failover chain. Not owned.
+  obs::Tracer* tracer = nullptr;
+
   /// Injectable time source / sleeper (tests). Defaults: Env::Default().
   std::function<uint64_t()> clock_micros;
   std::function<void(uint64_t)> sleeper;
@@ -99,8 +108,10 @@ class FailoverClient {
   /// Remote query with failover; see the file comment for the retry rules.
   /// `deadline_budget_micros` (0 = none) bounds the *whole* attempt chain,
   /// client-side, and is forwarded per-attempt to the server.
+  /// `want_explain` asks a v4 server for the planner's account.
   StatusOr<RemoteQueryResult> Query(std::string_view xpath,
-                                    uint64_t deadline_budget_micros = 0);
+                                    uint64_t deadline_budget_micros = 0,
+                                    bool want_explain = false);
 
   /// Liveness check with failover.
   Status Ping();
@@ -149,9 +160,14 @@ class FailoverClient {
   int PickEndpoint();
 
   /// The one retry/breaker/budget loop all public calls share. Runs `req`
-  /// (re-encoding per attempt) until a definitive outcome.
+  /// (re-encoding per attempt) until a definitive outcome. With a non-null
+  /// `tb` (an active builder whose root is `root_span`), each attempt gets
+  /// its own span, carries that span's context to the server, and grafts
+  /// the returned server trace beneath it.
   StatusOr<WireResponse> CallWithFailover(WireRequest req,
-                                          uint64_t deadline_budget_micros);
+                                          uint64_t deadline_budget_micros,
+                                          obs::TraceBuilder* tb = nullptr,
+                                          uint32_t root_span = obs::kNoSpan);
 
   void OnTransportFailure(EndpointState* ep);
   void OnSuccess(EndpointState* ep);

@@ -20,17 +20,20 @@ Status GetByte(Decoder* in, uint8_t* b) {
   return Status::OK();
 }
 
-/// Common prefix of every body: version, op, request id.
-Status DecodePrefix(Decoder* in, uint8_t* op, uint64_t* id) {
-  uint8_t version = 0;
-  XSEQ_RETURN_IF_ERROR(GetByte(in, &version));
-  if (version != kWireVersion) {
+/// Common prefix of every body: version, op, request id. Any version in
+/// [kMinWireVersion, kWireVersion] is accepted and reported via `version`
+/// so the op payload can be decoded (and the response encoded) at the
+/// peer's level.
+Status DecodePrefix(Decoder* in, uint8_t* version, uint8_t* op,
+                    uint64_t* id) {
+  XSEQ_RETURN_IF_ERROR(GetByte(in, version));
+  if (*version < kMinWireVersion || *version > kWireVersion) {
     // Version negotiation: a mismatch in either direction is a clean,
     // attributable kUnimplemented naming both versions — never kCorruption
     // (the frame checksum already validated the bytes; an old client did
     // nothing corrupt) and never a hang.
     return Status::Unimplemented(
-        "wire protocol version " + std::to_string(version) +
+        "wire protocol version " + std::to_string(*version) +
         " is not supported; this build speaks version " +
         std::to_string(kWireVersion));
   }
@@ -57,6 +60,7 @@ bool IsValidWireOp(uint8_t op) {
     case WireOp::kPing:
     case WireOp::kShutdown:
     case WireOp::kReload:
+    case WireOp::kMetrics:
       return true;
   }
   return false;
@@ -143,15 +147,183 @@ Status DecodeStats(Decoder* in, WireQueryStats* s) {
   return in->GetFixed64(&s->pruned_instantiations);
 }
 
+// v4 query-request flag bits.
+constexpr uint8_t kReqFlagTrace = 1u << 0;
+constexpr uint8_t kReqFlagExplain = 1u << 1;
+// v4 query-response flag bits.
+constexpr uint8_t kRespFlagTrace = 1u << 0;
+constexpr uint8_t kRespFlagExplain = 1u << 1;
+
+void EncodeTrace(const obs::Trace& t, std::string* out) {
+  PutFixed64(out, t.trace_id);
+  PutFixed64(out, t.parent_span);
+  PutFixed64(out, t.wall_start_us);
+  PutFixed32(out, static_cast<uint32_t>(t.spans.size()));
+  for (const obs::TraceSpan& s : t.spans) {
+    PutString(out, s.name);
+    PutFixed32(out, s.parent);
+    PutFixed32(out, s.tid);
+    PutFixed64(out, s.start_us);
+    PutFixed64(out, s.dur_us);
+    PutFixed32(out, static_cast<uint32_t>(s.args.size()));
+    for (const auto& [key, value] : s.args) {
+      PutString(out, key);
+      PutFixed64(out, value);
+    }
+  }
+}
+
+Status DecodeTrace(Decoder* in, obs::Trace* t) {
+  *t = obs::Trace();
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&t->trace_id));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&t->parent_span));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&t->wall_start_us));
+  uint32_t count = 0;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed32(&count));
+  // A span occupies at least 36 body bytes (empty name, no args); bound
+  // the count against what is actually left before allocating.
+  if (count > in->remaining() / 36) {
+    return Status::Corruption("trace span count exceeds frame size");
+  }
+  t->spans.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::TraceSpan s;
+    XSEQ_RETURN_IF_ERROR(in->GetString(&s.name));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&s.parent));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&s.tid));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s.start_us));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s.dur_us));
+    s.closed = true;
+    uint32_t args = 0;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&args));
+    // An arg is at least 16 bytes (empty key + value).
+    if (args > in->remaining() / 16) {
+      return Status::Corruption("trace arg count exceeds frame size");
+    }
+    s.args.reserve(args);
+    for (uint32_t a = 0; a < args; ++a) {
+      std::string key;
+      uint64_t value = 0;
+      XSEQ_RETURN_IF_ERROR(in->GetString(&key));
+      XSEQ_RETURN_IF_ERROR(in->GetFixed64(&value));
+      s.args.emplace_back(std::move(key), value);
+    }
+    t->spans.push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+void EncodeExplain(const QueryExplain& ex, std::string* out) {
+  PutFixed64(out, ex.instantiations);
+  PutFixed64(out, ex.orderings);
+  PutFixed64(out, ex.pruned);
+  PutFixed64(out, ex.sequences);
+  PutFixed64(out, ex.predicted_cost);
+  PutFixed64(out, ex.actual_cost);
+  PutFixed64(out, static_cast<uint64_t>(ex.compile_micros));
+  PutFixed64(out, static_cast<uint64_t>(ex.match_micros));
+  PutFixed64(out, ex.result_docs);
+  uint8_t flags = 0;
+  if (ex.plan_cache_hit) flags |= 1u << 0;
+  if (ex.result_cache_hit) flags |= 1u << 1;
+  if (ex.truncated) flags |= 1u << 2;
+  PutByte(out, flags);
+  PutFixed32(out, static_cast<uint32_t>(ex.seq.size()));
+  for (const QueryExplain::SeqEntry& e : ex.seq) {
+    PutFixed32(out, e.positions);
+    PutFixed32(out, e.anchor);
+    PutFixed64(out, e.anchor_cardinality);
+    PutFixed32(out, static_cast<uint32_t>(e.shard));
+  }
+  PutFixed32(out, static_cast<uint32_t>(ex.shards.size()));
+  for (const QueryExplain::ShardBreakdown& s : ex.shards) {
+    PutFixed32(out, static_cast<uint32_t>(s.shard));
+    PutFixed64(out, s.docs);
+    PutFixed64(out, s.entries_read);
+    PutFixed64(out, static_cast<uint64_t>(s.micros));
+  }
+}
+
+Status DecodeExplain(Decoder* in, QueryExplain* ex) {
+  *ex = QueryExplain();
+  uint64_t v = 0;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->instantiations = static_cast<size_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->orderings = static_cast<size_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->pruned = static_cast<size_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->sequences = static_cast<size_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&ex->predicted_cost));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&ex->actual_cost));
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->compile_micros = static_cast<int64_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->match_micros = static_cast<int64_t>(v);
+  XSEQ_RETURN_IF_ERROR(in->GetFixed64(&v));
+  ex->result_docs = static_cast<size_t>(v);
+  uint8_t flags = 0;
+  XSEQ_RETURN_IF_ERROR(GetByte(in, &flags));
+  ex->plan_cache_hit = (flags & (1u << 0)) != 0;
+  ex->result_cache_hit = (flags & (1u << 1)) != 0;
+  ex->truncated = (flags & (1u << 2)) != 0;
+  uint32_t count = 0;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed32(&count));
+  if (count > in->remaining() / 20) {  // 4 + 4 + 8 + 4 bytes per entry
+    return Status::Corruption("explain seq count exceeds frame size");
+  }
+  ex->seq.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryExplain::SeqEntry e;
+    uint32_t shard = 0;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&e.positions));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&e.anchor));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&e.anchor_cardinality));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&shard));
+    e.shard = static_cast<int32_t>(shard);
+    ex->seq.push_back(e);
+  }
+  XSEQ_RETURN_IF_ERROR(in->GetFixed32(&count));
+  if (count > in->remaining() / 28) {  // 4 + 8 + 8 + 8 bytes per row
+    return Status::Corruption("explain shard count exceeds frame size");
+  }
+  ex->shards.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryExplain::ShardBreakdown s;
+    uint32_t shard = 0;
+    uint64_t micros = 0;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&shard));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s.docs));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&s.entries_read));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&micros));
+    s.shard = static_cast<int32_t>(shard);
+    s.micros = static_cast<int64_t>(micros);
+    ex->shards.push_back(s);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void EncodeRequestBody(const WireRequest& req, std::string* out) {
-  PutByte(out, kWireVersion);
+  PutByte(out, req.version);
   PutByte(out, static_cast<uint8_t>(req.op));
   PutFixed64(out, req.id);
   if (req.op == WireOp::kQuery) {
     PutString(out, req.xpath);
     PutFixed64(out, req.deadline_micros);
+    if (req.version >= 4) {
+      uint8_t flags = 0;
+      if (req.trace.valid()) flags |= kReqFlagTrace;
+      if (req.want_explain) flags |= kReqFlagExplain;
+      PutByte(out, flags);
+      if (req.trace.valid()) {
+        PutFixed64(out, req.trace.trace_id);
+        PutFixed64(out, req.trace.parent_span);
+        PutByte(out, req.trace.sampled ? 1 : 0);
+      }
+    }
   } else if (req.op == WireOp::kReload) {
     PutString(out, req.reload_path);
   }
@@ -160,14 +332,31 @@ void EncodeRequestBody(const WireRequest& req, std::string* out) {
 Status DecodeRequestBody(std::string_view body, WireRequest* out) {
   Decoder in(body);
   uint8_t op = 0;
-  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &op, &out->id));
+  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &out->version, &op, &out->id));
   out->op = static_cast<WireOp>(op);
   out->xpath.clear();
   out->deadline_micros = 0;
   out->reload_path.clear();
+  out->trace = obs::TraceContext();
+  out->want_explain = false;
   if (out->op == WireOp::kQuery) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->xpath));
     XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->deadline_micros));
+    if (out->version >= 4) {
+      uint8_t flags = 0;
+      XSEQ_RETURN_IF_ERROR(GetByte(&in, &flags));
+      out->want_explain = (flags & kReqFlagExplain) != 0;
+      if ((flags & kReqFlagTrace) != 0) {
+        uint8_t sampled = 0;
+        XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->trace.trace_id));
+        XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->trace.parent_span));
+        XSEQ_RETURN_IF_ERROR(GetByte(&in, &sampled));
+        out->trace.sampled = sampled != 0;
+        if (!out->trace.valid()) {
+          return Status::Corruption("trace context with zero trace id");
+        }
+      }
+    }
   } else if (out->op == WireOp::kReload) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->reload_path));
   }
@@ -175,7 +364,7 @@ Status DecodeRequestBody(std::string_view body, WireRequest* out) {
 }
 
 void EncodeResponseBody(const WireResponse& resp, std::string* out) {
-  PutByte(out, kWireVersion);
+  PutByte(out, resp.version);
   PutByte(out, static_cast<uint8_t>(resp.op));
   PutFixed64(out, resp.id);
   PutByte(out, StatusCodeToWire(resp.status.code()));
@@ -185,7 +374,15 @@ void EncodeResponseBody(const WireResponse& resp, std::string* out) {
     PutFixed64(out, resp.docs.size());
     for (DocId d : resp.docs) PutFixed64(out, d);
     EncodeStats(resp.stats, out);
-  } else if (resp.op == WireOp::kStats) {
+    if (resp.version >= 4) {
+      uint8_t flags = 0;
+      if (resp.has_trace) flags |= kRespFlagTrace;
+      if (resp.has_explain) flags |= kRespFlagExplain;
+      PutByte(out, flags);
+      if (resp.has_trace) EncodeTrace(resp.trace, out);
+      if (resp.has_explain) EncodeExplain(resp.explain, out);
+    }
+  } else if (resp.op == WireOp::kStats || resp.op == WireOp::kMetrics) {
     PutString(out, resp.payload);
   } else if (resp.op == WireOp::kReload) {
     PutFixed64(out, resp.generation);
@@ -195,7 +392,7 @@ void EncodeResponseBody(const WireResponse& resp, std::string* out) {
 Status DecodeResponseBody(std::string_view body, WireResponse* out) {
   Decoder in(body);
   uint8_t op = 0;
-  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &op, &out->id));
+  XSEQ_RETURN_IF_ERROR(DecodePrefix(&in, &out->version, &op, &out->id));
   out->op = static_cast<WireOp>(op);
   uint8_t code = 0;
   std::string message;
@@ -206,6 +403,10 @@ Status DecodeResponseBody(std::string_view body, WireResponse* out) {
   out->stats = WireQueryStats();
   out->payload.clear();
   out->generation = 0;
+  out->has_trace = false;
+  out->trace = obs::Trace();
+  out->has_explain = false;
+  out->explain = QueryExplain();
   if (status_code != StatusCode::kOk) {
     // Rebuild the remote error through the public factories so the code
     // predicate helpers (IsOverloaded, ...) work on this side too.
@@ -266,7 +467,19 @@ Status DecodeResponseBody(std::string_view body, WireResponse* out) {
       out->docs.push_back(static_cast<DocId>(d));
     }
     XSEQ_RETURN_IF_ERROR(DecodeStats(&in, &out->stats));
-  } else if (out->op == WireOp::kStats) {
+    if (out->version >= 4) {
+      uint8_t flags = 0;
+      XSEQ_RETURN_IF_ERROR(GetByte(&in, &flags));
+      if ((flags & kRespFlagTrace) != 0) {
+        XSEQ_RETURN_IF_ERROR(DecodeTrace(&in, &out->trace));
+        out->has_trace = true;
+      }
+      if ((flags & kRespFlagExplain) != 0) {
+        XSEQ_RETURN_IF_ERROR(DecodeExplain(&in, &out->explain));
+        out->has_explain = true;
+      }
+    }
+  } else if (out->op == WireOp::kStats || out->op == WireOp::kMetrics) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->payload));
   } else if (out->op == WireOp::kReload) {
     XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->generation));

@@ -1,6 +1,6 @@
 // The xseq wire protocol: a length-prefixed, checksummed binary framing
-// with five operations (query, stats, ping, shutdown, reload), spoken over
-// any Connection (src/server/socket.h).
+// with six operations (query, stats, ping, shutdown, reload, metrics),
+// spoken over any Connection (src/server/socket.h).
 //
 // Frame layout (all integers little-endian; byte offsets from frame start):
 //
@@ -12,8 +12,10 @@
 //
 // Body layout, shared prefix (offsets within the body):
 //
-//   offset 0   u8   protocol version (kWireVersion); a peer speaking any
-//                   other version — older or newer — gets a clean
+//   offset 0   u8   protocol version (kMinWireVersion..kWireVersion both
+//                   accepted; responses are encoded at the *request's*
+//                   version, so a v3 peer keeps talking v3). A version
+//                   outside the range — older or newer — gets a clean
 //                   kUnimplemented naming both versions, never a
 //                   corruption error or a hang
 //   offset 1   u8   op (WireOp)
@@ -22,17 +24,26 @@
 //
 // Request payloads:
 //   query:    string xpath (u64 length + bytes), u64 deadline budget in
-//             microseconds (relative to receipt; 0 = none)
+//             microseconds (relative to receipt; 0 = none). v4 appends a
+//             u8 flag set (bit 0 = trace context follows, bit 1 = the
+//             caller wants an explain in the response) and, under bit 0,
+//             the trace context: u64 trace id, u64 parent span id, u8
+//             sampled.
 //   reload:   string image prefix (empty = reload the prefix the server is
 //             currently serving)
-//   stats / ping / shutdown: empty
+//   stats / ping / shutdown / metrics: empty
 //
 // Response payloads (after a u8 status code + string error message; the
 // payload is present only when the status is OK):
 //   query:    u64 doc count, u64 per doc id, then WireQueryStats (14
-//             fixed64 fields, see EncodeTo)
+//             fixed64 fields, see EncodeTo). v4 appends a u8 flag set
+//             (bit 0 = an embedded server-side trace follows, bit 1 = a
+//             QueryExplain follows) and the flagged sections, so a
+//             sampled caller can stitch the server's spans under its own
+//             trace.
 //   stats:    string (MetricsRegistry::JsonDump of the serving process)
 //   reload:   u64 generation now being served
+//   metrics:  string (Prometheus text exposition; v4 only)
 //   ping / shutdown: empty
 //
 // Checksums make torn frames (a peer dying mid-write) indistinguishable
@@ -61,7 +72,14 @@ namespace xseq {
 //   3 — reload op (generation hot-swap); version mismatches in either
 //       direction now decode to kUnimplemented naming both versions
 //       (older builds reported an old client as kCorruption)
-inline constexpr uint8_t kWireVersion = 3;
+//   4 — distributed tracing (query requests may carry a trace context,
+//       query responses may embed the server-side span tree), query
+//       explain (request flag + response section), and the metrics op
+//       (Prometheus text exposition). First version to accept a *range*:
+//       v3 bodies still decode and are answered with v3 bodies, so old
+//       peers interoperate without the new sections.
+inline constexpr uint8_t kWireVersion = 4;
+inline constexpr uint8_t kMinWireVersion = 3;
 
 /// Frame header size (length + checksum) and the body-size cap.
 inline constexpr size_t kFrameHeaderBytes = 12;
@@ -73,6 +91,7 @@ enum class WireOp : uint8_t {
   kPing = 3,
   kShutdown = 4,
   kReload = 5,
+  kMetrics = 6,  ///< Prometheus text exposition (v4+)
 };
 
 /// True for a value DecodeRequest/DecodeResponse accepts.
@@ -84,13 +103,20 @@ bool IsValidWireOp(uint8_t op);
 uint8_t StatusCodeToWire(StatusCode code);
 StatusCode StatusCodeFromWire(uint8_t wire);
 
-/// A decoded request.
+/// A decoded request. `version` is the version the peer spoke (recorded by
+/// the decoder, consumed by the encoder — set it to kMinWireVersion to
+/// emit a body an old peer can parse).
 struct WireRequest {
+  uint8_t version = kWireVersion;
   WireOp op = WireOp::kPing;
   uint64_t id = 0;
   std::string xpath;            ///< kQuery only
   uint64_t deadline_micros = 0; ///< kQuery only; relative budget, 0 = none
   std::string reload_path;      ///< kReload only; empty = current prefix
+  /// kQuery, v4+: distributed trace context (invalid = untraced) and the
+  /// explain request flag.
+  obs::TraceContext trace;
+  bool want_explain = false;
 };
 
 /// The ExecStats subset a query response carries.
@@ -115,13 +141,21 @@ struct WireQueryStats {
 
 /// A decoded response.
 struct WireResponse {
+  uint8_t version = kWireVersion;  ///< mirror of the request's version
   WireOp op = WireOp::kPing;
   uint64_t id = 0;
   Status status;                ///< the remote call's outcome
   std::vector<DocId> docs;      ///< kQuery only
   WireQueryStats stats;         ///< kQuery only
-  std::string payload;          ///< kStats only (metrics JSON)
+  std::string payload;          ///< kStats (metrics JSON) / kMetrics (text)
   uint64_t generation = 0;      ///< kReload only; generation after the swap
+  /// kQuery, v4+: the server-side span tree of this request (present when
+  /// the request carried a sampled trace context) and the explain record
+  /// (present when the request asked for one).
+  bool has_trace = false;
+  obs::Trace trace;
+  bool has_explain = false;
+  QueryExplain explain;
 };
 
 /// Serializes a body (no frame header) for the given message.

@@ -1,5 +1,6 @@
 #include "src/server/query_service.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -9,6 +10,15 @@
 namespace xseq {
 
 namespace {
+
+/// Wall-clock unix micros for access-log timestamps (the rest of the
+/// service keeps using the steady clock for measurement).
+uint64_t WallNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Registry handles for the serving metrics, resolved once.
 struct ServeMetricSet {
@@ -50,6 +60,21 @@ struct QueryService::Request {
   bool cache_eligible = false;  ///< store the answer if generation held
   uint64_t cache_generation = 0;///< generation observed at admission
 
+  /// Tracing state, created at admission so the queue wait is a real span.
+  /// The builder is written by the admitting thread (StartTrace) and then
+  /// only by the worker; the Request handoff orders the accesses.
+  bool tracing = false;
+  obs::TraceBuilder trace;
+  uint32_t root_span = obs::kNoSpan;
+  uint32_t queue_span = obs::kNoSpan;
+  bool has_trace = false;   ///< `captured` holds the finished tree
+  obs::Trace captured;
+
+  bool explaining = false;
+  QueryExplain explain;
+
+  uint64_t queued_us = 0;   ///< measured at dequeue, read after Wait()
+
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
@@ -85,10 +110,50 @@ QueryService::QueryService(Backend backend, ServiceOptions options)
 
 QueryService::~QueryService() { Shutdown(); }
 
+namespace {
+
+/// Builds the access-log record every exit path shares; `explain_json` is
+/// rendered only when an explain was computed.
+obs::RequestLogRecord MakeLogRecord(std::string_view xpath,
+                                    const RequestOptions& ropts,
+                                    const Status& status, uint64_t trace_id,
+                                    uint64_t latency_us, uint64_t queue_us,
+                                    uint64_t docs,
+                                    const QueryExplain* explain) {
+  obs::RequestLogRecord rec;
+  rec.ts_us = WallNowUs();
+  rec.request_id = ropts.request_id;
+  rec.trace_id = trace_id;
+  rec.query.assign(xpath.data(), xpath.size());
+  rec.status = status.ok() ? "OK" : StatusCodeToString(status.code());
+  rec.ok = status.ok();
+  rec.shed = status.IsOverloaded();
+  rec.deadline_miss = status.IsDeadlineExceeded();
+  rec.latency_us = latency_us;
+  rec.queue_us = queue_us;
+  rec.docs = docs;
+  if (explain != nullptr) {
+    rec.result_cache_hit = explain->result_cache_hit;
+    rec.plan_cache_hit = explain->plan_cache_hit;
+    rec.explain_json = explain->ToJson();
+  }
+  return rec;
+}
+
+}  // namespace
+
 StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
-                                            uint64_t deadline_budget_micros) {
+                                            const RequestOptions& ropts,
+                                            RequestOutcome* outcome) {
   const bool metrics = obs::MetricsEnabled();
   if (metrics) ServeMetrics().requests->Increment();
+
+  obs::RequestLog* log = options_.request_log;
+  // Tracing engages for a sampled propagated context even without a local
+  // ring; explain is computed whenever the caller asks or the access log
+  // will want its summary.
+  const bool tracing = options_.exec.tracer != nullptr || ropts.trace.sampled;
+  const bool explaining = ropts.want_explain || log != nullptr;
 
   // Result cache: a hit is served on the caller's thread — no admission,
   // no queueing, no worker. Lookups use the generation of *this moment*,
@@ -108,34 +173,95 @@ StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
         m.ok->Increment();
         m.latency_us->Record(static_cast<uint64_t>(hit_timer.ElapsedMicros()));
       }
+      QueryExplain explain;
+      if (explaining) {
+        explain.result_cache_hit = true;
+        explain.result_docs = out.docs.size();
+        explain.sequences = out.stats.matched_sequences;
+      }
+      uint64_t trace_id = 0;
+      if (tracing) {
+        obs::TraceBuilder tb;
+        uint32_t root = tb.StartTrace("serve", ropts.trace);
+        if (ropts.request_id != 0) {
+          tb.Annotate(root, "request_id", ropts.request_id);
+        }
+        obs::SpanScope hit_span(&tb, "result_cache_hit", root);
+        hit_span.Annotate("docs", out.docs.size());
+        hit_span.End();
+        tb.EndSpan(root);
+        obs::Trace t = tb.Finish();
+        trace_id = t.trace_id;
+        if (options_.exec.tracer != nullptr) {
+          obs::Trace copy = t;
+          options_.exec.tracer->Record(std::move(copy));
+        }
+        if (outcome != nullptr) {
+          outcome->traced = true;
+          outcome->trace = std::move(t);
+        }
+      }
+      if (outcome != nullptr && explaining) {
+        outcome->explained = true;
+        outcome->explain = explain;
+      }
+      if (log != nullptr) {
+        (void)log->Append(MakeLogRecord(
+            xpath, ropts, Status::OK(), trace_id,
+            static_cast<uint64_t>(hit_timer.ElapsedMicros()), 0,
+            out.docs.size(), explaining ? &explain : nullptr));
+      }
       return out;
     }
   }
 
-  uint64_t budget = deadline_budget_micros != 0
-                        ? deadline_budget_micros
+  uint64_t budget = ropts.deadline_budget_micros != 0
+                        ? ropts.deadline_budget_micros
                         : options_.default_deadline_micros;
   auto request = std::make_shared<Request>();
   request->xpath.assign(xpath.data(), xpath.size());
   request->cache_eligible = result_caching;
   request->cache_generation = admission_generation;
+  request->explaining = explaining;
   if (budget != 0) {
     request->deadline_micros =
         DeadlineNowMicros() + static_cast<int64_t>(budget);
   } else {
     request->deadline_micros = options_.exec.deadline_micros;
   }
+  if (tracing) {
+    // The trace (and its "queue" span) starts *before* enqueue so the
+    // admission wait is covered by a real span, not just an annotation.
+    request->tracing = true;
+    request->root_span = request->trace.StartTrace("serve", ropts.trace);
+    if (ropts.request_id != 0) {
+      request->trace.Annotate(request->root_span, "request_id",
+                              ropts.request_id);
+    }
+    request->queue_span =
+        request->trace.BeginSpan("queue", request->root_span);
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      return Status::FailedPrecondition("query service is shutting down");
+      Status st = Status::FailedPrecondition("query service is shutting down");
+      if (log != nullptr) {
+        (void)log->Append(
+            MakeLogRecord(xpath, ropts, st, 0, 0, 0, 0, nullptr));
+      }
+      return st;
     }
     if (queue_.size() >= options_.max_queue) {
       if (metrics) ServeMetrics().shed->Increment();
-      return Status::Overloaded(
+      Status st = Status::Overloaded(
           "request queue full (" + std::to_string(options_.max_queue) +
           " pending); retry with backoff");
+      if (log != nullptr) {
+        (void)log->Append(
+            MakeLogRecord(xpath, ropts, st, 0, 0, 0, 0, nullptr));
+      }
+      return st;
     }
     queue_.push_back(request);
     if (metrics) {
@@ -145,10 +271,11 @@ StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
   work_cv_.notify_one();
 
   auto result = request->Wait();
+  const uint64_t latency_us =
+      static_cast<uint64_t>(request->admitted.ElapsedMicros());
   if (metrics) {
     const ServeMetricSet& m = ServeMetrics();
-    m.latency_us->Record(
-        static_cast<uint64_t>(request->admitted.ElapsedMicros()));
+    m.latency_us->Record(latency_us);
     if (result.ok()) {
       m.ok->Increment();
     } else if (result.status().IsDeadlineExceeded()) {
@@ -156,6 +283,24 @@ StatusOr<QueryResult> QueryService::Execute(std::string_view xpath,
     } else {
       m.errors->Increment();
     }
+  }
+  const uint64_t trace_id =
+      request->has_trace ? request->captured.trace_id : 0;
+  if (outcome != nullptr) {
+    if (request->has_trace) {
+      outcome->traced = true;
+      outcome->trace = std::move(request->captured);
+    }
+    if (request->explaining) {
+      outcome->explained = true;
+      outcome->explain = request->explain;
+    }
+  }
+  if (log != nullptr) {
+    (void)log->Append(MakeLogRecord(
+        xpath, ropts, result.status(), trace_id, latency_us,
+        request->queued_us, result.ok() ? result->docs.size() : 0,
+        request->explaining ? &request->explain : nullptr));
   }
   return result;
 }
@@ -178,33 +323,45 @@ void QueryService::WorkerLoop() {
 
     const uint64_t queued_us =
         static_cast<uint64_t>(request->admitted.ElapsedMicros());
+    request->queued_us = queued_us;
     if (obs::MetricsEnabled()) {
       ServeMetrics().queue_us->Record(queued_us);
+    }
+    if (request->tracing) {
+      // The admission wait ends here; close its span where the worker
+      // picked the request up.
+      request->trace.Annotate(request->queue_span, "queue_us", queued_us);
+      request->trace.EndSpan(request->queue_span);
     }
 
     ExecOptions opts = options_.exec;
     opts.deadline_micros = request->deadline_micros;
+    opts.tracer = nullptr;  // the request's builder owns this trace
+    if (request->explaining) opts.explain = &request->explain;
     StatusOr<QueryResult> result = Status::Internal("request not executed");
     if (opts.DeadlineExpired()) {
       // The time budget burned away in the queue: don't start work the
       // caller has already given up on.
       result = Status::DeadlineExceeded("deadline expired while queued (" +
                                         std::to_string(queued_us) + "us)");
-    } else if (opts.tracer != nullptr) {
-      // Service-level trace: a "serve" root with the queue wait
-      // annotated; the query's own spans attach underneath.
-      obs::TraceBuilder trace;
-      uint32_t root = trace.StartTrace("serve");
-      trace.Annotate(root, "queue_us", queued_us);
-      obs::Tracer* tracer = opts.tracer;
-      opts.trace = &trace;
-      opts.trace_parent = root;
-      opts.tracer = nullptr;
+    } else if (request->tracing) {
+      obs::SpanScope exec_span(&request->trace, "execute",
+                               request->root_span);
+      opts.trace = &request->trace;
+      opts.trace_parent = exec_span.id();
       result = backend_(request->xpath, opts);
-      trace.EndSpan(root);
-      trace.Commit(tracer);
+      if (result.ok()) exec_span.Annotate("docs", result->docs.size());
     } else {
       result = backend_(request->xpath, opts);
+    }
+    if (request->tracing) {
+      request->trace.EndSpan(request->root_span);
+      request->captured = request->trace.Finish();
+      request->has_trace = true;
+      if (options_.exec.tracer != nullptr) {
+        obs::Trace copy = request->captured;
+        options_.exec.tracer->Record(std::move(copy));
+      }
     }
 
     if (request->cache_eligible && result.ok() &&

@@ -18,9 +18,21 @@
 //
 // Instrumentation: xseq.serve.requests/ok/errors/shed/deadline_exceeded
 // counters, xseq.serve.queue_depth and .inflight gauges (with maxima), and
-// xseq.serve.latency_us / queue_us histograms. With ExecOptions::tracer
-// set, each request records a "serve" span tree (queue -> execute) with
-// the query's own spans attached beneath.
+// xseq.serve.latency_us / queue_us histograms.
+//
+// Per-request observability: a request is *traced* when the service has a
+// tracer (ServiceOptions::exec.tracer) or the request carries a sampled
+// TraceContext (RequestOptions::trace, propagated from wire protocol v4).
+// A traced request records a "serve" root adopting the context's trace id,
+// a real "queue" span covering the admission wait, and an "execute" span
+// the backend's own spans attach beneath; the finished tree is committed
+// to the tracer's ring (when present) and returned via RequestOutcome so
+// the server can embed it in the response for client-side stitching. A
+// request is *explained* when the caller asks (want_explain) or an access
+// log is configured; the QueryExplain lands in RequestOutcome and in the
+// log record. The access log (ServiceOptions::request_log) gets one record
+// per request on every exit path — shed, deadline, error, cache hit, ok —
+// subject to its own tail-sampling policy.
 
 #ifndef XSEQ_SRC_SERVER_QUERY_SERVICE_H_
 #define XSEQ_SRC_SERVER_QUERY_SERVICE_H_
@@ -36,6 +48,8 @@
 #include <vector>
 
 #include "src/core/collection_index.h"
+#include "src/obs/request_log.h"
+#include "src/obs/trace.h"
 #include "src/query/executor.h"
 #include "src/server/result_cache.h"
 
@@ -58,6 +72,30 @@ struct ServiceOptions {
   /// ShardedCollection::generation, or a constant for frozen backends).
   /// Must be monotone and bump with every result-affecting mutation.
   std::function<uint64_t()> generation;
+  /// Structured access log (see src/obs/request_log.h); null = no logging.
+  /// Not owned; must outlive the service. Appends never fail a request.
+  obs::RequestLog* request_log = nullptr;
+};
+
+/// Per-request options beyond the query text and deadline.
+struct RequestOptions {
+  /// Deadline budget in microseconds from admission; 0 = service default.
+  uint64_t deadline_budget_micros = 0;
+  /// Distributed trace context propagated from the wire (invalid = none).
+  /// A *sampled* context forces tracing even without a service tracer.
+  obs::TraceContext trace;
+  /// Fill RequestOutcome::explain with the planner/executor account.
+  bool want_explain = false;
+  /// Wire request id, recorded in trace annotations and the access log.
+  uint64_t request_id = 0;
+};
+
+/// Observability results of one request, for callers that asked.
+struct RequestOutcome {
+  bool traced = false;   ///< `trace` holds this request's span tree
+  obs::Trace trace;
+  bool explained = false;  ///< `explain` was filled
+  QueryExplain explain;
 };
 
 /// An in-process query server over an arbitrary backend.
@@ -81,7 +119,18 @@ class QueryService {
   /// kOverloaded when the queue is full and kFailedPrecondition after
   /// Shutdown() began.
   StatusOr<QueryResult> Execute(std::string_view xpath,
-                                uint64_t deadline_budget_micros = 0);
+                                uint64_t deadline_budget_micros = 0) {
+    RequestOptions ropts;
+    ropts.deadline_budget_micros = deadline_budget_micros;
+    return Execute(xpath, ropts, nullptr);
+  }
+
+  /// Full-control variant: carries the distributed trace context and the
+  /// explain flag in, and (when `outcome` is non-null) the captured trace
+  /// and explain record out.
+  StatusOr<QueryResult> Execute(std::string_view xpath,
+                                const RequestOptions& ropts,
+                                RequestOutcome* outcome);
 
   /// Stops admission and waits until every already-admitted request has
   /// completed and all workers exited. Idempotent.

@@ -1,0 +1,114 @@
+#include "src/server/scrape_server.h"
+
+#include <utility>
+
+#include "src/obs/exposition.h"
+
+namespace xseq {
+
+namespace {
+
+/// Request lines longer than this are rejected; a legitimate scrape is
+/// "GET /metrics HTTP/1.x" and change.
+constexpr size_t kMaxRequestBytes = 4096;
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n"
+                    "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(ScrapeOptions options,
+                           std::function<std::string()> content)
+    : options_(std::move(options)),
+      content_(std::move(content)),
+      socket_env_(options_.socket_env != nullptr ? options_.socket_env
+                                                 : SocketEnv::Default()) {
+  if (!content_) {
+    content_ = [] { return obs::PrometheusDefaultDump(); };
+  }
+}
+
+ScrapeServer::~ScrapeServer() { Stop(); }
+
+Status ScrapeServer::Start() {
+  auto listener = socket_env_->Listen(options_.host, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+int ScrapeServer::port() const {
+  return listener_ != nullptr ? listener_->port() : -1;
+}
+
+void ScrapeServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed (Stop) or fatal error
+    ServeOne(conn->get());
+    (*conn)->Close();
+  }
+}
+
+void ScrapeServer::ServeOne(Connection* conn) {
+  // Read until the end of the headers (or the cap). Only the request line
+  // matters; HTTP/1.0 + Connection: close means nothing after it does.
+  std::string req;
+  char buf[512];
+  while (req.find("\r\n") == std::string::npos &&
+         req.size() < kMaxRequestBytes) {
+    auto n = conn->Read(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    req.append(buf, *n);
+  }
+  ++served_;
+
+  const size_t eol = req.find("\r\n");
+  if (eol == std::string::npos) {
+    (void)conn->WriteAll(HttpResponse(400, "Bad Request", "bad request\n"));
+    return;
+  }
+  const std::string line = req.substr(0, eol);
+  // "GET <path> HTTP/1.x"
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    (void)conn->WriteAll(HttpResponse(400, "Bad Request", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    (void)conn->WriteAll(
+        HttpResponse(405, "Method Not Allowed", "GET only\n"));
+    return;
+  }
+  if (path != "/metrics" && path != "/metrics/") {
+    (void)conn->WriteAll(HttpResponse(404, "Not Found", "try /metrics\n"));
+    return;
+  }
+  (void)conn->WriteAll(HttpResponse(200, "OK", content_()));
+}
+
+void ScrapeServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+}  // namespace xseq

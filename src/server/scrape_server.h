@@ -1,0 +1,79 @@
+// ScrapeServer: a deliberately tiny HTTP/1.0 endpoint that serves the
+// process's Prometheus text exposition, so a scraper (Prometheus, curl,
+// `exec 3<>/dev/tcp/...`) can pull metrics without speaking the xseq wire
+// protocol.
+//
+// Scope is one route and nothing else: `GET /metrics` answers 200 with
+// `text/plain; version=0.0.4` (the Prometheus exposition content type),
+// any other path answers 404, any other method 405, and a malformed or
+// oversized request line 400. Every response carries
+// `Connection: close` and the connection is dropped after one exchange —
+// no keep-alive, no chunking, no TLS. Scrapes are served one at a time on
+// the accept thread; a scrape every few seconds against a dump that
+// renders in microseconds makes queuing a non-issue, and it keeps the
+// daemon's thread inventory flat.
+//
+// The content callback is invoked per scrape, so the numbers are always
+// current. Runs over SocketEnv like everything else in the serving layer,
+// so tests drive it through MemorySocketEnv with no kernel in the loop.
+
+#ifndef XSEQ_SRC_SERVER_SCRAPE_SERVER_H_
+#define XSEQ_SRC_SERVER_SCRAPE_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/server/socket.h"
+
+namespace xseq {
+
+/// Scrape endpoint knobs.
+struct ScrapeOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;                     ///< 0 = ephemeral
+  SocketEnv* socket_env = nullptr;  ///< nullptr = real TCP
+};
+
+class ScrapeServer {
+ public:
+  /// `content` renders the exposition body; called once per scrape.
+  /// Defaults to obs::PrometheusDefaultDump when empty.
+  explicit ScrapeServer(ScrapeOptions options,
+                        std::function<std::string()> content = {});
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// The bound port (for ephemeral binds); -1 before Start().
+  int port() const;
+
+  /// Closes the listener and joins the accept thread. Idempotent.
+  void Stop();
+
+  /// Scrapes answered so far (any status), for tests.
+  uint64_t requests_served() const { return served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(Connection* conn);
+
+  ScrapeOptions options_;
+  std::function<std::string()> content_;
+  SocketEnv* socket_env_;
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> served_{0};
+};
+
+}  // namespace xseq
+
+#endif  // XSEQ_SRC_SERVER_SCRAPE_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 
 namespace xseq {
@@ -96,6 +97,7 @@ void XseqServer::ReapFinishedLocked() {
 }
 
 bool XseqServer::Dispatch(const WireRequest& req, WireResponse* resp) {
+  resp->version = req.version;  // answer at the peer's protocol level
   resp->op = req.op;
   resp->id = req.id;
   resp->status = Status::OK();
@@ -103,17 +105,41 @@ bool XseqServer::Dispatch(const WireRequest& req, WireResponse* resp) {
     case WireOp::kPing:
       return true;
     case WireOp::kQuery: {
-      auto result = service_.Execute(req.xpath, req.deadline_micros);
+      RequestOptions ropts;
+      ropts.deadline_budget_micros = req.deadline_micros;
+      ropts.trace = req.trace;
+      ropts.want_explain = req.want_explain;
+      ropts.request_id = req.id;
+      // The outcome only matters when a v4 peer can receive it (the
+      // access log and local trace ring are fed inside the service).
+      const bool wants_outcome =
+          req.version >= 4 && (req.trace.sampled || req.want_explain);
+      RequestOutcome outcome;
+      auto result = service_.Execute(
+          req.xpath, ropts, wants_outcome ? &outcome : nullptr);
       if (!result.ok()) {
         resp->status = result.status();
         return true;
       }
       resp->docs = std::move(result->docs);
       resp->stats = WireQueryStats::FromExecStats(result->stats);
+      if (req.version >= 4) {
+        if (req.trace.sampled && outcome.traced) {
+          resp->has_trace = true;
+          resp->trace = std::move(outcome.trace);
+        }
+        if (req.want_explain && outcome.explained) {
+          resp->has_explain = true;
+          resp->explain = std::move(outcome.explain);
+        }
+      }
       return true;
     }
     case WireOp::kStats:
       resp->payload = options_.stats_source();
+      return true;
+    case WireOp::kMetrics:
+      resp->payload = obs::PrometheusDefaultDump();
       return true;
     case WireOp::kShutdown:
       // Respond first (the caller deserves an ack), then stop: the
@@ -156,6 +182,9 @@ void XseqServer::HandleConnection(Handler* handler) {
       if (!st.IsNotFound()) {
         if (obs::MetricsEnabled()) ServerMetrics().frame_errors->Increment();
         WireResponse resp;
+        // The peer's version is unknown here; encode at the floor so the
+        // widest range of peers can still read the error.
+        resp.version = kMinWireVersion;
         resp.op = WireOp::kPing;
         resp.id = 0;
         resp.status = st;
@@ -178,6 +207,7 @@ void XseqServer::HandleConnection(Handler* handler) {
     Status decoded = DecodeRequestBody(body, &req);
     if (!decoded.ok()) {
       if (obs::MetricsEnabled()) ServerMetrics().frame_errors->Increment();
+      resp.version = kMinWireVersion;  // the peer's version is unknown
       resp.op = WireOp::kPing;
       resp.id = 0;
       resp.status = decoded;

@@ -234,10 +234,26 @@ Status ShardedCollection::QueryShards(std::string_view xpath,
   std::vector<Status> statuses(n);
   std::vector<std::vector<DocId>> parts(n);
   std::vector<ExecStats> part_stats(n);
+  std::vector<int64_t> probe_us(n, 0);
+  // Each probe fills its own explain; the merge below stamps shard ids and
+  // accumulates into the caller's sink — no cross-shard races on it.
+  std::vector<QueryExplain> part_explains(
+      options.explain != nullptr ? n : 0);
+  obs::TraceBuilder* tb = options.trace;
   auto probe = [&](size_t s) {
     Timer timer;
+    // Per-probe options: each shard gets its own trace span to attach
+    // under and its own explain sink (the shared shard_opts would race).
+    ExecOptions opts = shard_opts;
+    obs::SpanScope probe_span(tb, "shard_probe", options.trace_parent);
+    if (tb != nullptr) {
+      probe_span.Annotate("shard", static_cast<uint64_t>(s));
+      opts.trace = tb;
+      opts.trace_parent = probe_span.id();
+    }
+    if (options.explain != nullptr) opts.explain = &part_explains[s];
     if (options_.dynamic) {
-      auto r = dynamic_shards_[s]->ExecutePattern(pattern, shard_opts,
+      auto r = dynamic_shards_[s]->ExecutePattern(pattern, opts,
                                                   &part_stats[s]);
       if (r.ok()) {
         parts[s] = std::move(*r);
@@ -249,13 +265,20 @@ Status ShardedCollection::QueryShards(std::string_view xpath,
       }
     } else {
       MatchContextLease lease(match_contexts_.get());
-      auto r = shards_[s]->Query(xpath, shard_opts, lease.get());
+      auto r = shards_[s]->Query(xpath, opts, lease.get());
       if (r.ok()) {
         parts[s] = std::move(r->docs);
         part_stats[s] = r->stats;
       } else {
         statuses[s] = r.status();
       }
+    }
+    probe_us[s] = timer.ElapsedMicros();
+    if (tb != nullptr) {
+      probe_span.Annotate("docs", parts[s].size());
+      probe_span.Annotate("entries_read",
+                          part_stats[s].match.link_entries_read);
+      if (!statuses[s].ok()) probe_span.Annotate("error", 1);
     }
     if (metrics) {
       const ShardMetricSet& m = ShardMetrics();
@@ -282,6 +305,20 @@ Status ShardedCollection::QueryShards(std::string_view xpath,
     XSEQ_RETURN_IF_ERROR(statuses[s]);
     out->stats.Add(part_stats[s]);
     out->docs.insert(out->docs.end(), parts[s].begin(), parts[s].end());
+    if (options.explain != nullptr) {
+      // Attribute this shard's plan rows before merging, and add one
+      // fan-out breakdown row so the explain shows where the work went.
+      for (QueryExplain::SeqEntry& e : part_explains[s].seq) {
+        if (e.shard < 0) e.shard = static_cast<int32_t>(s);
+      }
+      QueryExplain::ShardBreakdown row;
+      row.shard = static_cast<int32_t>(s);
+      row.docs = parts[s].size();
+      row.entries_read = part_stats[s].match.link_entries_read;
+      row.micros = probe_us[s];
+      part_explains[s].shards.push_back(row);
+      options.explain->Add(part_explains[s]);
+    }
   }
   // Shards partition the id space, so this is a disjoint union: sort for
   // the public "sorted, deduplicated" contract; unique is a no-op guard.

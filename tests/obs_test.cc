@@ -14,6 +14,7 @@
 
 #include "src/core/collection_index.h"
 #include "src/core/dynamic_index.h"
+#include "src/obs/exposition.h"
 #include "src/index/matcher.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -772,6 +773,93 @@ TEST(Instrumentation, RegistryJsonAfterQueryBatchIsNonZero) {
   EXPECT_GE(HistCount("xseq.query.latency_us"), 3u);
   // The counter must not be serialized as zero: find its exact entry.
   EXPECT_EQ(json.find("\"xseq.query.count\":0,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters under concurrent mutation: every dump format must stay
+// well-formed while writer threads hammer the registry and new metrics
+// are still being created.
+
+TEST(MetricsRegistry, ExportersRaceWithWriters) {
+  obs::MetricsRegistry reg;
+  // Create the fixed-name metrics up front so every dump below sees them;
+  // the writers still race creation of the race.dyn* family.
+  for (int t = 0; t < 4; ++t) (void)reg.GetCounter("race.w" + std::to_string(t));
+  (void)reg.GetGauge("race.level");
+  (void)reg.GetHistogram("race.lat");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, &stop, t] {
+      obs::Counter* c = reg.GetCounter("race.w" + std::to_string(t));
+      obs::Gauge* g = reg.GetGauge("race.level");
+      obs::Histogram* h = reg.GetHistogram("race.lat");
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Increment();
+        g->Add(t % 2 == 0 ? 1 : -1);
+        h->Record(++i & 1023);
+        // Metric creation itself races with the dumps below.
+        if ((i & 255) == 0) {
+          reg.GetCounter("race.dyn" + std::to_string(i & 7))->Increment();
+        }
+      }
+    });
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::string text = reg.TextDump();
+    EXPECT_NE(text.find("race.w0"), std::string::npos);
+    const std::string json = reg.JsonDump();
+    EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+    const std::string prom = obs::PrometheusDump(reg.Snapshot());
+    EXPECT_NE(prom.find("# TYPE race_w0 counter"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE race_lat summary"), std::string::npos);
+  }
+  // Don't stop until every writer demonstrably ran (the dump loop above
+  // can finish before the threads are even scheduled).
+  for (int t = 0; t < 4; ++t) {
+    while (reg.GetCounter("race.w" + std::to_string(t))->value() == 0) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  uint64_t sum = 0;
+  for (int t = 0; t < 4; ++t) {
+    sum += reg.GetCounter("race.w" + std::to_string(t))->value();
+  }
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(Tracer, ChromeExportRacesWithCommits) {
+  obs::Tracer tracer(4);
+  std::atomic<bool> stop{false};
+  std::thread committer([&] {
+    uint64_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::TraceBuilder tb;
+      obs::TraceContext ctx;
+      ctx.trace_id = ++n;
+      ctx.sampled = true;
+      uint32_t root = tb.StartTrace("q", ctx);
+      uint32_t child = tb.BeginSpan("stage", root);
+      tb.Annotate(child, "n", n);
+      tb.EndSpan(child);
+      tb.Commit(&tracer);
+    }
+  });
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string json = tracer.ExportChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // The ring never overshoots its capacity mid-export.
+    EXPECT_LE(tracer.size(), tracer.capacity());
+  }
+  // Let the committer land at least one trace before tearing down.
+  while (tracer.total_recorded() == 0) std::this_thread::yield();
+  stop.store(true);
+  committer.join();
+  EXPECT_GT(tracer.total_recorded(), 0u);
+  EXPECT_EQ(tracer.Latest().spans.size(), 2u);
 }
 
 }  // namespace

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "src/core/persist.h"
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/client.h"
 #include "src/server/protocol.h"
 #include "src/server/server.h"
@@ -296,6 +299,100 @@ TEST(TopologyManagerTest, ReloadSwapsAndFailuresRollBack) {
       << rejected.status().ToString();
   EXPECT_EQ(topo.epoch(), 2u);
   EXPECT_EQ(Answers(*topo.Current()), b.answers);  // rollback: b serves on
+}
+
+// Pulls the current value of gauge `series` out of a Prometheus text dump;
+// -1 when the series is absent.
+int64_t PrometheusGauge(const std::string& text, const std::string& series) {
+  const std::string needle = "\n" + series + " ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::stoll(text.substr(pos + needle.size()));
+}
+
+TEST(TopologyManagerTest, ExportsStayCoherentAcrossConcurrentReloads) {
+  obs::ScopedMetricsEnabled on(true);
+  SavedGeneration a = SaveGeneration(CorpusA(), "xseq_topo_obs_a", 2);
+  SavedGeneration b = SaveGeneration(CorpusB(), "xseq_topo_obs_b", 3);
+
+  TopologyManager topo;
+  ASSERT_TRUE(topo.Reload(a.prefix).ok());
+  const uint64_t reloads_before =
+      obs::MetricsRegistry::Default()->GetCounter("xseq.topology.reloads")
+          ->value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> epoch_regressed{false};
+  std::atomic<int64_t> epoch_seen{0};
+
+  // Scraper threads: the Prometheus dump must always carry the epoch
+  // gauge, and the value may only ever grow while reloads are in flight.
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&] {
+      // Scrapes within one thread are ordered, so each must observe an
+      // epoch no smaller than its previous read — the gauge only climbs.
+      int64_t last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string text = obs::PrometheusDefaultDump();
+        const int64_t e = PrometheusGauge(text, "xseq_topology_epoch");
+        if (e < 0 || e < last) {
+          epoch_regressed.store(true);
+          return;
+        }
+        last = e;
+        int64_t prev = epoch_seen.load(std::memory_order_relaxed);
+        while (e > prev && !epoch_seen.compare_exchange_weak(prev, e)) {
+        }
+      }
+    });
+  }
+
+  // A traced query load races with the swaps; exports must stay coherent.
+  obs::Tracer tracer(4);
+  std::thread querier([&] {
+    ExecOptions opts;
+    opts.tracer = &tracer;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const std::string& q : Workload()) {
+        auto r = topo.Query(q, opts);
+        EXPECT_TRUE(r.ok()) << q;
+      }
+      const std::string json = tracer.ExportChromeJson();
+      EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    }
+  });
+
+  // Swap back and forth; each successful reload bumps the epoch.
+  const int kSwaps = 6;
+  for (int i = 0; i < kSwaps; ++i) {
+    auto gen = topo.Reload(i % 2 == 0 ? b.prefix : a.prefix);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+    EXPECT_EQ(topo.epoch(), static_cast<uint64_t>(i) + 2);
+  }
+  // Keep the exporters and the traced load running until both have
+  // demonstrably observed the post-swap world: the swaps above can finish
+  // before either thread gets scheduled.
+  while (!epoch_regressed.load() &&
+         (epoch_seen.load() < static_cast<int64_t>(topo.epoch()) ||
+          tracer.total_recorded() == 0)) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (auto& s : scrapers) s.join();
+  querier.join();
+
+  EXPECT_FALSE(epoch_regressed.load());
+  // The gauge settled on the final epoch and the reload counter accounted
+  // for every swap.
+  EXPECT_EQ(PrometheusGauge(obs::PrometheusDefaultDump(),
+                            "xseq_topology_epoch"),
+            static_cast<int64_t>(topo.epoch()));
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                ->GetCounter("xseq.topology.reloads")
+                ->value(),
+            reloads_before + kSwaps);
+  EXPECT_GT(tracer.total_recorded(), 0u);
 }
 
 TEST(TopologyManagerTest, CanariesGateTheSwap) {
