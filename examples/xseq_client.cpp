@@ -6,7 +6,15 @@
 //   xseq_client stats    --port=N          # server metrics registry JSON
 //   xseq_client metrics  --port=N          # Prometheus text exposition
 //   xseq_client reload   --port=N [--path=PREFIX]  # hot-swap generation
+//   xseq_client delete   --port=N --id=N   # tombstone a document id
+//   xseq_client update   --port=N --id=N (--xml=DOC | --xml_file=PATH)
+//   xseq_client compact  --port=N          # purge tombstones, merge segments
 //   xseq_client shutdown --port=N          # graceful remote drain
+//
+// delete/update/compact mutate a daemon serving a dynamic backend
+// (xseq_serve --gen=... --dynamic); the XML of an update is parsed
+// server-side against the owning shard's vocabulary. Each ack prints the
+// backend generation after the mutation.
 //
 // `query --explain` asks the server for its planner/executor account of
 // the query (instantiations, chosen sequence order, predicted vs. actual
@@ -22,6 +30,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "src/obs/trace.h"
@@ -43,6 +52,10 @@ int Usage() {
       "  xseq_client stats    --port=N [--host=ADDR]\n"
       "  xseq_client metrics  --port=N [--host=ADDR]\n"
       "  xseq_client reload   --port=N [--host=ADDR] [--path=PREFIX]\n"
+      "  xseq_client delete   --port=N [--host=ADDR] --id=N\n"
+      "  xseq_client update   --port=N [--host=ADDR] --id=N"
+      " (--xml=DOC | --xml_file=PATH)\n"
+      "  xseq_client compact  --port=N [--host=ADDR]\n"
       "  xseq_client shutdown --port=N [--host=ADDR]\n");
   return 2;
 }
@@ -164,6 +177,61 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("reloaded, generation %llu (%.2f ms)\n",
+                static_cast<unsigned long long>(*generation),
+                timer.ElapsedSeconds() * 1e3);
+    return 0;
+  }
+
+  if (cmd == "delete") {
+    if (!flags.Has("id")) return Usage();
+    Timer timer;
+    auto generation =
+        client->Delete(static_cast<uint64_t>(flags.GetInt("id", 0)));
+    if (!generation.ok()) {
+      std::fprintf(stderr, "%s\n", generation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("deleted, generation %llu (%.2f ms)\n",
+                static_cast<unsigned long long>(*generation),
+                timer.ElapsedSeconds() * 1e3);
+    return 0;
+  }
+
+  if (cmd == "update") {
+    if (!flags.Has("id")) return Usage();
+    std::string xml = flags.GetString("xml", "");
+    const std::string xml_file = flags.GetString("xml_file", "");
+    if (xml.empty() == xml_file.empty()) return Usage();  // exactly one
+    if (!xml_file.empty()) {
+      std::ifstream in(xml_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", xml_file.c_str());
+        return 1;
+      }
+      xml.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    }
+    Timer timer;
+    auto generation =
+        client->Update(static_cast<uint64_t>(flags.GetInt("id", 0)), xml);
+    if (!generation.ok()) {
+      std::fprintf(stderr, "%s\n", generation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("updated, generation %llu (%.2f ms)\n",
+                static_cast<unsigned long long>(*generation),
+                timer.ElapsedSeconds() * 1e3);
+    return 0;
+  }
+
+  if (cmd == "compact") {
+    Timer timer;
+    auto generation = client->Compact();
+    if (!generation.ok()) {
+      std::fprintf(stderr, "%s\n", generation.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("compacted, generation %llu (%.2f ms)\n",
                 static_cast<unsigned long long>(*generation),
                 timer.ElapsedSeconds() * 1e3);
     return 0;

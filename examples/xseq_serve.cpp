@@ -37,6 +37,11 @@
 //   --log_rotate_mb=N    rotate the access log to PATH.1 at this size
 //                        (default 64 MiB)
 //
+// Mutation ops: a --gen --dynamic backend serves the v5 wire mutations —
+// `xseq_client delete --id=N`, `update --id=N --xml=DOC` (parsed
+// server-side against the owning shard's vocabulary) and `compact`. Every
+// other backend is immutable and answers those ops kUnimplemented.
+//
 // Hot swap: for --sharded/--gen backends the collection lives behind a
 // TopologyManager. `xseq_client reload [--path=PREFIX]` — or SIGHUP, which
 // re-reads the current prefix — validates, loads and canaries a new image
@@ -58,7 +63,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +83,7 @@
 #include "src/server/topology.h"
 #include "src/util/flags.h"
 #include "src/util/timer.h"
+#include "src/xml/parser.h"
 
 namespace {
 
@@ -277,15 +286,31 @@ int Run(int argc, char** argv) {
   } else {
     return Usage();
   }
+  // Wire mutations need the dynamic backend: the update op parses XML
+  // into the owning shard's vocabulary tables, and interning is not
+  // synchronized against concurrent query compilation, so updates take
+  // this lock exclusively while queries share it. Delete and compact only
+  // touch the internally synchronized DynamicIndex and need neither side.
+  const bool mutable_backend =
+      sharded != nullptr && sharded->options().dynamic;
+  auto vocab_mu = std::make_shared<std::shared_mutex>();
   if (topo != nullptr) {
     std::shared_ptr<const ShardedCollection> live = topo->Current();
     described = std::to_string(live->total_documents()) + " documents in " +
                 std::to_string(live->shard_count()) + " shard(s)";
     // Each query grabs the live generation once; a swap mid-query cannot
     // pull the image out from under it.
-    backend = [topo](std::string_view xpath, const ExecOptions& opts) {
-      return topo->Query(xpath, opts);
-    };
+    if (mutable_backend) {
+      backend = [topo, vocab_mu](std::string_view xpath,
+                                 const ExecOptions& opts) {
+        std::shared_lock<std::shared_mutex> lock(*vocab_mu);
+        return topo->Query(xpath, opts);
+      };
+    } else {
+      backend = [topo](std::string_view xpath, const ExecOptions& opts) {
+        return topo->Query(xpath, opts);
+      };
+    }
   }
 
   ServerOptions options;
@@ -315,6 +340,43 @@ int Run(int argc, char** argv) {
   if (topo != nullptr) {
     options.reload_handler = [topo](const std::string& path) {
       return topo->Reload(path.empty() ? topo->prefix() : path);
+    };
+  }
+  if (mutable_backend) {
+    // Acks carry the topology generation — the same counter the result
+    // cache keys on, so a client can tie its own invalidation to the ack.
+    options.delete_handler =
+        [sharded, topo](uint64_t id) -> StatusOr<uint64_t> {
+      if (id > std::numeric_limits<DocId>::max()) {
+        return Status::InvalidArgument("document id " + std::to_string(id) +
+                                       " is out of range");
+      }
+      XSEQ_RETURN_IF_ERROR(sharded->Delete(static_cast<DocId>(id)));
+      return topo->generation();
+    };
+    options.update_handler =
+        [sharded, topo, vocab_mu](
+            uint64_t id, const std::string& xml) -> StatusOr<uint64_t> {
+      if (id > std::numeric_limits<DocId>::max()) {
+        return Status::InvalidArgument("document id " + std::to_string(id) +
+                                       " is out of range");
+      }
+      const DocId doc_id = static_cast<DocId>(id);
+      const size_t shard = sharded->ShardOf(doc_id);
+      Document doc;
+      {
+        std::unique_lock<std::shared_mutex> lock(*vocab_mu);
+        XmlParser parser(sharded->names(shard), sharded->values(shard));
+        auto parsed = parser.Parse(xml, doc_id);
+        if (!parsed.ok()) return parsed.status();
+        doc = std::move(*parsed);
+      }
+      XSEQ_RETURN_IF_ERROR(sharded->Update(std::move(doc), doc_id));
+      return topo->generation();
+    };
+    options.compact_handler = [sharded, topo]() -> StatusOr<uint64_t> {
+      XSEQ_RETURN_IF_ERROR(sharded->Compact());
+      return topo->generation();
     };
   }
 

@@ -50,8 +50,9 @@ PLAN_OUT="$(mktemp /tmp/BENCH_plan.XXXXXX.json)"
 SWAP_OUT="$(mktemp /tmp/BENCH_swap.XXXXXX.json)"
 COMPRESS_OUT="$(mktemp /tmp/BENCH_compress.XXXXXX.json)"
 PAGED_OUT="$(mktemp /tmp/BENCH_paged.XXXXXX.json)"
+VINDEX_OUT="$(mktemp /tmp/BENCH_vindex.XXXXXX.json)"
 trap 'rm -f "$OUT" "$OBS_OUT" "$SERVE_OUT" "$PLAN_OUT" "$SWAP_OUT" \
-  "$COMPRESS_OUT" "$PAGED_OUT"' EXIT
+  "$COMPRESS_OUT" "$PAGED_OUT" "$VINDEX_OUT"' EXIT
 "./$BUILD_DIR/bench/micro_match" \
   --json="$OUT" --baseline="$BASELINE" --guard_pct="$GUARD_PCT"
 
@@ -161,7 +162,25 @@ for key in entries_per_page warm_pool_hit_rate; do
   }
 done
 
+# Value-index gate: a range predicate at ~1% selectivity answered through
+# the ordered value index must beat the brute per-document scan (structural
+# oracle + comparison check) by at least VINDEX_GUARD_X (default 10);
+# micro_vindex enforces the gate, cross-checks both answers doc for doc,
+# and exits nonzero on violation.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_vindex
+"./$BUILD_DIR/bench/micro_vindex" \
+  --min_speedup="${VINDEX_GUARD_X:-10}" \
+  --out="$VINDEX_OUT"
+for key in speedup_low speedup_mid speedup_high mutations_per_sec; do
+  grep -q "\"$key\":" "$VINDEX_OUT" || {
+    echo "bench_smoke.sh: BENCH_vindex.json is missing \"$key\"" >&2
+    cat "$VINDEX_OUT" >&2
+    exit 1
+  }
+done
+
 echo "bench_smoke.sh: ok (counters within ${GUARD_PCT}% of $BASELINE," \
   "serve schema complete, plan cache gates passed," \
   "swap p99 ${RATIO}x steady / 0 dropped," \
-  "compression size/wall gates passed, paged density gate passed)"
+  "compression size/wall gates passed, paged density gate passed," \
+  "value-index speedup gate passed)"

@@ -43,10 +43,15 @@ PROM_PORT_FILE="$(mktemp -u /tmp/xseq_prom_port.XXXXXX)"
 ACCESS_LOG="$(mktemp -u /tmp/xseq_access_log.XXXXXX)"
 LOG="$(mktemp /tmp/xseq_serve_log.XXXXXX)"
 IMG_DIR="$(mktemp -d /tmp/xseq_serve_img.XXXXXX)"
+MUT_PORT_FILE="$(mktemp -u /tmp/xseq_mut_port.XXXXXX)"
+MUT_LOG="$(mktemp /tmp/xseq_mut_log.XXXXXX)"
 SERVE_PID=""
+MUT_PID=""
 cleanup() {
   [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  [[ -n "$MUT_PID" ]] && kill -9 "$MUT_PID" 2>/dev/null || true
   rm -f "$PORT_FILE" "$PROM_PORT_FILE" "$ACCESS_LOG" "$ACCESS_LOG.1" "$LOG"
+  rm -f "$MUT_PORT_FILE" "$MUT_LOG"
   rm -rf "$IMG_DIR"
 }
 trap cleanup EXIT
@@ -239,6 +244,99 @@ grep -q '"reason":"error"' "$ACCESS_LOG" \
   || { echo "serve_smoke.sh: parse-error request missing from log" >&2; exit 1; }
 echo "serve_smoke.sh: access log captured $(wc -l <"$ACCESS_LOG") records"
 
+# --- Mutations over the wire (dynamic backend) -------------------------------
+# A second daemon with a mutable xmark collection: delete a doc out of a
+# range-predicate answer, update another doc into an answer that was empty,
+# compact, and check every answer tracks the mutations — over real TCP,
+# through the live result cache.
+"$SERVE" --gen=xmark --n=400 --shards=2 --dynamic \
+  --port_file="$MUT_PORT_FILE" >"$MUT_LOG" 2>&1 &
+MUT_PID=$!
+for _ in $(seq 1 150); do
+  [[ -s "$MUT_PORT_FILE" ]] && break
+  if ! kill -0 "$MUT_PID" 2>/dev/null; then
+    echo "serve_smoke.sh: mutation daemon died during startup" >&2
+    cat "$MUT_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$MUT_PORT_FILE" ]] \
+  || { echo "serve_smoke.sh: no mutation daemon port file" >&2; exit 1; }
+MUT_PORT="$(head -n1 "$MUT_PORT_FILE")"
+
+RANGE_Q='//age[. >= 40]'
+BEFORE_OUT="$("$CLIENT" query --port="$MUT_PORT" --q="$RANGE_Q" --verbose)"
+BEFORE_N="$(echo "$BEFORE_OUT" | awk 'NR==1{print $1}')"
+[[ "$BEFORE_N" -gt 0 ]] || {
+  echo "serve_smoke.sh: range query found no documents" >&2
+  exit 1
+}
+VICTIM="$(echo "$BEFORE_OUT" | awk '/^  doc /{print $2; exit}')"
+"$CLIENT" delete --port="$MUT_PORT" --id="$VICTIM" \
+  | grep -q 'deleted, generation' \
+  || { echo "serve_smoke.sh: delete RPC failed" >&2; exit 1; }
+AFTER_OUT="$("$CLIENT" query --port="$MUT_PORT" --q="$RANGE_Q" --verbose)"
+AFTER_N="$(echo "$AFTER_OUT" | awk 'NR==1{print $1}')"
+[[ "$AFTER_N" -eq $((BEFORE_N - 1)) ]] || {
+  echo "serve_smoke.sh: range answer was $BEFORE_N docs, still $AFTER_N" \
+    "after deleting one of them" >&2
+  exit 1
+}
+echo "$AFTER_OUT" | grep -qx "  doc $VICTIM" && {
+  echo "serve_smoke.sh: deleted doc $VICTIM still served" >&2
+  exit 1
+}
+echo "serve_smoke.sh: wire delete removed doc $VICTIM from the range answer"
+
+# No generated age reaches 90; the updated doc must become the sole answer.
+"$CLIENT" query --port="$MUT_PORT" --q='//age[. >= 90]' \
+  | grep -q '^0 document' \
+  || { echo "serve_smoke.sh: expected no docs with age >= 90" >&2; exit 1; }
+TARGET="$(echo "$AFTER_OUT" | awk '/^  doc /{print $2; exit}')"
+"$CLIENT" update --port="$MUT_PORT" --id="$TARGET" \
+  --xml='<person><profile><age>99</age></profile></person>' \
+  | grep -q 'updated, generation' \
+  || { echo "serve_smoke.sh: update RPC failed" >&2; exit 1; }
+UPDATED_OUT="$("$CLIENT" query --port="$MUT_PORT" --q='//age[. >= 90]' \
+  --verbose)"
+echo "$UPDATED_OUT" | grep -qx "  doc $TARGET" || {
+  echo "serve_smoke.sh: updated doc $TARGET missing from range answer" >&2
+  echo "$UPDATED_OUT" >&2
+  exit 1
+}
+echo "serve_smoke.sh: wire update moved doc $TARGET into the range answer"
+
+# Compaction purges the tombstones; every answer must be unchanged by it.
+"$CLIENT" compact --port="$MUT_PORT" | grep -q 'compacted, generation' \
+  || { echo "serve_smoke.sh: compact RPC failed" >&2; exit 1; }
+POST_OUT="$("$CLIENT" query --port="$MUT_PORT" --q="$RANGE_Q" --verbose)"
+POST_N="$(echo "$POST_OUT" | awk 'NR==1{print $1}')"
+[[ "$POST_N" -eq "$AFTER_N" ]] || {
+  echo "serve_smoke.sh: compaction changed the range answer" \
+    "($AFTER_N -> $POST_N docs)" >&2
+  exit 1
+}
+echo "$POST_OUT" | grep -qx "  doc $VICTIM" && {
+  echo "serve_smoke.sh: deleted doc $VICTIM resurfaced after compaction" >&2
+  exit 1
+}
+"$CLIENT" query --port="$MUT_PORT" --q='//age[. >= 90]' \
+  | grep -q '^1 document' \
+  || { echo "serve_smoke.sh: updated doc lost after compaction" >&2; exit 1; }
+echo "serve_smoke.sh: compaction preserved every answer"
+
+kill -TERM "$MUT_PID"
+RC=0
+wait "$MUT_PID" || RC=$?
+MUT_PID=""
+if [[ "$RC" -ne 0 ]]; then
+  echo "serve_smoke.sh: mutation daemon exited $RC after SIGTERM" >&2
+  cat "$MUT_LOG" >&2
+  exit 1
+fi
+
 echo "serve_smoke.sh: ok (ping/query/--explain/stats + metrics op +" \
   "prometheus scrape + access log + double-start refusal + hot swap" \
-  "under load + failed-reload rollback + SIGHUP + SIGTERM drain)"
+  "under load + failed-reload rollback + SIGHUP + SIGTERM drain +" \
+  "wire delete/update/compact against the dynamic backend)"

@@ -6,6 +6,29 @@
 
 namespace xseq {
 
+namespace {
+
+/// Feeds every (parent element path, value text, doc) triple of the
+/// ORIGINAL document into the value-index builder. Runs after BindPaths,
+/// so every element-chain prefix already exists in the dictionary (in
+/// char-sequence mode the chains replace only the value leaves) and the
+/// read-only Find keeps the dictionary layout byte-identical to a build
+/// without a value index.
+void CollectValueEntries(const Node* n, PathId path, const Document& doc,
+                         const PathDict& dict, ValueIndexBuilder* out) {
+  for (const Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_value()) {
+      if (c->text != nullptr) out->Add(path, c->text, doc.id());
+      continue;
+    }
+    PathId child = dict.Find(path, c->sym);
+    if (child == kInvalidPath) continue;  // never bound; nothing indexed
+    CollectValueEntries(c, child, doc, dict, out);
+  }
+}
+
+}  // namespace
+
 CollectionBuilder::CollectionBuilder(IndexOptions options)
     : options_(options),
       names_(std::make_unique<NameTable>()),
@@ -38,6 +61,12 @@ Status CollectionBuilder::Observe(const Document& doc) {
   } else {
     std::vector<PathId> paths = BindPaths(doc, dict_.get());
     schema_->Observe(doc, paths);
+  }
+  if (doc.root()->sym.is_name()) {
+    PathId root_path = dict_->Find(kEpsilonPath, doc.root()->sym);
+    if (root_path != kInvalidPath) {
+      CollectValueEntries(doc.root(), root_path, doc, *dict_, &vindex_);
+    }
   }
   ++observed_docs_;
   return Status::OK();
@@ -228,6 +257,7 @@ StatusOr<CollectionIndex> CollectionBuilder::Finish() && {
   out.schema_ = std::move(schema_);
   out.model_ = std::move(model_);
   out.sequencer_ = std::move(sequencer_);
+  out.vindex_ = std::move(vindex_).Build();
   out.documents_count_ = observed_docs_;
   out.total_seq_elements_ = total_seq_elements_;
   if (options_.keep_documents) {
@@ -311,6 +341,9 @@ CollectionIndex::SizeStats CollectionIndex::Stats() const {
   s.decode_scratch_bytes =
       static_cast<uint64_t>(LinkBlockCache::kSlots) *
       sizeof(LinkBlockScratch);
+  s.vindex_paths = vindex_.path_count();
+  s.vindex_entries = vindex_.entry_count();
+  s.vindex_bytes = vindex_.MemoryBytes();
   s.link_compression_ratio =
       s.logical_link_bytes == 0
           ? 0.0

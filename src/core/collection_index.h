@@ -33,6 +33,7 @@
 #include "src/seq/sequencer.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
+#include "src/vindex/value_index.h"
 #include "src/xml/name_table.h"
 #include "src/xml/parser.h"
 
@@ -137,6 +138,7 @@ class CollectionBuilder {
   std::vector<std::pair<Sequence, DocId>> buffered_;
   std::vector<Document> pending_;  ///< streaming docs awaiting batch sequencing
   std::unique_ptr<ThreadPool> pool_;  ///< owned pool when threads > 1
+  ValueIndexBuilder vindex_;  ///< range-predicate postings, fed by Observe
   uint64_t observed_docs_ = 0;
   uint64_t total_seq_elements_ = 0;
 };
@@ -172,6 +174,9 @@ class CollectionIndex {
     uint64_t packed_link_bytes = 0; ///< block-compressed link region
     uint64_t logical_link_bytes = 0; ///< same links flat (12 B/entry)
     uint64_t decode_scratch_bytes = 0; ///< one context's full block cache
+    uint64_t vindex_paths = 0;         ///< element paths with value postings
+    uint64_t vindex_entries = 0;       ///< total value postings
+    uint64_t vindex_bytes = 0;         ///< resident value-index footprint
     /// packed / logical; 0 when the index has no links.
     double link_compression_ratio = 0.0;
     double avg_sequence_length = 0.0;
@@ -194,8 +199,17 @@ class CollectionIndex {
 
   QueryExecutor executor() const {
     return QueryExecutor(&index_, dict_.get(), names_.get(), values_.get(),
-                         sequencer_.get(), schema_.get());
+                         sequencer_.get(), schema_.get(),
+                         vindex_present_ ? &vindex_ : nullptr);
   }
+
+  /// Ordered value index for range predicates. Empty when the index was
+  /// loaded from a pre-v4 image (range queries then fail cleanly).
+  const ValueIndex& vindex() const { return vindex_; }
+  /// False only for indexes decoded from pre-v4 images, which carry no
+  /// value index; comparison queries then fail with kFailedPrecondition
+  /// instead of silently answering from an empty index.
+  bool has_vindex() const { return vindex_present_; }
 
  private:
   friend class CollectionBuilder;
@@ -211,6 +225,8 @@ class CollectionIndex {
   std::unique_ptr<Schema> schema_;
   std::shared_ptr<const SequencingModel> model_;
   std::unique_ptr<Sequencer> sequencer_;
+  ValueIndex vindex_;
+  bool vindex_present_ = true;  ///< false: decoded from a pre-v4 image
   std::vector<Document> documents_;
   uint64_t documents_count_ = 0;
   uint64_t total_seq_elements_ = 0;

@@ -5,6 +5,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/util/timer.h"
+#include "src/vindex/compare.h"
 #include "src/xml/value_chain.h"
 
 namespace xseq {
@@ -15,6 +16,8 @@ namespace {
 /// the live buffer depth and in-flight background seals.
 struct DynMetricSet {
   obs::Counter* adds;
+  obs::Counter* deletes;
+  obs::Counter* updates;
   obs::Counter* seals;
   obs::Counter* seal_failures;
   obs::Counter* compactions;
@@ -22,21 +25,42 @@ struct DynMetricSet {
   obs::Histogram* compact_us;
   obs::Gauge* pending_seals;
   obs::Gauge* buffered_docs;
+  obs::Gauge* tombstoned_docs;
 };
 
 const DynMetricSet& DynMetrics() {
   static const DynMetricSet s = [] {
     obs::MetricsRegistry* r = obs::MetricsRegistry::Default();
     return DynMetricSet{r->GetCounter("xseq.dynamic.adds"),
+                        r->GetCounter("xseq.dynamic.deletes"),
+                        r->GetCounter("xseq.dynamic.updates"),
                         r->GetCounter("xseq.dynamic.seals"),
                         r->GetCounter("xseq.dynamic.seal_failures"),
                         r->GetCounter("xseq.dynamic.compactions"),
                         r->GetHistogram("xseq.dynamic.seal_us"),
                         r->GetHistogram("xseq.dynamic.compact_us"),
                         r->GetGauge("xseq.dynamic.pending_seals"),
-                        r->GetGauge("xseq.dynamic.buffered_docs")};
+                        r->GetGauge("xseq.dynamic.buffered_docs"),
+                        r->GetGauge("xseq.dynamic.tombstoned_docs")};
   }();
   return s;
+}
+
+/// Strips tombstoned ids from one source's result ids in place.
+void RemoveDeadIds(const std::unordered_set<DocId>* dead,
+                   std::vector<DocId>* ids) {
+  if (dead == nullptr || dead->empty() || ids->empty()) return;
+  ids->erase(std::remove_if(ids->begin(), ids->end(),
+                            [dead](DocId d) { return dead->count(d) != 0; }),
+             ids->end());
+}
+
+/// Id histogram of a document batch, fixed at slot-reservation time.
+std::shared_ptr<const std::unordered_map<DocId, uint32_t>> CountIds(
+    const std::vector<Document>& docs) {
+  auto ids = std::make_shared<std::unordered_map<DocId, uint32_t>>();
+  for (const Document& doc : docs) ++(*ids)[doc.id()];
+  return ids;
 }
 
 }  // namespace
@@ -77,6 +101,74 @@ Status DynamicIndex::Add(Document&& doc) {
   return Status::OK();
 }
 
+uint64_t DynamicIndex::RemoveLocked(DocId id) {
+  uint64_t removed = 0;
+  const size_t before = buffer_.size();
+  buffer_.erase(
+      std::remove_if(buffer_.begin(), buffer_.end(),
+                     [id](const Document& d) { return d.id() == id; }),
+      buffer_.end());
+  removed += before - buffer_.size();
+  for (SlotState& slot : slot_state_) {
+    if (slot.ids == nullptr) continue;
+    auto hit = slot.ids->find(id);
+    if (hit == slot.ids->end()) continue;
+    if (slot.dead != nullptr && slot.dead->count(id) != 0) continue;
+    // Copy-on-write: queries holding the old set keep filtering with it.
+    auto next = slot.dead != nullptr
+                    ? std::make_shared<std::unordered_set<DocId>>(*slot.dead)
+                    : std::make_shared<std::unordered_set<DocId>>();
+    next->insert(id);
+    slot.dead = std::move(next);
+    removed += hit->second;
+    tombstoned_docs_ += hit->second;
+  }
+  if (obs::MetricsEnabled()) {
+    DynMetrics().tombstoned_docs->Set(tombstoned_docs_);
+  }
+  total_docs_ -= std::min<uint64_t>(removed, total_docs_);
+  return removed;
+}
+
+Status DynamicIndex::Delete(DocId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
+  RemoveLocked(id);
+  ++generation_;
+  if (obs::MetricsEnabled()) {
+    const DynMetricSet& m = DynMetrics();
+    m.deletes->Increment();
+    m.buffered_docs->Set(buffer_.size());
+  }
+  return Status::OK();
+}
+
+Status DynamicIndex::Update(Document&& doc, DocId id) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  if (doc.id() != id) {
+    return Status::InvalidArgument(
+        "replacement document carries id " + std::to_string(doc.id()) +
+        ", expected " + std::to_string(id));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
+  RemoveLocked(id);
+  buffer_.push_back(std::move(doc));
+  ++total_docs_;
+  ++generation_;
+  if (obs::MetricsEnabled()) {
+    const DynMetricSet& m = DynMetrics();
+    m.updates->Increment();
+    m.buffered_docs->Set(buffer_.size());
+  }
+  if (buffer_.size() >= options_.flush_threshold) {
+    return SealBufferLocked();
+  }
+  return Status::OK();
+}
+
 Status DynamicIndex::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
@@ -93,6 +185,7 @@ Status DynamicIndex::SealBufferLocked() {
   if (pool_->width() <= 1) {
     // Serial pool: build inline under the lock (the legacy path).
     Timer seal_timer;
+    auto slot_ids = CountIds(buffer_);
     CollectionBuilder builder(options_.index, *names_, *values_);
     for (Document& doc : buffer_) {
       XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
@@ -113,6 +206,7 @@ Status DynamicIndex::SealBufferLocked() {
     if (!segment.ok()) return segment.status();
     segments_.push_back(
         std::make_shared<const CollectionIndex>(std::move(*segment)));
+    slot_state_.push_back({std::move(slot_ids), nullptr});
     return Status::OK();
   }
 
@@ -125,6 +219,7 @@ Status DynamicIndex::SealBufferLocked() {
   buffer_.clear();
   batch->slot = segments_.size();
   segments_.push_back(nullptr);
+  slot_state_.push_back({CountIds(batch->docs), nullptr});
   sealing_.push_back(batch);
   ++pending_seals_;
   if (metrics) {
@@ -200,9 +295,18 @@ Status DynamicIndex::Compact() {
   XSEQ_RETURN_IF_ERROR(TakeSealErrorLocked());
   ++generation_;
   CollectionBuilder builder(options_.index, *names_, *values_);
-  for (const auto& segment : segments_) {
-    if (segment == nullptr) continue;
-    for (const Document& doc : segment->documents()) {
+  auto merged_ids = std::make_shared<std::unordered_map<DocId, uint32_t>>();
+  // Tombstoned documents are purged here: they are simply not fed to the
+  // rebuild, so the merged segment starts with an empty tombstone set.
+  auto alive = [this](size_t slot, const Document& doc) {
+    const auto& dead = slot_state_[slot].dead;
+    return dead == nullptr || dead->count(doc.id()) == 0;
+  };
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] == nullptr) continue;
+    for (const Document& doc : segments_[i]->documents()) {
+      if (!alive(i, doc)) continue;
+      ++(*merged_ids)[doc.id()];
       XSEQ_RETURN_IF_ERROR(builder.Add(CloneDocument(doc)));
     }
   }
@@ -210,25 +314,32 @@ Status DynamicIndex::Compact() {
   // once pending_seals_ == 0) still hold their documents; fold them in.
   for (const auto& batch : sealing_) {
     for (const Document& doc : batch->docs) {
+      if (!alive(batch->slot, doc)) continue;
+      ++(*merged_ids)[doc.id()];
       XSEQ_RETURN_IF_ERROR(builder.Add(CloneDocument(doc)));
     }
   }
   for (Document& doc : buffer_) {
+    ++(*merged_ids)[doc.id()];
     XSEQ_RETURN_IF_ERROR(builder.Add(std::move(doc)));
   }
   buffer_.clear();
   auto merged = std::move(builder).Finish();
   if (!merged.ok()) return merged.status();
   segments_.clear();
+  slot_state_.clear();
   sealing_.clear();
+  tombstoned_docs_ = 0;
   segments_.push_back(
       std::make_shared<const CollectionIndex>(std::move(*merged)));
+  slot_state_.push_back({std::move(merged_ids), nullptr});
   if (obs::MetricsEnabled()) {
     const DynMetricSet& m = DynMetrics();
     m.compactions->Increment();
     m.compact_us->Record(
         static_cast<uint64_t>(compact_timer.ElapsedMicros()));
     m.buffered_docs->Set(0);
+    m.tombstoned_docs->Set(0);
   }
   return Status::OK();
 }
@@ -275,8 +386,19 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePattern(
 Status DynamicIndex::ScanDocs(const std::vector<Document>& docs,
                               const xseq::QueryPattern& pattern,
                               const ExecOptions& options,
+                              const std::unordered_set<DocId>* dead,
                               std::vector<DocId>* out) const {
   if (docs.empty()) return Status::OK();
+  // Comparison predicates: scan the skeleton, then keep only ids whose
+  // document satisfies every comparison — the unsealed-data twin of the
+  // value-index probe the sealed segments run.
+  std::vector<ValueComparison> cmps;
+  QueryPattern skeleton;
+  const QueryPattern* effective = &pattern;
+  if (HasComparisons(pattern)) {
+    skeleton = StripComparisons(pattern, &cmps);
+    effective = &skeleton;
+  }
   // Brute-force scan via the oracle, instantiating the pattern against a
   // transient dictionary of just these documents. Char-sequence mode scans
   // chain-expanded copies so value chains resolve.
@@ -293,13 +415,32 @@ Status DynamicIndex::ScanDocs(const std::vector<Document>& docs,
   for (const Document& doc : scan) {
     BindPaths(doc, &dict);
   }
-  auto inst = InstantiatePattern(pattern, dict, *names_, *values_,
+  auto inst = InstantiatePattern(*effective, dict, *names_, *values_,
                                  options.instantiate);
   if (!inst.ok()) return inst.status();
+  std::vector<DocId> part;
   for (const ConcreteQuery& cq : inst->queries) {
-    std::vector<DocId> part = OracleScan(scan, cq);
-    out->insert(out->end(), part.begin(), part.end());
+    std::vector<DocId> one = OracleScan(scan, cq);
+    part.insert(part.end(), one.begin(), one.end());
   }
+  if (!cmps.empty() && !part.empty()) {
+    // Comparisons check the ORIGINAL documents: value nodes retain their
+    // raw text in every value mode, so ordering stays exact even when the
+    // index hashes or chain-encodes values.
+    std::unordered_set<DocId> satisfying;
+    for (const Document& doc : docs) {
+      if (DocMatchesComparisons(doc, *names_, cmps)) {
+        satisfying.insert(doc.id());
+      }
+    }
+    part.erase(std::remove_if(part.begin(), part.end(),
+                              [&satisfying](DocId d) {
+                                return satisfying.count(d) == 0;
+                              }),
+               part.end());
+  }
+  RemoveDeadIds(dead, &part);
+  out->insert(out->end(), part.begin(), part.end());
   return Status::OK();
 }
 
@@ -331,24 +472,34 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
 
   std::vector<DocId> out;
   std::vector<std::shared_ptr<const CollectionIndex>> segments;
+  std::vector<std::shared_ptr<const std::unordered_set<DocId>>> seg_dead;
   std::vector<std::shared_ptr<const SealBatch>> batches;
+  std::vector<std::shared_ptr<const std::unordered_set<DocId>>> batch_dead;
   {
     obs::SpanScope scan_span(opts.trace, "scan_unsealed", root_span);
     {
       std::unique_lock<std::mutex> lock(mu_);
       segments.reserve(segments_.size());
-      for (const auto& segment : segments_) {
-        if (segment != nullptr) segments.push_back(segment);
+      for (size_t i = 0; i < segments_.size(); ++i) {
+        if (segments_[i] != nullptr) {
+          segments.push_back(segments_[i]);
+          seg_dead.push_back(slot_state_[i].dead);
+        }
       }
       batches = sealing_;
+      for (const auto& batch : batches) {
+        batch_dead.push_back(slot_state_[batch->slot].dead);
+      }
       // The live buffer mutates under Add(), so it is scanned while the lock
-      // is held. Everything snapshotted above is immutable; a batch that
-      // lands as a segment mid-query was excluded from `segments`, so no
-      // document is counted twice.
-      XSEQ_RETURN_IF_ERROR(ScanDocs(buffer_, pattern, opts, &out));
+      // is held. Everything snapshotted above is immutable (tombstone sets
+      // are copy-on-write); a batch that lands as a segment mid-query was
+      // excluded from `segments`, so no document is counted twice. Deletes
+      // erase from the buffer outright, so its scan needs no filter.
+      XSEQ_RETURN_IF_ERROR(ScanDocs(buffer_, pattern, opts, nullptr, &out));
     }
-    for (const auto& batch : batches) {
-      XSEQ_RETURN_IF_ERROR(ScanDocs(batch->docs, pattern, opts, &out));
+    for (size_t i = 0; i < batches.size(); ++i) {
+      XSEQ_RETURN_IF_ERROR(ScanDocs(batches[i]->docs, pattern, opts,
+                                    batch_dead[i].get(), &out));
     }
     scan_span.Annotate("sealing_batches", batches.size());
     scan_span.Annotate("docs", out.size());
@@ -367,6 +518,7 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
       auto part = segments[i]->executor().ExecutePattern(
           pattern, &part_stats[i], seg_opts, lease.get());
       if (part.ok()) {
+        RemoveDeadIds(seg_dead[i].get(), &*part);
         seg_span.Annotate("docs", part->size());
         parts[i] = std::move(*part);
       } else {
@@ -381,7 +533,8 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
   } else {
     // One leased context serves every segment probe of this query.
     MatchContextLease lease(&match_contexts_);
-    for (const auto& segment : segments) {
+    for (size_t i = 0; i < segments.size(); ++i) {
+      const auto& segment = segments[i];
       ExecStats part_stats;
       obs::SpanScope seg_span(opts.trace, "segment_probe", root_span);
       ExecOptions seg_opts = opts;
@@ -389,6 +542,7 @@ StatusOr<std::vector<DocId>> DynamicIndex::ExecutePatternImpl(
       auto part = segment->executor().ExecutePattern(pattern, &part_stats,
                                                      seg_opts, lease.get());
       if (!part.ok()) return part.status();
+      RemoveDeadIds(seg_dead[i].get(), &*part);
       seg_span.Annotate("docs", part->size());
       if (stats != nullptr) stats->Add(part_stats);
       out.insert(out.end(), part->begin(), part->end());
@@ -446,6 +600,11 @@ size_t DynamicIndex::buffered_documents() const {
 uint64_t DynamicIndex::total_documents() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_docs_;
+}
+
+uint64_t DynamicIndex::tombstoned_documents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tombstoned_docs_;
 }
 
 uint64_t DynamicIndex::TotalIndexNodes() const {

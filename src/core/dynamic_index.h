@@ -37,6 +37,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/collection_index.h"
@@ -66,6 +68,19 @@ class DynamicIndex {
   /// Adds a document; kicks off a background seal when the buffer fills up
   /// (inline when the pool is serial).
   Status Add(Document&& doc);
+
+  /// Deletes every live document with `id`. Buffered documents are removed
+  /// outright; documents already sealed (or sealing) are tombstoned in
+  /// their segment slot and filtered from every query until Compact()
+  /// purges them. Always bumps the generation; deleting an id that does
+  /// not exist is a no-op that still invalidates cached results.
+  Status Delete(DocId id);
+
+  /// Atomically replaces the documents carrying `id` with `doc` (which
+  /// must have been parsed/generated with that id): a Delete plus an Add
+  /// under one lock acquisition and one generation bump, so no query ever
+  /// observes both versions or neither.
+  Status Update(Document&& doc, DocId id);
 
   /// Seals the current buffer into a segment (no-op when empty). The build
   /// itself runs on the pool; this call does not wait for it.
@@ -105,7 +120,8 @@ class DynamicIndex {
       const ExecOptions& options = {}) const;
 
   /// Monotone mutation counter for result-cache invalidation: starts at 1
-  /// and is bumped under the index lock by every Add/Flush/Compact. A
+  /// and is bumped under the index lock by every mutation
+  /// (Add/Delete/Update/Flush/Compact). A
   /// cached answer tagged with generation g is valid exactly while
   /// generation() == g — mutations commit their state change and the bump
   /// under the same lock acquisition, so a query that starts and finishes
@@ -116,7 +132,11 @@ class DynamicIndex {
   /// exactly one segment).
   size_t segment_count() const;
   size_t buffered_documents() const;
+  /// Live documents: adds minus documents removed by Delete/Update.
   uint64_t total_documents() const;
+  /// Tombstoned documents awaiting purge (sealed or sealing occurrences of
+  /// deleted ids); drops to zero after Compact().
+  uint64_t tombstoned_documents() const;
 
   /// Sum of segment index nodes (the size metric of the paper). Waits for
   /// in-flight seals so the number is stable.
@@ -130,17 +150,33 @@ class DynamicIndex {
     size_t slot = 0;  ///< index in segments_ reserved for the result
   };
 
+  /// Per-slot mutation state, parallel to segments_. `ids` counts the
+  /// documents sealed (or sealing) into the slot, fixed when the slot is
+  /// reserved; `dead` is the copy-on-write tombstone set (null = none), so
+  /// queries snapshot it with the segment pointer and filter lock-free.
+  struct SlotState {
+    std::shared_ptr<const std::unordered_map<DocId, uint32_t>> ids;
+    std::shared_ptr<const std::unordered_set<DocId>> dead;
+  };
+
   Status SealBufferLocked();
   void WaitForSealsLocked(std::unique_lock<std::mutex>* lock) const;
   Status TakeSealErrorLocked();
+  /// Removes `id` everywhere it is live: erased from the buffer,
+  /// tombstoned in every slot whose id set contains it. Returns the number
+  /// of documents removed and deducts it from total_docs_.
+  uint64_t RemoveLocked(DocId id);
   StatusOr<std::vector<DocId>> ExecutePatternImpl(
       const xseq::QueryPattern& pattern, const ExecOptions& options,
       ExecStats* stats, bool parallel_segments) const;
   /// Brute-force scan of not-yet-indexed documents (live buffer and
-  /// in-flight batches).
+  /// in-flight batches). Comparison predicates are answered by checking
+  /// each document directly; `dead`, when given, filters tombstoned ids.
   Status ScanDocs(const std::vector<Document>& docs,
                   const xseq::QueryPattern& pattern,
-                  const ExecOptions& options, std::vector<DocId>* out) const;
+                  const ExecOptions& options,
+                  const std::unordered_set<DocId>* dead,
+                  std::vector<DocId>* out) const;
 
   DynamicOptions options_;
   std::unique_ptr<NameTable> names_;
@@ -155,12 +191,15 @@ class DynamicIndex {
   mutable std::condition_variable seal_cv_;
   /// Sealed segments; a null entry is a slot reserved by an in-flight seal.
   std::vector<std::shared_ptr<const CollectionIndex>> segments_;
+  /// Ids and tombstones per slot, parallel to segments_.
+  std::vector<SlotState> slot_state_;
   /// Batches currently being sealed on the pool (immutable once published).
   std::vector<std::shared_ptr<const SealBatch>> sealing_;
   size_t pending_seals_ = 0;
   Status seal_error_;  ///< first background build failure, surfaced later
   std::vector<Document> buffer_;
   uint64_t total_docs_ = 0;
+  uint64_t tombstoned_docs_ = 0;  ///< sealed occurrences awaiting purge
   uint64_t generation_ = 1;  ///< see generation()
 };
 

@@ -16,10 +16,15 @@ constexpr char kMagic[7] = {'X', 'S', 'E', 'Q', 'I', 'D', 'X'};
 constexpr uint8_t kLegacyVersionByte = '1';
 
 constexpr const char* kSectionNames[] = {"header", "names",  "values",
-                                         "dict",   "schema", "index"};
-constexpr size_t kNumSections = sizeof(kSectionNames) / sizeof(*kSectionNames);
+                                         "dict",   "schema", "index",
+                                         "vindex"};
+constexpr size_t kMaxSections = sizeof(kSectionNames) / sizeof(*kSectionNames);
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 1;  // magic + version byte
 constexpr size_t kFooterBytes = 8;
+
+/// Framed sections a given format version stores. The value index arrived
+/// in version 4; older images simply end after "index".
+size_t NumSectionsFor(uint8_t version) { return version >= 4 ? 7 : 6; }
 
 /// Re-labels a section decode failure with the section that produced it,
 /// preserving the status code. The default arm is deliberate: any code a
@@ -149,6 +154,11 @@ std::string EncodeCollectionIndex(const CollectionIndex& index,
   section.clear();
   index.index().EncodeTo(&section, LinkFormatFor(version));
   frame(section);
+  if (version >= 4) {
+    section.clear();
+    index.vindex().EncodeTo(&section);
+    frame(section);
+  }
 
   PutFixed64(&out, Fnv1a64(std::string_view(out).substr(kHeaderBytes)));
   return out;
@@ -161,9 +171,10 @@ StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data) {
       CheckHeaderAndSplit(data, &version, &body, &footer_bytes));
 
   // Walk the frames first: a failure is attributed to its section.
-  std::string_view sections[kNumSections];
+  const size_t num_sections = NumSectionsFor(version);
+  std::string_view sections[kMaxSections];
   Decoder in(body);
-  for (size_t i = 0; i < kNumSections; ++i) {
+  for (size_t i = 0; i < num_sections; ++i) {
     XSEQ_RETURN_IF_ERROR(ReadFrame(&in, kSectionNames[i], &sections[i]));
   }
   if (!in.AtEnd()) {
@@ -249,6 +260,26 @@ StatusOr<CollectionIndex> DecodeCollectionIndex(std::string_view data) {
     XSEQ_RETURN_IF_ERROR(finish_section("index", &d));
     out.index_ = std::move(*index);
   }
+  if (version >= 4) {
+    Decoder d(sections[6]);
+    auto vindex = ValueIndex::DecodeFrom(&d);
+    if (!vindex.ok()) return AnnotateSection("vindex", vindex.status());
+    XSEQ_RETURN_IF_ERROR(finish_section("vindex", &d));
+    Status valid = vindex->Validate();
+    if (!valid.ok()) return AnnotateSection("vindex", valid);
+    for (PathId p : vindex->paths()) {
+      if (p >= out.dict_->size()) {
+        return AnnotateSection(
+            "vindex", Status::Corruption("postings reference unknown paths"));
+      }
+    }
+    out.vindex_ = std::move(*vindex);
+  } else {
+    // Pre-v4 images carry no value postings; comparison queries against
+    // this index fail with kFailedPrecondition rather than answering from
+    // an empty index.
+    out.vindex_present_ = false;
+  }
 
   // Sanity: every indexed path must exist in the dictionary, and the
   // index's structural invariants must hold (defends against corrupted or
@@ -289,7 +320,8 @@ IndexFileReport InspectEncodedIndex(std::string_view data) {
   }
 
   Decoder in(body);
-  for (size_t i = 0; i < kNumSections; ++i) {
+  const size_t num_sections = NumSectionsFor(version);
+  for (size_t i = 0; i < num_sections; ++i) {
     IndexSectionInfo info;
     info.name = kSectionNames[i];
     uint64_t length = 0, checksum = 0;
@@ -349,6 +381,25 @@ IndexFileReport InspectEncodedIndex(std::string_view data) {
           report.index_packed_link_bytes = 0;
           report.index_derived_bytes = counts[3] * sizeof(uint32_t) +
                                        ((counts[4] + 127) / 128) * 16;
+        }
+      }
+    }
+    if (info.checksum_ok && info.name == "vindex") {
+      // Skim the path directory (counts only, no entry decode): fixed32
+      // path count, then (fixed32 path, fixed64 postings) per path.
+      Decoder vd(payload);
+      uint32_t paths = 0;
+      if (vd.GetFixed32(&paths).ok() && paths <= vd.remaining() / 12) {
+        report.vindex_paths = paths;
+        report.vindex_path_counts.reserve(paths);
+        for (uint32_t p = 0; p < paths; ++p) {
+          uint32_t path = 0;
+          uint64_t count = 0;
+          if (!vd.GetFixed32(&path).ok() || !vd.GetFixed64(&count).ok()) {
+            break;
+          }
+          report.vindex_entries += count;
+          report.vindex_path_counts.emplace_back(path, count);
         }
       }
     }

@@ -1,9 +1,10 @@
 // Index persistence: save a built CollectionIndex to a single binary file
 // and load it back, ready to answer queries.
 //
-// File format, version 2 (all little-endian):
-//   magic   "XSEQIDX" (7 bytes) + format version byte (currently 2)
-//   6 framed sections, in order: header, names, values, dict, schema, index
+// File format (all little-endian):
+//   magic   "XSEQIDX" (7 bytes) + format version byte (currently 4)
+//   framed sections, in order: header, names, values, dict, schema, index,
+//     and (version >= 4) vindex
 //     each frame: payload length (fixed64), FNV-1a64 of the payload
 //     (fixed64), then the payload bytes
 //   footer  — FNV-1a64 over everything between the version byte and the
@@ -29,6 +30,7 @@
 #define XSEQ_SRC_CORE_PERSIST_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/collection_index.h"
@@ -36,12 +38,15 @@
 
 namespace xseq {
 
-/// The format version written by this build. Version 3 stores the index's
-/// horizontal links block-compressed (src/index/link_codec.h); version 2
-/// stored them as one flat serial list.
-inline constexpr uint8_t kIndexFormatVersion = 3;
+/// The format version written by this build. Version 4 appends the ordered
+/// value index section (src/vindex/value_index.h) for comparison
+/// predicates; version 3 stores the index's horizontal links
+/// block-compressed (src/index/link_codec.h); version 2 stored them as one
+/// flat serial list.
+inline constexpr uint8_t kIndexFormatVersion = 4;
 /// Oldest version this build still loads. Version-2 images are accepted
-/// and their links recompressed into blocks during decode.
+/// and their links recompressed into blocks during decode; pre-v4 images
+/// load with no value index (comparison queries fail cleanly).
 inline constexpr uint8_t kMinIndexFormatVersion = 2;
 
 /// Environment and retry policy for on-disk save/load.
@@ -110,6 +115,13 @@ struct IndexFileReport {
   /// serial+end pair plus cover word) — the uncompressed baseline the
   /// packed bytes are measured against.
   uint64_t index_logical_link_bytes = 0;
+  /// Value-index shape skimmed from the vindex section's path directory
+  /// (v4 images with an intact section; all zero/empty otherwise).
+  /// `vindex_path_counts` pairs each dictionary path id with its posting
+  /// count, in stored (ascending-path) order.
+  uint64_t vindex_paths = 0;
+  uint64_t vindex_entries = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> vindex_path_counts;
   /// OK iff every check above passed; otherwise the first failure,
   /// matching what DecodeCollectionIndex would report.
   Status status;

@@ -1,6 +1,7 @@
 #include "src/query/executor.h"
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -10,6 +11,7 @@
 #include "src/query/plan_cache.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
+#include "src/vindex/compare.h"
 
 namespace xseq {
 
@@ -215,6 +217,61 @@ StatusOr<std::vector<DocId>> QueryExecutor::ExecutePattern(
     const ExecOptions& options, MatchContext* ctx) const {
   ExecStats local;
   ExecStats* st = stats != nullptr ? stats : &local;
+
+  // Comparison predicates ([price < 30]) are a document-level filter over
+  // the structural match: probe the value index for each comparison's
+  // candidate docs, run the comparison-free skeleton through the unchanged
+  // pipeline below, and intersect. Queries without comparisons never enter
+  // this block and execute bit-identically to an executor with no vindex.
+  if (HasComparisons(pattern)) {
+    if (vindex_ == nullptr) {
+      return Status::FailedPrecondition(
+          "index has no value index (built before format v4); rebuild it "
+          "to answer comparison predicates");
+    }
+    std::vector<ValueComparison> cmps;
+    QueryPattern skeleton = StripComparisons(pattern, &cmps);
+    std::vector<std::vector<DocId>> cands;
+    cands.reserve(cmps.size());
+    for (const ValueComparison& c : cmps) {
+      cands.push_back(CandidateDocs(*vindex_, *dict_, *names_, c,
+                                    &st->vindex_probes,
+                                    &st->vindex_candidates));
+    }
+    // Intersect smallest-first so the running set only ever shrinks.
+    std::sort(cands.begin(), cands.end(),
+              [](const std::vector<DocId>& a, const std::vector<DocId>& b) {
+                return a.size() < b.size();
+              });
+    std::vector<DocId> docs = std::move(cands.front());
+    for (size_t i = 1; i < cands.size() && !docs.empty(); ++i) {
+      std::vector<DocId> merged;
+      std::set_intersection(docs.begin(), docs.end(), cands[i].begin(),
+                            cands[i].end(), std::back_inserter(merged));
+      docs = std::move(merged);
+    }
+    if (docs.empty()) {
+      st->result_docs = 0;
+      return std::vector<DocId>();
+    }
+    // A candidate posting exists only because its document realizes the
+    // comparison's root-to-host chain. When the skeleton IS that single
+    // chain, every candidate is already a structural match and the scan
+    // below could only re-derive a superset — return the candidates.
+    if (ComparisonImpliesSkeleton(skeleton, cmps)) {
+      st->vindex_short_circuits += 1;
+      st->result_docs = docs.size();
+      return docs;
+    }
+    auto structural = ExecutePattern(skeleton, st, options, ctx);
+    if (!structural.ok()) return structural.status();
+    std::vector<DocId> out;
+    std::set_intersection(structural->begin(), structural->end(),
+                          docs.begin(), docs.end(),
+                          std::back_inserter(out));
+    st->result_docs = out.size();
+    return out;
+  }
 
   // Tracing: attach to the caller's builder (nested execution, e.g. a
   // DynamicIndex segment probe) or open a fresh trace bound for

@@ -26,6 +26,8 @@
 
 namespace xseq {
 
+class ValueIndex;
+
 /// Steady-clock "now" in microseconds, the time base for
 /// ExecOptions::deadline_micros (absolute, not a duration).
 inline int64_t DeadlineNowMicros() {
@@ -99,6 +101,15 @@ struct ExecStats {
   /// planner cut before (or instead of) matching. Exact pruning: none of
   /// them could have contributed a result.
   size_t pruned_instantiations = 0;
+  /// Comparison-predicate counters (zero for queries without comparisons):
+  /// dictionary paths probed in the value index, and postings collected
+  /// before intersection.
+  uint64_t vindex_probes = 0;
+  uint64_t vindex_candidates = 0;
+  /// Comparison queries answered from candidate postings alone (the
+  /// skeleton was one linear chain a comparison already covers, see
+  /// ComparisonImpliesSkeleton) — the structural scan was skipped.
+  uint64_t vindex_short_circuits = 0;
 
   /// Accumulates `o` (mirrors MatchStats::Add); used wherever per-segment
   /// or per-batch stats are aggregated.
@@ -114,6 +125,9 @@ struct ExecStats {
     plan_cache_hits += o.plan_cache_hits;
     result_cache_hits += o.result_cache_hits;
     pruned_instantiations += o.pruned_instantiations;
+    vindex_probes += o.vindex_probes;
+    vindex_candidates += o.vindex_candidates;
+    vindex_short_circuits += o.vindex_short_circuits;
   }
 };
 
@@ -123,16 +137,20 @@ class QueryExecutor {
  public:
   /// `schema`, when given, supplies the planner's build-time statistics
   /// (repeatability, weights); planning still works without it using the
-  /// index's exact link cardinalities alone.
+  /// index's exact link cardinalities alone. `vindex`, when given, answers
+  /// comparison predicates ([price < 30]); without it such queries fail
+  /// with kFailedPrecondition (pre-v4 images).
   QueryExecutor(const FrozenIndex* index, const PathDict* dict,
                 const NameTable* names, const ValueEncoder* values,
-                const Sequencer* sequencer, const Schema* schema = nullptr)
+                const Sequencer* sequencer, const Schema* schema = nullptr,
+                const ValueIndex* vindex = nullptr)
       : index_(index),
         dict_(dict),
         names_(names),
         values_(values),
         sequencer_(sequencer),
-        schema_(schema) {}
+        schema_(schema),
+        vindex_(vindex) {}
 
   /// Parses and runs `xpath`; returns sorted, deduplicated document ids.
   /// `ctx`, when given, supplies reusable match scratch (see MatchContext);
@@ -169,6 +187,7 @@ class QueryExecutor {
   const ValueEncoder* values_;
   const Sequencer* sequencer_;
   const Schema* schema_;
+  const ValueIndex* vindex_;
   /// Leased to calls that pass no MatchContext, so serial matching stays
   /// allocation-free across queries (the decoded-block cache in
   /// particular is too big to rebuild per call).

@@ -35,6 +35,8 @@ bool SymMatches(const PatternNode& pn, Sym sym, NameId want_name,
       return sym.is_value() && sym.id() == want_value;
     case PatternNode::Test::kValuePrefix:
       return false;  // prefix tests are child-axis only
+    case PatternNode::Test::kValueCompare:
+      return false;  // comparisons never reach instantiation
   }
   return false;
 }
@@ -107,6 +109,14 @@ StatusOr<InstantiateResult> InstantiatePattern(
         }
         if (prefix_values[i].empty()) return result;  // empty
         break;
+      case PatternNode::Test::kValueCompare:
+        // The executor rewrites comparison predicates into a skeleton
+        // pattern plus value-index probes before instantiating; reaching
+        // one here means a caller skipped that rewrite.
+        return Status::InvalidArgument(
+            "comparison predicates cannot be instantiated directly; strip "
+            "them with StripComparisons() and intersect with the value "
+            "index");
       case PatternNode::Test::kWildcard:
         break;
     }
@@ -223,6 +233,8 @@ StatusOr<InstantiateResult> InstantiatePattern(
           }
           return true;
         }
+        case PatternNode::Test::kValueCompare:
+          return true;  // rejected above; unreachable
       }
       return true;
     }

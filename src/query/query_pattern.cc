@@ -75,10 +75,9 @@ class Parser {
         continue;
       }
       auto step = ParseStep(axis);
-      if (!step.ok()) {
-        if (first) return step.status();
-        break;
-      }
+      // A consumed '/' commits to a step: a failure here is the step's
+      // error at its own offset, never a vague "trailing characters" later.
+      if (!step.ok()) return step.status();
       PatternNode* raw = step->get();
       current->children.push_back(std::move(*step));
       current = raw;
@@ -115,10 +114,14 @@ class Parser {
     for (;;) {
       SkipSpace();
       if (AtEnd() || Peek() != '[') return Status::OK();
+      const size_t open = pos_;
       ++pos_;  // '['
       XSEQ_RETURN_IF_ERROR(ParsePredicateBody(node));
       SkipSpace();
-      if (!Consume(']')) return Error("expected ']'");
+      if (!Consume(']')) {
+        return Error("expected ']' closing the '[' at offset " +
+                     std::to_string(open));
+      }
     }
   }
 
@@ -130,21 +133,21 @@ class Parser {
       pos_ += 12;
       return ParseStartsWith(node);
     }
-    // text() = 'v'  |  text = 'v'  |  . = 'v'
+    // text() = 'v'  |  text = 'v'  |  . = 'v'  | text() < 'v' | ...
     size_t save = pos_;
     if (TryConsumeTextSelector()) {
       SkipSpace();
-      if (!Consume('=')) {
-        pos_ = save;  // "text" was an element name after all
-      } else {
-        auto lit = ParseLiteral();
-        if (!lit.ok()) return lit.status();
-        auto v = std::make_unique<PatternNode>();
-        v->axis = PatternNode::Axis::kChild;
-        v->test = PatternNode::Test::kValue;
-        v->value = std::move(*lit);
-        node->children.push_back(std::move(v));
+      CompareOp op;
+      if (Consume('=')) {
+        XSEQ_RETURN_IF_ERROR(AttachValueTest(node, PatternNode::Test::kValue,
+                                             CompareOp::kLt));
         return Status::OK();
+      } else if (TryConsumeCompareOp(&op)) {
+        XSEQ_RETURN_IF_ERROR(
+            AttachValueTest(node, PatternNode::Test::kValueCompare, op));
+        return Status::OK();
+      } else {
+        pos_ = save;  // "text" was an element name after all
       }
     }
 
@@ -178,19 +181,61 @@ class Parser {
     }
 
     SkipSpace();
+    CompareOp op;
     if (Consume('=')) {
       if (current == node && !saw_dot) {
         return Error("'=' without a left-hand path");
       }
-      auto lit = ParseLiteral();
-      if (!lit.ok()) return lit.status();
-      auto v = std::make_unique<PatternNode>();
-      v->axis = PatternNode::Axis::kChild;
-      v->test = PatternNode::Test::kValue;
-      v->value = std::move(*lit);
-      current->children.push_back(std::move(v));
+      XSEQ_RETURN_IF_ERROR(AttachValueTest(current, PatternNode::Test::kValue,
+                                           CompareOp::kLt));
+    } else if (TryConsumeCompareOp(&op)) {
+      if (current == node && !saw_dot) {
+        return Error("comparison without a left-hand path");
+      }
+      XSEQ_RETURN_IF_ERROR(
+          AttachValueTest(current, PatternNode::Test::kValueCompare, op));
     }
     return Status::OK();
+  }
+
+  /// Parses a literal and attaches it to `host` as a value-test child
+  /// (kValue or kValueCompare with `op`).
+  Status AttachValueTest(PatternNode* host, PatternNode::Test test,
+                         CompareOp op) {
+    auto lit = ParseLiteral();
+    if (!lit.ok()) return lit.status();
+    auto v = std::make_unique<PatternNode>();
+    v->axis = PatternNode::Axis::kChild;
+    v->test = test;
+    v->value = std::move(*lit);
+    v->op = op;
+    host->children.push_back(std::move(v));
+    return Status::OK();
+  }
+
+  /// Consumes one of < <= > >= != when present. A lone '!' is an error (it
+  /// cannot start anything else in this grammar).
+  bool TryConsumeCompareOp(CompareOp* op) {
+    if (AtEnd()) return false;
+    switch (Peek()) {
+      case '<':
+        ++pos_;
+        *op = Consume('=') ? CompareOp::kLe : CompareOp::kLt;
+        return true;
+      case '>':
+        ++pos_;
+        *op = Consume('=') ? CompareOp::kGe : CompareOp::kGt;
+        return true;
+      case '!':
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '=') {
+          pos_ += 2;
+          *op = CompareOp::kNe;
+          return true;
+        }
+        return false;
+      default:
+        return false;
+    }
   }
 
   /// Parses the remainder of starts-with(path, 'literal') — the opening
@@ -230,7 +275,8 @@ class Parser {
     return Status::OK();
   }
 
-  /// Accepts "text()", "text" (only when followed by '='), or nothing.
+  /// Accepts "text()", "text" (only when followed by a comparison), or
+  /// nothing.
   bool TryConsumeTextSelector() {
     size_t save = pos_;
     if (s_.substr(pos_, 6) == "text()") {
@@ -244,7 +290,12 @@ class Parser {
              std::isspace(static_cast<unsigned char>(s_[look]))) {
         ++look;
       }
-      if (look < s_.size() && s_[look] == '=') return true;
+      if (look < s_.size() &&
+          (s_[look] == '=' || s_[look] == '<' || s_[look] == '>' ||
+           (s_[look] == '!' && look + 1 < s_.size() &&
+            s_[look + 1] == '='))) {
+        return true;
+      }
       pos_ = save;
     }
     return false;
@@ -294,6 +345,10 @@ void ToStringRec(const PatternNode* n, std::string* out) {
     case PatternNode::Test::kValuePrefix:
       *out += "starts-with(.,'" + n->value + "')";
       break;
+    case PatternNode::Test::kValueCompare:
+      *out += std::string("text()") + CompareOpName(n->op) + "'" + n->value +
+              "'";
+      break;
   }
   for (const auto& c : n->children) {
     *out += "[";
@@ -306,6 +361,22 @@ void ToStringRec(const PatternNode* n, std::string* out) {
 }
 
 }  // namespace
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
 
 StatusOr<QueryPattern> ParseXPath(std::string_view xpath) {
   return Parser(xpath).Parse();

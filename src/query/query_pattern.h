@@ -31,6 +31,15 @@
 
 namespace xseq {
 
+/// Comparison operator of a value predicate (`[price < 30]`). Equality is
+/// not listed: `=` stays a structural value test (Test::kValue) answered by
+/// the sequence index itself; these five route through the ordered value
+/// index.
+enum class CompareOp { kLt, kLe, kGt, kGe, kNe };
+
+/// "<", "<=", ">", ">=", "!=".
+const char* CompareOpName(CompareOp op);
+
 /// One node of a query pattern.
 struct PatternNode {
   enum class Axis { kChild, kDescendant };
@@ -38,13 +47,15 @@ struct PatternNode {
     kName,
     kWildcard,
     kValue,
-    kValuePrefix,  ///< starts-with(.,'lit'); value must begin with `value`
+    kValuePrefix,   ///< starts-with(.,'lit'); value must begin with `value`
+    kValueCompare,  ///< value `op` literal, e.g. [price < 30]
   };
 
   Axis axis = Axis::kChild;  ///< edge from the parent
   Test test = Test::kName;
   std::string name;   ///< for kName
-  std::string value;  ///< literal text for kValue
+  std::string value;  ///< literal text for kValue/kValuePrefix/kValueCompare
+  CompareOp op = CompareOp::kLt;  ///< for kValueCompare
   std::vector<std::unique_ptr<PatternNode>> children;
 
   size_t SubtreeSize() const {

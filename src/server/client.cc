@@ -160,6 +160,56 @@ StatusOr<uint64_t> XseqClient::Reload(std::string_view path) {
   return resp->generation;
 }
 
+namespace {
+
+/// Local gate shared by the v5 mutation ops: after a downgrade the server
+/// predates the op entirely, so fail here with the same clean story the
+/// version bounce would tell instead of burning a round trip.
+Status RequireMutationVersion(uint8_t wire_version) {
+  if (wire_version < 5) {
+    return Status::Unimplemented(
+        "delete/update/compact need wire protocol version 5; this "
+        "connection downgraded to version " +
+        std::to_string(wire_version));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<uint64_t> XseqClient::Delete(uint64_t id) {
+  XSEQ_RETURN_IF_ERROR(RequireMutationVersion(wire_version_));
+  WireRequest req;
+  req.op = WireOp::kDelete;
+  req.doc_id = id;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return resp->generation;
+}
+
+StatusOr<uint64_t> XseqClient::Update(uint64_t id, std::string_view xml) {
+  XSEQ_RETURN_IF_ERROR(RequireMutationVersion(wire_version_));
+  WireRequest req;
+  req.op = WireOp::kUpdate;
+  req.doc_id = id;
+  req.update_xml.assign(xml.data(), xml.size());
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return resp->generation;
+}
+
+StatusOr<uint64_t> XseqClient::Compact() {
+  XSEQ_RETURN_IF_ERROR(RequireMutationVersion(wire_version_));
+  WireRequest req;
+  req.op = WireOp::kCompact;
+  auto resp = RoundTrip(std::move(req));
+  if (!resp.ok()) return resp.status();
+  XSEQ_RETURN_IF_ERROR(resp->status);
+  return resp->generation;
+}
+
 StatusOr<WireResponse> XseqClient::Call(WireRequest req) {
   return RoundTrip(std::move(req));
 }

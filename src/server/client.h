@@ -9,7 +9,9 @@
 // with the error), and replays the request once. The downgrade sticks for
 // the client's lifetime, so a session against an old daemon pays the
 // round trip exactly once. v4-only features (trace propagation, explain,
-// the metrics op) silently drop away on a downgraded connection.
+// the metrics op) silently drop away on a downgraded connection; the v5
+// mutation ops (delete/update/compact) fail locally with kUnimplemented
+// instead — a mutation must never be silently dropped.
 //
 // Tracing: give the client a tracer (set_tracer) and every Query()
 // records a client-side trace — a "client_query" root and an "rpc" span
@@ -89,6 +91,21 @@ class XseqClient {
   /// failure) surfaces as the server's error while the old generation
   /// keeps serving.
   StatusOr<uint64_t> Reload(std::string_view path = "");
+
+  /// Tombstones every live document with `id` on the daemon's dynamic
+  /// backend; returns the generation after the mutation. v5 servers only —
+  /// a downgraded connection returns kUnimplemented locally, and a static
+  /// backend answers kFailedPrecondition from the server.
+  StatusOr<uint64_t> Delete(uint64_t id);
+
+  /// Atomically replaces the documents carrying `id` with the document
+  /// parsed from `xml` (server-side, against the owning shard's
+  /// vocabulary); returns the generation after the mutation. v5 only.
+  StatusOr<uint64_t> Update(uint64_t id, std::string_view xml);
+
+  /// Compacts the daemon's dynamic backend: purges tombstones and merges
+  /// segments; returns the generation after compaction. v5 only.
+  StatusOr<uint64_t> Compact();
 
   /// Raw request/response round trip, validating the id/op echo. The
   /// transport/protocol outcome is the StatusOr; the remote call's own

@@ -41,6 +41,16 @@ Status DecodePrefix(Decoder* in, uint8_t* version, uint8_t* op,
   if (!IsValidWireOp(*op)) {
     return Status::Corruption("unknown wire op " + std::to_string(*op));
   }
+  if (*op >= static_cast<uint8_t>(WireOp::kDelete) && *version < 5) {
+    // Pre-v5 versions never defined the mutation ops, so a pre-v5 body
+    // carrying one is malformed — the same kCorruption an actual v4 build
+    // would produce (its op validator has never heard of op 7), keeping
+    // old and new builds indistinguishable to a buggy peer.
+    return Status::Corruption("wire op " + std::to_string(*op) +
+                              " requires protocol version 5; body spoke "
+                              "version " +
+                              std::to_string(*version));
+  }
   return in->GetFixed64(id);
 }
 
@@ -61,6 +71,9 @@ bool IsValidWireOp(uint8_t op) {
     case WireOp::kShutdown:
     case WireOp::kReload:
     case WireOp::kMetrics:
+    case WireOp::kDelete:
+    case WireOp::kUpdate:
+    case WireOp::kCompact:
       return true;
   }
   return false;
@@ -326,6 +339,11 @@ void EncodeRequestBody(const WireRequest& req, std::string* out) {
     }
   } else if (req.op == WireOp::kReload) {
     PutString(out, req.reload_path);
+  } else if (req.op == WireOp::kDelete) {
+    PutFixed64(out, req.doc_id);
+  } else if (req.op == WireOp::kUpdate) {
+    PutFixed64(out, req.doc_id);
+    PutString(out, req.update_xml);
   }
 }
 
@@ -337,6 +355,8 @@ Status DecodeRequestBody(std::string_view body, WireRequest* out) {
   out->xpath.clear();
   out->deadline_micros = 0;
   out->reload_path.clear();
+  out->doc_id = 0;
+  out->update_xml.clear();
   out->trace = obs::TraceContext();
   out->want_explain = false;
   if (out->op == WireOp::kQuery) {
@@ -359,6 +379,11 @@ Status DecodeRequestBody(std::string_view body, WireRequest* out) {
     }
   } else if (out->op == WireOp::kReload) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->reload_path));
+  } else if (out->op == WireOp::kDelete) {
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->doc_id));
+  } else if (out->op == WireOp::kUpdate) {
+    XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->doc_id));
+    XSEQ_RETURN_IF_ERROR(in.GetString(&out->update_xml));
   }
   return CheckDrained(in);
 }
@@ -384,7 +409,8 @@ void EncodeResponseBody(const WireResponse& resp, std::string* out) {
     }
   } else if (resp.op == WireOp::kStats || resp.op == WireOp::kMetrics) {
     PutString(out, resp.payload);
-  } else if (resp.op == WireOp::kReload) {
+  } else if (resp.op == WireOp::kReload || resp.op == WireOp::kDelete ||
+             resp.op == WireOp::kUpdate || resp.op == WireOp::kCompact) {
     PutFixed64(out, resp.generation);
   }
 }
@@ -481,7 +507,8 @@ Status DecodeResponseBody(std::string_view body, WireResponse* out) {
     }
   } else if (out->op == WireOp::kStats || out->op == WireOp::kMetrics) {
     XSEQ_RETURN_IF_ERROR(in.GetString(&out->payload));
-  } else if (out->op == WireOp::kReload) {
+  } else if (out->op == WireOp::kReload || out->op == WireOp::kDelete ||
+             out->op == WireOp::kUpdate || out->op == WireOp::kCompact) {
     XSEQ_RETURN_IF_ERROR(in.GetFixed64(&out->generation));
   }
   return CheckDrained(in);

@@ -1,6 +1,7 @@
 // The xseq wire protocol: a length-prefixed, checksummed binary framing
-// with six operations (query, stats, ping, shutdown, reload, metrics),
-// spoken over any Connection (src/server/socket.h).
+// with nine operations (query, stats, ping, shutdown, reload, metrics,
+// delete, update, compact), spoken over any Connection
+// (src/server/socket.h).
 //
 // Frame layout (all integers little-endian; byte offsets from frame start):
 //
@@ -31,7 +32,9 @@
 //             sampled.
 //   reload:   string image prefix (empty = reload the prefix the server is
 //             currently serving)
-//   stats / ping / shutdown / metrics: empty
+//   delete:   u64 document id (v5+)
+//   update:   u64 document id, string replacement XML (v5+)
+//   stats / ping / shutdown / metrics / compact: empty
 //
 // Response payloads (after a u8 status code + string error message; the
 // payload is present only when the status is OK):
@@ -43,7 +46,9 @@
 //             trace.
 //   stats:    string (MetricsRegistry::JsonDump of the serving process)
 //   reload:   u64 generation now being served
-//   metrics:  string (Prometheus text exposition; v4 only)
+//   metrics:  string (Prometheus text exposition; v4+)
+//   delete / update / compact: u64 generation after the mutation (v5+),
+//             so callers can tie cache invalidation to the ack
 //   ping / shutdown: empty
 //
 // Checksums make torn frames (a peer dying mid-write) indistinguishable
@@ -78,7 +83,15 @@ namespace xseq {
 //       (Prometheus text exposition). First version to accept a *range*:
 //       v3 bodies still decode and are answered with v3 bodies, so old
 //       peers interoperate without the new sections.
-inline constexpr uint8_t kWireVersion = 4;
+//   5 — mutation ops for dynamic backends: delete (tombstone every live
+//       document with an id), update (atomic delete + re-add), compact
+//       (purge tombstones, merge segments). Each acks with the backend
+//       generation after the mutation. The ops are gated on the body
+//       version: a v3/v4 body carrying op >= 7 is corrupt (those versions
+//       never defined it), while a v5 body to an older build gets the
+//       usual kUnimplemented version bounce and the client downgrades —
+//       mutation calls then fail client-side with a clean kUnimplemented.
+inline constexpr uint8_t kWireVersion = 5;
 inline constexpr uint8_t kMinWireVersion = 3;
 
 /// Frame header size (length + checksum) and the body-size cap.
@@ -92,6 +105,9 @@ enum class WireOp : uint8_t {
   kShutdown = 4,
   kReload = 5,
   kMetrics = 6,  ///< Prometheus text exposition (v4+)
+  kDelete = 7,   ///< tombstone a document id (v5+, dynamic backends)
+  kUpdate = 8,   ///< atomic replace of a document id (v5+, dynamic backends)
+  kCompact = 9,  ///< purge tombstones / merge segments (v5+)
 };
 
 /// True for a value DecodeRequest/DecodeResponse accepts.
@@ -113,6 +129,8 @@ struct WireRequest {
   std::string xpath;            ///< kQuery only
   uint64_t deadline_micros = 0; ///< kQuery only; relative budget, 0 = none
   std::string reload_path;      ///< kReload only; empty = current prefix
+  uint64_t doc_id = 0;          ///< kDelete / kUpdate (v5+)
+  std::string update_xml;       ///< kUpdate only (v5+); replacement document
   /// kQuery, v4+: distributed trace context (invalid = untraced) and the
   /// explain request flag.
   obs::TraceContext trace;
@@ -148,7 +166,8 @@ struct WireResponse {
   std::vector<DocId> docs;      ///< kQuery only
   WireQueryStats stats;         ///< kQuery only
   std::string payload;          ///< kStats (metrics JSON) / kMetrics (text)
-  uint64_t generation = 0;      ///< kReload only; generation after the swap
+  uint64_t generation = 0;      ///< kReload / kDelete / kUpdate / kCompact:
+                                ///< generation after the swap or mutation
   /// kQuery, v4+: the server-side span tree of this request (present when
   /// the request carried a sampled trace context) and the explain record
   /// (present when the request asked for one).

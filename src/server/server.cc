@@ -164,6 +164,53 @@ bool XseqServer::Dispatch(const WireRequest& req, WireResponse* resp) {
       }
       return true;
     }
+    case WireOp::kDelete: {
+      if (!options_.delete_handler) {
+        resp->status = Status::Unimplemented(
+            "this server's backend is immutable (no delete handler); serve "
+            "a dynamic backend to mutate over the wire");
+        return true;
+      }
+      auto generation = options_.delete_handler(req.doc_id);
+      if (!generation.ok()) {
+        resp->status = generation.status();
+      } else {
+        resp->generation = *generation;
+      }
+      return true;
+    }
+    case WireOp::kUpdate: {
+      if (!options_.update_handler) {
+        resp->status = Status::Unimplemented(
+            "this server's backend is immutable (no update handler); serve "
+            "a dynamic backend to mutate over the wire");
+        return true;
+      }
+      auto generation = options_.update_handler(req.doc_id, req.update_xml);
+      if (!generation.ok()) {
+        resp->status = generation.status();
+      } else {
+        resp->generation = *generation;
+      }
+      return true;
+    }
+    case WireOp::kCompact: {
+      if (!options_.compact_handler) {
+        resp->status = Status::Unimplemented(
+            "this server's backend is immutable (no compact handler); serve "
+            "a dynamic backend to compact over the wire");
+        return true;
+      }
+      // Like reload, the handler thread is pinned for the duration — one
+      // compaction at a time per connection is the intended backpressure.
+      auto generation = options_.compact_handler();
+      if (!generation.ok()) {
+        resp->status = generation.status();
+      } else {
+        resp->generation = *generation;
+      }
+      return true;
+    }
   }
   resp->status = Status::Internal("unreachable: op validated by decoder");
   return true;

@@ -53,6 +53,16 @@ struct ServerOptions {
   /// with kUnimplemented — a server over a fixed backend stays honest
   /// about it instead of pretending to have swapped.
   std::function<StatusOr<uint64_t>(const std::string&)> reload_handler;
+  /// v5 mutation ops, each returning the backend generation after the
+  /// mutation. Null (the default) answers kUnimplemented — only a daemon
+  /// serving a dynamic backend wires these (see xseq_serve --dynamic);
+  /// static images stay honestly immutable over the wire.
+  std::function<StatusOr<uint64_t>(uint64_t)> delete_handler;
+  /// (doc id, replacement XML) -> generation; parses the document against
+  /// the owning shard's vocabulary before swapping it in.
+  std::function<StatusOr<uint64_t>(uint64_t, const std::string&)>
+      update_handler;
+  std::function<StatusOr<uint64_t>()> compact_handler;
 };
 
 class XseqServer {

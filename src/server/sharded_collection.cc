@@ -167,6 +167,35 @@ Status ShardedCollection::Add(Document&& doc) {
   return st;
 }
 
+Status ShardedCollection::Delete(DocId id) {
+  if (!options_.dynamic) {
+    return Status::FailedPrecondition(
+        "static ShardedCollection is immutable; use the dynamic backend "
+        "for delete/update");
+  }
+  return dynamic_shards_[ShardOf(id)]->Delete(id);
+}
+
+Status ShardedCollection::Update(Document&& doc, DocId id) {
+  if (!options_.dynamic) {
+    return Status::FailedPrecondition(
+        "static ShardedCollection is immutable; use the dynamic backend "
+        "for delete/update");
+  }
+  return dynamic_shards_[ShardOf(id)]->Update(std::move(doc), id);
+}
+
+Status ShardedCollection::Compact() {
+  if (!options_.dynamic) {
+    return Status::FailedPrecondition(
+        "static ShardedCollection has nothing to compact");
+  }
+  for (auto& shard : dynamic_shards_) {
+    XSEQ_RETURN_IF_ERROR(shard->Compact());
+  }
+  return Status::OK();
+}
+
 Status ShardedCollection::Seal() {
   if (options_.dynamic) {
     for (auto& shard : dynamic_shards_) {

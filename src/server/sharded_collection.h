@@ -100,6 +100,20 @@ class ShardedCollection {
   /// Routes `doc` to its shard by id. Static backend: only before Seal().
   Status Add(Document&& doc);
 
+  /// Deletes every live document with `id` in its owning shard (dynamic
+  /// backend only; see DynamicIndex::Delete for tombstone semantics).
+  Status Delete(DocId id);
+
+  /// Replaces the documents carrying `id` with `doc` atomically within the
+  /// owning shard. `doc` must be parsed/generated against that shard's
+  /// tables with the same id. Dynamic backend only.
+  Status Update(Document&& doc, DocId id);
+
+  /// Compacts every dynamic shard, purging tombstones and merging segments
+  /// (no-op ordering guarantees per shard; see DynamicIndex::Compact).
+  /// Dynamic backend only.
+  Status Compact();
+
   /// Static: builds every shard index (parallel across the pool) and
   /// freezes the collection. Dynamic: flushes every shard's buffer.
   Status Seal();

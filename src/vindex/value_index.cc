@@ -1,0 +1,290 @@
+#include "src/vindex/value_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace xseq {
+
+namespace {
+
+/// Total order of entries within one path: numbers before strings, numbers
+/// by value, strings by raw bytes; ties by raw text, then doc id.
+bool EntryLess(const ValueIndex::Entry& a, const ValueIndex::Entry& b) {
+  if (a.numeric != b.numeric) return a.numeric;
+  if (a.numeric) {
+    if (a.num != b.num) return a.num < b.num;
+  } else if (a.text != b.text) {
+    return a.text < b.text;
+  }
+  if (a.text != b.text) return a.text < b.text;
+  return a.doc < b.doc;
+}
+
+}  // namespace
+
+bool ParseWholeNumber(std::string_view text, double* out) {
+  size_t b = 0, e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  if (b == e) return false;
+  std::string buf(text.substr(b, e - b));
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+TypedValue TypedValue::Of(std::string_view text) {
+  TypedValue v;
+  v.text = std::string(text);
+  v.numeric = ParseWholeNumber(text, &v.num);
+  return v;
+}
+
+bool ValueSatisfies(std::string_view text, CompareOp op,
+                    const TypedValue& literal) {
+  if (op == CompareOp::kNe) return text != literal.text;
+  double num = 0.0;
+  const bool numeric = ParseWholeNumber(text, &num);
+  // Ordering comparisons stay within one type class: a numeric literal is
+  // invisible to string values and vice versa — "apple < 30" has no
+  // meaningful answer and silently coercing would make results depend on
+  // the corpus's stray non-numeric values.
+  if (numeric != literal.numeric) return false;
+  if (numeric) {
+    switch (op) {
+      case CompareOp::kLt:
+        return num < literal.num;
+      case CompareOp::kLe:
+        return num <= literal.num;
+      case CompareOp::kGt:
+        return num > literal.num;
+      case CompareOp::kGe:
+        return num >= literal.num;
+      case CompareOp::kNe:
+        break;
+    }
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kLt:
+      return text < literal.text;
+    case CompareOp::kLe:
+      return text <= literal.text;
+    case CompareOp::kGt:
+      return text > literal.text;
+    case CompareOp::kGe:
+      return text >= literal.text;
+    case CompareOp::kNe:
+      break;
+  }
+  return false;
+}
+
+void ValueIndex::Collect(PathId path, CompareOp op,
+                         const TypedValue& literal,
+                         std::vector<DocId>* out) const {
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), path);
+  if (it == paths_.end() || *it != path) return;
+  const size_t pi = static_cast<size_t>(it - paths_.begin());
+  const Entry* b = entries_.data() + offsets_[pi];
+  const Entry* e = entries_.data() + offsets_[pi + 1];
+
+  if (op == CompareOp::kNe) {
+    for (const Entry* p = b; p != e; ++p) {
+      if (p->text != literal.text) out->push_back(p->doc);
+    }
+    return;
+  }
+
+  // Numeric prefix / string suffix split of the sorted span.
+  const Entry* m = std::partition_point(
+      b, e, [](const Entry& x) { return x.numeric; });
+  const Entry* lo = b;
+  const Entry* hi = b;
+  if (literal.numeric) {
+    auto num_less = [](const Entry& x, double v) { return x.num < v; };
+    auto num_le = [](double v, const Entry& x) { return v < x.num; };
+    switch (op) {
+      case CompareOp::kLt:
+        lo = b;
+        hi = std::lower_bound(b, m, literal.num, num_less);
+        break;
+      case CompareOp::kLe:
+        lo = b;
+        hi = std::upper_bound(b, m, literal.num, num_le);
+        break;
+      case CompareOp::kGt:
+        lo = std::upper_bound(b, m, literal.num, num_le);
+        hi = m;
+        break;
+      case CompareOp::kGe:
+        lo = std::lower_bound(b, m, literal.num, num_less);
+        hi = m;
+        break;
+      case CompareOp::kNe:
+        return;  // handled above
+    }
+  } else {
+    auto txt_less = [](const Entry& x, const std::string& v) {
+      return x.text < v;
+    };
+    auto txt_le = [](const std::string& v, const Entry& x) {
+      return v < x.text;
+    };
+    switch (op) {
+      case CompareOp::kLt:
+        lo = m;
+        hi = std::lower_bound(m, e, literal.text, txt_less);
+        break;
+      case CompareOp::kLe:
+        lo = m;
+        hi = std::upper_bound(m, e, literal.text, txt_le);
+        break;
+      case CompareOp::kGt:
+        lo = std::upper_bound(m, e, literal.text, txt_le);
+        hi = e;
+        break;
+      case CompareOp::kGe:
+        lo = std::lower_bound(m, e, literal.text, txt_less);
+        hi = e;
+        break;
+      case CompareOp::kNe:
+        return;  // handled above
+    }
+  }
+  for (const Entry* p = lo; p != hi; ++p) out->push_back(p->doc);
+}
+
+uint64_t ValueIndex::MemoryBytes() const {
+  uint64_t bytes = paths_.size() * sizeof(PathId) +
+                   offsets_.size() * sizeof(uint32_t) +
+                   entries_.size() * sizeof(Entry);
+  for (const Entry& en : entries_) bytes += en.text.size();
+  return bytes;
+}
+
+void ValueIndex::EncodeTo(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(paths_.size()));
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    PutFixed32(out, paths_[i]);
+    PutFixed64(out, EntryCountAt(i));
+  }
+  for (const Entry& en : entries_) {
+    PutString(out, en.text);
+    PutFixed32(out, en.doc);
+  }
+}
+
+StatusOr<ValueIndex> ValueIndex::DecodeFrom(Decoder* in) {
+  ValueIndex out;
+  uint32_t path_count = 0;
+  XSEQ_RETURN_IF_ERROR(in->GetFixed32(&path_count));
+  if (path_count > in->remaining() / 12) {
+    return Status::Corruption("value index path directory overruns section");
+  }
+  out.paths_.reserve(path_count);
+  out.offsets_.reserve(path_count + 1);
+  out.offsets_.push_back(0);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < path_count; ++i) {
+    uint32_t path = 0;
+    uint64_t count = 0;
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&path));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed64(&count));
+    total += count;
+    // 12 bytes is the floor per entry (8-byte length prefix + 4-byte doc).
+    if (total > in->remaining() / 12) {
+      return Status::Corruption("value index entry counts overrun section");
+    }
+    out.paths_.push_back(path);
+    out.offsets_.push_back(static_cast<uint32_t>(total));
+  }
+  out.entries_.resize(total);
+  for (Entry& en : out.entries_) {
+    XSEQ_RETURN_IF_ERROR(in->GetString(&en.text));
+    XSEQ_RETURN_IF_ERROR(in->GetFixed32(&en.doc));
+    en.numeric = ParseWholeNumber(en.text, &en.num);
+  }
+  // Normalize the empty shape to match Build(): no paths, no offsets —
+  // Validate() treats a lone zero offset as corruption.
+  if (out.paths_.empty()) out.offsets_.clear();
+  return out;
+}
+
+Status ValueIndex::Validate() const {
+  if (paths_.empty()) {
+    if (!offsets_.empty() || !entries_.empty()) {
+      return Status::Corruption("value index has entries but no paths");
+    }
+    return Status::OK();
+  }
+  if (offsets_.size() != paths_.size() + 1 || offsets_.front() != 0 ||
+      offsets_.back() != entries_.size()) {
+    return Status::Corruption("value index offsets are inconsistent");
+  }
+  for (size_t i = 0; i + 1 < paths_.size(); ++i) {
+    if (paths_[i] >= paths_[i + 1]) {
+      return Status::Corruption("value index paths are not ascending");
+    }
+  }
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    for (uint32_t j = offsets_[i]; j + 1 < offsets_[i + 1]; ++j) {
+      if (EntryLess(entries_[j + 1], entries_[j])) {
+        return Status::Corruption("value index entries are out of order");
+      }
+    }
+  }
+  for (const Entry& en : entries_) {
+    double num = 0.0;
+    if (en.numeric != ParseWholeNumber(en.text, &num) ||
+        (en.numeric && num != en.num)) {
+      return Status::Corruption("value index numeric flag mismatches text");
+    }
+  }
+  return Status::OK();
+}
+
+void ValueIndexBuilder::Add(PathId parent, std::string_view text,
+                            DocId doc) {
+  Raw r;
+  r.path = parent;
+  r.entry.text = std::string(text);
+  r.entry.doc = doc;
+  r.entry.numeric = ParseWholeNumber(text, &r.entry.num);
+  raw_.push_back(std::move(r));
+}
+
+ValueIndex ValueIndexBuilder::Build() && {
+  std::sort(raw_.begin(), raw_.end(), [](const Raw& a, const Raw& b) {
+    if (a.path != b.path) return a.path < b.path;
+    return EntryLess(a.entry, b.entry);
+  });
+  // Identical (path, text, doc) triples carry no extra information for
+  // doc-level answers; drop them.
+  raw_.erase(std::unique(raw_.begin(), raw_.end(),
+                         [](const Raw& a, const Raw& b) {
+                           return a.path == b.path &&
+                                  a.entry.text == b.entry.text &&
+                                  a.entry.doc == b.entry.doc;
+                         }),
+             raw_.end());
+  ValueIndex out;
+  for (Raw& r : raw_) {
+    if (out.paths_.empty() || out.paths_.back() != r.path) {
+      out.paths_.push_back(r.path);
+      out.offsets_.push_back(static_cast<uint32_t>(out.entries_.size()));
+    }
+    out.entries_.push_back(std::move(r.entry));
+  }
+  out.offsets_.push_back(static_cast<uint32_t>(out.entries_.size()));
+  if (out.paths_.empty()) out.offsets_.clear();
+  raw_.clear();
+  return out;
+}
+
+}  // namespace xseq

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,6 +73,39 @@ TEST(CacheInvalidation, MutationsAreNeverMaskedByCachedAnswers) {
       ASSERT_TRUE(dyn->Flush().ok());
       check_all("after flush");
     }
+    if (d % 4 == 3) {
+      // Prime the cache, delete a doc the cached answers contain, then
+      // verify the pre-delete answer is never replayed.
+      check_all("prime before delete");
+      ASSERT_TRUE(dyn->Delete(d - 1).ok());
+      auto served = service.Execute("//L");
+      ASSERT_TRUE(served.ok());
+      for (DocId got : served->docs) {
+        EXPECT_NE(got, d - 1) << "cached pre-delete answer served";
+      }
+      check_all("after delete");
+      check_all("repeat after delete");
+    }
+    if (d % 7 == 6) {
+      // An update must invalidate both the old and the new value's cached
+      // answers in one generation step.
+      check_all("prime before update");
+      ASSERT_TRUE(dyn->Update(MakeDoc("P(R(L('y')))", dyn->names(),
+                                      dyn->values(), d),
+                              d)
+                      .ok());
+      auto as_x = service.Execute("/P/R/L[.='x']");
+      ASSERT_TRUE(as_x.ok());
+      for (DocId got : as_x->docs) {
+        EXPECT_NE(got, d) << "cached pre-update answer served";
+      }
+      auto as_y = service.Execute("/P/R/L[.='y']");
+      ASSERT_TRUE(as_y.ok());
+      EXPECT_NE(std::find(as_y->docs.begin(), as_y->docs.end(), d),
+                as_y->docs.end())
+          << "update invisible through the cache";
+      check_all("after update");
+    }
   }
   hits_before_mutations = cache.GetStats().hits;
   EXPECT_GT(hits_before_mutations, 0u)
@@ -109,6 +143,18 @@ TEST(CacheInvalidation, DynamicGenerationBumpsOnEveryMutation) {
   // (conservative), but the counter must never go backwards.
   ASSERT_TRUE(dyn.Flush().ok());
   EXPECT_GE(dyn.generation(), g);
+  // Delete and Update each bump exactly like Add — including a delete of
+  // an id that does not exist (the cache cannot tell the difference).
+  g = dyn.generation();
+  ASSERT_TRUE(dyn.Delete(0).ok());
+  EXPECT_GT(dyn.generation(), g);
+  g = dyn.generation();
+  ASSERT_TRUE(
+      dyn.Update(MakeDoc("P(R)", dyn.names(), dyn.values(), 1), 1).ok());
+  EXPECT_GT(dyn.generation(), g);
+  g = dyn.generation();
+  ASSERT_TRUE(dyn.Delete(999).ok());  // no such id
+  EXPECT_GT(dyn.generation(), g);
 }
 
 TEST(CacheInvalidation, ShardedGenerationCoversEveryShard) {
@@ -126,6 +172,17 @@ TEST(CacheInvalidation, ShardedGenerationCoversEveryShard) {
     EXPECT_GT(col.generation(), g) << "doc " << d << " shard " << shard;
     g = col.generation();
   }
+  // Delete and Update bump the collection-wide generation from any shard.
+  ASSERT_TRUE(col.Delete(4).ok());
+  EXPECT_GT(col.generation(), g);
+  g = col.generation();
+  size_t shard5 = col.ShardOf(5);
+  ASSERT_TRUE(col.Update(MakeDoc("P(R(L('w')))", col.names(shard5),
+                                 col.values(shard5), 5),
+                         5)
+                  .ok());
+  EXPECT_GT(col.generation(), g);
+  g = col.generation();
   ASSERT_TRUE(col.Seal().ok());
   EXPECT_GE(col.generation(), g);
 
@@ -143,6 +200,80 @@ TEST(CacheInvalidation, ShardedGenerationCoversEveryShard) {
   EXPECT_EQ(stat.generation(), 0u);
   ASSERT_TRUE(stat.Seal().ok());
   EXPECT_EQ(stat.generation(), 1u);
+}
+
+TEST(CacheInvalidation, ShardedMutationsAreNeverMaskedByCachedAnswers) {
+  auto col = std::make_shared<ShardedCollection>([] {
+    ShardedOptions opts;
+    opts.shards = 3;
+    opts.dynamic = true;
+    opts.flush_threshold = 2;
+    opts.threads = 1;
+    opts.index.threads = 1;
+    return opts;
+  }());
+
+  ResultCache cache;
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.result_cache = &cache;
+  sopts.generation = [col] { return col->generation(); };
+  QueryService service(
+      [col](std::string_view xpath, const ExecOptions& opts) {
+        return col->Query(xpath, opts);
+      },
+      sopts);
+
+  const std::vector<std::string> queries = {"//L", "/P/R/L[.='x']",
+                                            "/P/R/L[. < 50]"};
+  auto check_all = [&](const char* when) {
+    for (const std::string& q : queries) {
+      auto served = service.Execute(q);
+      ASSERT_TRUE(served.ok()) << when << " " << q << ": "
+                               << served.status().ToString();
+      auto oracle = col->Query(q);
+      ASSERT_TRUE(oracle.ok()) << when << " " << q;
+      EXPECT_EQ(served->docs, oracle->docs) << when << " " << q;
+    }
+  };
+
+  for (DocId d = 0; d < 12; ++d) {
+    size_t shard = col->ShardOf(d);
+    const std::string spec =
+        (d % 2 == 0) ? "P(R(L('x')))" : "P(R(L('" + std::to_string(d) + "')))";
+    ASSERT_TRUE(col->Add(MakeDoc(spec, col->names(shard),
+                                 col->values(shard), d))
+                    .ok());
+    check_all("after add");
+    check_all("repeat");
+  }
+  EXPECT_GT(cache.GetStats().hits, 0u);
+
+  // Delete through one shard: the collection-wide generation bump must
+  // invalidate cached answers that span all shards.
+  check_all("prime");
+  ASSERT_TRUE(col->Delete(6).ok());
+  auto served = service.Execute("//L");
+  ASSERT_TRUE(served.ok());
+  for (DocId got : served->docs) {
+    EXPECT_NE(got, 6u) << "cached pre-delete answer served";
+  }
+  check_all("after delete");
+
+  size_t shard3 = col->ShardOf(3);
+  ASSERT_TRUE(col->Update(MakeDoc("P(R(L('7')))", col->names(shard3),
+                                  col->values(shard3), 3),
+                          3)
+                  .ok());
+  auto range = service.Execute("/P/R/L[. < 50]");
+  ASSERT_TRUE(range.ok());
+  EXPECT_NE(std::find(range->docs.begin(), range->docs.end(), 3u),
+            range->docs.end())
+      << "update invisible through the cache";
+  check_all("after update");
+
+  ASSERT_TRUE(col->Compact().ok());
+  check_all("after compact");
 }
 
 }  // namespace

@@ -18,9 +18,9 @@
 namespace xseq {
 namespace {
 
-// Layout constants mirrored from persist.cc (v2 format).
+// Layout constants mirrored from persist.cc (current format).
 constexpr size_t kImageHeaderBytes = 8;  // "XSEQIDX" + version byte
-constexpr size_t kImageNumSections = 6;
+constexpr size_t kImageNumSections = 7;  // v4: ..., index, vindex
 
 struct FrameInfo {
   size_t sum_offset;      // of the stored section checksum
@@ -28,7 +28,7 @@ struct FrameInfo {
   uint64_t length;
 };
 
-// Walks the six section frames of a well-formed encoded index.
+// Walks the section frames of a well-formed encoded index.
 std::vector<FrameInfo> ParseFrames(const std::string& data) {
   std::vector<FrameInfo> frames;
   size_t off = kImageHeaderBytes;
@@ -208,7 +208,8 @@ TEST(Validate, CorruptedPayloadWithFixedChecksumIsCaught) {
       {"P(R(L))", "P(R(M))", "P(D(L))"});
   std::string data = EncodeCollectionIndex(idx);
   std::vector<FrameInfo> frames = ParseFrames(data);
-  const FrameInfo& index_frame = frames.back();  // FrozenIndex arrays
+  // FrozenIndex arrays (the vindex frame now trails it).
+  const FrameInfo& index_frame = frames[frames.size() - 2];
   ASSERT_GT(index_frame.length, 16u);
   int caught = 0, total = 0;
   Rng rng(77, 5);
@@ -217,7 +218,7 @@ TEST(Validate, CorruptedPayloadWithFixedChecksumIsCaught) {
     size_t pos = index_frame.payload_offset +
                  rng.Uniform(static_cast<uint32_t>(index_frame.length));
     tampered[pos] ^= static_cast<char>(1 + rng.Uniform(255));
-    FixupChecksums(&tampered, frames.size() - 1);
+    FixupChecksums(&tampered, frames.size() - 2);
     auto loaded = DecodeCollectionIndex(tampered);
     ++total;
     if (!loaded.ok()) ++caught;
@@ -271,8 +272,8 @@ TEST(Format, SectionErrorsAreAttributed) {
   CollectionIndex idx = testing::MakeIndex({"P(R(L('x')))", "P(D)"});
   std::string data = EncodeCollectionIndex(idx);
   std::vector<FrameInfo> frames = ParseFrames(data);
-  const char* names[] = {"header", "names", "values",
-                         "dict",   "schema", "index"};
+  const char* names[] = {"header", "names",  "values", "dict",
+                         "schema", "index",  "vindex"};
   for (size_t i = 0; i < frames.size(); ++i) {
     if (frames[i].length == 0) continue;  // nothing to corrupt
     std::string bad = data;
